@@ -1,0 +1,83 @@
+"""Ablation — the IHS candidate filter in the baselines (Section III-B).
+
+The paper argues extending CFL/DAF/CECI with the IHS filter yields
+stronger baselines than the original TurboISO-based proposal.  This
+ablation runs the generic match-by-vertex framework with and without the
+IHS filter: the filter must shrink candidate sets and (usually) search
+trees, while leaving the result counts untouched.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import VertexBacktrackingMatcher
+from repro.bench import format_table, workload
+from repro.datasets import load_dataset
+from repro.errors import TimeoutExceeded
+
+from conftest import write_report
+
+DATASETS = ("CH", "CP", "WT", "TC")
+TIMEOUT = 5.0
+
+
+@pytest.fixture(scope="module")
+def ihs_rows():
+    rows = []
+    for dataset in DATASETS:
+        data = load_dataset(dataset)
+        with_ihs = VertexBacktrackingMatcher(data, use_ihs=True)
+        without = VertexBacktrackingMatcher(data, use_ihs=False)
+        for index, query in enumerate(workload(dataset, "q3", 2)):
+            try:
+                ihs_result = with_ihs.run(query, time_budget=TIMEOUT)
+                ldf_result = without.run(query, time_budget=TIMEOUT)
+            except TimeoutExceeded:
+                continue
+            rows.append(
+                {
+                    "dataset": dataset,
+                    "query": index,
+                    "ihs_candidates": ihs_result.candidates_total,
+                    "ldf_candidates": ldf_result.candidates_total,
+                    "ihs_nodes": ihs_result.search_nodes,
+                    "ldf_nodes": ldf_result.search_nodes,
+                    "embeddings": ihs_result.vertex_embeddings,
+                    "embeddings_match": (
+                        ihs_result.vertex_embeddings == ldf_result.vertex_embeddings
+                    ),
+                }
+            )
+    report = format_table(rows, title="Ablation — IHS filter vs LDF only")
+    write_report("ablation_ihs_filter", report)
+    print("\n" + report)
+    return rows
+
+
+def test_ihs_preserves_results(ihs_rows):
+    assert all(row["embeddings_match"] for row in ihs_rows)
+
+
+def test_ihs_shrinks_candidate_sets(ihs_rows):
+    for row in ihs_rows:
+        assert row["ihs_candidates"] <= row["ldf_candidates"]
+    assert sum(r["ihs_candidates"] for r in ihs_rows) < sum(
+        r["ldf_candidates"] for r in ihs_rows
+    )
+
+
+def test_ihs_never_explodes_search(ihs_rows):
+    """The filter can only remove candidates, so the search tree with IHS
+    is never larger."""
+    for row in ihs_rows:
+        assert row["ihs_nodes"] <= row["ldf_nodes"]
+
+
+def test_bench_ihs_candidate_filter(benchmark, ihs_rows):
+    from repro.baselines.filters import ihs_candidates
+
+    data = load_dataset("TC")
+    query = workload("TC", "q3", 1)[0]
+    candidates = benchmark(lambda: ihs_candidates(query, data))
+    assert candidates

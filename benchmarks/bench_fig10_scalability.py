@@ -1,0 +1,105 @@
+"""Fig. 10 / Exp-4 — scalability with the number of threads.
+
+The paper runs two heavy q3 queries on AR with 1–60 threads on a
+2×20-core machine: near-linear speedup up to 20 threads, then a knee
+from NUMA/hyper-threading.  Pure-Python threads cannot show wall-clock
+speedup (GIL), so this bench reproduces the curve on the discrete-event
+simulated executor over the real task tree, with the cost model's
+physical-core knee at 20 (DESIGN.md substitution 2).  The threaded
+executor is additionally validated for count-correctness here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import HGMatch
+from repro.bench import format_table, workload
+from repro.datasets import load_dataset, load_store
+from repro.parallel import CostModel, SimulatedExecutor, ThreadedExecutor, simulate_speedups
+
+from conftest import write_report
+
+THREADS = (1, 2, 4, 8, 16, 20, 32, 40, 60)
+
+
+def _heavy_queries(count=2):
+    """The ``count`` highest-embedding q3 workload queries on AR."""
+    engine = HGMatch(load_dataset("AR"), store=load_store("AR"))
+    queries = workload("AR", "q3", 6)
+    scored = sorted(
+        ((engine.count(q, time_budget=5.0), q) for q in queries),
+        key=lambda pair: -pair[0],
+    )
+    return engine, [query for _, query in scored[:count]]
+
+
+@pytest.fixture(scope="module")
+def fig10_rows():
+    engine, queries = _heavy_queries()
+    model = CostModel(physical_cores=20)
+    all_rows = []
+    for index, query in enumerate(queries, start=1):
+        rows = simulate_speedups(engine, query, THREADS, cost_model=model)
+        for row in rows:
+            row["query"] = f"q3^{index}"
+        all_rows.extend(rows)
+    report = format_table(
+        all_rows, title="Fig. 10 — simulated speedup vs thread count"
+    )
+    write_report("fig10_scalability", report)
+    print("\n" + report)
+    return all_rows
+
+
+def test_fig10_near_linear_up_to_physical_cores(fig10_rows):
+    """Speedup at 16–20 threads is a large fraction of the thread count
+    (the paper: ~20× at 20 threads)."""
+    for row in fig10_rows:
+        if row["threads"] == 16 and row["embeddings"] > 2000:
+            assert row["speedup"] >= 8.0
+
+
+def test_fig10_knee_beyond_physical_cores(fig10_rows):
+    """Per-thread efficiency drops past 20 threads (NUMA/SMT knee)."""
+    by_query = {}
+    for row in fig10_rows:
+        by_query.setdefault(row["query"], {})[row["threads"]] = row["speedup"]
+    for speeds in by_query.values():
+        efficiency_20 = speeds[20] / 20
+        efficiency_60 = speeds[60] / 60
+        assert efficiency_60 < efficiency_20
+
+
+def test_fig10_monotone_overall(fig10_rows):
+    """Makespan is (near-)monotone through the physical+NUMA tiers; the
+    SMT tier beyond 40 threads may dip, but never below half the peak
+    speedup (the paper's curve flattens rather than collapses)."""
+    by_query = {}
+    for row in fig10_rows:
+        by_query.setdefault(row["query"], []).append(
+            (row["threads"], row["makespan"], row["speedup"])
+        )
+    for series in by_query.values():
+        series.sort()
+        capped = [entry for entry in series if entry[0] <= 40]
+        for (_, earlier, _), (_, later, _) in zip(capped, capped[1:]):
+            assert later <= earlier * 1.20
+        peak = max(speed for _, _, speed in series)
+        final_speed = series[-1][2]
+        assert final_speed >= 0.5 * peak
+
+
+def test_threaded_executor_matches_simulated_counts():
+    engine, queries = _heavy_queries(count=1)
+    query = queries[0]
+    threaded = ThreadedExecutor(num_workers=4).run(engine, query)
+    simulated = SimulatedExecutor(4).run(engine, query)
+    assert threaded.embeddings == simulated.embeddings
+
+
+def test_bench_simulated_execution(benchmark, fig10_rows):
+    engine, queries = _heavy_queries(count=1)
+    executor = SimulatedExecutor(8)
+    result = benchmark(lambda: executor.run(engine, queries[0]))
+    assert result.embeddings > 0

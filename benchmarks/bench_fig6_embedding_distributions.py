@@ -1,0 +1,87 @@
+"""Fig. 6 — embedding-count distributions per query class.
+
+For every dataset and query setting the paper draws a box plot of the
+number of embeddings over 20 random queries.  This bench reproduces the
+series (min / median / max per cell) with HGMatch as the counting
+engine; the benchmark times counting over one full workload.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro import HGMatch
+from repro.bench import SETTING_NAMES, format_table, workload
+from repro.datasets import SINGLE_THREAD_DATASETS, load_dataset, load_store
+from repro.errors import TimeoutExceeded
+
+from conftest import write_report
+
+QUERIES = 4
+TIMEOUT = 2.0
+
+
+@pytest.fixture(scope="module")
+def fig6_rows():
+    rows = []
+    for dataset in SINGLE_THREAD_DATASETS:
+        engine = HGMatch(load_dataset(dataset), store=load_store(dataset))
+        row = {"dataset": dataset}
+        for setting in SETTING_NAMES:
+            counts = []
+            for query in workload(dataset, setting, QUERIES):
+                try:
+                    counts.append(engine.count(query, time_budget=TIMEOUT))
+                except TimeoutExceeded:
+                    continue
+            if counts:
+                row[setting] = (
+                    f"{min(counts)}/"
+                    f"{int(statistics.median(counts))}/"
+                    f"{max(counts)}"
+                )
+            else:
+                row[setting] = "-"
+        rows.append(row)
+    report = format_table(
+        rows, title="Fig. 6 — embeddings per query class (min/median/max)"
+    )
+    write_report("fig6_embedding_distributions", report)
+    print("\n" + report)
+    return rows
+
+
+def test_fig6_every_query_has_an_embedding(fig6_rows):
+    """Workload queries are sampled sub-hypergraphs, so every completed
+    cell's minimum count is ≥ 1 (the paper's guarantee)."""
+    for row in fig6_rows:
+        for setting in SETTING_NAMES:
+            cell = row[setting]
+            if cell != "-":
+                assert int(cell.split("/")[0]) >= 1, (row["dataset"], setting)
+
+
+def test_fig6_selectivity_spread(fig6_rows):
+    """Across the grid there must be both selective (small) and
+    unselective (large) queries, the spread Fig. 6 exhibits."""
+    minima, maxima = [], []
+    for row in fig6_rows:
+        for setting in SETTING_NAMES:
+            if row[setting] != "-":
+                low, _, high = row[setting].split("/")
+                minima.append(int(low))
+                maxima.append(int(high))
+    assert min(minima) <= 2
+    assert max(maxima) >= 100
+
+
+def test_bench_counting_workload(benchmark, fig6_rows):
+    engine = HGMatch(load_dataset("CH"), store=load_store("CH"))
+    queries = workload("CH", "q3", QUERIES)
+
+    def count_all():
+        return sum(engine.count(query) for query in queries)
+
+    assert benchmark(count_all) >= len(queries)

@@ -1,0 +1,107 @@
+"""Fig. 8 / Exp-2 — single-thread comparison of HGMatch vs baselines.
+
+Regenerates the paper's headline result: per dataset and query class,
+the average elapsed time of HGMatch, CFL-H, DAF-H, CECI-H and
+RapidMatch-H (timeouts charged at the limit).  The paper reports
+HGMatch ahead by orders of magnitude on average, with the gap widest on
+high-arity datasets (HC, MA, HB, SA); the *shape* to reproduce is
+HGMatch ≤ every baseline on (almost) every cell and a large geometric-
+mean speedup.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    SETTING_NAMES,
+    average_time,
+    format_table,
+    geometric_mean,
+    group_records,
+)
+from repro.datasets import SINGLE_THREAD_DATASETS
+
+from conftest import BENCH_TIMEOUT, write_report
+
+ENGINES = ("HGMatch", "CFL-H", "DAF-H", "CECI-H", "RapidMatch-H")
+
+
+@pytest.fixture(scope="module")
+def fig8_table(single_thread_records):
+    grouped = group_records(single_thread_records)
+    rows = []
+    for dataset in SINGLE_THREAD_DATASETS:
+        for setting in SETTING_NAMES:
+            row = {"dataset": dataset, "setting": setting}
+            for engine in ENGINES:
+                records = grouped.get((engine, dataset, setting), [])
+                row[engine] = round(average_time(records, BENCH_TIMEOUT), 5)
+            rows.append(row)
+    report = format_table(rows, title="Fig. 8 — average time per query (s)")
+    write_report("fig8_single_thread", report)
+    print("\n" + report)
+    return rows
+
+
+def _speedups(fig8_table, baseline: str):
+    ratios = []
+    for row in fig8_table:
+        hg = row["HGMatch"]
+        other = row[baseline]
+        if hg > 0 and other > 0:
+            ratios.append(other / hg)
+    return ratios
+
+
+def test_fig8_hgmatch_wins_nearly_everywhere(fig8_table):
+    """HGMatch must be the fastest engine on the vast majority of cells
+    (the paper: every cell)."""
+    wins = 0
+    cells = 0
+    for row in fig8_table:
+        others = [row[e] for e in ENGINES[1:]]
+        cells += 1
+        if row["HGMatch"] <= min(others) + 1e-4:
+            wins += 1
+    assert wins >= 0.85 * cells, f"HGMatch won only {wins}/{cells} cells"
+
+
+@pytest.mark.parametrize("baseline", ENGINES[1:])
+def test_fig8_large_mean_speedup(fig8_table, baseline):
+    """Orders-of-magnitude average speedup (scaled: ≥ 10× geometric mean,
+    far larger where baselines time out)."""
+    ratios = _speedups(fig8_table, baseline)
+    assert geometric_mean(ratios) >= 10.0, (
+        f"{baseline}: geometric-mean speedup {geometric_mean(ratios):.1f}x"
+    )
+
+
+def test_fig8_gap_grows_with_arity(fig8_table, single_thread_records):
+    """The paper's strongest gaps are on high-average-arity datasets.
+    Compare the mean baseline/HGMatch ratio on the high-arity group
+    (HC, MA, HB, SA) vs the low-arity contact networks (CH, CP)."""
+    def mean_ratio(datasets):
+        ratios = []
+        for row in fig8_table:
+            if row["dataset"] not in datasets:
+                continue
+            if row["HGMatch"] > 0:
+                best_baseline = min(row[e] for e in ENGINES[1:])
+                ratios.append(best_baseline / row["HGMatch"])
+        return geometric_mean(ratios)
+
+    high = mean_ratio({"HC", "MA", "HB", "SA"})
+    low = mean_ratio({"CH", "CP"})
+    assert high > low
+
+
+def test_bench_hgmatch_single_query(benchmark, fig8_table):
+    from repro import HGMatch
+    from repro.bench import workload
+    from repro.datasets import load_dataset, load_store
+
+    engine = HGMatch(load_dataset("HB"), store=load_store("HB"))
+    query = workload("HB", "q3", 1)[0]
+    count = benchmark(lambda: engine.count(query))
+    assert count >= 1

@@ -1,0 +1,101 @@
+"""Fig. 9 / Exp-3 — pruning power of candidate generation + validation.
+
+Per dataset, the totals over the workload of: candidates produced by
+Algorithm 4, candidates surviving the vertex-count check (Obs. V.5,
+"Filtered"), and true embeddings.  The paper's observations: the
+candidate sets are almost free of false positives on label-rich
+datasets (MA, SA), and ≥ 97% of vertex-count-filtered results are true
+embeddings overall.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import HGMatch, MatchCounters
+from repro.bench import SETTING_NAMES, format_table, workload
+from repro.datasets import SINGLE_THREAD_DATASETS, load_dataset, load_store
+from repro.errors import TimeoutExceeded
+
+from conftest import write_report
+
+QUERIES = 3
+TIMEOUT = 2.0
+
+
+@pytest.fixture(scope="module")
+def fig9_rows():
+    rows = []
+    for dataset in SINGLE_THREAD_DATASETS:
+        engine = HGMatch(load_dataset(dataset), store=load_store(dataset))
+        counters = MatchCounters()
+        for setting in SETTING_NAMES:
+            for query in workload(dataset, setting, QUERIES):
+                try:
+                    engine.count(query, counters=counters, time_budget=TIMEOUT)
+                except TimeoutExceeded:
+                    continue
+        rows.append(
+            {
+                "dataset": dataset,
+                "candidates": counters.candidates,
+                "filtered": counters.filtered,
+                "embeddings": counters.embeddings,
+                "final_candidates": counters.final_candidates,
+                "final_filtered": counters.final_filtered,
+                "final_precision": round(counters.final_step_precision(), 4),
+            }
+        )
+    report = format_table(
+        rows, title="Fig. 9 — candidates vs filtered vs embeddings"
+    )
+    write_report("fig9_filtering", report)
+    print("\n" + report)
+    return rows
+
+
+def test_fig9_funnel_is_monotone(fig9_rows):
+    """Candidates ≥ filtered ≥ embeddings, at both granularities."""
+    for row in fig9_rows:
+        assert row["candidates"] >= row["filtered"] >= row["embeddings"]
+        assert row["final_candidates"] >= row["final_filtered"] >= row["embeddings"]
+
+
+def test_fig9_filtered_mostly_true_positives(fig9_rows):
+    """The paper: 97% of the vertex-count-filtered (final-step) results
+    are true embeddings.  Require a high aggregate precision."""
+    total_filtered = sum(row["final_filtered"] for row in fig9_rows)
+    total_embeddings = sum(row["embeddings"] for row in fig9_rows)
+    if total_filtered:
+        assert total_embeddings / total_filtered >= 0.90
+
+
+def test_fig9_label_rich_datasets_have_few_false_candidates(fig9_rows):
+    """MA and SA (huge alphabets): final-step candidate sets are almost
+    free of false positives, the paper's 'almost no false positive
+    candidates' observation."""
+    for dataset in ("MA", "SA"):
+        row = next(r for r in fig9_rows if r["dataset"] == dataset)
+        if row["final_candidates"]:
+            assert row["embeddings"] / row["final_candidates"] >= 0.8
+
+
+def test_bench_candidate_generation(benchmark, fig9_rows):
+    """Time raw candidate generation on a partial embedding."""
+    from repro.core.candidates import generate_candidates, vertex_step_map
+
+    data = load_dataset("HB")
+    store = load_store("HB")
+    engine = HGMatch(data, store=store)
+    query = workload("HB", "q3", 1)[0]
+    plan = engine.plan(query)
+    roots = engine.expand(plan, ())
+    partial = roots[0]
+    step_plan = plan.steps[1]
+    partition = store.partition(step_plan.signature)
+
+    def generate():
+        vmap = vertex_step_map(data, partial)
+        return generate_candidates(data, partition, step_plan, partial, vmap)
+
+    benchmark(generate)

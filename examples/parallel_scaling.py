@@ -1,0 +1,78 @@
+"""Parallel execution: scheduling, scaling and memory (paper §VI).
+
+Runs a heavy query on the AR (Amazon-reviews analogue) dataset through
+the three execution modes of this reproduction:
+
+* the sequential LIFO loop,
+* the threaded work-stealing executor (correctness + load accounting;
+  the GIL hides wall-clock speedup, see DESIGN.md),
+* the discrete-event simulated executor that reproduces the paper's
+  scalability curve with a 20-physical-core NUMA knee,
+
+and compares task-based scheduling against BFS materialisation for
+memory (the Fig. 11 phenomenon).
+
+Run with:  python examples/parallel_scaling.py
+"""
+
+from __future__ import annotations
+
+from repro import HGMatch
+from repro.bench import workload
+from repro.datasets import load_dataset
+from repro.parallel import (
+    CostModel,
+    SimulatedExecutor,
+    ThreadedExecutor,
+    measure_memory,
+    simulate_speedups,
+)
+
+
+def main() -> None:
+    data = load_dataset("AR")
+    engine = HGMatch(data)
+    print("Dataset:", data)
+
+    queries = workload("AR", "q3", 6)
+    query = max(queries, key=lambda q: engine.count(q, time_budget=5.0))
+    expected = engine.count(query)
+    print("Heavy q3 query:", query, "->", expected, "embeddings")
+
+    print("\nThreaded executor (4 workers):")
+    result = ThreadedExecutor(num_workers=4).run(engine, query)
+    print("  embeddings:", result.embeddings, "(equals sequential:",
+          result.embeddings == expected, ")")
+    print("  per-worker tasks:",
+          [stats.tasks_executed for stats in result.worker_stats])
+    print("  load imbalance (max/mean busy time):",
+          round(result.load_imbalance(), 3))
+
+    print("\nSimulated scalability (Fig. 10 shape, physical cores = 20):")
+    rows = simulate_speedups(
+        engine, query, [1, 2, 4, 8, 16, 20, 32, 60],
+        cost_model=CostModel(physical_cores=20),
+    )
+    for row in rows:
+        bar = "#" * int(round(row["speedup"]))
+        print(f"  {row['threads']:>3} threads: speedup {row['speedup']:6.2f}  {bar}")
+
+    print("\nWork stealing vs static assignment (Fig. 12 shape, 8 workers):")
+    with_steal = SimulatedExecutor(8, stealing=True).run(engine, query)
+    without = SimulatedExecutor(8, stealing=False).run(engine, query)
+    print("  stealing on : makespan", round(with_steal.makespan, 1),
+          "imbalance", round(with_steal.load_imbalance(), 3))
+    print("  stealing off: makespan", round(without.makespan, 1),
+          "imbalance", round(without.load_imbalance(), 3))
+
+    print("\nScheduler memory vs BFS (Fig. 11 shape):")
+    task = measure_memory(engine, query, "task")
+    bfs = measure_memory(engine, query, "bfs")
+    print("  task-based peak:", task.peak_partial_embeddings,
+          "partial embeddings")
+    print("  BFS peak       :", bfs.peak_partial_embeddings,
+          "partial embeddings")
+
+
+if __name__ == "__main__":
+    main()

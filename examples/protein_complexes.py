@@ -1,0 +1,87 @@
+"""Mining protein-complex patterns in a biological hypergraph.
+
+The paper's first motivating application: protein interaction networks
+where proteins are vertices (labelled with a functional family) and
+protein complexes are hyperedges.  Biologists express a complex motif of
+interest as a query hypergraph and search for it in the full network.
+
+This example synthesises such a network, plants a known motif — a
+kinase/scaffold/phosphatase "signalling triangle" spanning two
+overlapping complexes — and recovers every occurrence with HGMatch,
+comparing against the extended CFL-H baseline for both counts and time.
+
+Run with:  python examples/protein_complexes.py
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro import HGMatch, Hypergraph
+from repro.baselines import CFLHMatcher
+from repro.hypergraph.generators import generate_hypergraph, generate_planted_hypergraph
+
+KINASE, SCAFFOLD, PHOSPHATASE, SUBSTRATE = "K", "S", "P", "U"
+
+
+def build_network(rng: random.Random) -> Hypergraph:
+    """A protein network: background complexes + planted motifs."""
+    background = generate_hypergraph(
+        num_vertices=400,
+        num_edges=300,
+        num_labels=4,
+        mean_arity=4.0,
+        max_arity=8,
+        rng=rng,
+    )
+    # Re-label the integer alphabet onto protein families.
+    families = [KINASE, SCAFFOLD, PHOSPHATASE, SUBSTRATE]
+    relabelled = Hypergraph(
+        [families[label % 4] for label in background.labels],
+        [sorted(edge) for edge in background.edges],
+    )
+    return generate_planted_hypergraph(relabelled, signalling_motif(), 12, rng)
+
+
+def signalling_motif() -> Hypergraph:
+    """Two overlapping complexes sharing a scaffold protein:
+    {kinase, scaffold, substrate} and {scaffold, phosphatase}."""
+    return Hypergraph(
+        labels=[KINASE, SCAFFOLD, SUBSTRATE, PHOSPHATASE],
+        edges=[{0, 1, 2}, {1, 3}],
+    )
+
+
+def main() -> None:
+    rng = random.Random(2023)
+    network = build_network(rng)
+    motif = signalling_motif()
+    print("Protein network:", network)
+    print("Query motif:", motif, "(two complexes sharing a scaffold)")
+
+    engine = HGMatch(network)
+    started = time.perf_counter()
+    matches = list(engine.match(motif))
+    hgmatch_time = time.perf_counter() - started
+    print(f"\nHGMatch found {len(matches)} occurrences "
+          f"in {hgmatch_time * 1000:.1f} ms (>= 12 were planted)")
+
+    sample = matches[0]
+    binding = next(sample.vertex_mappings())
+    print("One occurrence:",
+          {motif.label(u): f"protein#{v}" for u, v in sorted(binding.items())})
+
+    baseline = CFLHMatcher(network)
+    started = time.perf_counter()
+    baseline_tuples = baseline.hyperedge_embeddings(motif)
+    baseline_time = time.perf_counter() - started
+    print(f"\nCFL-H (extended baseline) found {len(baseline_tuples)} "
+          f"occurrences in {baseline_time * 1000:.1f} ms")
+    assert baseline_tuples == {m.canonical() for m in matches}
+    if hgmatch_time > 0:
+        print(f"HGMatch speedup over CFL-H: {baseline_time / hgmatch_time:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject.toml so that editable installs work on
+environments whose pip/setuptools/wheel trio predates PEP 660 (the
+offline evaluation image lacks the ``wheel`` package).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "HGMatch: a match-by-hyperedge subhypergraph matching system "
+        "(ICDE 2023 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,32 @@
+"""CECI-H: the extended CECI baseline (Bhattarai et al., SIGMOD'19).
+
+CECI builds a BFS tree over the query and an embedding-cluster index
+holding, per query vertex, the candidates compatible with each mapped
+neighbour.  CECI-H keeps the BFS ordering and realises the index's
+effect dynamically: the candidate pool of every query vertex is
+intersected with the data-adjacency of *all* its already-mapped primal
+neighbours (``refine=True`` in the framework), which is exactly the
+forward/backward-neighbour consistency CECI's clusters encode.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..hypergraph import Hypergraph
+from .framework import VertexBacktrackingMatcher
+from .ordering import bfs_order
+
+
+class CECIHMatcher(VertexBacktrackingMatcher):
+    """The CECI-H baseline matcher."""
+
+    name = "CECI-H"
+
+    def __init__(self, data: Hypergraph) -> None:
+        super().__init__(data, use_ihs=True, refine=True, backjump=False)
+
+    def matching_order(
+        self, query: Hypergraph, candidates: Dict[int, List[int]]
+    ) -> List[int]:
+        return bfs_order(query, candidates)

@@ -1,0 +1,30 @@
+"""CFL-H: the extended CFL baseline (Bi et al., SIGMOD'16 → hypergraphs).
+
+CFL's signature idea is the core-forest-leaf decomposition: match the
+dense 2-core of the query first and postpone the cartesian products
+caused by trees and leaves hanging off it.  CFL-H keeps that ordering
+over the query's primal graph and runs the generic extended backtracking
+framework with the IHS candidate filter (Section III-B of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..hypergraph import Hypergraph
+from .framework import VertexBacktrackingMatcher
+from .ordering import core_forest_leaf_order
+
+
+class CFLHMatcher(VertexBacktrackingMatcher):
+    """The CFL-H baseline matcher."""
+
+    name = "CFL-H"
+
+    def __init__(self, data: Hypergraph) -> None:
+        super().__init__(data, use_ihs=True, refine=False, backjump=False)
+
+    def matching_order(
+        self, query: Hypergraph, candidates: Dict[int, List[int]]
+    ) -> List[int]:
+        return core_forest_leaf_order(query, candidates)

@@ -1,0 +1,32 @@
+"""DAF-H: the extended DAF baseline (Han et al., SIGMOD'19 → hypergraphs).
+
+DAF organises the query as a DAG rooted at a vertex minimising
+``|C(u)|/deg(u)`` and prunes with failing sets.  DAF-H keeps the DAG
+(BFS-level) ordering over the primal graph and a conservative rendition
+of failing-set pruning: conflict-directed backjumping to the deepest
+mapped neighbour when a query vertex has no valid candidate for reasons
+other than injectivity (see ``framework.py`` for the soundness
+argument).  Candidates pass the IHS filter as in all extended baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..hypergraph import Hypergraph
+from .framework import VertexBacktrackingMatcher
+from .ordering import dag_order
+
+
+class DAFHMatcher(VertexBacktrackingMatcher):
+    """The DAF-H baseline matcher."""
+
+    name = "DAF-H"
+
+    def __init__(self, data: Hypergraph) -> None:
+        super().__init__(data, use_ihs=True, refine=False, backjump=True)
+
+    def matching_order(
+        self, query: Hypergraph, candidates: Dict[int, List[int]]
+    ) -> List[int]:
+        return dag_order(query, candidates)

@@ -1,0 +1,130 @@
+"""Candidate vertex filtering for the match-by-vertex baselines.
+
+Implements the LDF (label-and-degree) filter plus the *incident
+hyperedge structure* (IHS) filter of Ha et al. [30], as adopted by the
+paper (Section III-B) for all extended baselines.  A data vertex ``v``
+enters the candidate set of query vertex ``u`` only if:
+
+1. **Label and degree** — ``l(u) = l(v)`` and ``d(u) ≤ d(v)``;
+2. **Adjacent vertices** — ``|adj(u)| ≤ |adj(v)|``;
+3. **Arity containment** — for every arity ``a``,
+   ``|he_a(u)| ≤ |he_a(v)|``;
+4. **Hyperedge labels** — every incident hyperedge of ``u`` must find an
+   incident hyperedge of ``v`` of the same arity with identical
+   per-label vertex counts, i.e. the multiset of signatures of ``u``'s
+   incident edges must be contained in ``v``'s.
+
+Signature multiset containment (condition 4) subsumes condition 3, but
+condition 3 is kept as the cheap pre-check the paper lists.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Tuple
+
+from ..hypergraph import Hypergraph
+
+
+class VertexStatistics:
+    """Per-vertex statistics of one hypergraph, computed lazily once.
+
+    Shared by the matcher instances so repeated queries against the same
+    data hypergraph do not recompute degree/adjacency/signature tables.
+    """
+
+    def __init__(self, graph: Hypergraph) -> None:
+        self.graph = graph
+        self._adjacency_size: Dict[int, int] = {}
+        self._arity_histogram: Dict[int, Counter] = {}
+        self._signature_multiset: Dict[int, Counter] = {}
+
+    def adjacency_size(self, vertex: int) -> int:
+        """``|adj(v)|`` with memoisation."""
+        cached = self._adjacency_size.get(vertex)
+        if cached is None:
+            cached = len(self.graph.adjacent_vertices(vertex))
+            self._adjacency_size[vertex] = cached
+        return cached
+
+    def arity_histogram(self, vertex: int) -> Counter:
+        """Counter: arity → number of incident hyperedges of that arity."""
+        cached = self._arity_histogram.get(vertex)
+        if cached is None:
+            cached = Counter(
+                self.graph.arity(edge_id)
+                for edge_id in self.graph.incident_edges(vertex)
+            )
+            self._arity_histogram[vertex] = cached
+        return cached
+
+    def signature_multiset(self, vertex: int) -> Counter:
+        """Counter over the signatures of the vertex's incident hyperedges."""
+        cached = self._signature_multiset.get(vertex)
+        if cached is None:
+            cached = Counter(
+                self.graph.edge_signature(edge_id)
+                for edge_id in self.graph.incident_edges(vertex)
+            )
+            self._signature_multiset[vertex] = cached
+        return cached
+
+
+def ldf_candidates(
+    query: Hypergraph, data: Hypergraph
+) -> Dict[int, List[int]]:
+    """Label-and-degree filter only (used by the brute-force reference)."""
+    by_label: Dict[object, List[int]] = {}
+    for vertex in range(data.num_vertices):
+        by_label.setdefault(data.label(vertex), []).append(vertex)
+    candidates: Dict[int, List[int]] = {}
+    for u in range(query.num_vertices):
+        pool = by_label.get(query.label(u), [])
+        degree = query.degree(u)
+        candidates[u] = [v for v in pool if data.degree(v) >= degree]
+    return candidates
+
+
+def ihs_candidates(
+    query: Hypergraph,
+    data: Hypergraph,
+    query_stats: "VertexStatistics | None" = None,
+    data_stats: "VertexStatistics | None" = None,
+) -> Dict[int, List[int]]:
+    """Full IHS candidate filter (conditions 1–4 above)."""
+    query_stats = query_stats if query_stats is not None else VertexStatistics(query)
+    data_stats = data_stats if data_stats is not None else VertexStatistics(data)
+    base = ldf_candidates(query, data)
+    candidates: Dict[int, List[int]] = {}
+    for u, pool in base.items():
+        u_adj = query_stats.adjacency_size(u)
+        u_arities = query_stats.arity_histogram(u)
+        u_signatures = query_stats.signature_multiset(u)
+        kept: List[int] = []
+        for v in pool:
+            if data_stats.adjacency_size(v) < u_adj:
+                continue
+            if not _histogram_contained(u_arities, data_stats.arity_histogram(v)):
+                continue
+            if not _histogram_contained(
+                u_signatures, data_stats.signature_multiset(v)
+            ):
+                continue
+            kept.append(v)
+        candidates[u] = kept
+    return candidates
+
+
+def _histogram_contained(small: Counter, big: Counter) -> bool:
+    """True if ``small`` is a sub-multiset of ``big``."""
+    for key, count in small.items():
+        if big.get(key, 0) < count:
+            return False
+    return True
+
+
+def candidate_summary(candidates: Dict[int, List[int]]) -> Tuple[int, float]:
+    """(total candidate count, average per query vertex) — used in reports."""
+    total = sum(len(pool) for pool in candidates.values())
+    average = total / len(candidates) if candidates else 0.0
+    return total, average

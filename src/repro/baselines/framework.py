@@ -1,0 +1,383 @@
+"""The generic match-by-vertex backtracking framework (Algorithm 1).
+
+This is the paper's baseline: a conventional subgraph-matching
+backtracking loop extended to hypergraphs with the constraint of
+Theorem III.2 — whenever assigning ``f(u) = v`` completes a query
+hyperedge (all of its vertices now mapped), the image vertex set must be
+an exact data hyperedge.  Hyperedges are therefore *verification
+conditions*, checked as late as possible: precisely the delayed
+verification the match-by-hyperedge framework removes.
+
+Every extended baseline (CFL-H, DAF-H, CECI-H) instantiates
+:class:`VertexBacktrackingMatcher` with its own matching-order strategy
+and optional pruning (candidate refinement over all mapped neighbours,
+conflict-directed backjumping).  The unpruned :func:`brute_force`
+reference used by the test suite lives here too.
+
+Results are counted at two granularities:
+
+* **vertex embeddings** — injective vertex mappings, the framework's
+  native output, and
+* **hyperedge embeddings** — distinct tuples of matched data hyperedges,
+  HGMatch's semantics, obtained by projecting each vertex embedding.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..errors import QueryError, TimeoutExceeded
+from ..hypergraph import Hypergraph
+from .filters import VertexStatistics, ihs_candidates, ldf_candidates
+
+#: How many search-tree nodes to expand between deadline checks.
+_TIME_CHECK_INTERVAL = 2048
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of one baseline matching job."""
+
+    vertex_embeddings: int
+    hyperedge_embeddings: int
+    elapsed: float
+    search_nodes: int
+    candidates_total: int = 0
+    hyperedge_tuples: "Set[Tuple[int, ...]] | None" = field(default=None, repr=False)
+
+
+class VertexBacktrackingMatcher:
+    """Generic extended subgraph-matching baseline over hypergraphs.
+
+    Parameters
+    ----------
+    data:
+        The data hypergraph (statistics for the IHS filter are cached on
+        the instance, so reuse one matcher per dataset).
+    use_ihs:
+        Apply the IHS candidate filter (paper Section III-B).  The
+        brute-force reference disables it.
+    refine:
+        CECI-style refinement: restrict candidates of the next query
+        vertex by the data-adjacency of *all* mapped query neighbours
+        rather than only its order-parent.
+    backjump:
+        DAF-style conflict-directed backjumping: when every candidate of
+        a query vertex fails, jump back to its deepest mapped neighbour
+        instead of the previous depth (a light rendition of DAF's
+        failing-set pruning).
+    """
+
+    name = "generic-H"
+
+    def __init__(
+        self,
+        data: Hypergraph,
+        use_ihs: bool = True,
+        refine: bool = False,
+        backjump: bool = False,
+    ) -> None:
+        self.data = data
+        self.use_ihs = use_ihs
+        self.refine = refine
+        self.backjump = backjump
+        self.data_stats = VertexStatistics(data)
+        self._neighbour_cache: Dict[int, FrozenSet[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Strategy hooks
+    # ------------------------------------------------------------------
+    def matching_order(
+        self, query: Hypergraph, candidates: Dict[int, List[int]]
+    ) -> List[int]:
+        """Order query vertices; subclasses override (default: BFS from the
+        vertex with the fewest candidates, neighbours by candidate count)."""
+        from .ordering import bfs_order  # local import to avoid a cycle
+
+        return bfs_order(query, candidates)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def candidates(self, query: Hypergraph) -> Dict[int, List[int]]:
+        """Candidate vertex sets under the configured filter."""
+        if self.use_ihs:
+            return ihs_candidates(query, self.data, data_stats=self.data_stats)
+        return ldf_candidates(query, self.data)
+
+    def run(
+        self,
+        query: Hypergraph,
+        time_budget: "float | None" = None,
+        collect_hyperedge_tuples: bool = False,
+        max_results: "int | None" = None,
+    ) -> BaselineResult:
+        """Enumerate all embeddings of ``query`` in the data hypergraph.
+
+        Raises :class:`TimeoutExceeded` when ``time_budget`` (seconds)
+        runs out — the bench harness records such queries as unfinished,
+        feeding the Table IV completion ratios.
+        """
+        if query.num_edges == 0:
+            raise QueryError("query hypergraph has no hyperedges")
+        started = time.monotonic()
+        deadline = None if time_budget is None else started + time_budget
+
+        candidates = self.candidates(query)
+        candidates_total = sum(len(pool) for pool in candidates.values())
+        if any(not pool for pool in candidates.values()):
+            return BaselineResult(
+                vertex_embeddings=0,
+                hyperedge_embeddings=0,
+                elapsed=time.monotonic() - started,
+                search_nodes=0,
+                candidates_total=candidates_total,
+                hyperedge_tuples=set() if collect_hyperedge_tuples else None,
+            )
+
+        order = self.matching_order(query, candidates)
+        state = _SearchState(
+            query=query,
+            data=self.data,
+            order=order,
+            candidates=candidates,
+            refine=self.refine,
+            backjump=self.backjump,
+            deadline=deadline,
+            time_budget=time_budget,
+            collect_tuples=collect_hyperedge_tuples,
+            max_results=max_results,
+            neighbour_cache=self._neighbour_cache,
+        )
+        state.search()
+        tuples = state.hyperedge_tuples
+        return BaselineResult(
+            vertex_embeddings=state.vertex_embeddings,
+            hyperedge_embeddings=len(tuples) if tuples is not None else -1,
+            elapsed=time.monotonic() - started,
+            search_nodes=state.search_nodes,
+            candidates_total=candidates_total,
+            hyperedge_tuples=tuples,
+        )
+
+    def count(self, query: Hypergraph, time_budget: "float | None" = None) -> int:
+        """Vertex-embedding count (the framework's native granularity)."""
+        return self.run(query, time_budget=time_budget).vertex_embeddings
+
+    def hyperedge_embeddings(
+        self, query: Hypergraph, time_budget: "float | None" = None
+    ) -> Set[Tuple[int, ...]]:
+        """Distinct hyperedge tuples — HGMatch-comparable semantics."""
+        result = self.run(
+            query, time_budget=time_budget, collect_hyperedge_tuples=True
+        )
+        assert result.hyperedge_tuples is not None
+        return result.hyperedge_tuples
+
+
+class _SearchState:
+    """Mutable state of one backtracking search (kept off the matcher so
+    matchers are reusable and the recursion reads clearly)."""
+
+    def __init__(
+        self,
+        query: Hypergraph,
+        data: Hypergraph,
+        order: Sequence[int],
+        candidates: Dict[int, List[int]],
+        refine: bool,
+        backjump: bool,
+        deadline: "float | None",
+        time_budget: "float | None",
+        collect_tuples: bool,
+        max_results: "int | None",
+        neighbour_cache: Dict[int, FrozenSet[int]],
+    ) -> None:
+        self.query = query
+        self.data = data
+        self.order = list(order)
+        self.candidates = candidates
+        self.refine = refine
+        self.backjump = backjump
+        self.deadline = deadline
+        self.time_budget = time_budget
+        self.collect_tuples = collect_tuples
+        self.max_results = max_results
+        self.neighbour_cache = neighbour_cache
+
+        self.vertex_embeddings = 0
+        self.hyperedge_tuples: "Set[Tuple[int, ...]] | None" = (
+            set() if collect_tuples else None
+        )
+        self.search_nodes = 0
+        self.mapping: Dict[int, int] = {}
+        self.used: Set[int] = set()
+
+        self.depth_of: Dict[int, int] = {
+            vertex: depth for depth, vertex in enumerate(self.order)
+        }
+        # Query hyperedges that become fully mapped exactly when the
+        # vertex at each depth is assigned (Theorem III.2 check points).
+        self.check_edges_at: List[List[int]] = [[] for _ in self.order]
+        for edge_id in range(query.num_edges):
+            last = max(self.depth_of[u] for u in query.edge(edge_id))
+            self.check_edges_at[last].append(edge_id)
+        # Mapped query neighbours (in the primal graph) available at each
+        # depth, for candidate restriction.
+        self.anchors_at: List[List[int]] = []
+        for depth, vertex in enumerate(self.order):
+            anchors = [
+                u
+                for u in self._query_neighbours(vertex)
+                if self.depth_of[u] < depth
+            ]
+            anchors.sort(key=lambda u: self.depth_of[u])
+            self.anchors_at.append(anchors)
+
+    # ------------------------------------------------------------------
+    def search(self) -> None:
+        self._extend(0)
+
+    def _extend(self, depth: int) -> int:
+        """Recursive extension; returns the depth to backtrack to."""
+        if depth == len(self.order):
+            self._record_embedding()
+            return depth - 1
+        self._maybe_check_deadline()
+
+        vertex = self.order[depth]
+        pool = self._candidate_pool(depth, vertex)
+        any_valid = False
+        blocked_by_used = False
+        for candidate in pool:
+            if candidate in self.used:
+                # Injectivity conflicts involve arbitrary earlier depths,
+                # so they disqualify this subtree from backjumping.
+                blocked_by_used = True
+                continue
+            if not self._check_completed_edges(depth, vertex, candidate):
+                continue
+            any_valid = True
+            self.mapping[vertex] = candidate
+            self.used.add(candidate)
+            self.search_nodes += 1
+            jump_to = self._extend(depth + 1)
+            del self.mapping[vertex]
+            self.used.discard(candidate)
+            if self.max_results is not None and (
+                self.vertex_embeddings >= self.max_results
+            ):
+                return -1
+            if jump_to < depth:
+                return jump_to
+        if not any_valid and not blocked_by_used and self.backjump:
+            # Every failure cause (labels, anchor adjacency, completed-edge
+            # checks) involves only mapped *neighbours* of this vertex, so
+            # re-assigning anything deeper than the deepest such neighbour
+            # cannot help — jump straight back to it.
+            anchors = self.anchors_at[depth]
+            if anchors:
+                return self.depth_of[anchors[-1]]
+        return depth - 1
+
+    # ------------------------------------------------------------------
+    def _candidate_pool(self, depth: int, vertex: int) -> List[int]:
+        """Candidates of ``vertex`` restricted by mapped neighbours."""
+        anchors = self.anchors_at[depth]
+        if not anchors:
+            return self.candidates[vertex]
+        if self.refine:
+            restriction: "Optional[Set[int]]" = None
+            for anchor in anchors:
+                neighbours = self._data_neighbours(self.mapping[anchor])
+                restriction = (
+                    set(neighbours)
+                    if restriction is None
+                    else restriction & neighbours
+                )
+                if not restriction:
+                    return []
+            assert restriction is not None
+            return [v for v in self.candidates[vertex] if v in restriction]
+        anchor_image = self.mapping[anchors[0]]
+        neighbours = self._data_neighbours(anchor_image)
+        return [v for v in self.candidates[vertex] if v in neighbours]
+
+    def _check_completed_edges(
+        self, depth: int, vertex: int, candidate: int
+    ) -> bool:
+        """Theorem III.2: every query hyperedge completed by this
+        assignment must map to an exact data hyperedge."""
+        edges = self.check_edges_at[depth]
+        if not edges:
+            return True
+        self.mapping[vertex] = candidate
+        try:
+            for edge_id in edges:
+                image = {self.mapping[u] for u in self.query.edge(edge_id)}
+                label = (
+                    self.query.edge_label(edge_id)
+                    if self.data.is_edge_labelled
+                    else None
+                )
+                if not self.data.has_edge(image, label=label):
+                    return False
+            return True
+        finally:
+            del self.mapping[vertex]
+
+    def _record_embedding(self) -> None:
+        self.vertex_embeddings += 1
+        if self.hyperedge_tuples is not None:
+            labelled = self.data.is_edge_labelled
+            projected = tuple(
+                self.data.edge_id(
+                    {self.mapping[u] for u in self.query.edge(j)},
+                    label=self.query.edge_label(j) if labelled else None,
+                )
+                for j in range(self.query.num_edges)
+            )
+            self.hyperedge_tuples.add(projected)
+
+    # ------------------------------------------------------------------
+    def _query_neighbours(self, vertex: int) -> FrozenSet[int]:
+        return self.query.adjacent_vertices(vertex)
+
+    def _data_neighbours(self, vertex: int) -> FrozenSet[int]:
+        cached = self.neighbour_cache.get(vertex)
+        if cached is None:
+            cached = self.data.adjacent_vertices(vertex)
+            self.neighbour_cache[vertex] = cached
+        return cached
+
+    def _maybe_check_deadline(self) -> None:
+        if self.deadline is None:
+            return
+        if self.search_nodes % _TIME_CHECK_INTERVAL == 0:
+            now = time.monotonic()
+            if now > self.deadline:
+                assert self.time_budget is not None
+                raise TimeoutExceeded(
+                    now - (self.deadline - self.time_budget), self.time_budget
+                )
+
+
+def brute_force(
+    data: Hypergraph,
+    query: Hypergraph,
+    time_budget: "float | None" = None,
+) -> BaselineResult:
+    """Reference matcher: label/degree filter only, no ordering heuristics.
+
+    Used by the test suite as the ground truth every engine must agree
+    with (at hyperedge-tuple granularity).
+    """
+    matcher = VertexBacktrackingMatcher(
+        data, use_ihs=False, refine=False, backjump=False
+    )
+    matcher.name = "BruteForce"
+    return matcher.run(
+        query, time_budget=time_budget, collect_hyperedge_tuples=True
+    )

@@ -1,0 +1,134 @@
+"""Matching-order strategies for the match-by-vertex baselines.
+
+Each extended baseline keeps the ordering philosophy of its namesake
+subgraph-matching algorithm, applied to the query's *primal graph* (two
+query vertices are adjacent iff they share a hyperedge):
+
+* :func:`bfs_order` — CECI-style: BFS from the vertex with the fewest
+  candidates, expanding cheapest-first;
+* :func:`core_forest_leaf_order` — CFL-style: dense 2-core vertices
+  first, then the connecting forest, degree-1 leaves last, postponing
+  the cartesian products leaves cause;
+* :func:`dag_order` — DAF-style: BFS levels from a root minimising
+  ``|C(u)|/deg(u)``, vertices inside a level by candidate count
+  (a static rendition of DAF's adaptive DAG ordering).
+
+All orders are *connected* whenever the query is connected: every vertex
+after the first has a previously ordered primal neighbour, which the
+backtracking framework exploits for candidate restriction.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Set
+
+from ..hypergraph import Hypergraph
+
+
+def _primal_adjacency(query: Hypergraph) -> Dict[int, Set[int]]:
+    """Primal-graph adjacency of the query hypergraph."""
+    return {
+        vertex: set(query.adjacent_vertices(vertex))
+        for vertex in range(query.num_vertices)
+    }
+
+
+def bfs_order(query: Hypergraph, candidates: Dict[int, List[int]]) -> List[int]:
+    """BFS from the fewest-candidate vertex; cheapest frontier first."""
+    adjacency = _primal_adjacency(query)
+    order: List[int] = []
+    visited: Set[int] = set()
+    remaining = set(range(query.num_vertices))
+    while remaining:
+        root = min(remaining, key=lambda u: (len(candidates[u]), u))
+        queue = deque([root])
+        visited.add(root)
+        while queue:
+            vertex = queue.popleft()
+            order.append(vertex)
+            remaining.discard(vertex)
+            neighbours = sorted(
+                (u for u in adjacency[vertex] if u not in visited),
+                key=lambda u: (len(candidates[u]), u),
+            )
+            for neighbour in neighbours:
+                visited.add(neighbour)
+                queue.append(neighbour)
+    return order
+
+
+def core_forest_leaf_order(
+    query: Hypergraph, candidates: Dict[int, List[int]]
+) -> List[int]:
+    """Core→forest→leaf decomposition ordering (CFL-style)."""
+    adjacency = _primal_adjacency(query)
+    # 2-core: iteratively strip vertices of primal degree < 2.
+    degree = {u: len(adjacency[u]) for u in adjacency}
+    core = set(adjacency)
+    changed = True
+    while changed:
+        changed = False
+        for vertex in list(core):
+            if sum(1 for u in adjacency[vertex] if u in core) < 2:
+                core.discard(vertex)
+                changed = True
+    leaves = {u for u in adjacency if degree[u] == 1}
+    forest = set(adjacency) - core - leaves
+
+    def tier(vertex: int) -> int:
+        if vertex in core:
+            return 0
+        if vertex in forest:
+            return 1
+        return 2
+
+    # Greedy connected order respecting the tiers: always extend with the
+    # lowest-tier reachable vertex, ties by candidate count.
+    order: List[int] = []
+    ordered: Set[int] = set()
+    remaining = set(adjacency)
+    while remaining:
+        frontier = (
+            {u for u in remaining if adjacency[u] & ordered}
+            if ordered
+            else remaining
+        )
+        if not frontier:
+            frontier = remaining  # disconnected query: start a new block
+        chosen = min(
+            frontier, key=lambda u: (tier(u), len(candidates[u]), u)
+        )
+        order.append(chosen)
+        ordered.add(chosen)
+        remaining.discard(chosen)
+    return order
+
+
+def dag_order(query: Hypergraph, candidates: Dict[int, List[int]]) -> List[int]:
+    """BFS-DAG levels from a root minimising |C(u)|/deg(u) (DAF-style)."""
+    adjacency = _primal_adjacency(query)
+
+    def root_score(vertex: int) -> tuple:
+        degree = max(len(adjacency[vertex]), 1)
+        return (len(candidates[vertex]) / degree, vertex)
+
+    order: List[int] = []
+    visited: Set[int] = set()
+    remaining = set(range(query.num_vertices))
+    while remaining:
+        root = min(remaining, key=root_score)
+        level = [root]
+        visited.add(root)
+        while level:
+            level.sort(key=lambda u: (len(candidates[u]), u))
+            order.extend(level)
+            remaining.difference_update(level)
+            next_level: List[int] = []
+            for vertex in level:
+                for neighbour in adjacency[vertex]:
+                    if neighbour not in visited:
+                        visited.add(neighbour)
+                        next_level.append(neighbour)
+            level = next_level
+    return order

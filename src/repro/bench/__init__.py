@@ -1,0 +1,45 @@
+"""Benchmark harness: workloads, timed execution, report formatting."""
+
+from .harness import (
+    DEFAULT_TIMEOUT,
+    QueryRecord,
+    average_time,
+    completion_ratio,
+    group_records,
+    run_baseline,
+    run_hgmatch,
+    run_with_timeout,
+)
+from .queries import (
+    SETTING_NAMES,
+    clear_workload_cache,
+    full_workload,
+    workload,
+)
+from .reporting import (
+    format_series,
+    format_table,
+    geometric_mean,
+    log_bar,
+    speedup,
+)
+
+__all__ = [
+    "DEFAULT_TIMEOUT",
+    "QueryRecord",
+    "run_with_timeout",
+    "run_hgmatch",
+    "run_baseline",
+    "average_time",
+    "completion_ratio",
+    "group_records",
+    "workload",
+    "full_workload",
+    "SETTING_NAMES",
+    "clear_workload_cache",
+    "format_table",
+    "format_series",
+    "log_bar",
+    "speedup",
+    "geometric_mean",
+]

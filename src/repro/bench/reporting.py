@@ -1,0 +1,76 @@
+"""Plain-text report tables for the benchmark harness.
+
+The paper presents results as log-scale figures; a text benchmark prints
+aligned tables instead.  :func:`format_table` renders a list of dict
+rows; :func:`format_series` renders one labelled numeric series per line
+(the closest text analogue of a figure); :func:`log_bar` draws a
+logarithmic ASCII bar so order-of-magnitude gaps stay visible.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+
+def format_table(rows: Sequence[Dict[str, object]], title: str = "") -> str:
+    """Render dict rows as an aligned text table (column order from the
+    first row)."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(rows[0].keys())
+    rendered = [[_render(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), *(len(line[i]) for line in rendered))
+        for i, column in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(column).ljust(widths[i]) for i, column in enumerate(columns))
+    lines.append(header)
+    lines.append("-+-".join("-" * width for width in widths))
+    for line in rendered:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(line)))
+    return "\n".join(lines)
+
+
+def format_series(
+    label: str, values: Sequence[float], unit: str = "", precision: int = 4
+) -> str:
+    """One labelled numeric series, e.g. for a figure's data line."""
+    rendered = ", ".join(f"{value:.{precision}g}" for value in values)
+    suffix = f" {unit}" if unit else ""
+    return f"{label}: [{rendered}]{suffix}"
+
+
+def log_bar(value: float, floor: float = 1e-5, width: int = 40) -> str:
+    """Logarithmic ASCII bar: each character spans one decade segment."""
+    if value <= floor:
+        return ""
+    decades = math.log10(value / floor)
+    filled = min(width, max(1, int(round(decades * 4))))
+    return "#" * filled
+
+
+def speedup(baseline_time: float, subject_time: float) -> float:
+    """Baseline/subject ratio with divide-by-zero protection."""
+    if subject_time <= 0:
+        return float("inf")
+    return baseline_time / subject_time
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean ignoring non-positive values (log-scale averaging)."""
+    filtered = [value for value in values if value > 0]
+    if not filtered:
+        return 0.0
+    return math.exp(sum(math.log(value) for value in filtered) / len(filtered))
+
+
+def _render(value: object) -> str:
+    if isinstance(value, float):
+        if value != 0 and (abs(value) >= 1e5 or abs(value) < 1e-3):
+            return f"{value:.3e}"
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)

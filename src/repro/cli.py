@@ -1,0 +1,209 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``datasets``
+    List the built-in scaled dataset analogues with their statistics.
+``stats``
+    Print the Table II row for a dataset name or a ``.hg`` file.
+``sample``
+    Sample a random-walk query from a dataset and write it to a file.
+``plan``
+    Show the execution plan HGMatch generates for a query.
+``match``
+    Count (or print) the embeddings of a query in a data hypergraph,
+    with any engine from the benchmark line-up.
+
+Data and query files use the native ``.hg`` text format
+(:mod:`repro.hypergraph.io`); dataset names refer to the registry in
+:mod:`repro.datasets`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+from typing import List, Optional
+
+from . import __version__
+from .baselines import BASELINE_NAMES, make_baseline
+from .core.engine import HGMatch
+from .datasets import DATASET_ORDER, load_dataset
+from .errors import ReproError, TimeoutExceeded
+from .hypergraph import Hypergraph, dataset_statistics
+from .hypergraph.io import load_native, save_native
+from .hypergraph.sampling import query_setting, sample_query
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HGMatch: match-by-hyperedge subhypergraph matching",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("datasets", help="list built-in datasets")
+
+    stats = commands.add_parser("stats", help="dataset statistics (Table II row)")
+    stats.add_argument("source", help="dataset name or path to a .hg file")
+
+    sample = commands.add_parser("sample", help="sample a random-walk query")
+    sample.add_argument("source", help="dataset name or path to a .hg file")
+    sample.add_argument("--setting", default="q3", help="q2/q3/q4/q6")
+    sample.add_argument("--seed", type=int, default=0)
+    sample.add_argument("--out", required=True, help="output .hg path")
+
+    plan = commands.add_parser("plan", help="show the execution plan")
+    plan.add_argument("data", help="dataset name or .hg path")
+    plan.add_argument("query", help="query .hg path")
+    plan.add_argument(
+        "--explain",
+        action="store_true",
+        help="include cardinality/cost estimates per step",
+    )
+
+    index = commands.add_parser(
+        "index", help="build and save the indexed data hypergraph"
+    )
+    index.add_argument("source", help="dataset name or .hg path")
+    index.add_argument("--out", required=True, help="output .hgstore path")
+
+    match = commands.add_parser("match", help="count embeddings")
+    match.add_argument("data", help="dataset name or .hg path")
+    match.add_argument("query", help="query .hg path")
+    match.add_argument(
+        "--engine",
+        default="HGMatch",
+        choices=("HGMatch",) + BASELINE_NAMES,
+    )
+    match.add_argument("--workers", type=int, default=1)
+    match.add_argument("--timeout", type=float, default=None)
+    match.add_argument(
+        "--print-embeddings", action="store_true", help="print each embedding"
+    )
+    match.add_argument(
+        "--limit", type=int, default=20, help="max embeddings to print"
+    )
+    return parser
+
+
+def _load_graph(source: str) -> Hypergraph:
+    if source in DATASET_ORDER:
+        return load_dataset(source)
+    return load_native(source)
+
+
+def _cmd_datasets(out) -> int:
+    for name in DATASET_ORDER:
+        stats = dataset_statistics(name, load_dataset(name))
+        out.write(
+            f"{name}: |V|={stats.num_vertices} |E|={stats.num_edges} "
+            f"|Σ|={stats.num_labels} a={stats.average_arity:.1f} "
+            f"amax={stats.max_arity}\n"
+        )
+    return 0
+
+
+def _cmd_stats(args, out) -> int:
+    graph = _load_graph(args.source)
+    stats = dataset_statistics(args.source, graph)
+    for key, value in stats.as_row().items():
+        out.write(f"{key}: {value}\n")
+    return 0
+
+
+def _cmd_sample(args, out) -> int:
+    graph = _load_graph(args.source)
+    setting = query_setting(args.setting)
+    query = sample_query(graph, setting, random.Random(args.seed))
+    save_native(query, args.out)
+    out.write(
+        f"sampled {setting.name} query (|V|={query.num_vertices}, "
+        f"|E|={query.num_edges}) -> {args.out}\n"
+    )
+    return 0
+
+
+def _cmd_plan(args, out) -> int:
+    data = _load_graph(args.data)
+    query = load_native(args.query)
+    engine = HGMatch(data)
+    if args.explain:
+        from .core.estimation import explain
+
+        out.write(explain(engine, query) + "\n")
+    else:
+        out.write(engine.plan(query).describe() + "\n")
+    return 0
+
+
+def _cmd_index(args, out) -> int:
+    from .hypergraph import PartitionedStore, save_store
+
+    graph = _load_graph(args.source)
+    store = PartitionedStore(graph)
+    save_store(store, args.out)
+    out.write(
+        f"indexed {graph.num_edges} hyperedges into "
+        f"{store.num_partitions()} partitions -> {args.out}\n"
+    )
+    return 0
+
+
+def _cmd_match(args, out) -> int:
+    data = _load_graph(args.data)
+    query = load_native(args.query)
+    started = time.perf_counter()
+    try:
+        if args.engine == "HGMatch":
+            engine = HGMatch(data)
+            if args.print_embeddings:
+                count = 0
+                for embedding in engine.match(query, time_budget=args.timeout):
+                    if count < args.limit:
+                        out.write(f"{embedding.hyperedge_mapping()}\n")
+                    count += 1
+            else:
+                count = engine.count(
+                    query, workers=args.workers, time_budget=args.timeout
+                )
+        else:
+            matcher = make_baseline(args.engine, data)
+            count = len(matcher.hyperedge_embeddings(query, time_budget=args.timeout))
+    except TimeoutExceeded:
+        out.write(f"TIMEOUT after {args.timeout}s\n")
+        return 2
+    elapsed = time.perf_counter() - started
+    out.write(f"{count} embeddings in {elapsed:.4f}s ({args.engine})\n")
+    return 0
+
+
+def main(argv: "Optional[List[str]]" = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "datasets":
+            return _cmd_datasets(out)
+        if args.command == "stats":
+            return _cmd_stats(args, out)
+        if args.command == "sample":
+            return _cmd_sample(args, out)
+        if args.command == "plan":
+            return _cmd_plan(args, out)
+        if args.command == "index":
+            return _cmd_index(args, out)
+        if args.command == "match":
+            return _cmd_match(args, out)
+    except (ReproError, OSError) as exc:
+        out.write(f"error: {exc}\n")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

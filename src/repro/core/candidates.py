@@ -1,0 +1,109 @@
+"""Hyperedge candidate generation (Algorithm 4 of the paper).
+
+Given a partial embedding and the next query hyperedge in the matching
+order, candidates are data hyperedges that
+
+* carry the query hyperedge's signature (Observation V.1) — enforced
+  structurally by probing only that signature's partition,
+* are incident, for every previously matched adjacent query hyperedge
+  ``e`` and every shared query vertex ``u ∈ e ∩ e_q``, to some vertex of
+  ``f(e)`` with matching label and partial degree (Observations V.2/V.4),
+  excluding vertices owned by non-adjacent matched hyperedges
+  (Observation V.3).
+
+Each shared vertex contributes the union of the posting lists of its
+possible images; the final candidate set is the intersection of those
+unions — pure set algebra over the inverted hyperedge index, no
+backtracking.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Set, Tuple
+
+from ..hypergraph import Hypergraph, intersect_many, union_many
+from ..hypergraph.storage import HyperedgePartition
+from .counters import MatchCounters
+from .plan import StepPlan
+
+
+def vertex_step_map(
+    data: Hypergraph, matched_edges: Sequence[int]
+) -> Dict[int, Set[int]]:
+    """Map each data vertex of the partial embedding to its incident steps.
+
+    ``vmap[v]`` is the set of step indices whose matched data hyperedge
+    contains ``v``.  This is the only derived state a task needs; it is
+    rebuilt from the matched edge ids in O(total arity), which keeps tasks
+    self-contained (a task stores just a tuple of edge ids — the property
+    behind the scheduler's memory bound, Theorem VI.1).
+    """
+    vmap: Dict[int, Set[int]] = {}
+    for step, edge_id in enumerate(matched_edges):
+        for vertex in data.edge(edge_id):
+            vmap.setdefault(vertex, set()).add(step)
+    return vmap
+
+
+def generate_candidates(
+    data: Hypergraph,
+    partition: "HyperedgePartition | None",
+    step_plan: StepPlan,
+    matched_edges: Sequence[int],
+    vmap: Dict[int, Set[int]],
+    counters: "MatchCounters | None" = None,
+) -> Tuple[int, ...]:
+    """Run Algorithm 4: candidate data hyperedges for ``step_plan``.
+
+    ``matched_edges`` holds the data edge ids for steps
+    ``0 .. step_plan.step - 1``; ``vmap`` must be
+    ``vertex_step_map(data, matched_edges)``.  Returns an ascending tuple
+    of candidate edge ids (possibly empty).  ``partition`` is the data
+    partition with the step's signature, or None when no data hyperedge
+    carries it.
+    """
+    if partition is None:
+        return ()
+
+    # Line 1: vertices that must NOT be incident to the matched hyperedge
+    # (they belong to images of non-adjacent query hyperedges).
+    non_incident: Set[int] = set()
+    for prev in step_plan.nonadjacent_prev:
+        non_incident.update(data.edge(matched_edges[prev]))
+
+    # Lines 3-6: one union-of-posting-lists per (adjacent edge, shared
+    # vertex) anchor; the candidate must be incident to a possible image
+    # of every anchor vertex.
+    per_anchor_sets = []
+    work = 0
+    for anchor in step_plan.anchors:
+        prev_image = data.edge(matched_edges[anchor.prev_step])
+        possible_images = [
+            vertex
+            for vertex in prev_image
+            if vertex not in non_incident
+            and data.label(vertex) == anchor.label
+            and len(vmap[vertex]) == anchor.required_degree
+        ]
+        if not possible_images:
+            if counters is not None:
+                counters.work_units += work + len(prev_image)
+            return ()
+        postings = [partition.incident_edges(v) for v in possible_images]
+        merged = union_many(postings)
+        work += len(prev_image) + sum(len(p) for p in postings)
+        per_anchor_sets.append(merged)
+
+    # Line 7: intersect all anchor candidate sets.
+    if per_anchor_sets:
+        candidates = intersect_many(per_anchor_sets)
+        work += sum(len(s) for s in per_anchor_sets)
+    else:
+        # First step of the order (no anchors): the whole partition.
+        candidates = partition.edge_ids
+        work += len(candidates)
+
+    if counters is not None:
+        counters.work_units += work
+        counters.candidates += len(candidates)
+    return candidates

@@ -1,0 +1,84 @@
+"""Execution counters for the filtering-power experiment (Exp-3, Fig. 9).
+
+The paper instruments three quantities per query:
+
+* **Candidates** — hyperedge candidates produced by Algorithm 4 across
+  the whole enumeration,
+* **Filtered** — candidates surviving the cheap vertex-count check
+  (Observation V.5),
+* **Embeddings** — complete, validated embeddings.
+
+:class:`MatchCounters` records those plus a few engine-health metrics
+(tasks executed, set-operation work units) that the simulated parallel
+executor uses as its cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MatchCounters:
+    """Mutable counters threaded through one matching job."""
+
+    candidates: int = 0
+    filtered: int = 0
+    embeddings: int = 0
+    #: Same funnel restricted to the *final* matching step — the numbers
+    #: behind the paper's "97% of filtered results are true embeddings".
+    final_candidates: int = 0
+    final_filtered: int = 0
+    tasks: int = 0
+    #: Abstract set-operation work units (posting entries touched).  The
+    #: simulated executor charges task costs from this.
+    work_units: int = 0
+    #: Peak number of partial embeddings retained at once (scheduler
+    #: memory accounting, Exp-5).
+    peak_retained: int = 0
+    retained: int = field(default=0, repr=False)
+
+    def note_retained(self, delta: int) -> None:
+        """Track the running number of live partial embeddings."""
+        self.retained += delta
+        if self.retained > self.peak_retained:
+            self.peak_retained = self.retained
+
+    def merge(self, other: "MatchCounters") -> None:
+        """Fold another counter set into this one (parallel workers)."""
+        self.candidates += other.candidates
+        self.filtered += other.filtered
+        self.embeddings += other.embeddings
+        self.final_candidates += other.final_candidates
+        self.final_filtered += other.final_filtered
+        self.tasks += other.tasks
+        self.work_units += other.work_units
+        self.peak_retained = max(self.peak_retained, other.peak_retained)
+
+    def false_positive_rate(self) -> float:
+        """Fraction of vertex-count-surviving candidates that fail full
+        validation: ``1 - embeddings / filtered`` (0.0 when nothing was
+        filtered)."""
+        if self.filtered == 0:
+            return 0.0
+        return 1.0 - (self.embeddings / self.filtered)
+
+    def final_step_precision(self) -> float:
+        """Fraction of final-step vertex-count-surviving candidates that
+        are true embeddings (Exp-3's headline 97% number)."""
+        if self.final_filtered == 0:
+            return 1.0
+        return self.embeddings / self.final_filtered
+
+    def as_row(self) -> dict:
+        """Dict form for report tables."""
+        return {
+            "candidates": self.candidates,
+            "filtered": self.filtered,
+            "embeddings": self.embeddings,
+            "final_candidates": self.final_candidates,
+            "final_filtered": self.final_filtered,
+            "tasks": self.tasks,
+            "work_units": self.work_units,
+            "peak_retained": self.peak_retained,
+        }

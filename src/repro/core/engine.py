@@ -1,0 +1,303 @@
+"""The HGMatch engine: match-by-hyperedge enumeration (Algorithm 2).
+
+:class:`HGMatch` owns an indexed data hypergraph (the offline stage of
+Fig. 3) and answers queries by:
+
+1. computing a matching order over the query hyperedges (Algorithm 3),
+2. building an :class:`ExecutionPlan` with all query-side precomputation,
+3. enumerating embeddings by expanding partial embeddings one hyperedge
+   at a time — candidates from set operations (Algorithm 4), validation
+   by vertex-profile comparison (Algorithm 5).
+
+Enumeration never recurses and builds no runtime auxiliary structure: a
+partial embedding is just a tuple of data hyperedge ids, so the same
+expansion routine backs the sequential LIFO loop here, the BFS executor
+used for the memory experiment, and the parallel task scheduler in
+:mod:`repro.parallel`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import QueryError, TimeoutExceeded
+from ..hypergraph import Hypergraph, PartitionedStore
+from .candidates import generate_candidates, vertex_step_map
+from .counters import MatchCounters
+from .expansion import count_vertex_mappings, iter_vertex_mappings
+from .ordering import compute_matching_order, is_connected_order
+from .plan import ExecutionPlan, build_execution_plan
+from .validation import certify_embedding, is_valid_expansion
+
+EmbeddingSink = Callable[["Embedding"], None]
+
+
+class Embedding:
+    """One subhypergraph-isomorphism embedding at hyperedge granularity.
+
+    ``edge_ids[i]`` is the data hyperedge matched to the query hyperedge
+    at step ``i`` of the plan's matching order.  Use
+    :meth:`hyperedge_mapping` for a query-edge-id keyed view and
+    :meth:`vertex_mappings` to expand into explicit vertex bindings.
+    """
+
+    __slots__ = ("_data", "_query", "_order", "edge_ids")
+
+    def __init__(
+        self,
+        data: Hypergraph,
+        query: Hypergraph,
+        order: Tuple[int, ...],
+        edge_ids: Tuple[int, ...],
+    ) -> None:
+        self._data = data
+        self._query = query
+        self._order = order
+        self.edge_ids = edge_ids
+
+    def hyperedge_mapping(self) -> Dict[int, int]:
+        """Mapping ``{query edge id: data edge id}``."""
+        return dict(zip(self._order, self.edge_ids))
+
+    def canonical(self) -> Tuple[int, ...]:
+        """Data edge ids reordered by query edge id — order-independent
+        identity of the embedding, used to compare engines."""
+        mapping = self.hyperedge_mapping()
+        return tuple(mapping[edge_id] for edge_id in range(self._query.num_edges))
+
+    def vertex_mappings(self) -> Iterator[Dict[int, int]]:
+        """All injective vertex mappings realising this embedding."""
+        return iter_vertex_mappings(self._data, self._query, self._order, self.edge_ids)
+
+    def num_vertex_mappings(self) -> int:
+        """Count of injective vertex mappings (product of class factorials)."""
+        return count_vertex_mappings(
+            self._data, self._query, self._order, self.edge_ids
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Embedding):
+            return NotImplemented
+        return self.canonical() == other.canonical()
+
+    def __hash__(self) -> int:
+        return hash(self.canonical())
+
+    def __repr__(self) -> str:
+        return f"Embedding({self.hyperedge_mapping()})"
+
+
+class HGMatch:
+    """The subhypergraph matching engine over one data hypergraph.
+
+    Parameters
+    ----------
+    data:
+        The data hypergraph.  Indexing (signature partitioning plus the
+        inverted hyperedge index) happens once here — the offline
+        preprocessing stage of Fig. 3.
+    store:
+        Optionally a prebuilt :class:`PartitionedStore` to share between
+        engines.
+    """
+
+    def __init__(
+        self, data: Hypergraph, store: "PartitionedStore | None" = None
+    ) -> None:
+        self.data = data
+        self.store = store if store is not None else PartitionedStore(data)
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def plan(
+        self, query: Hypergraph, order: "Sequence[int] | None" = None
+    ) -> ExecutionPlan:
+        """Build the execution plan for ``query`` (online stage, Fig. 3).
+
+        A custom connected matching ``order`` may be supplied; by default
+        Algorithm 3 picks one from partition cardinalities.
+        """
+        if query.num_edges == 0:
+            raise QueryError("query hypergraph has no hyperedges")
+        if not query.is_connected():
+            raise QueryError("HGMatch requires a connected query hypergraph")
+        if order is None:
+            order = compute_matching_order(query, self.store)
+        elif not is_connected_order(query, order):
+            raise QueryError(f"invalid matching order {order!r}")
+        start_cardinality = self.store.cardinality(
+            query.edge_signature(tuple(order)[0])
+        )
+        return build_execution_plan(query, order, start_cardinality)
+
+    # ------------------------------------------------------------------
+    # Single-step expansion (shared by every execution mode)
+    # ------------------------------------------------------------------
+    def expand(
+        self,
+        plan: ExecutionPlan,
+        matched_edges: Tuple[int, ...],
+        counters: "MatchCounters | None" = None,
+    ) -> List[Tuple[int, ...]]:
+        """Expand one partial embedding by the next hyperedge in the order.
+
+        Returns the list of extended partial embeddings (possibly empty).
+        ``matched_edges`` may be the empty tuple, in which case this is
+        the SCAN step emitting the whole signature partition.
+        """
+        step_plan = plan.steps[len(matched_edges)]
+        partition = self.store.partition(step_plan.signature)
+        if partition is None:
+            return []
+        vmap = vertex_step_map(self.data, matched_edges)
+        candidates = generate_candidates(
+            self.data, partition, step_plan, matched_edges, vmap, counters
+        )
+        final_step = step_plan.step == plan.num_steps - 1
+        if counters is not None and final_step:
+            counters.final_candidates += len(candidates)
+        partial_num_vertices = len(vmap)
+        extended: List[Tuple[int, ...]] = []
+        for candidate in candidates:
+            if is_valid_expansion(
+                self.data,
+                step_plan,
+                vmap,
+                partial_num_vertices,
+                candidate,
+                counters,
+                final_step=final_step,
+            ):
+                extended.append(matched_edges + (candidate,))
+        return extended
+
+    # ------------------------------------------------------------------
+    # Sequential execution
+    # ------------------------------------------------------------------
+    def match(
+        self,
+        query: Hypergraph,
+        order: "Sequence[int] | None" = None,
+        counters: "MatchCounters | None" = None,
+        time_budget: "float | None" = None,
+        strict: bool = False,
+    ) -> Iterator[Embedding]:
+        """Lazily enumerate all embeddings of ``query`` (single-threaded).
+
+        Uses an explicit LIFO stack (the one-thread special case of the
+        task scheduler, Section VI-B) so memory stays bounded regardless
+        of the result count.
+
+        ``strict=True`` additionally certifies every complete embedding
+        with an explicit injective vertex-mapping search — a belt-and-
+        braces mode the test suite uses to cross-check Theorem V.2.
+        """
+        plan = self.plan(query, order)
+        deadline = None if time_budget is None else time.monotonic() + time_budget
+        num_steps = plan.num_steps
+        stack: List[Tuple[int, ...]] = [()]
+        while stack:
+            matched = stack.pop()
+            if counters is not None:
+                counters.tasks += 1
+                counters.note_retained(-1 if matched else 0)
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutExceeded(time.monotonic() - (deadline - time_budget), time_budget)
+            for extended in self.expand(plan, matched, counters):
+                if len(extended) == num_steps:
+                    if strict and not certify_embedding(
+                        self.data, query, plan.order, extended
+                    ):
+                        raise AssertionError(
+                            f"profile validation accepted an embedding that "
+                            f"admits no vertex mapping: {extended}"
+                        )
+                    if counters is not None:
+                        counters.embeddings += 1
+                    yield Embedding(self.data, query, plan.order, extended)
+                else:
+                    stack.append(extended)
+                    if counters is not None:
+                        counters.note_retained(1)
+
+    def count(
+        self,
+        query: Hypergraph,
+        order: "Sequence[int] | None" = None,
+        workers: int = 1,
+        counters: "MatchCounters | None" = None,
+        time_budget: "float | None" = None,
+    ) -> int:
+        """Count all embeddings of ``query``.
+
+        ``workers > 1`` dispatches to the parallel task scheduler
+        (:mod:`repro.parallel.executor`); otherwise the sequential LIFO
+        loop is used.
+        """
+        if workers > 1:
+            from ..parallel.executor import ThreadedExecutor  # lazy: avoid cycle
+
+            executor = ThreadedExecutor(num_workers=workers)
+            result = executor.run(self, query, order=order, time_budget=time_budget)
+            if counters is not None:
+                counters.merge(result.counters)
+            return result.embeddings
+        total = 0
+        for _ in self.match(
+            query, order=order, counters=counters, time_budget=time_budget
+        ):
+            total += 1
+        return total
+
+    def count_vertex_embeddings(
+        self, query: Hypergraph, order: "Sequence[int] | None" = None
+    ) -> int:
+        """Count embeddings at *vertex mapping* granularity.
+
+        Sums, over hyperedge-level embeddings, the number of injective
+        vertex mappings each one admits — the quantity the match-by-vertex
+        baselines enumerate natively.
+        """
+        return sum(
+            embedding.num_vertex_mappings() for embedding in self.match(query, order)
+        )
+
+    # ------------------------------------------------------------------
+    # BFS execution (for the scheduling-memory experiment, Exp-5)
+    # ------------------------------------------------------------------
+    def count_bfs(
+        self,
+        query: Hypergraph,
+        order: "Sequence[int] | None" = None,
+        counters: "MatchCounters | None" = None,
+        time_budget: "float | None" = None,
+    ) -> int:
+        """Count embeddings with breadth-first (level-synchronous) execution.
+
+        Materialises every intermediate result of each level, exactly the
+        strategy the paper's Exp-5 compares against: ``peak_retained`` on
+        the supplied counters then reflects the exponential intermediate
+        blow-up that the task-based scheduler avoids.
+        """
+        plan = self.plan(query, order)
+        deadline = None if time_budget is None else time.monotonic() + time_budget
+        frontier: List[Tuple[int, ...]] = [()]
+        for _ in range(plan.num_steps):
+            next_frontier: List[Tuple[int, ...]] = []
+            for matched in frontier:
+                if counters is not None:
+                    counters.tasks += 1
+                if deadline is not None and time.monotonic() > deadline:
+                    raise TimeoutExceeded(
+                        time.monotonic() - (deadline - time_budget), time_budget
+                    )
+                next_frontier.extend(self.expand(plan, matched, counters))
+            frontier = next_frontier
+            if counters is not None:
+                counters.retained = len(frontier)
+                counters.peak_retained = max(counters.peak_retained, len(frontier))
+        if counters is not None:
+            counters.embeddings += len(frontier)
+        return len(frontier)

@@ -1,0 +1,116 @@
+"""Expanding hyperedge-level embeddings into vertex mappings.
+
+HGMatch's results are tuples of data hyperedges (one per query
+hyperedge).  For applications that need explicit vertex bindings — e.g.
+the knowledge-base Q/A case study returns entity assignments — this
+module enumerates all injective, label-preserving vertex mappings behind
+a hyperedge-level embedding.
+
+The structure of a valid mapping is rigid: because every query hyperedge
+``ϕ[i]`` must map *exactly onto* ``matched_edges[i]`` and the mapping is
+injective, a query vertex ``u`` can only map to a data vertex ``v`` whose
+incidence step set equals ``u``'s (``u ∈ ϕ[i] ⟺ v ∈ matched_edges[i]``)
+and whose label matches — i.e. to a vertex in the same *profile class*
+(Definition V.3).  Any class-wise bijection is then a valid mapping, so:
+
+* the number of vertex mappings is the product of ``k!`` over classes of
+  size ``k`` (0 if any class sizes disagree), and
+* enumeration is the cartesian product of per-class permutations.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import permutations, product
+from typing import Dict, FrozenSet, Iterator, List, Sequence, Tuple
+
+from ..hypergraph import Hypergraph
+
+ProfileKey = Tuple[object, FrozenSet[int]]
+
+
+def query_profile_classes(
+    query: Hypergraph, order: Sequence[int]
+) -> Dict[ProfileKey, List[int]]:
+    """Group query vertices by (label, incident step set) under ``order``."""
+    incident: Dict[int, set] = {}
+    for step, edge_id in enumerate(order):
+        for vertex in query.edge(edge_id):
+            incident.setdefault(vertex, set()).add(step)
+    classes: Dict[ProfileKey, List[int]] = {}
+    for vertex, steps in incident.items():
+        classes.setdefault((query.label(vertex), frozenset(steps)), []).append(vertex)
+    for members in classes.values():
+        members.sort()
+    return classes
+
+
+def data_profile_classes(
+    data: Hypergraph, matched_edges: Sequence[int]
+) -> Dict[ProfileKey, List[int]]:
+    """Group embedding data vertices by (label, incident step set)."""
+    incident: Dict[int, set] = {}
+    for step, edge_id in enumerate(matched_edges):
+        for vertex in data.edge(edge_id):
+            incident.setdefault(vertex, set()).add(step)
+    classes: Dict[ProfileKey, List[int]] = {}
+    for vertex, steps in incident.items():
+        classes.setdefault((data.label(vertex), frozenset(steps)), []).append(vertex)
+    for members in classes.values():
+        members.sort()
+    return classes
+
+
+def count_vertex_mappings(
+    data: Hypergraph,
+    query: Hypergraph,
+    order: Sequence[int],
+    matched_edges: Sequence[int],
+) -> int:
+    """Number of injective vertex mappings realising this embedding.
+
+    Zero when the profile classes disagree (the embedding is invalid);
+    otherwise the product of factorials of class sizes.
+    """
+    query_classes = query_profile_classes(query, order)
+    data_classes = data_profile_classes(data, matched_edges)
+    if set(query_classes) != set(data_classes):
+        return 0
+    total = 1
+    for key, members in query_classes.items():
+        if len(members) != len(data_classes[key]):
+            return 0
+        total *= math.factorial(len(members))
+    return total
+
+
+def iter_vertex_mappings(
+    data: Hypergraph,
+    query: Hypergraph,
+    order: Sequence[int],
+    matched_edges: Sequence[int],
+) -> Iterator[Dict[int, int]]:
+    """Yield every injective vertex mapping ``{query vertex: data vertex}``.
+
+    Yields nothing when the hyperedge tuple admits no consistent mapping.
+    """
+    query_classes = query_profile_classes(query, order)
+    data_classes = data_profile_classes(data, matched_edges)
+    if set(query_classes) != set(data_classes):
+        return
+    keys = sorted(query_classes, key=repr)
+    per_class: List[List[Tuple[Tuple[int, int], ...]]] = []
+    for key in keys:
+        q_members = query_classes[key]
+        d_members = data_classes[key]
+        if len(q_members) != len(d_members):
+            return
+        assignments = [
+            tuple(zip(q_members, perm)) for perm in permutations(d_members)
+        ]
+        per_class.append(assignments)
+    for combo in product(*per_class):
+        mapping: Dict[int, int] = {}
+        for pairs in combo:
+            mapping.update(pairs)
+        yield mapping

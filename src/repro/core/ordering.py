@@ -1,0 +1,87 @@
+"""Matching-order computation (Algorithm 3 of the paper).
+
+A matching order is a permutation of the query hyperedges
+(Definition V.1).  HGMatch works with any *connected* order — each
+hyperedge after the first must share a vertex with the region already
+ordered — and Algorithm 3 greedily picks:
+
+1. the query hyperedge with minimal cardinality in the data hypergraph
+   (``Card(e, H)`` = row count of the signature partition, Definition V.2)
+   as the start, then
+2. repeatedly the connected hyperedge minimising
+   ``Card(e, H) / |V_ϕ ∩ e|`` — low cardinality and high connectivity to
+   the ordered region first.
+
+Cardinality lookups are O(1) against :class:`PartitionedStore` metadata,
+so the whole computation is O(|E(q)|²).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set, Tuple
+
+from ..errors import QueryError
+from ..hypergraph import Hypergraph, PartitionedStore
+
+
+def compute_matching_order(
+    query: Hypergraph, store: PartitionedStore
+) -> Tuple[int, ...]:
+    """Return a matching order (tuple of query edge ids) per Algorithm 3.
+
+    Ties are broken by edge id so the order is deterministic.  Raises
+    :class:`QueryError` for empty or disconnected queries (a connected
+    order cannot exist for the latter).
+    """
+    if query.num_edges == 0:
+        raise QueryError("query hypergraph has no hyperedges")
+
+    cardinalities = [
+        store.cardinality(query.edge_signature(edge_id))
+        for edge_id in range(query.num_edges)
+    ]
+
+    start = min(range(query.num_edges), key=lambda e: (cardinalities[e], e))
+    order: List[int] = [start]
+    ordered_vertices: Set[int] = set(query.edge(start))
+    remaining = set(range(query.num_edges)) - {start}
+
+    while remaining:
+        best_edge = -1
+        best_key: Tuple[float, int] = (float("inf"), -1)
+        for edge_id in remaining:
+            overlap = len(ordered_vertices & query.edge(edge_id))
+            if overlap == 0:
+                continue
+            key = (cardinalities[edge_id] / overlap, edge_id)
+            if key < best_key:
+                best_key = key
+                best_edge = edge_id
+        if best_edge < 0:
+            raise QueryError(
+                "query hypergraph is disconnected; HGMatch requires a "
+                "connected matching order"
+            )
+        order.append(best_edge)
+        ordered_vertices.update(query.edge(best_edge))
+        remaining.remove(best_edge)
+
+    return tuple(order)
+
+
+def is_connected_order(query: Hypergraph, order: Sequence[int]) -> bool:
+    """True if ``order`` is a valid connected matching order for ``query``.
+
+    Used to validate user-supplied orders passed to the engine.
+    """
+    if sorted(order) != list(range(query.num_edges)):
+        return False
+    if not order:
+        return False
+    seen: Set[int] = set(query.edge(order[0]))
+    for edge_id in order[1:]:
+        edge = query.edge(edge_id)
+        if not seen & edge:
+            return False
+        seen.update(edge)
+    return True

@@ -1,0 +1,93 @@
+"""Embedding validation (Algorithm 5 / Theorem V.2 of the paper).
+
+Candidate generation can produce false positives; HGMatch removes them
+without any backtracking search by comparing *vertex profiles*.  The
+profile of a data vertex ``v`` inside a partial embedding is the pair
+``(label(v), set of matched hyperedges containing v)``; the profile of a
+query vertex maps its incident query hyperedges to their matched images.
+Theorem V.2: the expansion is valid iff the profile multisets of the
+newly added query hyperedge and its candidate data hyperedge are equal
+(after the cheap total-vertex-count check of Observation V.5).
+
+Profiles here use *step indices* instead of hyperedge ids on both sides,
+which is the same thing up to the bijection ``step ↔ f(ϕ[step])`` and
+lets the query-side multiset be precomputed once in the plan.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Sequence, Set
+
+from ..hypergraph import Hypergraph
+from .counters import MatchCounters
+from .plan import StepPlan
+
+
+def is_valid_expansion(
+    data: Hypergraph,
+    step_plan: StepPlan,
+    vmap: Dict[int, Set[int]],
+    partial_num_vertices: int,
+    candidate_edge: int,
+    counters: "MatchCounters | None" = None,
+    final_step: bool = False,
+) -> bool:
+    """Run Algorithm 5 for one candidate.
+
+    Parameters
+    ----------
+    vmap:
+        ``vertex_step_map`` of the partial embedding *before* adding the
+        candidate.
+    partial_num_vertices:
+        ``len(vmap)`` (passed in so callers don't recompute it per
+        candidate).
+    candidate_edge:
+        Data hyperedge id proposed for ``step_plan.step``.
+    """
+    edge = data.edge(candidate_edge)
+
+    # Observation V.5: vertex counts must agree.
+    new_vertices = sum(1 for v in edge if v not in vmap)
+    if partial_num_vertices + new_vertices != step_plan.expected_num_vertices:
+        return False
+    if counters is not None:
+        counters.filtered += 1
+        if final_step:
+            counters.final_filtered += 1
+
+    # Theorem V.2: compare profile multisets over the new hyperedge.
+    step = step_plan.step
+    data_profile: Counter = Counter()
+    for vertex in edge:
+        incident = vmap.get(vertex)
+        if incident is None:
+            steps = frozenset((step,))
+        else:
+            steps = frozenset(incident | {step})
+        data_profile[(data.label(vertex), steps)] += 1
+        if counters is not None:
+            counters.work_units += 1
+
+    return data_profile == step_plan.query_profile
+
+
+def certify_embedding(
+    data: Hypergraph,
+    query: Hypergraph,
+    order: Sequence[int],
+    matched_edges: Sequence[int],
+) -> bool:
+    """Exhaustively certify a complete embedding with a vertex mapping.
+
+    Independent of the profile machinery: searches for an injective,
+    label-preserving vertex mapping sending every query hyperedge
+    ``ϕ[i]`` exactly onto ``matched_edges[i]``.  Used by the engine's
+    ``strict`` mode and by the test suite to cross-check Theorem V.2.
+    """
+    from .expansion import iter_vertex_mappings  # local import: avoid cycle
+
+    for _ in iter_vertex_mappings(data, query, order, matched_edges):
+        return True
+    return False

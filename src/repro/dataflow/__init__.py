@@ -1,0 +1,28 @@
+"""Dataflow model for HGMatch (Section VI-A) with database-style extensions."""
+
+from .graph import DataflowGraph, run_query
+from .operators import (
+    Aggregate,
+    CallbackSink,
+    CollectSink,
+    CountSink,
+    Expand,
+    Filter,
+    Operator,
+    Scan,
+    Sink,
+)
+
+__all__ = [
+    "DataflowGraph",
+    "run_query",
+    "Operator",
+    "Scan",
+    "Expand",
+    "Filter",
+    "Sink",
+    "CountSink",
+    "CollectSink",
+    "CallbackSink",
+    "Aggregate",
+]

@@ -1,0 +1,177 @@
+"""Dataflow operators (Section VI-A of the paper).
+
+HGMatch abstracts a matching job as a dataflow graph — a straight path
+``SCAN → EXPAND × k → SINK`` (Fig. 5a).  The paper's "Remark" notes the
+design is extensible with further operators such as property filtering
+and aggregation; those are implemented here too (:class:`Filter`,
+:class:`Aggregate`), turning the dataflow layer into the small query-
+pipeline substrate a hypergraph database would build on.
+
+Operators transform streams of partial embeddings (tuples of data
+hyperedge ids).  :class:`repro.dataflow.graph.DataflowGraph` composes
+them and executes either sequentially or on a parallel executor.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, List
+
+from ..core.counters import MatchCounters
+from ..core.engine import Embedding, HGMatch
+from ..core.plan import ExecutionPlan
+from ..parallel.tasks import PartialEmbedding
+
+
+class Operator:
+    """Base class: transforms one partial embedding into zero or more."""
+
+    name = "operator"
+
+    def apply(
+        self,
+        engine: HGMatch,
+        plan: ExecutionPlan,
+        item: PartialEmbedding,
+        counters: "MatchCounters | None",
+    ) -> List[PartialEmbedding]:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+
+class Scan(Operator):
+    """SCAN(e_q): emit every data hyperedge with the first step's signature."""
+
+    name = "SCAN"
+
+    def apply(self, engine, plan, item, counters):
+        return engine.expand(plan, (), counters)
+
+
+class Expand(Operator):
+    """EXPAND(e_q): extend each input embedding by one matched hyperedge."""
+
+    name = "EXPAND"
+
+    def __init__(self, step: int) -> None:
+        self.step = step
+
+    def apply(self, engine, plan, item, counters):
+        return engine.expand(plan, item, counters)
+
+    def describe(self) -> str:
+        return f"{self.name}[{self.step}]"
+
+
+class Filter(Operator):
+    """Property filter over partial embeddings (paper's future-work remark).
+
+    ``predicate(engine.data, item) -> bool``; non-matching embeddings are
+    dropped from the stream.  Example predicates live in
+    :func:`edge_attribute_filter`.
+    """
+
+    name = "FILTER"
+
+    def __init__(
+        self,
+        predicate: Callable[[object, PartialEmbedding], bool],
+        label: str = "",
+    ) -> None:
+        self.predicate = predicate
+        self.label = label
+
+    def apply(self, engine, plan, item, counters):
+        return [item] if self.predicate(engine.data, item) else []
+
+    def describe(self) -> str:
+        return f"{self.name}({self.label})" if self.label else self.name
+
+
+class Sink:
+    """Terminal consumer of complete embeddings."""
+
+    name = "SINK"
+
+    def consume(self, engine: HGMatch, plan: ExecutionPlan, item: PartialEmbedding) -> None:
+        raise NotImplementedError
+
+    def result(self):
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+
+class CountSink(Sink):
+    """Count embeddings (the mode used by all benchmark experiments)."""
+
+    name = "SINK(count)"
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def consume(self, engine, plan, item):
+        self.count += 1
+
+    def result(self) -> int:
+        return self.count
+
+
+class CollectSink(Sink):
+    """Materialise :class:`Embedding` objects (bounded use only)."""
+
+    name = "SINK(collect)"
+
+    def __init__(self, limit: "int | None" = None) -> None:
+        self.embeddings: List[Embedding] = []
+        self.limit = limit
+
+    def consume(self, engine, plan, item):
+        if self.limit is None or len(self.embeddings) < self.limit:
+            self.embeddings.append(
+                Embedding(engine.data, plan.query, plan.order, item)
+            )
+
+    def result(self) -> List[Embedding]:
+        return self.embeddings
+
+
+class CallbackSink(Sink):
+    """Invoke a user callback per embedding (streaming consumption)."""
+
+    name = "SINK(callback)"
+
+    def __init__(self, callback: Callable[[Embedding], None]) -> None:
+        self.callback = callback
+        self.count = 0
+
+    def consume(self, engine, plan, item):
+        self.count += 1
+        self.callback(Embedding(engine.data, plan.query, plan.order, item))
+
+    def result(self) -> int:
+        return self.count
+
+
+class Aggregate(Sink):
+    """Group-by-count aggregation sink (paper's future-work remark).
+
+    ``key(engine.data, item)`` maps each complete embedding to a group
+    key; the result is a Counter of group sizes.  The Q/A case study
+    uses this to count answers per entity binding.
+    """
+
+    name = "SINK(aggregate)"
+
+    def __init__(self, key: Callable[[object, PartialEmbedding], object]) -> None:
+        self.key = key
+        self.groups: Counter = Counter()
+
+    def consume(self, engine, plan, item):
+        self.groups[self.key(engine.data, item)] += 1
+
+    def result(self) -> Counter:
+        return self.groups

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch everything coming out of the system with one ``except``
+clause while still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class HypergraphError(ReproError):
+    """Raised when a hypergraph is malformed or an operation is invalid."""
+
+
+class QueryError(ReproError):
+    """Raised when a query hypergraph cannot be matched as given.
+
+    Typical causes: a disconnected query (HGMatch requires a connected
+    matching order), an empty query, or labels absent from the data.
+    """
+
+
+class ParseError(ReproError):
+    """Raised when a hypergraph text file cannot be parsed."""
+
+
+class SchedulerError(ReproError):
+    """Raised on invalid scheduler or executor configuration."""
+
+
+class TimeoutExceeded(ReproError):
+    """Raised internally when a matching job exceeds its time budget.
+
+    The bench harness converts this into a "did not finish" record instead
+    of propagating it to the caller.
+    """
+
+    def __init__(self, elapsed: float, budget: float) -> None:
+        super().__init__(f"query exceeded time budget: {elapsed:.3f}s > {budget:.3f}s")
+        self.elapsed = elapsed
+        self.budget = budget

@@ -1,0 +1,63 @@
+"""Hypergraph substrate: data model, storage, indexing, I/O and sampling.
+
+This package implements everything HGMatch needs below the matching
+algorithms: the labelled hypergraph model (Definition III.1), hyperedge
+signatures (Definition IV.1), signature-partitioned hyperedge tables
+(Section IV-B), the inverted hyperedge index (Section IV-C), text
+serialisation, synthetic generators and the paper's random-walk query
+sampler (Section VII-A).
+"""
+
+from .hypergraph import Hypergraph, HypergraphBuilder
+from .index import (
+    InvertedHyperedgeIndex,
+    intersect_many,
+    intersect_sorted,
+    union_many,
+    union_sorted,
+)
+from .sampling import (
+    PAPER_QUERY_SETTINGS,
+    QuerySetting,
+    query_setting,
+    sample_queries,
+    sample_query,
+)
+from .signature import (
+    Signature,
+    is_sub_signature,
+    signature_arity,
+    signature_label_counts,
+    signature_of_labels,
+)
+from .persistence import load_store, save_store, stores_equal
+from .statistics import DatasetStatistics, dataset_statistics, format_bytes
+from .storage import HyperedgePartition, PartitionedStore
+
+__all__ = [
+    "Hypergraph",
+    "HypergraphBuilder",
+    "InvertedHyperedgeIndex",
+    "HyperedgePartition",
+    "PartitionedStore",
+    "Signature",
+    "signature_of_labels",
+    "signature_arity",
+    "signature_label_counts",
+    "is_sub_signature",
+    "intersect_sorted",
+    "intersect_many",
+    "union_sorted",
+    "union_many",
+    "QuerySetting",
+    "PAPER_QUERY_SETTINGS",
+    "query_setting",
+    "sample_query",
+    "sample_queries",
+    "DatasetStatistics",
+    "dataset_statistics",
+    "format_bytes",
+    "save_store",
+    "load_store",
+    "stores_equal",
+]

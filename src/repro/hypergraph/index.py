@@ -1,0 +1,134 @@
+"""The lightweight inverted hyperedge index (Section IV-C).
+
+For a hyperedge table (one signature partition) the index maps every
+vertex occurring in the table to the ascending posting list of hyperedge
+ids incident to it.  With the index, ``he(v, S(e_q))`` — all incident
+hyperedges of ``v`` having a given signature — is a constant-time lookup,
+and candidate generation reduces to unions/intersections of posting lists.
+
+Posting lists are plain sorted tuples of ints.  Set algebra over them is
+provided by :func:`intersect_sorted` / :func:`union_sorted`, implemented
+as classic merge scans (galloping is unnecessary at reproduction scale but
+the merge keeps the cost model faithful: work is proportional to list
+lengths, exactly the quantity the simulated executor charges).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .hypergraph import Hypergraph
+
+
+class InvertedHyperedgeIndex:
+    """Vertex → sorted posting list of incident edge ids, for one partition."""
+
+    __slots__ = ("_postings",)
+
+    def __init__(self, postings: Dict[int, Tuple[int, ...]]) -> None:
+        self._postings = postings
+
+    @classmethod
+    def build(
+        cls, graph: Hypergraph, edge_ids: Sequence[int]
+    ) -> "InvertedHyperedgeIndex":
+        """Build the index over ``edge_ids`` (must be ascending)."""
+        postings: Dict[int, List[int]] = {}
+        for edge_id in edge_ids:
+            for vertex in graph.edge(edge_id):
+                postings.setdefault(vertex, []).append(edge_id)
+        return cls({vertex: tuple(plist) for vertex, plist in postings.items()})
+
+    def postings(self, vertex: int) -> Tuple[int, ...]:
+        """Posting list for ``vertex`` (empty tuple if absent)."""
+        return self._postings.get(vertex, ())
+
+    def vertices(self) -> Iterable[int]:
+        """All vertices appearing in this partition."""
+        return self._postings.keys()
+
+    @property
+    def num_entries(self) -> int:
+        """Total posting entries (== sum of arities of indexed edges)."""
+        return sum(len(plist) for plist in self._postings.values())
+
+    def __contains__(self, vertex: int) -> bool:
+        return vertex in self._postings
+
+    def __len__(self) -> int:
+        return len(self._postings)
+
+
+def intersect_sorted(first: Sequence[int], second: Sequence[int]) -> Tuple[int, ...]:
+    """Intersection of two ascending sequences, returned ascending.
+
+    >>> intersect_sorted((1, 3, 5, 7), (3, 4, 5))
+    (3, 5)
+    """
+    result: List[int] = []
+    i = j = 0
+    len_first, len_second = len(first), len(second)
+    while i < len_first and j < len_second:
+        a, b = first[i], second[j]
+        if a == b:
+            result.append(a)
+            i += 1
+            j += 1
+        elif a < b:
+            i += 1
+        else:
+            j += 1
+    return tuple(result)
+
+
+def intersect_many(lists: Sequence[Sequence[int]]) -> Tuple[int, ...]:
+    """Intersection of several ascending sequences (shortest-first order).
+
+    Intersecting the two shortest lists first keeps intermediate results
+    small, the standard heuristic for multi-way intersection.
+    An empty input sequence is a caller error (the neutral element of
+    intersection is "everything"); callers guard against it.
+    """
+    if not lists:
+        raise ValueError("intersect_many requires at least one list")
+    ordered = sorted(lists, key=len)
+    result: Sequence[int] = ordered[0]
+    for other in ordered[1:]:
+        if not result:
+            break
+        result = intersect_sorted(result, other)
+    return tuple(result)
+
+
+def union_sorted(first: Sequence[int], second: Sequence[int]) -> Tuple[int, ...]:
+    """Union of two ascending sequences, returned ascending and deduplicated.
+
+    >>> union_sorted((1, 3), (2, 3, 4))
+    (1, 2, 3, 4)
+    """
+    result: List[int] = []
+    i = j = 0
+    len_first, len_second = len(first), len(second)
+    while i < len_first and j < len_second:
+        a, b = first[i], second[j]
+        if a == b:
+            result.append(a)
+            i += 1
+            j += 1
+        elif a < b:
+            result.append(a)
+            i += 1
+        else:
+            result.append(b)
+            j += 1
+    result.extend(first[i:])
+    result.extend(second[j:])
+    return tuple(result)
+
+
+def union_many(lists: Sequence[Sequence[int]]) -> Tuple[int, ...]:
+    """Union of several ascending sequences (empty input yields empty)."""
+    result: Tuple[int, ...] = ()
+    for other in lists:
+        result = union_sorted(result, other)
+    return result

@@ -1,0 +1,150 @@
+"""Random-walk query sampling (Section VII-A of the paper).
+
+The paper generates query hypergraphs by random walks over the data
+hypergraph: starting from a random hyperedge, repeatedly move to a
+hyperedge adjacent to the already-collected region until the requested
+number of hyperedges is gathered, subject to bounds on the total vertex
+count.  Because a query is an actual sub-hypergraph of the data, it is
+guaranteed to have at least one embedding.
+
+:class:`QuerySetting` mirrors one row of Table III (``q2``/``q3``/``q4``/
+``q6``) and :func:`sample_queries` produces the twenty random queries per
+setting used throughout the evaluation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+from ..errors import QueryError
+from .hypergraph import Hypergraph
+
+
+@dataclass(frozen=True)
+class QuerySetting:
+    """One query class from Table III.
+
+    Attributes
+    ----------
+    name:
+        Identifier, e.g. ``"q3"``.
+    num_edges:
+        Number of hyperedges in each sampled query (``|E|``).
+    min_vertices / max_vertices:
+        Inclusive bounds on the query's vertex count.
+    """
+
+    name: str
+    num_edges: int
+    min_vertices: int
+    max_vertices: int
+
+
+#: The four query settings of Table III.
+PAPER_QUERY_SETTINGS = (
+    QuerySetting("q2", num_edges=2, min_vertices=5, max_vertices=15),
+    QuerySetting("q3", num_edges=3, min_vertices=10, max_vertices=20),
+    QuerySetting("q4", num_edges=4, min_vertices=10, max_vertices=30),
+    QuerySetting("q6", num_edges=6, min_vertices=15, max_vertices=35),
+)
+
+
+def query_setting(name: str) -> QuerySetting:
+    """Look up a paper query setting by name (``q2``, ``q3``, ``q4``, ``q6``)."""
+    for setting in PAPER_QUERY_SETTINGS:
+        if setting.name == name:
+            return setting
+    raise QueryError(f"unknown query setting {name!r}")
+
+
+def sample_query(
+    data: Hypergraph,
+    setting: QuerySetting,
+    rng: random.Random,
+    max_attempts: int = 2000,
+) -> Hypergraph:
+    """Sample one connected query hypergraph per the paper's procedure.
+
+    Performs a hyperedge-level random walk: start at a uniformly random
+    hyperedge, then repeatedly append a random hyperedge adjacent to the
+    collected region.  A walk is accepted when it reaches
+    ``setting.num_edges`` distinct hyperedges with a total vertex count in
+    ``[min_vertices, max_vertices]``; otherwise it is retried.
+
+    Raises :class:`QueryError` if no valid query is found within
+    ``max_attempts`` walks (e.g. the data hypergraph is too small or its
+    arities cannot satisfy the vertex bounds).
+    """
+    if data.num_edges == 0:
+        raise QueryError("cannot sample queries from an empty hypergraph")
+    for _ in range(max_attempts):
+        walk = _random_edge_walk(data, setting.num_edges, rng)
+        if walk is None:
+            continue
+        vertices: Set[int] = set()
+        for edge_id in walk:
+            vertices.update(data.edge(edge_id))
+        if setting.min_vertices <= len(vertices) <= setting.max_vertices:
+            query = data.induced_by_edges(walk)
+            if query.num_edges == setting.num_edges:
+                return query
+    raise QueryError(
+        f"failed to sample a {setting.name} query "
+        f"({setting.num_edges} edges, |V| in "
+        f"[{setting.min_vertices}, {setting.max_vertices}]) "
+        f"after {max_attempts} attempts"
+    )
+
+
+def _random_edge_walk(
+    data: Hypergraph, length: int, rng: random.Random
+) -> Optional[List[int]]:
+    """One random walk collecting ``length`` distinct, connected hyperedges.
+
+    Returns None when the walk gets stuck (no unvisited adjacent edge).
+    """
+    start = rng.randrange(data.num_edges)
+    collected = [start]
+    collected_set = {start}
+    region_vertices: Set[int] = set(data.edge(start))
+    while len(collected) < length:
+        frontier: List[int] = []
+        for vertex in region_vertices:
+            for edge_id in data.incident_edges(vertex):
+                if edge_id not in collected_set:
+                    frontier.append(edge_id)
+        if not frontier:
+            return None
+        nxt = rng.choice(frontier)
+        collected.append(nxt)
+        collected_set.add(nxt)
+        region_vertices.update(data.edge(nxt))
+    return collected
+
+
+def sample_queries(
+    data: Hypergraph,
+    setting: QuerySetting,
+    count: int,
+    rng: random.Random,
+    max_attempts_each: int = 2000,
+) -> List[Hypergraph]:
+    """Sample ``count`` queries for one setting (paper uses ``count=20``).
+
+    Queries that cannot be sampled (tiny datasets may not support every
+    setting) are skipped after exhausting their attempt budget, so the
+    result can be shorter than ``count``; the bench harness records how
+    many were produced.
+    """
+    queries: List[Hypergraph] = []
+    failures = 0
+    while len(queries) < count and failures < 3:
+        try:
+            queries.append(
+                sample_query(data, setting, rng, max_attempts=max_attempts_each)
+            )
+        except QueryError:
+            failures += 1
+    return queries

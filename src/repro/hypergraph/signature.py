@@ -1,0 +1,67 @@
+"""Hyperedge signatures (Definition IV.1 of the paper).
+
+The signature of a hyperedge is the multiset of the labels of the vertices
+it contains.  HGMatch partitions the data hypergraph into one hyperedge
+table per distinct signature, so candidate generation for a query hyperedge
+only ever touches the single partition whose signature equals the query
+hyperedge's signature.
+
+Signatures are represented canonically as a sorted tuple of labels, which
+makes them hashable (usable as dict keys) and cheap to compare.  Labels may
+be any hashable, orderable values; the library uses small integers
+internally but strings work equally well.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Hashable, Iterable, Tuple
+
+Label = Hashable
+Signature = Tuple[Label, ...]
+
+
+def signature_of_labels(labels: Iterable[Label]) -> Signature:
+    """Return the canonical signature for a multiset of labels.
+
+    >>> signature_of_labels(["B", "A", "A"])
+    ('A', 'A', 'B')
+    """
+    return tuple(sorted(labels))
+
+
+def signature_arity(signature: Signature) -> int:
+    """Arity of any hyperedge carrying this signature (its vertex count)."""
+    return len(signature)
+
+
+def signature_label_counts(signature: Signature) -> Counter:
+    """Return a ``Counter`` mapping each label to its multiplicity."""
+    return Counter(signature)
+
+
+def is_sub_signature(small: Signature, big: Signature) -> bool:
+    """Return True if ``small`` is a sub-multiset of ``big``.
+
+    Used by partial-containment pruning: the already-mapped portion of a
+    query hyperedge must be a sub-multiset of some data hyperedge's
+    signature.
+
+    >>> is_sub_signature(("A", "B"), ("A", "A", "B"))
+    True
+    >>> is_sub_signature(("B", "B"), ("A", "A", "B"))
+    False
+    """
+    remaining = Counter(big)
+    remaining.subtract(Counter(small))
+    return all(count >= 0 for count in remaining.values())
+
+
+def merge_signatures(first: Signature, second: Signature) -> Signature:
+    """Multiset union of two signatures (labels of the combined vertices).
+
+    Note this is the *disjoint* union: shared vertices are counted twice.
+    Callers that need the signature of an actual vertex-set union should
+    build it from the vertices instead.
+    """
+    return tuple(sorted(first + second))

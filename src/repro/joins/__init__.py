@@ -1,0 +1,12 @@
+"""A small binding-order multiway join engine (RapidMatch-H substrate)."""
+
+from .leapfrog import Atom, JoinExecutor, JoinQuery, plan_binding_order
+from .relation import BinaryRelation
+
+__all__ = [
+    "BinaryRelation",
+    "Atom",
+    "JoinQuery",
+    "JoinExecutor",
+    "plan_binding_order",
+]

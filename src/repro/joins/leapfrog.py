@@ -1,0 +1,194 @@
+"""A generic binding-order multiway join with leapfrog intersection.
+
+This is the join engine behind the RapidMatch-H baseline.  A
+:class:`JoinQuery` has one variable per query (bipartite) vertex, a
+unary candidate list per variable, and binary atoms over variable pairs
+referencing a :class:`BinaryRelation`.  Evaluation binds variables one
+at a time; the candidate list of each variable is the *leapfrog
+intersection* of the posting lists contributed by atoms whose other
+variable is already bound — the defining move of worst-case-optimal
+join processing.
+
+Subgraph isomorphism additionally requires the assignment to be
+injective; :class:`JoinQuery` supports that via ``injective_groups``
+(variables within one group must take pairwise distinct values), which
+a relational-only engine would not have.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..errors import TimeoutExceeded
+from ..hypergraph.index import intersect_many
+from .relation import BinaryRelation
+
+#: Search-tree nodes between deadline checks.
+_TIME_CHECK_INTERVAL = 4096
+
+
+@dataclass(frozen=True)
+class Atom:
+    """One binary predicate R(first, second) over two variables."""
+
+    first: int
+    second: int
+    relation: BinaryRelation
+
+
+class JoinQuery:
+    """A conjunctive query with optional injectivity groups."""
+
+    def __init__(
+        self,
+        num_variables: int,
+        candidates: Sequence[Sequence[int]],
+        atoms: Sequence[Atom],
+        injective_groups: "Sequence[Sequence[int]] | None" = None,
+    ) -> None:
+        if len(candidates) != num_variables:
+            raise ValueError("one candidate list per variable is required")
+        self.num_variables = num_variables
+        self.candidates = [sorted(pool) for pool in candidates]
+        self.atoms = list(atoms)
+        self.injective_groups = [
+            frozenset(group) for group in (injective_groups or [])
+        ]
+        self._group_of: Dict[int, int] = {}
+        for index, group in enumerate(self.injective_groups):
+            for variable in group:
+                self._group_of[variable] = index
+
+    def group_of(self, variable: int) -> Optional[int]:
+        return self._group_of.get(variable)
+
+
+class JoinExecutor:
+    """Evaluate a :class:`JoinQuery` under a binding order."""
+
+    def __init__(self, query: JoinQuery, order: "Sequence[int] | None" = None):
+        self.query = query
+        self.order = (
+            list(order)
+            if order is not None
+            else plan_binding_order(query)
+        )
+        if sorted(self.order) != list(range(query.num_variables)):
+            raise ValueError(f"invalid binding order {self.order!r}")
+        # Atoms indexed by the later-bound variable, so each binding step
+        # knows which posting lists constrain it.
+        position = {variable: i for i, variable in enumerate(self.order)}
+        self._constraints: List[List[Tuple[int, BinaryRelation, bool]]] = [
+            [] for _ in range(query.num_variables)
+        ]
+        self._deferred: List[List[Atom]] = [[] for _ in range(query.num_variables)]
+        for atom in query.atoms:
+            first_pos, second_pos = position[atom.first], position[atom.second]
+            if first_pos < second_pos:
+                self._constraints[second_pos].append(
+                    (atom.first, atom.relation, True)
+                )
+            else:
+                self._constraints[first_pos].append(
+                    (atom.second, atom.relation, False)
+                )
+
+    def count(
+        self,
+        time_budget: "float | None" = None,
+        on_result: "Callable[[Dict[int, int]], None] | None" = None,
+    ) -> int:
+        """Count all satisfying assignments; optionally stream them."""
+        deadline = (
+            None if time_budget is None else time.monotonic() + time_budget
+        )
+        assignment: Dict[int, int] = {}
+        used: Dict[int, Set[int]] = {
+            index: set() for index in range(len(self.query.injective_groups))
+        }
+        state = _JoinState(deadline, time_budget)
+        return self._bind(0, assignment, used, state, on_result)
+
+    # ------------------------------------------------------------------
+    def _bind(
+        self,
+        depth: int,
+        assignment: Dict[int, int],
+        used: Dict[int, Set[int]],
+        state: "_JoinState",
+        on_result: "Callable[[Dict[int, int]], None] | None",
+    ) -> int:
+        if depth == len(self.order):
+            if on_result is not None:
+                on_result(dict(assignment))
+            return 1
+        state.tick()
+        variable = self.order[depth]
+        pools: List[Sequence[int]] = [self.query.candidates[variable]]
+        for bound_variable, relation, forward in self._constraints[depth]:
+            value = assignment[bound_variable]
+            postings = (
+                relation.forward(value) if forward else relation.backward(value)
+            )
+            pools.append(postings)
+        values = intersect_many(pools)
+        group = self.query.group_of(variable)
+        total = 0
+        for value in values:
+            if group is not None and value in used[group]:
+                continue
+            assignment[variable] = value
+            if group is not None:
+                used[group].add(value)
+            total += self._bind(depth + 1, assignment, used, state, on_result)
+            del assignment[variable]
+            if group is not None:
+                used[group].discard(value)
+        return total
+
+
+class _JoinState:
+    """Deadline bookkeeping for one join evaluation."""
+
+    def __init__(self, deadline: "float | None", budget: "float | None"):
+        self.deadline = deadline
+        self.budget = budget
+        self.nodes = 0
+
+    def tick(self) -> None:
+        self.nodes += 1
+        if self.deadline is None:
+            return
+        if self.nodes % _TIME_CHECK_INTERVAL == 0:
+            now = time.monotonic()
+            if now > self.deadline:
+                assert self.budget is not None
+                raise TimeoutExceeded(
+                    now - (self.deadline - self.budget), self.budget
+                )
+
+
+def plan_binding_order(query: JoinQuery) -> List[int]:
+    """Greedy binding order: start at the smallest candidate list, then
+    always bind a variable connected to the bound region (smallest
+    candidate list first) — keeping every step constrained."""
+    adjacency: Dict[int, Set[int]] = {v: set() for v in range(query.num_variables)}
+    for atom in query.atoms:
+        adjacency[atom.first].add(atom.second)
+        adjacency[atom.second].add(atom.first)
+    remaining = set(range(query.num_variables))
+    order: List[int] = []
+    bound: Set[int] = set()
+    while remaining:
+        frontier = (
+            {v for v in remaining if adjacency[v] & bound} if bound else remaining
+        )
+        if not frontier:
+            frontier = remaining
+        chosen = min(frontier, key=lambda v: (len(query.candidates[v]), v))
+        order.append(chosen)
+        bound.add(chosen)
+        remaining.discard(chosen)
+    return order

@@ -1,0 +1,56 @@
+"""Binary relations with two-sided sorted indexes.
+
+The minimal relational substrate behind the join-based RapidMatch-H
+baseline: a :class:`BinaryRelation` stores (a, b) pairs indexed in both
+directions with sorted adjacency lists, so a multiway join can intersect
+posting lists exactly the way worst-case-optimal join engines do.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+
+class BinaryRelation:
+    """A set of (a, b) pairs with sorted forward and backward indexes."""
+
+    def __init__(self, pairs: Iterable[Tuple[int, int]] = ()) -> None:
+        self._forward: Dict[int, List[int]] = {}
+        self._backward: Dict[int, List[int]] = {}
+        self._count = 0
+        for a, b in pairs:
+            self.add(a, b)
+        self.freeze()
+
+    def add(self, a: int, b: int) -> None:
+        self._forward.setdefault(a, []).append(b)
+        self._backward.setdefault(b, []).append(a)
+        self._count += 1
+
+    def freeze(self) -> None:
+        """Sort all adjacency lists (idempotent)."""
+        for adjacency in self._forward.values():
+            adjacency.sort()
+        for adjacency in self._backward.values():
+            adjacency.sort()
+
+    def forward(self, a: int) -> List[int]:
+        """All ``b`` with (a, b) in the relation, ascending."""
+        return self._forward.get(a, [])
+
+    def backward(self, b: int) -> List[int]:
+        """All ``a`` with (a, b) in the relation, ascending."""
+        return self._backward.get(b, [])
+
+    def contains(self, a: int, b: int) -> bool:
+        from bisect import bisect_left
+
+        adjacency = self._forward.get(a, [])
+        position = bisect_left(adjacency, b)
+        return position < len(adjacency) and adjacency[position] == b
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __repr__(self) -> str:
+        return f"BinaryRelation(|R|={self._count})"

@@ -1,0 +1,45 @@
+"""HGMatch's parallel execution engine (Section VI).
+
+Two executors share the same task semantics (self-contained partial
+embeddings, LIFO deques, steal-half-from-tail):
+
+* :class:`ThreadedExecutor` — real threads; demonstrates correctness,
+  bounded memory and load-balance accounting under CPython.
+* :class:`SimulatedExecutor` — discrete-event simulation in virtual
+  time with a set-operation cost model; backs the scalability and
+  load-balancing experiments (see DESIGN.md, substitution 2).
+"""
+
+from .deque import WorkStealingDeque
+from .executor import ParallelResult, ThreadedExecutor
+from .memory import (
+    MemoryMeasurement,
+    entry_units_per_partial,
+    measure_memory,
+    theoretical_memory_bound,
+)
+from .simulation import (
+    CostModel,
+    SimulatedExecutor,
+    SimulationResult,
+    simulate_speedups,
+)
+from .tasks import ROOT_TASK, PartialEmbedding, WorkerStats, task_kind
+
+__all__ = [
+    "WorkStealingDeque",
+    "ThreadedExecutor",
+    "ParallelResult",
+    "SimulatedExecutor",
+    "SimulationResult",
+    "CostModel",
+    "simulate_speedups",
+    "MemoryMeasurement",
+    "measure_memory",
+    "entry_units_per_partial",
+    "theoretical_memory_bound",
+    "WorkerStats",
+    "PartialEmbedding",
+    "ROOT_TASK",
+    "task_kind",
+]

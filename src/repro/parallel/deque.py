@@ -1,0 +1,90 @@
+"""The work-stealing task deque (Section VI-C).
+
+Each worker owns one deque.  The owner pushes newly spawned tasks to the
+*head* and pops from the *head* (LIFO — the property behind the
+scheduler's memory bound); thieves steal *half* the tasks from the
+*tail*, which hands over the oldest (shallowest, therefore largest)
+subtrees and keeps steal frequency low.
+
+The paper uses a lock-free Chase–Lev deque; under CPython the GIL already
+serialises bytecode, so this implementation uses a plain mutex per deque
+— the semantics (LIFO owner end, steal-half tail end) are what the
+experiments depend on, and those are preserved exactly.  The lock also
+keeps the structure correct under free-threaded builds.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Generic, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class WorkStealingDeque(Generic[T]):
+    """A double-ended task queue with owner LIFO access and tail stealing."""
+
+    __slots__ = ("_items", "_lock", "peak_size")
+
+    def __init__(self) -> None:
+        self._items: deque = deque()
+        self._lock = threading.Lock()
+        #: High-water mark of the queue length (memory accounting).
+        self.peak_size = 0
+
+    def push(self, item: T) -> None:
+        """Owner: push a freshly spawned task onto the head."""
+        with self._lock:
+            self._items.appendleft(item)
+            if len(self._items) > self.peak_size:
+                self.peak_size = len(self._items)
+
+    def push_many(self, items: List[T]) -> None:
+        """Owner: push several tasks; the *last* item ends up on the head.
+
+        Children of one expansion are pushed together so the LIFO order
+        walks them depth-first in their natural order.
+        """
+        with self._lock:
+            for item in items:
+                self._items.appendleft(item)
+            if len(self._items) > self.peak_size:
+                self.peak_size = len(self._items)
+
+    def pop(self) -> Optional[T]:
+        """Owner: pop the most recently pushed task (head), or None."""
+        with self._lock:
+            if not self._items:
+                return None
+            return self._items.popleft()
+
+    def steal_half(self) -> List[T]:
+        """Thief: atomically remove and return half the tasks from the tail.
+
+        Returns the stolen tasks oldest-first (the thief pushes them onto
+        its own deque, restoring LIFO locally).  Stealing from a deque
+        with a single task takes that task; an empty deque yields ``[]``.
+        """
+        with self._lock:
+            count = len(self._items)
+            if count == 0:
+                return []
+            take = max(1, count // 2)
+            stolen = [self._items.pop() for _ in range(take)]
+            return stolen
+
+    def steal_one(self) -> Optional[T]:
+        """Thief: remove a single task from the tail (ablation variant)."""
+        with self._lock:
+            if not self._items:
+                return None
+            return self._items.pop()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def snapshot_size(self) -> int:
+        """Racy size read without taking the lock (victim selection)."""
+        return len(self._items)

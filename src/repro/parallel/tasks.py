@@ -1,0 +1,63 @@
+"""Tasks: the minimal scheduling unit of HGMatch (Definition VI.1).
+
+A task carries nothing but the tuple of data hyperedge ids matched so
+far; every other piece of state is recomputed from it in O(total arity).
+That is what makes tasks cheap to spawn, cheap to steal, and what gives
+the scheduler its memory bound (Theorem VI.1).
+
+Three task kinds exist, one per dataflow operator:
+
+* ``TSCAN``  — the root task; expands the empty embedding by scanning the
+  first query hyperedge's signature partition,
+* ``TEXPAND`` — expands one partial embedding by the next hyperedge,
+* ``TSINK``  — a complete embedding reaching the sink (counted/output).
+
+The executors never materialise explicit ``TSINK`` objects: a child whose
+length equals the plan length is consumed on the spot, which is
+behaviourally identical and avoids a million tiny allocations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+#: A partial embedding: matched data hyperedge ids for steps 0..k-1.
+PartialEmbedding = Tuple[int, ...]
+
+#: The root task (the empty partial embedding, i.e. TSCAN).
+ROOT_TASK: PartialEmbedding = ()
+
+
+def task_kind(task: PartialEmbedding, num_steps: int) -> str:
+    """Classify a task as ``TSCAN`` / ``TEXPAND`` / ``TSINK``."""
+    if not task:
+        return "TSCAN"
+    if len(task) >= num_steps:
+        return "TSINK"
+    return "TEXPAND"
+
+
+@dataclass
+class WorkerStats:
+    """Per-worker accounting used by the load-balancing experiment."""
+
+    worker_id: int
+    tasks_executed: int = 0
+    embeddings: int = 0
+    busy_time: float = 0.0
+    steal_attempts: int = 0
+    steals_succeeded: int = 0
+    tasks_stolen: int = 0
+    peak_queue: int = 0
+
+    def as_row(self) -> dict:
+        return {
+            "worker": self.worker_id,
+            "tasks": self.tasks_executed,
+            "embeddings": self.embeddings,
+            "busy_time": self.busy_time,
+            "steals": self.steals_succeeded,
+            "stolen_tasks": self.tasks_stolen,
+            "peak_queue": self.peak_queue,
+        }

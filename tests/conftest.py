@@ -1,0 +1,71 @@
+"""Shared fixtures: the paper's running example and small workloads."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import HGMatch, Hypergraph
+
+
+@pytest.fixture
+def fig1_data() -> Hypergraph:
+    """The data hypergraph of the paper's Fig. 1b.
+
+    Vertices v0..v6 labelled A C A A B C A; hyperedges (0-based ids):
+    e0={v2,v4}, e1={v4,v6}, e2={v0,v1,v2}, e3={v3,v5,v6},
+    e4={v0,v1,v4,v6}, e5={v2,v3,v4,v5}.
+    """
+    return Hypergraph(
+        labels=["A", "C", "A", "A", "B", "C", "A"],
+        edges=[{2, 4}, {4, 6}, {0, 1, 2}, {3, 5, 6}, {0, 1, 4, 6}, {2, 3, 4, 5}],
+    )
+
+
+@pytest.fixture
+def fig1_query() -> Hypergraph:
+    """The query hypergraph of Fig. 1a: u0..u4 labelled A C A A B with
+    hyperedges {u2,u4}, {u0,u1,u2}, {u0,u1,u3,u4}."""
+    return Hypergraph(
+        labels=["A", "C", "A", "A", "B"],
+        edges=[{2, 4}, {0, 1, 2}, {0, 1, 3, 4}],
+    )
+
+
+@pytest.fixture
+def fig1_engine(fig1_data) -> HGMatch:
+    return HGMatch(fig1_data)
+
+
+@pytest.fixture
+def small_rng() -> random.Random:
+    return random.Random(20230612)
+
+
+def make_random_instance(rng: random.Random, max_vertices: int = 16):
+    """A (data, query) pair small enough for brute-force comparison.
+
+    The query is a random-walk sub-hypergraph of the data, so at least
+    one embedding always exists.  Returns None when sampling fails (the
+    random data was too sparse), letting callers skip the trial.
+    """
+    from repro.hypergraph.generators import generate_hypergraph
+    from repro.hypergraph.sampling import QuerySetting, sample_query
+
+    data = generate_hypergraph(
+        num_vertices=rng.randint(6, max_vertices),
+        num_edges=rng.randint(4, 14),
+        num_labels=rng.randint(1, 3),
+        mean_arity=2.5,
+        max_arity=4,
+        rng=rng,
+    )
+    if data.num_edges < 2:
+        return None
+    setting = QuerySetting("t", rng.randint(2, 3), 2, 12)
+    try:
+        query = sample_query(data, setting, rng, max_attempts=60)
+    except Exception:
+        return None
+    return data, query

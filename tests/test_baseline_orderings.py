@@ -1,0 +1,78 @@
+"""Tests for the baseline matching-order strategies."""
+
+from __future__ import annotations
+
+import random
+
+from repro import Hypergraph
+from repro.baselines.filters import ihs_candidates
+from repro.baselines.ordering import bfs_order, core_forest_leaf_order, dag_order
+from repro.hypergraph.generators import random_connected_hypergraph
+
+
+def _assert_connected_order(query: Hypergraph, order):
+    assert sorted(order) == list(range(query.num_vertices))
+    seen = {order[0]}
+    for vertex in order[1:]:
+        assert query.adjacent_vertices(vertex) & seen, (
+            f"vertex {vertex} not connected to the ordered prefix"
+        )
+        seen.add(vertex)
+
+
+def _candidates_for(query, data):
+    return ihs_candidates(query, data)
+
+
+class TestOrderProperties:
+    def test_all_strategies_produce_connected_permutations(self, fig1_data, fig1_query):
+        candidates = _candidates_for(fig1_query, fig1_data)
+        for strategy in (bfs_order, core_forest_leaf_order, dag_order):
+            order = strategy(fig1_query, candidates)
+            _assert_connected_order(fig1_query, order)
+
+    def test_random_queries(self, fig1_data):
+        rng = random.Random(9)
+        for seed in range(8):
+            query = random_connected_hypergraph(
+                8, 5, 3, 4, random.Random(seed)
+            )
+            candidates = {
+                u: list(range(3)) for u in range(query.num_vertices)
+            }
+            for strategy in (bfs_order, core_forest_leaf_order, dag_order):
+                _assert_connected_order(query, strategy(query, candidates))
+        del rng
+
+    def test_bfs_starts_at_fewest_candidates(self, fig1_data, fig1_query):
+        candidates = _candidates_for(fig1_query, fig1_data)
+        order = bfs_order(fig1_query, candidates)
+        fewest = min(
+            range(fig1_query.num_vertices), key=lambda u: (len(candidates[u]), u)
+        )
+        assert order[0] == fewest
+
+
+class TestCoreForestLeaf:
+    def test_core_before_leaves(self):
+        """A triangle-with-pendant query: the pendant (leaf) goes last."""
+        query = Hypergraph(
+            ["A"] * 4, [{0, 1}, {1, 2}, {0, 2}, {2, 3}]
+        )
+        candidates = {u: [0, 1, 2] for u in range(4)}
+        order = core_forest_leaf_order(query, candidates)
+        assert order[-1] == 3
+
+    def test_pure_tree_query_still_ordered(self):
+        query = Hypergraph(["A"] * 3, [{0, 1}, {1, 2}])
+        candidates = {u: [0] for u in range(3)}
+        order = core_forest_leaf_order(query, candidates)
+        _assert_connected_order(query, order)
+
+
+class TestDagOrder:
+    def test_root_minimises_candidate_degree_ratio(self):
+        query = Hypergraph(["A", "B", "A"], [{0, 1}, {1, 2}])
+        candidates = {0: [0, 1, 2, 3], 1: [0], 2: [0, 1, 2, 3]}
+        order = dag_order(query, candidates)
+        assert order[0] == 1

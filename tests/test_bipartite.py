@@ -1,0 +1,50 @@
+"""Tests for the bipartite conversion (Fig. 2 of the paper)."""
+
+from __future__ import annotations
+
+from repro.baselines.bipartite import BipartiteGraph, convert, inflation_factor
+
+
+class TestConversion:
+    def test_fig2_shape(self, fig1_data):
+        """Fig. 2: the converted Fig. 1b data graph has 7 lower and 6
+        upper vertices and one binary edge per incidence."""
+        bipartite = BipartiteGraph(fig1_data)
+        assert bipartite.num_lower == 7
+        assert bipartite.num_upper == 6
+        assert bipartite.num_vertices == 13
+        assert bipartite.num_edges == 18  # sum of arities
+
+    def test_lower_labels_preserved(self, fig1_data):
+        bipartite = BipartiteGraph(fig1_data)
+        assert bipartite.labels[:7] == list(fig1_data.labels)
+
+    def test_upper_labels_encode_arity(self, fig1_data):
+        bipartite = BipartiteGraph(fig1_data)
+        assert bipartite.labels[7] == ("E", 2)   # e0 = {v2, v4}
+        assert bipartite.labels[11] == ("E", 4)  # e4
+
+    def test_adjacency_is_incidence(self, fig1_data):
+        bipartite = BipartiteGraph(fig1_data)
+        edge_node = 7 + 4  # e4 = {0, 1, 4, 6}
+        assert bipartite.neighbours(edge_node) == [0, 1, 4, 6]
+        assert edge_node in bipartite.neighbours(0)
+
+    def test_is_upper_and_edge_id_of(self, fig1_data):
+        bipartite = BipartiteGraph(fig1_data)
+        assert not bipartite.is_upper(6)
+        assert bipartite.is_upper(7)
+        assert bipartite.edge_id_of(9) == 2
+
+    def test_degree(self, fig1_data):
+        bipartite = BipartiteGraph(fig1_data)
+        assert bipartite.degree(4) == fig1_data.degree(4)
+        assert bipartite.degree(7) == fig1_data.arity(0)
+
+    def test_convert_helper(self, fig1_data):
+        assert convert(fig1_data).num_vertices == 13
+
+    def test_inflation_factor(self, fig1_data):
+        vertices, edges = inflation_factor(fig1_data)
+        assert vertices == 13
+        assert edges == 18

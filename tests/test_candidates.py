@@ -1,0 +1,99 @@
+"""Unit tests for candidate generation (Algorithm 4, Example V.1)."""
+
+from __future__ import annotations
+
+from repro import Hypergraph, PartitionedStore
+from repro.core.candidates import generate_candidates, vertex_step_map
+from repro.core.counters import MatchCounters
+from repro.core.plan import build_execution_plan
+
+
+def run_step(data, query, order, matched, counters=None):
+    plan = build_execution_plan(query, order)
+    step_plan = plan.steps[len(matched)]
+    store = PartitionedStore(data)
+    partition = store.partition(step_plan.signature)
+    vmap = vertex_step_map(data, matched)
+    return generate_candidates(
+        data, partition, step_plan, matched, vmap, counters
+    )
+
+
+class TestExampleV1:
+    def test_paper_example(self, fig1_data, fig1_query):
+        """Example V.1: with m = (e1, e3) (0-based e0, e2) the candidates
+        of {u0,u1,u3,u4} are he(v0,s) ∩ he(v1,s) ∩ he(v4,s) = {e5}
+        (0-based e4)."""
+        candidates = run_step(fig1_data, fig1_query, (0, 1, 2), (0, 2))
+        assert candidates == (4,)
+
+    def test_second_branch(self, fig1_data, fig1_query):
+        """The other partial embedding (e2, e4) → candidate {e6} (e5)."""
+        candidates = run_step(fig1_data, fig1_query, (0, 1, 2), (1, 3))
+        assert candidates == (5,)
+
+    def test_step1_candidates(self, fig1_data, fig1_query):
+        """After matching {u2,u4}→e1(0-based 0)={v2,v4}, the adjacent
+        3-ary edge must touch v2: only e3 (0-based 2) qualifies."""
+        candidates = run_step(fig1_data, fig1_query, (0, 1, 2), (0,))
+        assert candidates == (2,)
+
+
+class TestScanStep:
+    def test_first_step_returns_partition(self, fig1_data, fig1_query):
+        candidates = run_step(fig1_data, fig1_query, (0, 1, 2), ())
+        assert candidates == (0, 1)
+
+    def test_missing_partition_is_empty(self, fig1_data):
+        query = Hypergraph(["B", "B"], [{0, 1}])
+        candidates = run_step(fig1_data, query, (0,), ())
+        assert candidates == ()
+
+
+class TestPruning:
+    def test_degree_requirement_filters_anchors(self):
+        """Observation V.4: the anchor's partial degree must match."""
+        data = Hypergraph(
+            ["A", "A", "A", "A"],
+            [{0, 1}, {1, 2}, {2, 3}, {0, 3}],
+        )
+        query = Hypergraph(["A", "A", "A"], [{0, 1}, {1, 2}, {0, 2}])
+        # Match edges {0,1}→{0,1} then {1,2}→{1,2}; the closing edge
+        # {0,2} needs a data edge touching both v0 and v2 — none exists.
+        candidates = run_step(data, query, (0, 1, 2), (0, 1))
+        assert candidates == ()
+
+    def test_non_incident_vertices_excluded(self):
+        """Observation V.3 via Algorithm 4 line 1: vertices of images of
+        non-adjacent query edges cannot anchor candidates."""
+        data = Hypergraph(
+            ["A", "A", "A", "A", "A"],
+            [{0, 1}, {1, 2}, {2, 3}, {3, 4}],
+        )
+        query = Hypergraph(["A", "A", "A", "A"], [{0, 1}, {1, 2}, {2, 3}])
+        plan = build_execution_plan(query, (0, 1, 2))
+        assert plan.steps[2].nonadjacent_prev == (0,)
+        candidates = run_step(data, query, (0, 1, 2), (0, 1))
+        # Candidates for the last edge anchored on the image of vertex 2:
+        # edge {2,3} qualifies; {1,2} would close back onto the
+        # non-adjacent region and is pruned later by validation, but
+        # {0,1}'s vertices cannot serve as anchors at all.
+        assert 2 in candidates
+
+    def test_counters_record_candidates(self, fig1_data, fig1_query):
+        counters = MatchCounters()
+        run_step(fig1_data, fig1_query, (0, 1, 2), (0, 2), counters)
+        assert counters.candidates == 1
+        assert counters.work_units > 0
+
+
+class TestVertexStepMap:
+    def test_map_contents(self, fig1_data):
+        vmap = vertex_step_map(fig1_data, (0, 2))
+        assert vmap[2] == {0, 1}
+        assert vmap[4] == {0}
+        assert vmap[0] == {1}
+        assert 6 not in vmap
+
+    def test_empty_embedding(self, fig1_data):
+        assert vertex_step_map(fig1_data, ()) == {}

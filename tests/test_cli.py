@@ -1,0 +1,138 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.hypergraph.io import save_native
+
+
+def run_cli(*argv: str) -> tuple:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture
+def fig1_files(tmp_path, fig1_data, fig1_query):
+    data_path = str(tmp_path / "data.hg")
+    query_path = str(tmp_path / "query.hg")
+    save_native(fig1_data, data_path)
+    save_native(fig1_query, query_path)
+    return data_path, query_path
+
+
+class TestDatasets:
+    def test_lists_all_ten(self):
+        code, output = run_cli("datasets")
+        assert code == 0
+        for name in ("HC", "MA", "AR"):
+            assert name in output
+
+
+class TestStats:
+    def test_stats_from_file(self, fig1_files):
+        data_path, _ = fig1_files
+        code, output = run_cli("stats", data_path)
+        assert code == 0
+        assert "|V|: 7" in output
+
+    def test_stats_from_dataset_name(self):
+        code, output = run_cli("stats", "HC")
+        assert code == 0
+        assert "dataset: HC" in output
+
+    def test_missing_file_errors(self):
+        code, output = run_cli("stats", "/nonexistent/file.hg")
+        assert code == 1
+        assert "error:" in output
+
+
+class TestSample:
+    def test_sample_writes_query(self, tmp_path, fig1_files):
+        out_path = str(tmp_path / "q.hg")
+        code, output = run_cli(
+            "sample", "CH", "--setting", "q2", "--out", out_path
+        )
+        assert code == 0
+        assert "sampled q2 query" in output
+        from repro.hypergraph.io import load_native
+
+        query = load_native(out_path)
+        assert query.num_edges == 2
+
+    def test_unknown_setting_errors(self, tmp_path):
+        code, output = run_cli(
+            "sample", "CH", "--setting", "q9", "--out", str(tmp_path / "q.hg")
+        )
+        assert code == 1
+
+
+class TestPlan:
+    def test_plan_output(self, fig1_files):
+        data_path, query_path = fig1_files
+        code, output = run_cli("plan", data_path, query_path)
+        assert code == 0
+        assert "SCAN" in output and "SINK" in output
+
+    def test_plan_explain(self, fig1_files):
+        data_path, query_path = fig1_files
+        code, output = run_cli("plan", data_path, query_path, "--explain")
+        assert code == 0
+        assert "PlanEstimate" in output
+
+
+class TestIndex:
+    def test_index_roundtrip(self, tmp_path, fig1_files):
+        data_path, _ = fig1_files
+        out_path = str(tmp_path / "fig1.hgstore")
+        code, output = run_cli("index", data_path, "--out", out_path)
+        assert code == 0
+        assert "3 partitions" in output
+        from repro.hypergraph import load_store as load_store_file
+
+        store = load_store_file(out_path)
+        assert store.num_partitions() == 3
+
+
+class TestMatch:
+    def test_match_hgmatch(self, fig1_files):
+        data_path, query_path = fig1_files
+        code, output = run_cli("match", data_path, query_path)
+        assert code == 0
+        assert output.startswith("2 embeddings")
+
+    @pytest.mark.parametrize("engine", ["CFL-H", "DAF-H", "CECI-H", "RapidMatch-H"])
+    def test_match_baselines(self, fig1_files, engine):
+        data_path, query_path = fig1_files
+        code, output = run_cli("match", data_path, query_path, "--engine", engine)
+        assert code == 0
+        assert output.startswith("2 embeddings")
+
+    def test_match_parallel(self, fig1_files):
+        data_path, query_path = fig1_files
+        code, output = run_cli("match", data_path, query_path, "--workers", "2")
+        assert code == 0
+        assert output.startswith("2 embeddings")
+
+    def test_print_embeddings(self, fig1_files):
+        data_path, query_path = fig1_files
+        code, output = run_cli(
+            "match", data_path, query_path, "--print-embeddings"
+        )
+        assert code == 0
+        assert output.count("{") >= 2
+
+    def test_disconnected_query_errors(self, tmp_path, fig1_files):
+        from repro import Hypergraph
+
+        data_path, _ = fig1_files
+        bad = Hypergraph(["A", "B", "A", "B"], [{0, 1}, {2, 3}])
+        bad_path = str(tmp_path / "bad.hg")
+        save_native(bad, bad_path)
+        code, output = run_cli("match", data_path, bad_path)
+        assert code == 1
+        assert "error:" in output

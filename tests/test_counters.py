@@ -1,0 +1,81 @@
+"""Unit tests for MatchCounters and the error hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    HGMatch,
+    HypergraphError,
+    MatchCounters,
+    ParseError,
+    QueryError,
+    ReproError,
+    SchedulerError,
+    TimeoutExceeded,
+)
+
+
+class TestCounters:
+    def test_merge(self):
+        first = MatchCounters(candidates=3, filtered=2, embeddings=1, tasks=4)
+        second = MatchCounters(candidates=5, filtered=4, embeddings=2, tasks=6)
+        second.peak_retained = 9
+        first.merge(second)
+        assert first.candidates == 8
+        assert first.filtered == 6
+        assert first.embeddings == 3
+        assert first.tasks == 10
+        assert first.peak_retained == 9
+
+    def test_merge_final_counters(self):
+        first = MatchCounters(final_candidates=2, final_filtered=1)
+        second = MatchCounters(final_candidates=3, final_filtered=2)
+        first.merge(second)
+        assert first.final_candidates == 5
+        assert first.final_filtered == 3
+
+    def test_note_retained_tracks_peak(self):
+        counters = MatchCounters()
+        counters.note_retained(3)
+        counters.note_retained(-1)
+        counters.note_retained(4)
+        assert counters.peak_retained == 6
+
+    def test_false_positive_rate(self):
+        counters = MatchCounters(filtered=10, embeddings=9)
+        assert counters.false_positive_rate() == pytest.approx(0.1)
+        assert MatchCounters().false_positive_rate() == 0.0
+
+    def test_final_step_precision(self):
+        counters = MatchCounters(final_filtered=100, embeddings=97)
+        assert counters.final_step_precision() == pytest.approx(0.97)
+        assert MatchCounters().final_step_precision() == 1.0
+
+    def test_as_row_keys(self):
+        row = MatchCounters().as_row()
+        assert {"candidates", "filtered", "embeddings", "final_candidates",
+                "final_filtered", "tasks", "work_units", "peak_retained"} <= set(row)
+
+    def test_final_counters_populated_by_engine(self, fig1_data, fig1_query):
+        counters = MatchCounters()
+        HGMatch(fig1_data).count(fig1_query, counters=counters)
+        assert counters.final_candidates >= counters.embeddings == 2
+        assert counters.final_filtered >= counters.embeddings
+        assert counters.final_candidates <= counters.candidates
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "error_class",
+        [HypergraphError, QueryError, ParseError, SchedulerError],
+    )
+    def test_all_derive_from_repro_error(self, error_class):
+        assert issubclass(error_class, ReproError)
+
+    def test_timeout_carries_context(self):
+        error = TimeoutExceeded(2.5, 2.0)
+        assert isinstance(error, ReproError)
+        assert error.elapsed == 2.5
+        assert error.budget == 2.0
+        assert "2.5" in str(error) or "2.500" in str(error)

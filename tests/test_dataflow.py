@@ -1,0 +1,114 @@
+"""Tests for the dataflow model (Section VI-A) and its extensions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Hypergraph, MatchCounters
+from repro.dataflow import (
+    Aggregate,
+    CallbackSink,
+    CollectSink,
+    CountSink,
+    DataflowGraph,
+    Filter,
+    run_query,
+)
+from repro.errors import SchedulerError
+
+
+class TestStructure:
+    def test_fig5a_shape(self, fig1_engine, fig1_query):
+        """SCAN → EXPAND → EXPAND → SINK for the three-edge Fig. 1 query."""
+        graph = DataflowGraph.from_query(fig1_engine, fig1_query)
+        description = graph.describe()
+        assert description.startswith("SCAN")
+        assert description.count("EXPAND") == 2
+        assert description.endswith("SINK(count)")
+
+    def test_from_plan(self, fig1_engine, fig1_query):
+        plan = fig1_engine.plan(fig1_query)
+        graph = DataflowGraph.from_plan(fig1_engine, plan)
+        assert graph.execute() == 2
+
+
+class TestSinks:
+    def test_count_sink(self, fig1_engine, fig1_query):
+        assert run_query(fig1_engine, fig1_query) == 2
+
+    def test_collect_sink(self, fig1_engine, fig1_query):
+        sink = CollectSink()
+        embeddings = DataflowGraph.from_query(
+            fig1_engine, fig1_query, sink
+        ).execute()
+        assert {e.canonical() for e in embeddings} == {(0, 2, 4), (1, 3, 5)}
+
+    def test_collect_sink_limit(self, fig1_engine, fig1_query):
+        sink = CollectSink(limit=1)
+        embeddings = DataflowGraph.from_query(
+            fig1_engine, fig1_query, sink
+        ).execute()
+        assert len(embeddings) == 1
+
+    def test_callback_sink(self, fig1_engine, fig1_query):
+        seen = []
+        sink = CallbackSink(seen.append)
+        count = DataflowGraph.from_query(fig1_engine, fig1_query, sink).execute()
+        assert count == 2
+        assert len(seen) == 2
+
+    def test_aggregate_sink(self, fig1_engine, fig1_query):
+        """Group embeddings by the data edge matched at step 0."""
+        sink = Aggregate(key=lambda data, item: item[0])
+        groups = DataflowGraph.from_query(fig1_engine, fig1_query, sink).execute()
+        assert dict(groups) == {0: 1, 1: 1}
+
+
+class TestFilterOperator:
+    def test_property_filter_drops_embeddings(self, fig1_engine, fig1_query):
+        """Keep only embeddings whose first matched edge is e0."""
+        keep_e0 = Filter(lambda data, item: item[0] == 0, label="first=e0")
+        graph = DataflowGraph.from_query(
+            fig1_engine, fig1_query, filters={0: keep_e0}
+        )
+        assert graph.execute() == 1
+        assert "FILTER(first=e0)" in graph.describe()
+
+    def test_pass_through_filter(self, fig1_engine, fig1_query):
+        graph = DataflowGraph.from_query(
+            fig1_engine,
+            fig1_query,
+            filters={1: Filter(lambda data, item: True)},
+        )
+        assert graph.execute() == 2
+
+
+class TestExecution:
+    def test_counters(self, fig1_engine, fig1_query):
+        counters = MatchCounters()
+        DataflowGraph.from_query(fig1_engine, fig1_query).execute(
+            counters=counters
+        )
+        assert counters.embeddings == 2
+
+    def test_parallel_execution(self, fig1_engine, fig1_query):
+        graph = DataflowGraph.from_query(fig1_engine, fig1_query)
+        assert graph.execute(workers=2) == 2
+
+    def test_parallel_with_filters_rejected(self, fig1_engine, fig1_query):
+        graph = DataflowGraph.from_query(
+            fig1_engine,
+            fig1_query,
+            filters={0: Filter(lambda data, item: True)},
+        )
+        with pytest.raises(SchedulerError):
+            graph.execute(workers=2)
+
+    def test_parallel_with_collect_sink_rejected(self, fig1_engine, fig1_query):
+        graph = DataflowGraph.from_query(fig1_engine, fig1_query, CollectSink())
+        with pytest.raises(SchedulerError):
+            graph.execute(workers=2)
+
+    def test_single_edge_dataflow(self, fig1_engine):
+        query = Hypergraph(["A", "B"], [{0, 1}])
+        assert run_query(fig1_engine, query) == 2

@@ -1,0 +1,101 @@
+"""Unit and concurrency tests for the work-stealing deque."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.parallel import WorkStealingDeque
+
+
+class TestOwnerSemantics:
+    def test_lifo_pop(self):
+        deque = WorkStealingDeque()
+        deque.push(1)
+        deque.push(2)
+        deque.push(3)
+        assert deque.pop() == 3
+        assert deque.pop() == 2
+        assert deque.pop() == 1
+        assert deque.pop() is None
+
+    def test_push_many_keeps_depth_first_order(self):
+        deque = WorkStealingDeque()
+        deque.push_many([1, 2, 3])
+        assert deque.pop() == 3
+
+    def test_peak_size_tracking(self):
+        deque = WorkStealingDeque()
+        for value in range(5):
+            deque.push(value)
+        deque.pop()
+        deque.pop()
+        assert deque.peak_size == 5
+        assert len(deque) == 3
+
+
+class TestThiefSemantics:
+    def test_steal_half_takes_tail(self):
+        deque = WorkStealingDeque()
+        deque.push_many([1, 2, 3, 4])  # head: 4 3 2 1 :tail
+        stolen = deque.steal_half()
+        assert stolen == [1, 2]
+        assert deque.pop() == 4
+
+    def test_steal_from_singleton(self):
+        deque = WorkStealingDeque()
+        deque.push(7)
+        assert deque.steal_half() == [7]
+        assert deque.pop() is None
+
+    def test_steal_from_empty(self):
+        deque = WorkStealingDeque()
+        assert deque.steal_half() == []
+        assert deque.steal_one() is None
+
+    def test_steal_one(self):
+        deque = WorkStealingDeque()
+        deque.push_many([1, 2, 3])
+        assert deque.steal_one() == 1
+        assert len(deque) == 2
+
+
+class TestConcurrency:
+    def test_no_item_lost_or_duplicated_under_contention(self):
+        """Owner pushes/pops while four thieves steal; every item must be
+        consumed exactly once."""
+        deque = WorkStealingDeque()
+        total = 4000
+        consumed = []
+        consumed_lock = threading.Lock()
+        done = threading.Event()
+
+        def owner():
+            for value in range(total):
+                deque.push(value)
+                if value % 3 == 0:
+                    item = deque.pop()
+                    if item is not None:
+                        with consumed_lock:
+                            consumed.append(item)
+            done.set()
+
+        def thief():
+            while not done.is_set() or len(deque):
+                stolen = deque.steal_half()
+                if stolen:
+                    with consumed_lock:
+                        consumed.extend(stolen)
+
+        threads = [threading.Thread(target=owner)] + [
+            threading.Thread(target=thief) for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        while True:
+            item = deque.pop()
+            if item is None:
+                break
+            consumed.append(item)
+        assert sorted(consumed) == list(range(total))

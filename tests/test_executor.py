@@ -1,0 +1,103 @@
+"""Tests for the threaded work-stealing executor (Section VI)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import HGMatch, TimeoutExceeded
+from repro.errors import SchedulerError
+from repro.hypergraph.generators import generate_hypergraph
+from repro.hypergraph.sampling import query_setting, sample_query
+from repro.parallel import ThreadedExecutor
+
+
+@pytest.fixture(scope="module")
+def parallel_instance():
+    rng = random.Random(21)
+    data = generate_hypergraph(150, 700, 2, 3.0, 6, rng)
+    query = sample_query(data, query_setting("q3"), rng)
+    engine = HGMatch(data)
+    expected = engine.count(query)
+    return engine, query, expected
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("workers", [1, 2, 4, 8])
+    def test_parallel_count_equals_sequential(self, parallel_instance, workers):
+        engine, query, expected = parallel_instance
+        result = ThreadedExecutor(num_workers=workers).run(engine, query)
+        assert result.embeddings == expected
+
+    def test_fig1(self, fig1_engine, fig1_query):
+        result = ThreadedExecutor(num_workers=3).run(fig1_engine, fig1_query)
+        assert result.embeddings == 2
+
+    def test_single_edge_query(self, fig1_engine):
+        from repro import Hypergraph
+
+        query = Hypergraph(["A", "B"], [{0, 1}])
+        result = ThreadedExecutor(num_workers=2).run(fig1_engine, query)
+        assert result.embeddings == 2
+
+    def test_count_entry_point(self, parallel_instance):
+        engine, query, expected = parallel_instance
+        assert engine.count(query, workers=3) == expected
+
+    def test_steal_one_mode(self, parallel_instance):
+        engine, query, expected = parallel_instance
+        executor = ThreadedExecutor(num_workers=4, steal_mode="one")
+        assert executor.run(engine, query).embeddings == expected
+
+    def test_no_stealing_mode(self, parallel_instance):
+        engine, query, expected = parallel_instance
+        executor = ThreadedExecutor(num_workers=4, stealing=False)
+        assert executor.run(engine, query).embeddings == expected
+
+    def test_deterministic_embedding_count_across_seeds(self, parallel_instance):
+        engine, query, expected = parallel_instance
+        for seed in range(3):
+            executor = ThreadedExecutor(num_workers=4, seed=seed)
+            assert executor.run(engine, query).embeddings == expected
+
+
+class TestAccounting:
+    def test_worker_stats_cover_all_tasks(self, parallel_instance):
+        engine, query, expected = parallel_instance
+        result = ThreadedExecutor(num_workers=4).run(engine, query)
+        assert len(result.worker_stats) == 4
+        assert sum(s.embeddings for s in result.worker_stats) == expected
+        assert sum(s.tasks_executed for s in result.worker_stats) > 0
+
+    def test_counters_merged(self, parallel_instance):
+        engine, query, expected = parallel_instance
+        result = ThreadedExecutor(num_workers=2).run(engine, query)
+        assert result.counters.embeddings == expected
+        assert result.counters.candidates >= expected
+
+    def test_load_imbalance_metric(self, parallel_instance):
+        engine, query, _ = parallel_instance
+        result = ThreadedExecutor(num_workers=2).run(engine, query)
+        assert result.load_imbalance() >= 1.0
+
+    def test_worker_stats_rows(self, parallel_instance):
+        engine, query, _ = parallel_instance
+        result = ThreadedExecutor(num_workers=2).run(engine, query)
+        row = result.worker_stats[0].as_row()
+        assert {"worker", "tasks", "busy_time"} <= set(row)
+
+
+class TestConfiguration:
+    def test_invalid_worker_count(self):
+        with pytest.raises(SchedulerError):
+            ThreadedExecutor(num_workers=0)
+
+    def test_invalid_steal_mode(self):
+        with pytest.raises(SchedulerError):
+            ThreadedExecutor(num_workers=2, steal_mode="all")
+
+    def test_timeout_propagates(self, parallel_instance):
+        engine, query, _ = parallel_instance
+        with pytest.raises(TimeoutExceeded):
+            ThreadedExecutor(num_workers=2).run(engine, query, time_budget=0.0)

@@ -1,0 +1,73 @@
+"""Unit tests for vertex-mapping expansion (profile classes)."""
+
+from __future__ import annotations
+
+from repro import Hypergraph
+from repro.core.expansion import (
+    count_vertex_mappings,
+    data_profile_classes,
+    iter_vertex_mappings,
+    query_profile_classes,
+)
+
+
+class TestProfileClasses:
+    def test_fig1_query_classes(self, fig1_query):
+        classes = query_profile_classes(fig1_query, (0, 1, 2))
+        # Every Fig. 1 query vertex has a unique profile.
+        assert all(len(members) == 1 for members in classes.values())
+        assert sum(len(m) for m in classes.values()) == 5
+
+    def test_symmetric_vertices_share_class(self):
+        query = Hypergraph(["A", "A", "B"], [{0, 1, 2}])
+        classes = query_profile_classes(query, (0,))
+        assert sorted(map(len, classes.values())) == [1, 2]
+
+    def test_data_classes_match_query_on_isomorphic_instance(self, fig1_data, fig1_query):
+        query_classes = query_profile_classes(fig1_query, (0, 1, 2))
+        data_classes = data_profile_classes(fig1_data, (0, 2, 4))
+        assert set(query_classes) == set(data_classes)
+
+
+class TestCounting:
+    def test_factorial_counting(self):
+        """Two interchangeable A-vertices → 2! vertex mappings."""
+        query = Hypergraph(["A", "A", "B"], [{0, 1, 2}])
+        data = Hypergraph(["A", "A", "B"], [{0, 1, 2}])
+        assert count_vertex_mappings(data, query, (0,), (0,)) == 2
+
+    def test_mismatched_classes_count_zero(self):
+        query = Hypergraph(["A", "A", "B"], [{0, 1, 2}])
+        data = Hypergraph(["A", "B", "B"], [{0, 1, 2}])
+        assert count_vertex_mappings(data, query, (0,), (0,)) == 0
+
+    def test_count_matches_enumeration(self, fig1_data, fig1_query):
+        count = count_vertex_mappings(fig1_data, fig1_query, (0, 1, 2), (0, 2, 4))
+        enumerated = list(
+            iter_vertex_mappings(fig1_data, fig1_query, (0, 1, 2), (0, 2, 4))
+        )
+        assert count == len(enumerated) == 1
+
+    def test_multi_class_product(self):
+        """Two classes of size 2 → 2! × 2! = 4 mappings."""
+        query = Hypergraph(["A", "A", "B", "B"], [{0, 1, 2, 3}])
+        data = Hypergraph(["A", "A", "B", "B"], [{0, 1, 2, 3}])
+        assert count_vertex_mappings(data, query, (0,), (0,)) == 4
+        assert len(list(iter_vertex_mappings(data, query, (0,), (0,)))) == 4
+
+
+class TestEnumeratedMappings:
+    def test_mappings_are_valid_isomorphisms(self, fig1_data, fig1_query):
+        for mapping in iter_vertex_mappings(
+            fig1_data, fig1_query, (0, 1, 2), (1, 3, 5)
+        ):
+            assert len(set(mapping.values())) == len(mapping)
+            for edge in fig1_query.edges:
+                image = {mapping[u] for u in edge}
+                assert fig1_data.has_edge(image)
+
+    def test_invalid_tuple_yields_nothing(self, fig1_data, fig1_query):
+        assert (
+            list(iter_vertex_mappings(fig1_data, fig1_query, (0, 1, 2), (0, 2, 5)))
+            == []
+        )

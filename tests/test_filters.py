@@ -1,0 +1,94 @@
+"""Unit tests for the LDF and IHS candidate filters (Section III-B)."""
+
+from __future__ import annotations
+
+from repro import Hypergraph
+from repro.baselines.filters import (
+    VertexStatistics,
+    candidate_summary,
+    ihs_candidates,
+    ldf_candidates,
+)
+
+
+class TestLDF:
+    def test_label_filter(self, fig1_data, fig1_query):
+        candidates = ldf_candidates(fig1_query, fig1_data)
+        # u1 has label C → data vertices 1 and 5.
+        assert set(candidates[1]) <= {1, 5}
+        # u4 has label B → only data vertex 4.
+        assert candidates[4] == [4]
+
+    def test_degree_filter(self):
+        query = Hypergraph(["A", "A"], [{0, 1}, {0, 1}])
+        # Deduplication collapses the duplicate edge; force degree 2 with
+        # two distinct edges through vertex 0.
+        query = Hypergraph(["A", "A", "A"], [{0, 1}, {0, 2}])
+        data = Hypergraph(["A", "A"], [{0, 1}])
+        candidates = ldf_candidates(query, data)
+        assert candidates[0] == []  # d(u0)=2 > every data degree
+
+
+class TestIHS:
+    def test_subsumes_ldf(self, fig1_data, fig1_query):
+        ldf = ldf_candidates(fig1_query, fig1_data)
+        ihs = ihs_candidates(fig1_query, fig1_data)
+        for u in range(fig1_query.num_vertices):
+            assert set(ihs[u]) <= set(ldf[u])
+
+    def test_adjacency_condition(self):
+        """|adj(u)| ≤ |adj(v)| prunes a label/degree-compatible vertex."""
+        query = Hypergraph(["A", "B", "C"], [{0, 1, 2}])
+        data = Hypergraph(
+            ["A", "B", "C", "A", "B"],
+            [{0, 1, 2}, {3, 4}],
+        )
+        candidates = ihs_candidates(query, data)
+        # Data vertex 3 (A) has degree 1 but only one neighbour, while u0
+        # has two; only vertex 0 survives for u0.
+        assert candidates[0] == [0]
+
+    def test_arity_containment_condition(self):
+        """∀a: |he_a(u)| ≤ |he_a(v)|."""
+        query = Hypergraph(["A", "B", "B"], [{0, 1}, {0, 2}])
+        data = Hypergraph(
+            ["A", "B", "B", "A", "B", "B"],
+            [{0, 1}, {0, 2}, {3, 4, 5}],
+        )
+        candidates = ihs_candidates(query, data)
+        # u0 needs two 2-ary incident edges: data vertex 0 has them; data
+        # vertex 3 has only one 3-ary edge.
+        assert candidates[0] == [0]
+
+    def test_signature_condition(self):
+        """Incident-edge signature multisets must be contained."""
+        query = Hypergraph(["A", "B"], [{0, 1}])
+        data = Hypergraph(
+            ["A", "B", "A", "A"],
+            [{0, 1}, {2, 3}],
+        )
+        candidates = ihs_candidates(query, data)
+        # u0 (A) needs an incident {A,B} edge: data vertex 2/3 only have
+        # an {A,A} edge.
+        assert candidates[0] == [0]
+
+    def test_fig1_candidates_exact(self, fig1_data, fig1_query):
+        candidates = ihs_candidates(fig1_query, fig1_data)
+        for u in range(fig1_query.num_vertices):
+            assert candidates[u], f"query vertex {u} lost all candidates"
+
+
+class TestVertexStatistics:
+    def test_memoisation_returns_same_objects(self, fig1_data):
+        stats = VertexStatistics(fig1_data)
+        assert stats.arity_histogram(4) is stats.arity_histogram(4)
+        assert stats.signature_multiset(2) is stats.signature_multiset(2)
+
+    def test_adjacency_size(self, fig1_data):
+        stats = VertexStatistics(fig1_data)
+        assert stats.adjacency_size(2) == 5
+
+    def test_candidate_summary(self, fig1_data, fig1_query):
+        total, average = candidate_summary(ihs_candidates(fig1_query, fig1_data))
+        assert total >= fig1_query.num_vertices
+        assert average == total / fig1_query.num_vertices

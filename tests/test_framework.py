@@ -1,0 +1,116 @@
+"""Tests for the match-by-vertex backtracking framework (Algorithm 1)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Hypergraph, TimeoutExceeded
+from repro.baselines import (
+    CECIHMatcher,
+    CFLHMatcher,
+    DAFHMatcher,
+    VertexBacktrackingMatcher,
+    brute_force,
+    make_baseline,
+)
+from repro.errors import QueryError
+from repro.hypergraph.generators import generate_hypergraph
+
+
+class TestBruteForce:
+    def test_fig1(self, fig1_data, fig1_query):
+        result = brute_force(fig1_data, fig1_query)
+        assert result.vertex_embeddings == 2
+        assert result.hyperedge_tuples == {(0, 2, 4), (1, 3, 5)}
+
+    def test_no_match(self, fig1_data):
+        query = Hypergraph(["B", "B"], [{0, 1}])
+        result = brute_force(fig1_data, query)
+        assert result.vertex_embeddings == 0
+        assert result.hyperedge_tuples == set()
+
+    def test_counts_automorphic_vertex_mappings(self):
+        data = Hypergraph(["A", "A", "A"], [{0, 1, 2}])
+        query = Hypergraph(["A", "A", "A"], [{0, 1, 2}])
+        result = brute_force(data, query)
+        assert result.vertex_embeddings == 6  # 3! orderings
+        assert result.hyperedge_embeddings == 1
+
+
+class TestGenericMatcher:
+    def test_empty_query_raises(self, fig1_data):
+        matcher = VertexBacktrackingMatcher(fig1_data)
+        with pytest.raises(QueryError):
+            matcher.run(Hypergraph(["A"], []))
+
+    def test_empty_candidates_short_circuit(self, fig1_data):
+        matcher = VertexBacktrackingMatcher(fig1_data)
+        query = Hypergraph(["Z"], [{0}])
+        result = matcher.run(query)
+        assert result.vertex_embeddings == 0
+        assert result.search_nodes == 0
+
+    def test_timeout(self):
+        rng = random.Random(0)
+        data = generate_hypergraph(120, 900, 1, 3.0, 5, rng)
+        matcher = VertexBacktrackingMatcher(data, use_ihs=False)
+        label = data.label(0)
+        query = Hypergraph(
+            [label] * 6, [{0, 1, 2}, {2, 3, 4}, {4, 5, 0}]
+        )
+        with pytest.raises(TimeoutExceeded):
+            matcher.run(query, time_budget=0.0)
+
+    def test_max_results_cap(self, fig1_data, fig1_query):
+        matcher = VertexBacktrackingMatcher(fig1_data)
+        result = matcher.run(fig1_query, max_results=1)
+        assert result.vertex_embeddings == 1
+
+    def test_matcher_is_reusable(self, fig1_data, fig1_query):
+        matcher = VertexBacktrackingMatcher(fig1_data)
+        assert matcher.count(fig1_query) == matcher.count(fig1_query) == 2
+
+
+class TestBaselineVariants:
+    @pytest.mark.parametrize(
+        "matcher_class", [CFLHMatcher, DAFHMatcher, CECIHMatcher]
+    )
+    def test_fig1_all_variants(self, fig1_data, fig1_query, matcher_class):
+        matcher = matcher_class(fig1_data)
+        assert matcher.count(fig1_query) == 2
+        assert matcher.hyperedge_embeddings(fig1_query) == {
+            (0, 2, 4),
+            (1, 3, 5),
+        }
+
+    def test_backjumping_preserves_counts(self):
+        """DAF-H's backjumping must not lose embeddings."""
+        rng = random.Random(5)
+        for _ in range(10):
+            data = generate_hypergraph(14, 12, 2, 2.5, 4, rng)
+            query_edges = rng.sample(range(data.num_edges), k=min(3, data.num_edges))
+            query = data.induced_by_edges(query_edges)
+            plain = VertexBacktrackingMatcher(data, backjump=False)
+            jumping = VertexBacktrackingMatcher(data, backjump=True)
+            assert plain.count(query) == jumping.count(query)
+
+    def test_refinement_preserves_counts(self):
+        rng = random.Random(6)
+        for _ in range(10):
+            data = generate_hypergraph(14, 12, 2, 2.5, 4, rng)
+            query_edges = rng.sample(range(data.num_edges), k=min(2, data.num_edges))
+            query = data.induced_by_edges(query_edges)
+            plain = VertexBacktrackingMatcher(data, refine=False)
+            refined = VertexBacktrackingMatcher(data, refine=True)
+            assert plain.count(query) == refined.count(query)
+
+    def test_registry(self, fig1_data):
+        for name in ("CFL-H", "DAF-H", "CECI-H", "RapidMatch-H"):
+            matcher = make_baseline(name, fig1_data)
+            assert matcher.name == name
+
+    def test_registry_unknown_name(self, fig1_data):
+        with pytest.raises(ValueError):
+            make_baseline("Ullmann", fig1_data)

@@ -1,0 +1,114 @@
+"""Unit tests for the synthetic hypergraph generators."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import HypergraphError
+from repro.hypergraph.generators import (
+    generate_hypergraph,
+    generate_planted_hypergraph,
+    generate_uniform_hypergraph,
+    perturb_labels,
+    random_connected_hypergraph,
+    sample_arity,
+    sample_labels,
+    zipf_weights,
+)
+from repro import Hypergraph
+
+
+class TestZipfAndLabels:
+    def test_zipf_weights_decreasing(self):
+        weights = zipf_weights(5, 1.0)
+        assert weights == sorted(weights, reverse=True)
+
+    def test_sample_labels_full_alphabet(self):
+        rng = random.Random(1)
+        labels = sample_labels(100, 7, rng)
+        assert set(labels) == set(range(7))
+
+    def test_sample_labels_requires_positive_alphabet(self):
+        with pytest.raises(HypergraphError):
+            sample_labels(5, 0, random.Random(0))
+
+    def test_labels_skew_towards_frequent(self):
+        rng = random.Random(2)
+        labels = sample_labels(2000, 5, rng, exponent=1.5)
+        counts = [labels.count(i) for i in range(5)]
+        assert counts[0] > counts[4]
+
+
+class TestArity:
+    def test_arity_within_bounds(self):
+        rng = random.Random(3)
+        for _ in range(300):
+            arity = sample_arity(4.0, 9, rng, min_arity=2)
+            assert 2 <= arity <= 9
+
+    def test_mean_arity_is_roughly_respected(self):
+        rng = random.Random(4)
+        samples = [sample_arity(5.0, 40, rng) for _ in range(4000)]
+        mean = sum(samples) / len(samples)
+        assert 3.5 <= mean <= 6.5
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(HypergraphError):
+            sample_arity(3.0, 1, random.Random(0), min_arity=2)
+
+
+class TestGenerateHypergraph:
+    def test_shape(self):
+        rng = random.Random(5)
+        graph = generate_hypergraph(200, 150, 6, 3.0, 8, rng)
+        assert graph.num_vertices == 200
+        assert 0 < graph.num_edges <= 150
+        assert graph.max_arity() <= 8
+        assert len(graph.label_alphabet()) == 6
+
+    def test_deterministic_in_seed(self):
+        first = generate_hypergraph(60, 40, 3, 2.5, 5, random.Random(9))
+        second = generate_hypergraph(60, 40, 3, 2.5, 5, random.Random(9))
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        first = generate_hypergraph(60, 40, 3, 2.5, 5, random.Random(9))
+        second = generate_hypergraph(60, 40, 3, 2.5, 5, random.Random(10))
+        assert first != second
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(HypergraphError):
+            generate_hypergraph(0, 5, 2, 2.0, 3, random.Random(0))
+
+
+class TestOtherGenerators:
+    def test_uniform_arity(self):
+        graph = generate_uniform_hypergraph(30, 20, 3, 2, random.Random(6))
+        assert all(len(edge) == 3 for edge in graph.edges)
+
+    def test_uniform_arity_too_large(self):
+        with pytest.raises(HypergraphError):
+            generate_uniform_hypergraph(2, 5, 3, 2, random.Random(0))
+
+    def test_connected_generator_is_connected(self):
+        for seed in range(5):
+            graph = random_connected_hypergraph(12, 8, 3, 4, random.Random(seed))
+            assert graph.is_connected()
+
+    def test_planted_copies_guarantee_embeddings(self):
+        from repro import HGMatch
+
+        rng = random.Random(7)
+        base = generate_hypergraph(20, 10, 2, 2.5, 4, rng)
+        pattern = Hypergraph(["A", "B", "A"], [{0, 1}, {1, 2}])
+        planted = generate_planted_hypergraph(base, pattern, copies=3, rng=rng)
+        assert HGMatch(planted).count(pattern) >= 3
+
+    def test_perturb_labels_changes_graph(self):
+        rng = random.Random(8)
+        graph = generate_hypergraph(30, 20, 4, 2.5, 4, rng)
+        perturbed = perturb_labels(graph, flips=10, num_labels=4, rng=rng)
+        assert perturbed.num_vertices == graph.num_vertices
+        assert perturbed.num_edges == graph.num_edges

@@ -1,0 +1,169 @@
+"""Unit tests for the hypergraph data model (Definition III.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Hypergraph, HypergraphBuilder
+from repro.errors import HypergraphError
+
+
+class TestConstruction:
+    def test_basic_counts(self, fig1_data):
+        assert fig1_data.num_vertices == 7
+        assert fig1_data.num_edges == 6
+
+    def test_labels_by_vertex(self, fig1_data):
+        assert fig1_data.label(0) == "A"
+        assert fig1_data.label(1) == "C"
+        assert fig1_data.label(4) == "B"
+
+    def test_edges_are_frozensets(self, fig1_data):
+        assert fig1_data.edge(0) == frozenset({2, 4})
+        assert isinstance(fig1_data.edge(0), frozenset)
+
+    def test_duplicate_edges_removed(self):
+        graph = Hypergraph(["A", "A", "A"], [{0, 1}, {1, 0}, {1, 2}])
+        assert graph.num_edges == 2
+
+    def test_duplicate_vertices_in_edge_collapsed(self):
+        graph = Hypergraph(["A", "A"], [[0, 1, 1, 0]])
+        assert graph.edge(0) == frozenset({0, 1})
+        assert graph.arity(0) == 2
+
+    def test_empty_edge_rejected(self):
+        with pytest.raises(HypergraphError):
+            Hypergraph(["A"], [[]])
+
+    def test_unknown_vertex_rejected(self):
+        with pytest.raises(HypergraphError):
+            Hypergraph(["A"], [[0, 3]])
+
+    def test_no_edges_is_valid(self):
+        graph = Hypergraph(["A", "B"], [])
+        assert graph.num_edges == 0
+        assert graph.average_arity() == 0.0
+        assert graph.max_arity() == 0
+
+
+class TestIncidence:
+    def test_incident_edges_sorted(self, fig1_data):
+        assert fig1_data.incident_edges(4) == (0, 1, 4, 5)
+
+    def test_degree(self, fig1_data):
+        assert fig1_data.degree(4) == 4
+        assert fig1_data.degree(5) == 2
+
+    def test_arity(self, fig1_data):
+        assert fig1_data.arity(0) == 2
+        assert fig1_data.arity(4) == 4
+
+    def test_incident_edges_with_arity(self, fig1_data):
+        assert fig1_data.incident_edges_with_arity(4, 2) == (0, 1)
+        assert fig1_data.incident_edges_with_arity(4, 4) == (4, 5)
+
+    def test_average_and_max_arity(self, fig1_data):
+        assert fig1_data.max_arity() == 4
+        assert fig1_data.average_arity() == pytest.approx(18 / 6)
+
+
+class TestAdjacency:
+    def test_adjacent_vertices_excludes_self(self, fig1_data):
+        neighbours = fig1_data.adjacent_vertices(2)
+        assert 2 not in neighbours
+        assert neighbours == frozenset({0, 1, 3, 4, 5})
+
+    def test_adjacent_edges(self, fig1_data):
+        assert fig1_data.adjacent_edges(0) == frozenset({1, 2, 4, 5})
+
+    def test_edge_lookup(self, fig1_data):
+        assert fig1_data.edge_id({4, 2}) == 0
+        assert fig1_data.has_edge({0, 1, 2})
+        assert not fig1_data.has_edge({0, 1})
+        with pytest.raises(KeyError):
+            fig1_data.edge_id({0, 1})
+
+
+class TestConnectivity:
+    def test_fig1_is_connected(self, fig1_data, fig1_query):
+        assert fig1_data.is_connected()
+        assert fig1_query.is_connected()
+
+    def test_isolated_vertex_means_disconnected(self):
+        graph = Hypergraph(["A", "A", "A"], [{0, 1}])
+        assert not graph.is_connected()
+
+    def test_two_components(self):
+        graph = Hypergraph(["A"] * 4, [{0, 1}, {2, 3}])
+        assert not graph.is_connected()
+
+    def test_empty_graph_connected(self):
+        assert Hypergraph([], []).is_connected()
+
+
+class TestDerived:
+    def test_induced_by_edges_renumbers(self, fig1_data):
+        sub = fig1_data.induced_by_edges([0, 2])  # {v2,v4} and {v0,v1,v2}
+        # Covered vertices v0,v1,v2,v4 are renumbered 0..3.
+        assert sub.num_vertices == 4
+        assert sub.num_edges == 2
+        assert list(sub.labels) == ["A", "C", "A", "B"]
+        assert sub.is_connected()
+
+    def test_label_alphabet(self, fig1_data):
+        assert fig1_data.label_alphabet() == frozenset({"A", "B", "C"})
+
+    def test_equality_ignores_edge_order(self):
+        first = Hypergraph(["A", "B"], [{0}, {0, 1}])
+        second = Hypergraph(["A", "B"], [{0, 1}, {0}])
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_inequality_on_labels(self):
+        first = Hypergraph(["A", "B"], [{0, 1}])
+        second = Hypergraph(["B", "A"], [{0, 1}])
+        assert first != second
+
+    def test_repr_mentions_sizes(self, fig1_data):
+        assert "|V|=7" in repr(fig1_data)
+        assert "|E|=6" in repr(fig1_data)
+
+    def test_iteration_and_len(self, fig1_data):
+        assert len(fig1_data) == 6
+        assert list(fig1_data)[0] == frozenset({2, 4})
+
+
+class TestBuilder:
+    def test_add_vertex_and_edge(self):
+        builder = HypergraphBuilder()
+        a = builder.add_vertex("A")
+        b = builder.add_vertex("B")
+        builder.add_edge([a, b])
+        graph = builder.build()
+        assert graph.num_vertices == 2
+        assert graph.has_edge({a, b})
+
+    def test_keyed_vertices_are_reused(self):
+        builder = HypergraphBuilder()
+        builder.add_edge_by_keys([("x", "A"), ("y", "B")])
+        builder.add_edge_by_keys([("y", "B"), ("z", "A")])
+        graph = builder.build()
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 2
+
+    def test_duplicate_key_rejected(self):
+        builder = HypergraphBuilder()
+        builder.add_vertex("A", key="x")
+        with pytest.raises(HypergraphError):
+            builder.add_vertex("B", key="x")
+
+    def test_unknown_vertex_in_edge_rejected(self):
+        builder = HypergraphBuilder()
+        with pytest.raises(HypergraphError):
+            builder.add_edge([5])
+
+    def test_builder_counts(self):
+        builder = HypergraphBuilder()
+        builder.add_vertex("A")
+        assert builder.num_vertices == 1
+        assert builder.num_edges == 0

@@ -1,0 +1,99 @@
+"""Unit and property tests for the inverted index and sorted-set algebra."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+import pytest
+
+from repro.hypergraph import Hypergraph
+from repro.hypergraph.index import (
+    InvertedHyperedgeIndex,
+    intersect_many,
+    intersect_sorted,
+    union_many,
+    union_sorted,
+)
+
+sorted_lists = st.lists(st.integers(0, 60), max_size=25).map(
+    lambda xs: tuple(sorted(set(xs)))
+)
+
+
+class TestInvertedIndex:
+    def test_build_postings(self, fig1_data):
+        index = InvertedHyperedgeIndex.build(fig1_data, [4, 5])
+        assert index.postings(4) == (4, 5)
+        assert index.postings(0) == (4,)
+        assert index.postings(99) == ()
+
+    def test_num_entries_equals_sum_of_arities(self, fig1_data):
+        index = InvertedHyperedgeIndex.build(fig1_data, range(fig1_data.num_edges))
+        assert index.num_entries == sum(len(e) for e in fig1_data.edges)
+
+    def test_contains_and_len(self, fig1_data):
+        index = InvertedHyperedgeIndex.build(fig1_data, [0])
+        assert 2 in index
+        assert 0 not in index
+        assert len(index) == 2
+
+    def test_vertices_iterates_partition_vertices(self, fig1_data):
+        index = InvertedHyperedgeIndex.build(fig1_data, [0, 1])
+        assert set(index.vertices()) == {2, 4, 6}
+
+
+class TestSortedSetAlgebra:
+    def test_intersect_example(self):
+        assert intersect_sorted((1, 3, 5, 7), (3, 4, 5)) == (3, 5)
+
+    def test_intersect_empty(self):
+        assert intersect_sorted((), (1, 2)) == ()
+
+    def test_union_example(self):
+        assert union_sorted((1, 3), (2, 3, 4)) == (1, 2, 3, 4)
+
+    def test_union_with_empty(self):
+        assert union_sorted((), (5,)) == (5,)
+
+    def test_intersect_many_orders_shortest_first(self):
+        result = intersect_many([(1, 2, 3, 4, 5), (2, 4), (2, 3, 4)])
+        assert result == (2, 4)
+
+    def test_intersect_many_requires_input(self):
+        with pytest.raises(ValueError):
+            intersect_many([])
+
+    def test_union_many_empty_input(self):
+        assert union_many([]) == ()
+
+
+@given(sorted_lists, sorted_lists)
+def test_intersect_matches_set_semantics(first, second):
+    assert set(intersect_sorted(first, second)) == set(first) & set(second)
+
+
+@given(sorted_lists, sorted_lists)
+def test_union_matches_set_semantics(first, second):
+    assert set(union_sorted(first, second)) == set(first) | set(second)
+
+
+@given(sorted_lists, sorted_lists)
+def test_results_stay_sorted_and_unique(first, second):
+    for result in (intersect_sorted(first, second), union_sorted(first, second)):
+        assert list(result) == sorted(set(result))
+
+
+@given(st.lists(sorted_lists, min_size=1, max_size=5))
+def test_intersect_many_matches_set_semantics(lists):
+    expected = set(lists[0])
+    for other in lists[1:]:
+        expected &= set(other)
+    assert set(intersect_many(lists)) == expected
+
+
+@given(st.lists(sorted_lists, max_size=5))
+def test_union_many_matches_set_semantics(lists):
+    expected = set()
+    for other in lists:
+        expected |= set(other)
+    assert set(union_many(lists)) == expected

@@ -1,0 +1,130 @@
+"""Property-based invariants of the matching engine and storage layer.
+
+These go beyond input/output equivalence: they assert structural
+properties that must hold on *every* instance — duplicate-free
+enumeration, isomorphism invariance under vertex renaming, monotonicity
+under data growth, and the disjoint-cover property of signature
+partitioning.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import HGMatch, Hypergraph, PartitionedStore
+from repro.hypergraph.generators import generate_hypergraph, generate_planted_hypergraph
+
+from conftest import make_random_instance
+
+relaxed = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@relaxed
+@given(seed=st.integers(0, 10_000))
+def test_enumeration_is_duplicate_free(seed):
+    """match() never yields the same hyperedge tuple twice."""
+    instance = make_random_instance(random.Random(seed), max_vertices=12)
+    if instance is None:
+        return
+    data, query = instance
+    found = [e.canonical() for e in HGMatch(data).match(query)]
+    assert len(found) == len(set(found))
+
+
+@relaxed
+@given(seed=st.integers(0, 10_000))
+def test_count_invariant_under_vertex_renaming(seed):
+    """Relabelling data vertex ids by a permutation preserves counts."""
+    rng = random.Random(seed)
+    instance = make_random_instance(rng, max_vertices=12)
+    if instance is None:
+        return
+    data, query = instance
+    permutation = list(range(data.num_vertices))
+    rng.shuffle(permutation)
+    renamed = Hypergraph(
+        [data.label(old) for old in sorted(
+            range(data.num_vertices), key=lambda v: permutation[v]
+        )],
+        [[permutation[v] for v in edge] for edge in data.edges],
+    )
+    assert HGMatch(renamed).count(query) == HGMatch(data).count(query)
+
+
+@relaxed
+@given(seed=st.integers(0, 10_000))
+def test_count_monotone_under_data_growth(seed):
+    """Adding hyperedges to the data never removes embeddings."""
+    rng = random.Random(seed)
+    instance = make_random_instance(rng, max_vertices=12)
+    if instance is None:
+        return
+    data, query = instance
+    base = HGMatch(data).count(query)
+    extra_edges = [sorted(e) for e in data.edges]
+    for _ in range(2):
+        size = rng.randint(2, min(3, data.num_vertices))
+        extra_edges.append(rng.sample(range(data.num_vertices), size))
+    grown = Hypergraph(list(data.labels), extra_edges)
+    assert HGMatch(grown).count(query) >= base
+
+
+@relaxed
+@given(seed=st.integers(0, 10_000))
+def test_partitions_disjointly_cover_all_edges(seed):
+    rng = random.Random(seed)
+    data = generate_hypergraph(
+        rng.randint(5, 20), rng.randint(1, 25), rng.randint(1, 4), 2.5, 5, rng
+    )
+    store = PartitionedStore(data)
+    seen = []
+    for signature, partition in store.partitions.items():
+        for edge_id in partition.edge_ids:
+            assert data.edge_signature(edge_id) == signature
+            seen.append(edge_id)
+    assert sorted(seen) == list(range(data.num_edges))
+
+
+@relaxed
+@given(seed=st.integers(0, 10_000), copies=st.integers(1, 4))
+def test_planted_copies_are_a_lower_bound(seed, copies):
+    rng = random.Random(seed)
+    base = generate_hypergraph(12, 8, 2, 2.5, 4, rng)
+    pattern = Hypergraph(["A", "B", "A"], [{0, 1}, {1, 2}])
+    planted = generate_planted_hypergraph(base, pattern, copies, rng)
+    assert HGMatch(planted).count(pattern) >= copies
+
+
+@relaxed
+@given(seed=st.integers(0, 10_000))
+def test_vertex_count_at_least_hyperedge_count(seed):
+    """Every hyperedge-level embedding admits ≥ 1 vertex mapping, so the
+    vertex-level count dominates the hyperedge-level count."""
+    instance = make_random_instance(random.Random(seed), max_vertices=12)
+    if instance is None:
+        return
+    data, query = instance
+    engine = HGMatch(data)
+    hyperedge_count = engine.count(query)
+    vertex_count = engine.count_vertex_embeddings(query)
+    assert vertex_count >= hyperedge_count
+
+
+@relaxed
+@given(seed=st.integers(0, 10_000))
+def test_query_always_matches_itself(seed):
+    """Any connected hypergraph has at least one embedding in itself
+    (the identity)."""
+    rng = random.Random(seed)
+    instance = make_random_instance(rng, max_vertices=10)
+    if instance is None:
+        return
+    _, query = instance
+    assert HGMatch(query).count(query) >= 1

@@ -1,0 +1,103 @@
+"""Tests for the binding-order multiway join engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.joins import Atom, BinaryRelation, JoinExecutor, JoinQuery, plan_binding_order
+
+
+@pytest.fixture
+def edge_relation():
+    """A small directed edge relation: a path 0→1→2→3 plus 1→3."""
+    return BinaryRelation([(0, 1), (1, 2), (2, 3), (1, 3)])
+
+
+class TestBinaryRelation:
+    def test_forward_backward(self, edge_relation):
+        assert edge_relation.forward(1) == [2, 3]
+        assert edge_relation.backward(3) == [1, 2]
+        assert edge_relation.forward(9) == []
+
+    def test_contains(self, edge_relation):
+        assert edge_relation.contains(0, 1)
+        assert not edge_relation.contains(1, 0)
+
+    def test_len(self, edge_relation):
+        assert len(edge_relation) == 4
+
+
+class TestJoinQuery:
+    def test_candidate_list_arity_checked(self, edge_relation):
+        with pytest.raises(ValueError):
+            JoinQuery(2, [[0]], [])
+
+    def test_path_join(self, edge_relation):
+        """R(x,y) ⋈ R(y,z): paths of length two."""
+        query = JoinQuery(
+            3,
+            [[0, 1, 2, 3]] * 3,
+            [Atom(0, 1, edge_relation), Atom(1, 2, edge_relation)],
+        )
+        executor = JoinExecutor(query)
+        assert executor.count() == 3  # 0-1-2, 0-1-3, 1-2-3
+
+    def test_injectivity_group(self, edge_relation):
+        """Without injectivity x and z may coincide; the relation here has
+        no such pair, so add a back edge to create one."""
+        relation = BinaryRelation([(0, 1), (1, 0)])
+        atoms = [Atom(0, 1, relation), Atom(1, 2, relation)]
+        free = JoinExecutor(JoinQuery(3, [[0, 1]] * 3, atoms))
+        injective = JoinExecutor(
+            JoinQuery(3, [[0, 1]] * 3, atoms, injective_groups=[[0, 1, 2]])
+        )
+        assert free.count() == 2   # 0-1-0 and 1-0-1
+        assert injective.count() == 0
+
+    def test_streaming_results(self, edge_relation):
+        query = JoinQuery(
+            2, [[0, 1, 2, 3]] * 2, [Atom(0, 1, edge_relation)]
+        )
+        seen = []
+        JoinExecutor(query).count(on_result=seen.append)
+        assert len(seen) == 4
+        assert {(row[0], row[1]) for row in seen} == {
+            (0, 1), (1, 2), (2, 3), (1, 3),
+        }
+
+    def test_custom_order_validated(self, edge_relation):
+        query = JoinQuery(2, [[0]] * 2, [Atom(0, 1, edge_relation)])
+        with pytest.raises(ValueError):
+            JoinExecutor(query, order=[0, 0])
+
+    def test_empty_candidates_yield_zero(self, edge_relation):
+        query = JoinQuery(2, [[], [0]], [Atom(0, 1, edge_relation)])
+        assert JoinExecutor(query).count() == 0
+
+
+class TestBindingOrder:
+    def test_starts_at_smallest_candidate_list(self, edge_relation):
+        query = JoinQuery(
+            3,
+            [[0, 1, 2, 3], [7], [0, 1]],
+            [Atom(0, 1, edge_relation), Atom(1, 2, edge_relation)],
+        )
+        order = plan_binding_order(query)
+        assert order[0] == 1
+
+    def test_stays_connected(self, edge_relation):
+        query = JoinQuery(
+            4,
+            [[0], [0, 1], [0, 1, 2], [0, 1, 2, 3]],
+            [
+                Atom(0, 1, edge_relation),
+                Atom(1, 2, edge_relation),
+                Atom(2, 3, edge_relation),
+            ],
+        )
+        order = plan_binding_order(query)
+        bound = {order[0]}
+        adjacency = {0: {1}, 1: {0, 2}, 2: {1, 3}, 3: {2}}
+        for variable in order[1:]:
+            assert adjacency[variable] & bound
+            bound.add(variable)

@@ -1,0 +1,75 @@
+"""Tests for scheduler memory accounting (Exp-5 substrate)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import HGMatch
+from repro.hypergraph.generators import generate_hypergraph
+from repro.hypergraph.sampling import query_setting, sample_query
+from repro.parallel import (
+    entry_units_per_partial,
+    measure_memory,
+    theoretical_memory_bound,
+)
+
+
+@pytest.fixture(scope="module")
+def heavy_instance():
+    """A low-selectivity instance (one label) with many embeddings."""
+    rng = random.Random(41)
+    data = generate_hypergraph(60, 500, 1, 2.2, 3, rng)
+    query = sample_query(data, query_setting("q2"), rng)
+    return HGMatch(data), query
+
+
+class TestMeasurement:
+    def test_strategies_agree_on_counts(self, heavy_instance):
+        engine, query = heavy_instance
+        task = measure_memory(engine, query, "task")
+        bfs = measure_memory(engine, query, "bfs")
+        assert task.embeddings == bfs.embeddings
+
+    def test_bfs_peak_dominates_task_peak(self, heavy_instance):
+        engine, query = heavy_instance
+        task = measure_memory(engine, query, "task")
+        bfs = measure_memory(engine, query, "bfs")
+        if bfs.embeddings > 20:
+            assert bfs.peak_partial_embeddings > task.peak_partial_embeddings
+
+    def test_parallel_task_strategy(self, heavy_instance):
+        engine, query = heavy_instance
+        parallel = measure_memory(engine, query, "task", workers=2)
+        sequential = measure_memory(engine, query, "task")
+        assert parallel.embeddings == sequential.embeddings
+
+    def test_unknown_strategy_rejected(self, heavy_instance):
+        engine, query = heavy_instance
+        with pytest.raises(ValueError):
+            measure_memory(engine, query, "dfs-ish")
+
+    def test_rows(self, heavy_instance):
+        engine, query = heavy_instance
+        row = measure_memory(engine, query, "task").as_row()
+        assert {"strategy", "embeddings", "peak_partials", "peak_units"} <= set(row)
+
+
+class TestBound:
+    def test_task_peak_within_theorem_vi1_bound(self, heavy_instance):
+        """Theorem VI.1: the LIFO scheduler's retained memory stays below
+        a_q × |E(q)|² × |E(H)| entry units."""
+        engine, query = heavy_instance
+        task = measure_memory(engine, query, "task")
+        bound = theoretical_memory_bound(query, engine.data)
+        assert task.peak_entry_units <= bound
+
+    def test_bound_scales_with_workers(self, heavy_instance):
+        engine, query = heavy_instance
+        assert theoretical_memory_bound(
+            query, engine.data, workers=4
+        ) == 4 * theoretical_memory_bound(query, engine.data)
+
+    def test_entry_units(self, fig1_query):
+        assert entry_units_per_partial(fig1_query) == 2 + 3 + 4

@@ -1,0 +1,110 @@
+"""Tests for indexed-store persistence (offline artefact round-trips)."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro import HGMatch, Hypergraph, PartitionedStore
+from repro.errors import ParseError
+from repro.hypergraph.persistence import (
+    dump_store,
+    load_store,
+    parse_store,
+    save_store,
+    stores_equal,
+)
+
+
+def roundtrip(store: PartitionedStore) -> PartitionedStore:
+    stream = io.StringIO()
+    dump_store(store, stream)
+    stream.seek(0)
+    return parse_store(stream)
+
+
+class TestRoundTrip:
+    def test_fig1_store(self, fig1_data):
+        store = PartitionedStore(fig1_data)
+        assert stores_equal(store, roundtrip(store))
+
+    def test_file_roundtrip(self, tmp_path, fig1_data):
+        store = PartitionedStore(fig1_data)
+        path = str(tmp_path / "fig1.hgstore")
+        save_store(store, path)
+        assert stores_equal(store, load_store(path))
+
+    def test_int_labels(self):
+        graph = Hypergraph([0, 1, 0, 1], [{0, 1}, {1, 2, 3}])
+        store = PartitionedStore(graph)
+        restored = roundtrip(store)
+        assert restored.graph.label(0) == 0
+        assert stores_equal(store, restored)
+
+    def test_edge_labelled_graph(self):
+        graph = Hypergraph(
+            ["A", "A", "B"],
+            [{0, 1}, {0, 1}, {1, 2}],
+            edge_labels=["r", "s", "r"],
+        )
+        store = PartitionedStore(graph)
+        restored = roundtrip(store)
+        assert restored.graph.is_edge_labelled
+        assert restored.graph.edge_label(1) == "s"
+        assert stores_equal(store, restored)
+
+    def test_restored_store_answers_queries(self, fig1_data, fig1_query):
+        store = roundtrip(PartitionedStore(fig1_data))
+        engine = HGMatch(store.graph, store=store)
+        assert engine.count(fig1_query) == 2
+
+    def test_dataset_roundtrip(self):
+        from repro.datasets import load_dataset
+
+        store = PartitionedStore(load_dataset("CH"))
+        assert stores_equal(store, roundtrip(store))
+
+
+class TestValidation:
+    def test_bad_header_rejected(self):
+        with pytest.raises(ParseError):
+            parse_store(io.StringIO("NOT A STORE\n"))
+
+    def test_malformed_record_rejected(self):
+        text = "HGSTORE 1\nv 1\nl zero s:A\n"
+        with pytest.raises(ParseError):
+            parse_store(io.StringIO(text))
+
+    def test_unknown_record_rejected(self):
+        text = "HGSTORE 1\nv 1\nl 0 s:A\nz 1\n"
+        with pytest.raises(ParseError):
+            parse_store(io.StringIO(text))
+
+    def test_posting_before_partition_rejected(self):
+        text = "HGSTORE 1\nv 2\nl 0 s:A\nl 1 s:A\ne 0 1\ni 0 0\n"
+        with pytest.raises(ParseError):
+            parse_store(io.StringIO(text))
+
+    def test_wrong_partition_contents_rejected(self, fig1_data):
+        store = PartitionedStore(fig1_data)
+        stream = io.StringIO()
+        dump_store(store, stream)
+        # Corrupt one partition line: move edge 0 into a wrong partition.
+        corrupted = stream.getvalue().replace("p 2 3", "p 2 3 0")
+        with pytest.raises(ParseError):
+            parse_store(io.StringIO(corrupted))
+
+    def test_whitespace_label_rejected(self):
+        graph = Hypergraph(["A label"], [{0}])
+        store = PartitionedStore(graph)
+        with pytest.raises(ParseError):
+            dump_store(store, io.StringIO())
+
+    def test_stores_equal_detects_difference(self, fig1_data):
+        first = PartitionedStore(fig1_data)
+        other_graph = Hypergraph(
+            list(fig1_data.labels), [sorted(e) for e in fig1_data.edges][:-1]
+        )
+        second = PartitionedStore(other_graph)
+        assert not stores_equal(first, second)

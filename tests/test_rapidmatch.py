@@ -1,0 +1,73 @@
+"""Tests for the RapidMatch-H join-based baseline."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Hypergraph, TimeoutExceeded
+from repro.baselines import RapidMatchHMatcher, brute_force
+from repro.errors import QueryError
+from repro.hypergraph.generators import generate_hypergraph
+from repro.hypergraph.sampling import QuerySetting, sample_query
+
+
+class TestFig1:
+    def test_count(self, fig1_data, fig1_query):
+        matcher = RapidMatchHMatcher(fig1_data)
+        assert matcher.count(fig1_query) == 2
+
+    def test_hyperedge_tuples(self, fig1_data, fig1_query):
+        matcher = RapidMatchHMatcher(fig1_data)
+        assert matcher.hyperedge_embeddings(fig1_query) == {
+            (0, 2, 4),
+            (1, 3, 5),
+        }
+
+    def test_exact_edge_semantics(self):
+        """A 2-ary query edge must not match inside a 3-ary data edge."""
+        data = Hypergraph(["A", "A", "A"], [{0, 1, 2}])
+        query = Hypergraph(["A", "A"], [{0, 1}])
+        matcher = RapidMatchHMatcher(data)
+        assert matcher.count(query) == 0
+
+
+class TestBehaviour:
+    def test_empty_query_raises(self, fig1_data):
+        with pytest.raises(QueryError):
+            RapidMatchHMatcher(fig1_data).run(Hypergraph(["A"], []))
+
+    def test_timeout(self):
+        rng = random.Random(1)
+        data = generate_hypergraph(100, 700, 1, 2.5, 4, rng)
+        matcher = RapidMatchHMatcher(data)
+        label = data.label(0)
+        query = Hypergraph([label] * 4, [{0, 1}, {1, 2}, {2, 3}])
+        with pytest.raises(TimeoutExceeded):
+            matcher.run(query, time_budget=0.0)
+
+    def test_vertex_count_matches_brute_force(self):
+        rng = random.Random(2)
+        for _ in range(8):
+            data = generate_hypergraph(12, 10, 2, 2.4, 4, rng)
+            if data.num_edges < 2:
+                continue
+            try:
+                query = sample_query(
+                    data, QuerySetting("t", 2, 2, 10), rng, max_attempts=40
+                )
+            except Exception:
+                continue
+            reference = brute_force(data, query)
+            matcher = RapidMatchHMatcher(data)
+            result = matcher.run(query, collect_hyperedge_tuples=True)
+            assert result.vertex_embeddings == reference.vertex_embeddings
+            assert result.hyperedge_tuples == reference.hyperedge_tuples
+
+    def test_compile_reports_candidates(self, fig1_data, fig1_query):
+        matcher = RapidMatchHMatcher(fig1_data)
+        join_query = matcher.compile(fig1_query)
+        # 5 lower + 3 upper variables.
+        assert join_query.num_variables == 8
+        assert len(join_query.injective_groups) == 2

@@ -1,0 +1,87 @@
+"""Unit tests for the random-walk query sampler (Section VII-A)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import HGMatch, Hypergraph
+from repro.errors import QueryError
+from repro.hypergraph.generators import generate_hypergraph
+from repro.hypergraph.sampling import (
+    PAPER_QUERY_SETTINGS,
+    QuerySetting,
+    query_setting,
+    sample_queries,
+    sample_query,
+)
+
+
+@pytest.fixture(scope="module")
+def medium_data():
+    return generate_hypergraph(150, 250, 4, 3.0, 7, random.Random(11))
+
+
+class TestSettings:
+    def test_table3_settings(self):
+        by_name = {setting.name: setting for setting in PAPER_QUERY_SETTINGS}
+        assert by_name["q2"] == QuerySetting("q2", 2, 5, 15)
+        assert by_name["q3"] == QuerySetting("q3", 3, 10, 20)
+        assert by_name["q4"] == QuerySetting("q4", 4, 10, 30)
+        assert by_name["q6"] == QuerySetting("q6", 6, 15, 35)
+
+    def test_lookup_by_name(self):
+        assert query_setting("q4").num_edges == 4
+
+    def test_unknown_setting_raises(self):
+        with pytest.raises(QueryError):
+            query_setting("q9")
+
+
+class TestSampling:
+    def test_query_respects_setting(self, medium_data):
+        rng = random.Random(12)
+        setting = query_setting("q3")
+        query = sample_query(medium_data, setting, rng)
+        assert query.num_edges == 3
+        assert setting.min_vertices <= query.num_vertices <= setting.max_vertices
+
+    def test_query_is_connected(self, medium_data):
+        rng = random.Random(13)
+        for name in ("q2", "q3", "q4"):
+            query = sample_query(medium_data, query_setting(name), rng)
+            assert query.is_connected()
+
+    def test_query_has_at_least_one_embedding(self, medium_data):
+        """The defining property of the paper's workload: queries are
+        sub-hypergraphs of the data, so matching always succeeds."""
+        rng = random.Random(14)
+        engine = HGMatch(medium_data)
+        for _ in range(5):
+            query = sample_query(medium_data, query_setting("q2"), rng)
+            assert engine.count(query) >= 1
+
+    def test_sampling_empty_data_raises(self):
+        with pytest.raises(QueryError):
+            sample_query(
+                Hypergraph(["A"], []), query_setting("q2"), random.Random(0)
+            )
+
+    def test_impossible_bounds_raise(self, medium_data):
+        setting = QuerySetting("impossible", 2, 400, 500)
+        with pytest.raises(QueryError):
+            sample_query(medium_data, setting, random.Random(0), max_attempts=20)
+
+    def test_sample_queries_count(self, medium_data):
+        queries = sample_queries(
+            medium_data, query_setting("q2"), 6, random.Random(15)
+        )
+        assert len(queries) == 6
+
+    def test_sample_queries_gives_up_gracefully(self, medium_data):
+        setting = QuerySetting("impossible", 2, 400, 500)
+        queries = sample_queries(
+            medium_data, setting, 4, random.Random(16), max_attempts_each=5
+        )
+        assert queries == []

@@ -1,0 +1,80 @@
+"""Unit tests for hyperedge signatures (Definition IV.1)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hypergraph.signature import (
+    is_sub_signature,
+    merge_signatures,
+    signature_arity,
+    signature_label_counts,
+    signature_of_labels,
+)
+
+
+class TestSignatureBasics:
+    def test_canonical_ordering(self):
+        assert signature_of_labels(["B", "A", "A"]) == ("A", "A", "B")
+
+    def test_multiset_semantics(self):
+        assert signature_of_labels(["A", "A"]) != signature_of_labels(["A"])
+
+    def test_arity(self):
+        assert signature_arity(("A", "A", "B")) == 3
+        assert signature_arity(()) == 0
+
+    def test_label_counts(self):
+        assert signature_label_counts(("A", "A", "B")) == Counter(
+            {"A": 2, "B": 1}
+        )
+
+    def test_fig1_signatures(self, fig1_data):
+        assert fig1_data.edge_signature(0) == ("A", "B")
+        assert fig1_data.edge_signature(2) == ("A", "A", "C")
+        assert fig1_data.edge_signature(4) == ("A", "A", "B", "C")
+        # Both 4-ary edges share one signature (one partition in Table I).
+        assert fig1_data.edge_signature(4) == fig1_data.edge_signature(5)
+
+
+class TestSubSignature:
+    def test_contained(self):
+        assert is_sub_signature(("A", "B"), ("A", "A", "B"))
+
+    def test_multiplicity_respected(self):
+        assert not is_sub_signature(("B", "B"), ("A", "A", "B"))
+
+    def test_empty_is_contained(self):
+        assert is_sub_signature((), ("A",))
+
+    def test_equal_signatures(self):
+        assert is_sub_signature(("A", "B"), ("A", "B"))
+
+
+class TestMerge:
+    def test_disjoint_union(self):
+        assert merge_signatures(("A",), ("A", "B")) == ("A", "A", "B")
+
+
+@given(st.lists(st.sampled_from("ABCD"), max_size=8))
+def test_signature_is_permutation_invariant(labels):
+    import random
+
+    shuffled = list(labels)
+    random.Random(0).shuffle(shuffled)
+    assert signature_of_labels(labels) == signature_of_labels(shuffled)
+
+
+@given(
+    st.lists(st.sampled_from("ABC"), max_size=6),
+    st.lists(st.sampled_from("ABC"), max_size=6),
+)
+def test_sub_signature_iff_counter_containment(small, big):
+    expected = not (Counter(small) - Counter(big))
+    assert (
+        is_sub_signature(signature_of_labels(small), signature_of_labels(big))
+        == expected
+    )

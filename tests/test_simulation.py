@@ -1,0 +1,109 @@
+"""Tests for the discrete-event simulated executor (Exp-4/Exp-6 substrate)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import HGMatch
+from repro.errors import SchedulerError
+from repro.hypergraph.generators import generate_hypergraph
+from repro.hypergraph.sampling import query_setting, sample_query
+from repro.parallel import CostModel, SimulatedExecutor, simulate_speedups
+
+
+@pytest.fixture(scope="module")
+def sim_instance():
+    rng = random.Random(31)
+    data = generate_hypergraph(120, 900, 2, 3.0, 6, rng)
+    query = sample_query(data, query_setting("q3"), rng)
+    engine = HGMatch(data)
+    expected = engine.count(query)
+    return engine, query, expected
+
+
+class TestExactness:
+    @pytest.mark.parametrize("workers", [1, 2, 4, 16])
+    def test_simulated_count_is_exact(self, sim_instance, workers):
+        engine, query, expected = sim_instance
+        result = SimulatedExecutor(workers).run(engine, query)
+        assert result.embeddings == expected
+
+    def test_deterministic(self, sim_instance):
+        engine, query, _ = sim_instance
+        first = SimulatedExecutor(4, seed=5).run(engine, query)
+        second = SimulatedExecutor(4, seed=5).run(engine, query)
+        assert first.makespan == second.makespan
+        assert first.total_steals == second.total_steals
+
+
+class TestScalability:
+    def test_speedup_grows_with_workers(self, sim_instance):
+        engine, query, _ = sim_instance
+        rows = simulate_speedups(engine, query, [1, 2, 4, 8])
+        speedups = [row["speedup"] for row in rows]
+        assert speedups[0] == pytest.approx(1.0)
+        assert speedups[1] > 1.2
+        assert speedups[2] > speedups[1]
+
+    def test_makespan_never_increases_much_with_more_workers(self, sim_instance):
+        engine, query, _ = sim_instance
+        one = SimulatedExecutor(1).run(engine, query).makespan
+        eight = SimulatedExecutor(8).run(engine, query).makespan
+        assert eight <= one
+
+    def test_numa_knee(self, sim_instance):
+        """Workers beyond the physical-core count contribute at reduced
+        efficiency, bending the speedup curve like the paper's Fig. 10."""
+        engine, query, _ = sim_instance
+        model = CostModel(physical_cores=4, numa_efficiency=0.5)
+        rows = simulate_speedups(engine, query, [4, 8], cost_model=model)
+        per_worker_4 = rows[0]["speedup"] / 4
+        per_worker_8 = rows[1]["speedup"] / 8
+        assert per_worker_8 < per_worker_4
+
+    def test_efficiency_tiers(self):
+        model = CostModel(physical_cores=20, numa_efficiency=0.8, smt_efficiency=0.5)
+        assert model.efficiency(0) == 1.0
+        assert model.efficiency(19) == 1.0
+        assert model.efficiency(20) == 0.8
+        assert model.efficiency(40) == 0.5
+
+
+class TestLoadBalancing:
+    def test_stealing_improves_balance(self, sim_instance):
+        """Exp-6: dynamic work stealing yields near-perfect balance,
+        static assignment leaves stragglers."""
+        engine, query, _ = sim_instance
+        with_steal = SimulatedExecutor(4, stealing=True).run(engine, query)
+        without = SimulatedExecutor(4, stealing=False).run(engine, query)
+        assert with_steal.embeddings == without.embeddings
+        assert with_steal.load_imbalance() <= without.load_imbalance() + 1e-9
+
+    def test_makespan_benefits_from_stealing(self, sim_instance):
+        engine, query, _ = sim_instance
+        with_steal = SimulatedExecutor(8, stealing=True).run(engine, query)
+        without = SimulatedExecutor(8, stealing=False).run(engine, query)
+        assert with_steal.makespan <= without.makespan
+
+    def test_steal_one_mode_runs(self, sim_instance):
+        engine, query, expected = sim_instance
+        result = SimulatedExecutor(4, steal_mode="one").run(engine, query)
+        assert result.embeddings == expected
+
+    def test_busy_times_reported_per_worker(self, sim_instance):
+        engine, query, _ = sim_instance
+        result = SimulatedExecutor(4).run(engine, query)
+        assert len(result.busy_times()) == 4
+        assert sum(result.busy_times()) > 0
+
+
+class TestConfiguration:
+    def test_invalid_worker_count(self):
+        with pytest.raises(SchedulerError):
+            SimulatedExecutor(0)
+
+    def test_invalid_steal_mode(self):
+        with pytest.raises(SchedulerError):
+            SimulatedExecutor(2, steal_mode="few")

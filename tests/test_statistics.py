@@ -1,0 +1,57 @@
+"""Unit tests for dataset statistics (Table II columns)."""
+
+from __future__ import annotations
+
+from repro.hypergraph import PartitionedStore, dataset_statistics, format_bytes
+from repro.hypergraph.statistics import (
+    BYTES_PER_ENTRY,
+    estimate_graph_bytes,
+    estimate_index_bytes,
+    graph_size_entries,
+)
+
+
+class TestStatistics:
+    def test_fig1_row(self, fig1_data):
+        stats = dataset_statistics("fig1", fig1_data)
+        assert stats.num_vertices == 7
+        assert stats.num_edges == 6
+        assert stats.num_labels == 3
+        assert stats.max_arity == 4
+        assert stats.average_arity == 3.0
+        assert stats.num_partitions == 3
+
+    def test_graph_entries_is_sum_of_arities(self, fig1_data):
+        assert graph_size_entries(fig1_data) == 18
+        assert estimate_graph_bytes(fig1_data) == 18 * BYTES_PER_ENTRY
+
+    def test_index_size_similar_to_graph_size(self, fig1_data):
+        """Exp-1's observation: the inverted index is the same asymptotic
+        size as the hyperedge tables themselves."""
+        store = PartitionedStore(fig1_data)
+        assert estimate_index_bytes(store) == estimate_graph_bytes(fig1_data)
+
+    def test_store_reuse(self, fig1_data):
+        store = PartitionedStore(fig1_data)
+        stats = dataset_statistics("fig1", fig1_data, store)
+        assert stats.index_bytes == estimate_index_bytes(store)
+
+    def test_as_row_keys(self, fig1_data):
+        row = dataset_statistics("fig1", fig1_data).as_row()
+        assert row["dataset"] == "fig1"
+        assert row["|V|"] == 7
+        assert "index_size" in row
+
+
+class TestFormatBytes:
+    def test_bytes(self):
+        assert format_bytes(100) == "100B"
+
+    def test_kilobytes(self):
+        assert format_bytes(2048) == "2.0KB"
+
+    def test_megabytes(self):
+        assert format_bytes(3 * 1024**2) == "3.0MB"
+
+    def test_gigabytes(self):
+        assert format_bytes(5 * 1024**3) == "5.0GB"

@@ -1,0 +1,64 @@
+"""Unit tests for signature-partitioned storage (Section IV-B, Table I)."""
+
+from __future__ import annotations
+
+from repro.hypergraph import PartitionedStore
+
+
+class TestPartitioning:
+    def test_fig1_has_three_partitions(self, fig1_data):
+        """Table I: partitions {A,B}, {A,A,C} and {A,A,B,C}."""
+        store = PartitionedStore(fig1_data)
+        assert store.num_partitions() == 3
+        assert set(store.partitions) == {
+            ("A", "B"),
+            ("A", "A", "C"),
+            ("A", "A", "B", "C"),
+        }
+
+    def test_partition_rows_match_table1(self, fig1_data):
+        store = PartitionedStore(fig1_data)
+        assert store.partition(("A", "B")).edge_ids == (0, 1)
+        assert store.partition(("A", "A", "C")).edge_ids == (2, 3)
+        assert store.partition(("A", "A", "B", "C")).edge_ids == (4, 5)
+
+    def test_inverted_index_matches_table1(self, fig1_data):
+        """Table I partition 1: v2->[e1], v4->[e1,e2], v6->[e2] (1-based)."""
+        store = PartitionedStore(fig1_data)
+        partition = store.partition(("A", "B"))
+        assert partition.incident_edges(2) == (0,)
+        assert partition.incident_edges(4) == (0, 1)
+        assert partition.incident_edges(6) == (1,)
+        assert partition.incident_edges(0) == ()
+
+    def test_cardinality_lookup(self, fig1_data):
+        store = PartitionedStore(fig1_data)
+        assert store.cardinality(("A", "B")) == 2
+        assert store.cardinality(("Z",)) == 0
+
+    def test_partition_len_and_iter(self, fig1_data):
+        store = PartitionedStore(fig1_data)
+        partition = store.partition(("A", "A", "C"))
+        assert len(partition) == 2
+        assert list(partition) == [2, 3]
+
+    def test_index_size_entries_is_sum_of_arities(self, fig1_data):
+        store = PartitionedStore(fig1_data)
+        assert store.index_size_entries() == sum(
+            len(edge) for edge in fig1_data.edges
+        )
+
+    def test_graph_property(self, fig1_data):
+        store = PartitionedStore(fig1_data)
+        assert store.graph is fig1_data
+
+    def test_missing_partition_returns_none(self, fig1_data):
+        store = PartitionedStore(fig1_data)
+        assert store.partition(("B", "B")) is None
+
+    def test_empty_graph(self):
+        from repro import Hypergraph
+
+        store = PartitionedStore(Hypergraph([], []))
+        assert store.num_partitions() == 0
+        assert store.index_size_entries() == 0
