@@ -1,0 +1,23 @@
+# Developer entry points. PYTHONPATH is set instead of requiring an
+# editable install so the targets work on a bare checkout.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench-smoke bench-index lint-imports
+
+## Tier-1 verification: the whole test suite, stop on first failure.
+test:
+	$(PYTHON) -m pytest -x -q
+
+## One fast benchmark as a smoke signal: the index-backend comparison
+## (also regenerates BENCH_index_backends.json).
+bench-smoke:
+	$(PYTHON) benchmarks/bench_index_backends.py
+
+## Alias kept for discoverability.
+bench-index: bench-smoke
+
+## Cheap sanity check that every package module imports cleanly.
+lint-imports:
+	$(PYTHON) -c "import compileall, sys; sys.exit(0 if compileall.compile_dir('src', quiet=1) else 1)"

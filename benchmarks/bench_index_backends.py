@@ -1,0 +1,189 @@
+"""Micro-benchmark: merge vs bitset index backends on Algorithm 4.
+
+Replays every ``generate_candidates`` call of the Fig. 8 workload
+(reproduction-scale query classes q2/q3 on the high-arity datasets where
+set algebra dominates) against both index backends and times the set
+algebra in isolation: the call trace — (step plan, partial embedding,
+vertex_step_map) triples — is collected once, then each backend replays
+the identical trace.  Results land in ``BENCH_index_backends.json`` at
+the repo root so later PRs have a perf trajectory to regress against.
+
+Run standalone (``python benchmarks/bench_index_backends.py``) or via
+pytest (``pytest benchmarks/bench_index_backends.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Tuple
+
+from repro import HGMatch
+from repro.bench import make_engine, workload
+from repro.core.candidates import generate_candidates, vertex_step_map
+from repro.datasets import load_dataset
+
+#: Fig. 8 protocol at reproduction scale, restricted to the datasets
+#: and query classes whose partitions are large enough that posting-list
+#: algebra (not per-call overhead) dominates — the regime the backends
+#: differ in.  q4 is excluded: its enumeration is tens of thousands of
+#: tiny probes whose fixed per-call cost swamps the algebra on both
+#: backends.  The trace totals ~100ms of merge-side work so the ratio
+#: is stable across runs and machines.
+DATASETS = ("HB", "SB")
+SETTINGS = ("q2", "q3", "q6")
+QUERIES_PER_SETTING = 3
+REPEATS = 5
+
+RESULT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_index_backends.json",
+)
+
+Trace = List[Tuple[object, Tuple[int, ...], Dict[int, set]]]
+
+
+def collect_trace(engine: HGMatch, query) -> Trace:
+    """Every (step plan, partial, vmap) probe of the enumeration tree."""
+    data = engine.data
+    plan = engine.plan(query)
+    calls: Trace = []
+    stack: List[Tuple[int, ...]] = [()]
+    while stack:
+        matched = stack.pop()
+        step_plan = plan.steps[len(matched)]
+        calls.append((step_plan, matched, vertex_step_map(data, matched)))
+        for extended in engine.expand(plan, matched):
+            if len(extended) < plan.num_steps:
+                stack.append(extended)
+    return calls
+
+
+def replay(engine: HGMatch, trace: Trace) -> Tuple[float, List[Tuple[int, ...]]]:
+    """Best-of-``REPEATS`` wall time to run the whole trace; returns the
+    candidate tuples of the last run for cross-backend verification."""
+    data = engine.data
+    partitions = {
+        id(step_plan): engine.store.partition(step_plan.signature)
+        for step_plan, _, _ in trace
+    }
+    best = float("inf")
+    outputs: List[Tuple[int, ...]] = []
+    for _ in range(REPEATS):
+        outputs = []
+        started = time.perf_counter()
+        for step_plan, matched, vmap in trace:
+            outputs.append(
+                generate_candidates(
+                    data, partitions[id(step_plan)], step_plan, matched, vmap
+                )
+            )
+        best = min(best, time.perf_counter() - started)
+    return best, outputs
+
+
+def run_benchmark() -> dict:
+    """Time both backends over the workload; returns the JSON summary."""
+    rows = []
+    total = {"merge": 0.0, "bitset": 0.0}
+    for dataset in DATASETS:
+        data = load_dataset(dataset)
+        engines = {
+            backend: make_engine(data, index_backend=backend)
+            for backend in ("merge", "bitset")
+        }
+        dataset_times = {"merge": 0.0, "bitset": 0.0}
+        calls = 0
+        for setting in SETTINGS:
+            for query in workload(dataset, setting, QUERIES_PER_SETTING):
+                trace = collect_trace(engines["merge"], query)
+                calls += len(trace)
+                merge_time, merge_out = replay(engines["merge"], trace)
+                bitset_time, bitset_out = replay(engines["bitset"], trace)
+                if merge_out != bitset_out:
+                    raise AssertionError(
+                        f"backend divergence on {dataset}/{setting}"
+                    )
+                dataset_times["merge"] += merge_time
+                dataset_times["bitset"] += bitset_time
+        total["merge"] += dataset_times["merge"]
+        total["bitset"] += dataset_times["bitset"]
+        rows.append(
+            {
+                "dataset": dataset,
+                "generate_candidates_calls": calls,
+                "merge_seconds": round(dataset_times["merge"], 6),
+                "bitset_seconds": round(dataset_times["bitset"], 6),
+                "speedup": round(
+                    dataset_times["merge"] / max(dataset_times["bitset"], 1e-12),
+                    3,
+                ),
+            }
+        )
+    summary = {
+        "benchmark": "index_backends",
+        "workload": {
+            "datasets": list(DATASETS),
+            "settings": list(SETTINGS),
+            "queries_per_setting": QUERIES_PER_SETTING,
+            "repeats": REPEATS,
+        },
+        "rows": rows,
+        "merge_seconds_total": round(total["merge"], 6),
+        "bitset_seconds_total": round(total["bitset"], 6),
+        "speedup_total": round(total["merge"] / max(total["bitset"], 1e-12), 3),
+    }
+    return summary
+
+
+def write_summary(summary: dict) -> str:
+    with open(RESULT_PATH, "w", encoding="utf-8") as stream:
+        json.dump(summary, stream, indent=2)
+        stream.write("\n")
+    return RESULT_PATH
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+import pytest
+
+
+@pytest.fixture(scope="module")
+def summary():
+    result = run_benchmark()
+    write_summary(result)
+    return result
+
+
+def test_backends_agree_on_every_call(summary):
+    """replay() asserts tuple-level equality; reaching here means the
+    whole workload produced byte-identical candidate sets."""
+    assert summary["rows"]
+
+
+def test_bitset_speedup_at_least_2x(summary):
+    assert summary["speedup_total"] >= 2.0, summary
+
+
+def main() -> int:
+    result = run_benchmark()
+    path = write_summary(result)
+    for row in result["rows"]:
+        print(
+            f"{row['dataset']}: merge={row['merge_seconds']:.4f}s "
+            f"bitset={row['bitset_seconds']:.4f}s "
+            f"speedup={row['speedup']:.2f}x "
+            f"({row['generate_candidates_calls']} calls)"
+        )
+    print(
+        f"TOTAL: merge={result['merge_seconds_total']:.4f}s "
+        f"bitset={result['bitset_seconds_total']:.4f}s "
+        f"speedup={result['speedup_total']:.2f}x -> {path}"
+    )
+    return 0 if result["speedup_total"] >= 2.0 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

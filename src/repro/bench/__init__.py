@@ -6,6 +6,7 @@ from .harness import (
     average_time,
     completion_ratio,
     group_records,
+    make_engine,
     run_baseline,
     run_hgmatch,
     run_with_timeout,
@@ -30,6 +31,7 @@ __all__ = [
     "run_with_timeout",
     "run_hgmatch",
     "run_baseline",
+    "make_engine",
     "average_time",
     "completion_ratio",
     "group_records",

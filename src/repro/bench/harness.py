@@ -71,6 +71,15 @@ def run_with_timeout(
     )
 
 
+def make_engine(data: Hypergraph, index_backend: str = "merge") -> HGMatch:
+    """Build an HGMatch engine with the requested index backend.
+
+    Kept here so benchmark modules can sweep backends without importing
+    the storage layer directly.
+    """
+    return HGMatch(data, index_backend=index_backend)
+
+
 def run_hgmatch(
     engine: HGMatch,
     query: Hypergraph,

@@ -32,7 +32,7 @@ from .baselines import BASELINE_NAMES, make_baseline
 from .core.engine import HGMatch
 from .datasets import DATASET_ORDER, load_dataset
 from .errors import ReproError, TimeoutExceeded
-from .hypergraph import Hypergraph, dataset_statistics
+from .hypergraph import INDEX_BACKENDS, Hypergraph, dataset_statistics
 from .hypergraph.io import load_native, save_native
 from .hypergraph.sampling import query_setting, sample_query
 
@@ -64,13 +64,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="include cardinality/cost estimates per step",
     )
+    plan.add_argument(
+        "--index-backend",
+        default="merge",
+        choices=INDEX_BACKENDS,
+        help="posting-list representation of the store",
+    )
 
     index = commands.add_parser(
         "index", help="build and save the indexed data hypergraph"
     )
     index.add_argument("source", help="dataset name or .hg path")
     index.add_argument("--out", required=True, help="output .hgstore path")
-
     match = commands.add_parser("match", help="count embeddings")
     match.add_argument("data", help="dataset name or .hg path")
     match.add_argument("query", help="query .hg path")
@@ -78,6 +83,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine",
         default="HGMatch",
         choices=("HGMatch",) + BASELINE_NAMES,
+    )
+    match.add_argument(
+        "--index-backend",
+        default="merge",
+        choices=INDEX_BACKENDS,
+        help="posting-list representation of the index (HGMatch engine)",
     )
     match.add_argument("--workers", type=int, default=1)
     match.add_argument("--timeout", type=float, default=None)
@@ -130,7 +141,7 @@ def _cmd_sample(args, out) -> int:
 def _cmd_plan(args, out) -> int:
     data = _load_graph(args.data)
     query = load_native(args.query)
-    engine = HGMatch(data)
+    engine = HGMatch(data, index_backend=args.index_backend)
     if args.explain:
         from .core.estimation import explain
 
@@ -146,6 +157,8 @@ def _cmd_index(args, out) -> int:
     graph = _load_graph(args.source)
     store = PartitionedStore(graph)
     save_store(store, args.out)
+    # The .hgstore format is backend-neutral posting lists; the reader
+    # picks a representation via load_store(..., index_backend=...).
     out.write(
         f"indexed {graph.num_edges} hyperedges into "
         f"{store.num_partitions()} partitions -> {args.out}\n"
@@ -159,7 +172,7 @@ def _cmd_match(args, out) -> int:
     started = time.perf_counter()
     try:
         if args.engine == "HGMatch":
-            engine = HGMatch(data)
+            engine = HGMatch(data, index_backend=args.index_backend)
             if args.print_embeddings:
                 count = 0
                 for embedding in engine.match(query, time_budget=args.timeout):

@@ -8,7 +8,7 @@ candidate generation (Algorithm 4), profile validation (Algorithm 5) and
 the vertex-mapping expansion.
 """
 
-from .candidates import generate_candidates, vertex_step_map
+from .candidates import VertexStepState, generate_candidates, vertex_step_map
 from .counters import MatchCounters
 from .engine import Embedding, HGMatch
 from .estimation import (
@@ -41,6 +41,7 @@ __all__ = [
     "is_connected_order",
     "generate_candidates",
     "vertex_step_map",
+    "VertexStepState",
     "is_valid_expansion",
     "certify_embedding",
     "iter_vertex_mappings",

@@ -14,12 +14,15 @@ order, candidates are data hyperedges that
 Each shared vertex contributes the union of the posting lists of its
 possible images; the final candidate set is the intersection of those
 unions — pure set algebra over the inverted hyperedge index, no
-backtracking.
+backtracking.  The algebra itself dispatches on the partition's index
+backend: merge scans over sorted tuples, or bitwise ``|``/``&`` over
+row-id bitmasks (:class:`repro.hypergraph.BitsetHyperedgeIndex`); both
+return identical ascending edge-id tuples.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 from ..hypergraph import Hypergraph, intersect_many, union_many
 from ..hypergraph.storage import HyperedgePartition
@@ -43,6 +46,108 @@ def vertex_step_map(
         for vertex in data.edge(edge_id):
             vmap.setdefault(vertex, set()).add(step)
     return vmap
+
+
+class VertexStepState:
+    """A ``vertex_step_map`` maintained by push/pop deltas.
+
+    Tasks stay self-contained tuples of edge ids (Theorem VI.1's memory
+    bound is untouched), but an executor processing many tasks can keep
+    one of these per loop and :meth:`advance` it to each task: the map is
+    patched by popping back to the longest common prefix with the
+    previous task and pushing the differing suffix.  Consecutive tasks
+    in the LIFO stack, the BFS frontier and a worker's deque are siblings
+    or parent/child almost always, so the usual delta is one pop plus
+    one push — O(arity) instead of the O(total arity) full rebuild.
+    """
+
+    __slots__ = ("_graph", "_matched", "_vmap")
+
+    def __init__(
+        self, graph: Hypergraph, matched_edges: Sequence[int] = ()
+    ) -> None:
+        self._graph = graph
+        self._matched: List[int] = []
+        self._vmap: Dict[int, Set[int]] = {}
+        for edge_id in matched_edges:
+            self.push(edge_id)
+
+    @property
+    def vmap(self) -> Dict[int, Set[int]]:
+        """The live map — read-only to callers; mutate via push/pop."""
+        return self._vmap
+
+    @property
+    def matched(self) -> Tuple[int, ...]:
+        """The matched edge ids the state currently reflects."""
+        return tuple(self._matched)
+
+    @property
+    def depth(self) -> int:
+        return len(self._matched)
+
+    def __len__(self) -> int:
+        return len(self._vmap)
+
+    def push(self, edge_id: int) -> None:
+        """Extend the embedding by ``edge_id`` at the next step index."""
+        step = len(self._matched)
+        self._matched.append(edge_id)
+        vmap = self._vmap
+        for vertex in self._graph.edge(edge_id):
+            steps = vmap.get(vertex)
+            if steps is None:
+                vmap[vertex] = {step}
+            else:
+                steps.add(step)
+
+    def pop(self) -> int:
+        """Undo the most recent :meth:`push`; returns the popped edge id."""
+        edge_id = self._matched.pop()
+        step = len(self._matched)
+        vmap = self._vmap
+        for vertex in self._graph.edge(edge_id):
+            steps = vmap[vertex]
+            steps.discard(step)
+            if not steps:
+                del vmap[vertex]
+        return edge_id
+
+    def advance(self, matched_edges: Sequence[int]) -> Dict[int, Set[int]]:
+        """Re-point the state at ``matched_edges`` and return its vmap.
+
+        Equivalent to ``vertex_step_map(graph, matched_edges)`` but costs
+        only the symmetric difference with the previous position.
+        """
+        current = self._matched
+        common = 0
+        limit = min(len(current), len(matched_edges))
+        while common < limit and current[common] == matched_edges[common]:
+            common += 1
+        while len(self._matched) > common:
+            self.pop()
+        for edge_id in matched_edges[common:]:
+            self.push(edge_id)
+        return self._vmap
+
+
+def _anchor_images(
+    data: Hypergraph,
+    prev_image,
+    anchor,
+    vmap: Dict[int, Set[int]],
+    non_incident: Set[int],
+) -> List[int]:
+    """Vertices of ``prev_image`` that can serve as the anchor's image
+    (Algorithm 4 lines 4-5).  Shared by both algebra backends so the
+    filter can never drift between them."""
+    return [
+        vertex
+        for vertex in prev_image
+        if vertex not in non_incident
+        and data.label(vertex) == anchor.label
+        and len(vmap[vertex]) == anchor.required_degree
+    ]
 
 
 def generate_candidates(
@@ -71,6 +176,11 @@ def generate_candidates(
     for prev in step_plan.nonadjacent_prev:
         non_incident.update(data.edge(matched_edges[prev]))
 
+    if getattr(partition.index, "backend", "merge") == "bitset":
+        return _generate_candidates_bitset(
+            data, partition, step_plan, matched_edges, vmap, non_incident, counters
+        )
+
     # Lines 3-6: one union-of-posting-lists per (adjacent edge, shared
     # vertex) anchor; the candidate must be incident to a possible image
     # of every anchor vertex.
@@ -78,13 +188,9 @@ def generate_candidates(
     work = 0
     for anchor in step_plan.anchors:
         prev_image = data.edge(matched_edges[anchor.prev_step])
-        possible_images = [
-            vertex
-            for vertex in prev_image
-            if vertex not in non_incident
-            and data.label(vertex) == anchor.label
-            and len(vmap[vertex]) == anchor.required_degree
-        ]
+        possible_images = _anchor_images(
+            data, prev_image, anchor, vmap, non_incident
+        )
         if not possible_images:
             if counters is not None:
                 counters.work_units += work + len(prev_image)
@@ -102,6 +208,60 @@ def generate_candidates(
         # First step of the order (no anchors): the whole partition.
         candidates = partition.edge_ids
         work += len(candidates)
+
+    if counters is not None:
+        counters.work_units += work
+        counters.candidates += len(candidates)
+    return candidates
+
+
+def _generate_candidates_bitset(
+    data: Hypergraph,
+    partition: HyperedgePartition,
+    step_plan: StepPlan,
+    matched_edges: Sequence[int],
+    vmap: Dict[int, Set[int]],
+    non_incident: Set[int],
+    counters: "MatchCounters | None",
+) -> Tuple[int, ...]:
+    """Algorithm 4 over row-id bitmasks (same result set as the merge path).
+
+    Each anchor's union of posting lists is an OR of per-vertex masks and
+    the final intersection is a running AND, so the set algebra costs a
+    handful of big-int ops per anchor.  Work units charge the vertices
+    scanned plus one unit per mask touched plus the final decode — the
+    ops the backend actually performs — so the simulated executor's cost
+    model tracks the cheaper algebra.
+    """
+    index = partition.index
+    result_mask: "int | None" = None
+    work = 0
+    for anchor in step_plan.anchors:
+        prev_image = data.edge(matched_edges[anchor.prev_step])
+        work += len(prev_image)
+        possible_images = _anchor_images(
+            data, prev_image, anchor, vmap, non_incident
+        )
+        if not possible_images:
+            if counters is not None:
+                counters.work_units += work
+            return ()
+        anchor_mask = 0
+        for vertex in possible_images:
+            anchor_mask |= index.postings_mask(vertex)
+        work += len(possible_images)
+        result_mask = (
+            anchor_mask if result_mask is None else result_mask & anchor_mask
+        )
+        if result_mask == 0:
+            break
+
+    if result_mask is None:
+        # First step of the order (no anchors): the whole partition.
+        candidates = partition.edge_ids
+    else:
+        candidates = index.decode_mask(result_mask)
+    work += len(candidates)
 
     if counters is not None:
         counters.work_units += work

@@ -23,7 +23,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import QueryError, TimeoutExceeded
 from ..hypergraph import Hypergraph, PartitionedStore
-from .candidates import generate_candidates, vertex_step_map
+from .candidates import VertexStepState, generate_candidates, vertex_step_map
 from .counters import MatchCounters
 from .expansion import count_vertex_mappings, iter_vertex_mappings
 from .ordering import compute_matching_order, is_connected_order
@@ -100,13 +100,29 @@ class HGMatch:
     store:
         Optionally a prebuilt :class:`PartitionedStore` to share between
         engines.
+    index_backend:
+        Posting-list representation for a store built here — ``"merge"``
+        (sorted tuples) or ``"bitset"`` (row-id bitmasks).  Ignored when
+        a prebuilt ``store`` is supplied (the store's backend wins).
     """
 
     def __init__(
-        self, data: Hypergraph, store: "PartitionedStore | None" = None
+        self,
+        data: Hypergraph,
+        store: "PartitionedStore | None" = None,
+        index_backend: str = "merge",
     ) -> None:
         self.data = data
-        self.store = store if store is not None else PartitionedStore(data)
+        self.store = (
+            store
+            if store is not None
+            else PartitionedStore(data, index_backend=index_backend)
+        )
+
+    @property
+    def index_backend(self) -> str:
+        """The posting-list representation of the engine's store."""
+        return getattr(self.store, "index_backend", "merge")
 
     # ------------------------------------------------------------------
     # Planning
@@ -130,7 +146,9 @@ class HGMatch:
         start_cardinality = self.store.cardinality(
             query.edge_signature(tuple(order)[0])
         )
-        return build_execution_plan(query, order, start_cardinality)
+        return build_execution_plan(
+            query, order, start_cardinality, index_backend=self.index_backend
+        )
 
     # ------------------------------------------------------------------
     # Single-step expansion (shared by every execution mode)
@@ -140,18 +158,26 @@ class HGMatch:
         plan: ExecutionPlan,
         matched_edges: Tuple[int, ...],
         counters: "MatchCounters | None" = None,
+        vmap: "Dict[int, set] | None" = None,
     ) -> List[Tuple[int, ...]]:
         """Expand one partial embedding by the next hyperedge in the order.
 
         Returns the list of extended partial embeddings (possibly empty).
         ``matched_edges`` may be the empty tuple, in which case this is
         the SCAN step emitting the whole signature partition.
+
+        ``vmap`` lets loop-style callers pass the incrementally
+        maintained ``vertex_step_map`` of ``matched_edges`` (see
+        :class:`repro.core.candidates.VertexStepState`); it is read, not
+        mutated.  Without it the map is rebuilt from the task tuple, so
+        a bare task remains fully self-contained.
         """
         step_plan = plan.steps[len(matched_edges)]
         partition = self.store.partition(step_plan.signature)
         if partition is None:
             return []
-        vmap = vertex_step_map(self.data, matched_edges)
+        if vmap is None:
+            vmap = vertex_step_map(self.data, matched_edges)
         candidates = generate_candidates(
             self.data, partition, step_plan, matched_edges, vmap, counters
         )
@@ -197,6 +223,10 @@ class HGMatch:
         plan = self.plan(query, order)
         deadline = None if time_budget is None else time.monotonic() + time_budget
         num_steps = plan.num_steps
+        # One incrementally maintained vertex_step_map for the whole loop:
+        # consecutive LIFO pops are siblings/children, so advancing costs
+        # a push/pop delta instead of a per-task rebuild.
+        state = VertexStepState(self.data)
         stack: List[Tuple[int, ...]] = [()]
         while stack:
             matched = stack.pop()
@@ -205,7 +235,8 @@ class HGMatch:
                 counters.note_retained(-1 if matched else 0)
             if deadline is not None and time.monotonic() > deadline:
                 raise TimeoutExceeded(time.monotonic() - (deadline - time_budget), time_budget)
-            for extended in self.expand(plan, matched, counters):
+            vmap = state.advance(matched)
+            for extended in self.expand(plan, matched, counters, vmap=vmap):
                 if len(extended) == num_steps:
                     if strict and not certify_embedding(
                         self.data, query, plan.order, extended
@@ -283,6 +314,10 @@ class HGMatch:
         """
         plan = self.plan(query, order)
         deadline = None if time_budget is None else time.monotonic() + time_budget
+        # Same push/pop-delta state as `match`: level order visits each
+        # parent's children consecutively, so advancing between frontier
+        # entries usually costs one pop plus one push.
+        state = VertexStepState(self.data)
         frontier: List[Tuple[int, ...]] = [()]
         for _ in range(plan.num_steps):
             next_frontier: List[Tuple[int, ...]] = []
@@ -293,7 +328,10 @@ class HGMatch:
                     raise TimeoutExceeded(
                         time.monotonic() - (deadline - time_budget), time_budget
                     )
-                next_frontier.extend(self.expand(plan, matched, counters))
+                vmap = state.advance(matched)
+                next_frontier.extend(
+                    self.expand(plan, matched, counters, vmap=vmap)
+                )
             frontier = next_frontier
             if counters is not None:
                 counters.retained = len(frontier)

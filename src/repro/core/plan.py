@@ -22,9 +22,13 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Mapping, Sequence, Set, Tuple
 
 from ..hypergraph import Hypergraph, Signature
+
+#: One entry of a step's precomputed profile key: ``(label id, ascending
+#: tuple of incident step indices)``.
+ProfileEntry = Tuple[int, Tuple[int, ...]]
 
 
 @dataclass(frozen=True)
@@ -56,6 +60,14 @@ class StepPlan:
     #: Multiset of query vertex profiles for the step's hyperedge:
     #: ``(label, frozenset of incident step indices including this step)``.
     query_profile: "Counter[Tuple[object, FrozenSet[int]]]"
+    #: Fast-path view of ``query_profile``: labels are interned to small
+    #: ints (``profile_label_ids``) and the multiset is flattened to a
+    #: sorted tuple of ``(label id, sorted step tuple)`` entries, so
+    #: validation compares plain tuples instead of building a ``Counter``
+    #: of frozensets per candidate.  Empty only on hand-built plans that
+    #: predate the fast path; validation then falls back to the Counter.
+    profile_label_ids: Mapping[object, int] = field(default_factory=dict)
+    profile_key: Tuple[ProfileEntry, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -69,6 +81,10 @@ class ExecutionPlan:
     #: Sorted tuple of query vertices in order of first appearance, kept
     #: for embedding expansion back to vertex mappings.
     vertex_arrival: Tuple[int, ...] = field(default=())
+    #: Posting-list representation of the store the plan was built
+    #: against (informational; candidate generation dispatches on the
+    #: partition's own index at runtime).
+    index_backend: str = "merge"
 
     @property
     def num_steps(self) -> int:
@@ -76,7 +92,10 @@ class ExecutionPlan:
 
     def describe(self) -> str:
         """Human-readable plan summary (used by examples and --explain)."""
-        lines = [f"ExecutionPlan over {self.query!r}"]
+        lines = [
+            f"ExecutionPlan over {self.query!r} "
+            f"(index backend: {self.index_backend})"
+        ]
         for step in self.steps:
             edge = sorted(self.query.edge(step.query_edge_id))
             kind = "SCAN" if step.step == 0 else "EXPAND"
@@ -90,7 +109,10 @@ class ExecutionPlan:
 
 
 def build_execution_plan(
-    query: Hypergraph, order: Sequence[int], start_cardinality: int = 0
+    query: Hypergraph,
+    order: Sequence[int],
+    start_cardinality: int = 0,
+    index_backend: str = "merge",
 ) -> ExecutionPlan:
     """Precompute the :class:`ExecutionPlan` for ``query`` under ``order``."""
     order = tuple(order)
@@ -133,11 +155,17 @@ def build_execution_plan(
                 )
 
         profile: Counter = Counter()
+        label_ids: Dict[object, int] = {}
+        key_entries: List[ProfileEntry] = []
         for vertex in edge:
             incident_upto = frozenset(
                 s for s in incident_steps[vertex] if s <= step
             )
-            profile[(query.label(vertex), incident_upto)] += 1
+            label = query.label(vertex)
+            profile[(label, incident_upto)] += 1
+            label_id = label_ids.setdefault(label, len(label_ids))
+            key_entries.append((label_id, tuple(sorted(incident_upto))))
+        key_entries.sort()
 
         new_vertices = edge - covered
         covered |= edge
@@ -153,6 +181,8 @@ def build_execution_plan(
                 anchors=tuple(anchors),
                 expected_num_vertices=len(covered),
                 query_profile=profile,
+                profile_label_ids=label_ids,
+                profile_key=tuple(key_entries),
             )
         )
 
@@ -162,4 +192,5 @@ def build_execution_plan(
         steps=tuple(steps),
         estimated_start_cardinality=start_cardinality,
         vertex_arrival=tuple(arrival),
+        index_backend=index_backend,
     )

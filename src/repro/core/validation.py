@@ -59,6 +59,31 @@ def is_valid_expansion(
 
     # Theorem V.2: compare profile multisets over the new hyperedge.
     step = step_plan.step
+    profile_key = step_plan.profile_key
+    if profile_key:
+        # Fast path: the plan interned labels to small ints and flattened
+        # its multiset to a sorted tuple, so the data side only builds a
+        # parallel tuple — no Counter, no frozenset hashing.  Step sets in
+        # ``vmap`` hold indices < step, hence appending ``step`` keeps the
+        # per-vertex step tuple sorted.
+        label_ids = step_plan.profile_label_ids
+        entries = []
+        for vertex in edge:
+            if counters is not None:
+                counters.work_units += 1
+            label_id = label_ids.get(data.label(vertex))
+            if label_id is None:
+                return False
+            incident = vmap.get(vertex)
+            if incident is None:
+                steps = (step,)
+            else:
+                steps = tuple(sorted(incident)) + (step,)
+            entries.append((label_id, steps))
+        entries.sort()
+        return tuple(entries) == profile_key
+
+    # Fallback for hand-built StepPlans that predate the profile key.
     data_profile: Counter = Counter()
     for vertex in edge:
         incident = vmap.get(vertex)

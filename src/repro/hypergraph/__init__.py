@@ -10,7 +10,11 @@ sampler (Section VII-A).
 
 from .hypergraph import Hypergraph, HypergraphBuilder
 from .index import (
+    INDEX_BACKENDS,
+    BitsetHyperedgeIndex,
     InvertedHyperedgeIndex,
+    build_index,
+    index_from_postings,
     intersect_many,
     intersect_sorted,
     union_many,
@@ -38,6 +42,10 @@ __all__ = [
     "Hypergraph",
     "HypergraphBuilder",
     "InvertedHyperedgeIndex",
+    "BitsetHyperedgeIndex",
+    "INDEX_BACKENDS",
+    "build_index",
+    "index_from_postings",
     "HyperedgePartition",
     "PartitionedStore",
     "Signature",

@@ -28,7 +28,7 @@ from typing import Dict, List, TextIO, Tuple
 
 from ..errors import ParseError
 from .hypergraph import Hypergraph
-from .index import InvertedHyperedgeIndex
+from .index import INDEX_BACKENDS, index_from_postings
 from .storage import HyperedgePartition, PartitionedStore
 
 _MAGIC = "HGSTORE 1"
@@ -84,8 +84,19 @@ def save_store(store: PartitionedStore, path: str) -> None:
         dump_store(store, stream)
 
 
-def parse_store(stream: TextIO) -> PartitionedStore:
-    """Read an indexed data hypergraph back (no recomputation)."""
+def parse_store(
+    stream: TextIO, index_backend: str = "merge"
+) -> PartitionedStore:
+    """Read an indexed data hypergraph back (no recomputation).
+
+    The on-disk format stores backend-neutral posting lists; the
+    requested ``index_backend`` is materialised while reading.
+    """
+    if index_backend not in INDEX_BACKENDS:
+        raise ParseError(
+            f"unknown index backend {index_backend!r}; "
+            f"expected one of {INDEX_BACKENDS}"
+        )
     header = stream.readline().strip()
     if header != _MAGIC:
         raise ParseError(f"not an HGSTORE file (header {header!r})")
@@ -136,11 +147,17 @@ def parse_store(stream: TextIO) -> PartitionedStore:
     store = PartitionedStore.__new__(PartitionedStore)
     store._graph = graph
     store._partitions = {}
+    store.index_backend = index_backend
     for edge_ids, postings in partitions:
         if not edge_ids:
             raise ParseError("empty partition record")
         signature = graph.edge_signature(edge_ids[0])
-        index = InvertedHyperedgeIndex(postings)
+        try:
+            index = index_from_postings(index_backend, edge_ids, postings)
+        except KeyError as exc:
+            raise ParseError(
+                f"posting references edge {exc.args[0]} outside its partition"
+            ) from exc
         store._partitions[signature] = HyperedgePartition(
             signature, tuple(edge_ids), index
         )
@@ -148,10 +165,10 @@ def parse_store(stream: TextIO) -> PartitionedStore:
     return store
 
 
-def load_store(path: str) -> PartitionedStore:
+def load_store(path: str, index_backend: str = "merge") -> PartitionedStore:
     """Read an indexed data hypergraph from ``path``."""
     with open(path, "r", encoding="utf-8") as stream:
-        return parse_store(stream)
+        return parse_store(stream, index_backend=index_backend)
 
 
 def _verify_store(store: PartitionedStore) -> None:

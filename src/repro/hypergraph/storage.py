@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Dict, Iterator, Mapping, Tuple
 
 from .hypergraph import Hypergraph
-from .index import InvertedHyperedgeIndex
+from .index import INDEX_BACKENDS, build_index
 from .signature import Signature
 
 
@@ -29,7 +29,9 @@ class HyperedgePartition:
     edge_ids:
         Edge ids (into the owning hypergraph) in ascending order.
     index:
-        The inverted hyperedge index over this partition.
+        The inverted hyperedge index over this partition — either
+        backend from :mod:`repro.hypergraph.index`; its ``backend`` tag
+        tells candidate generation which set-algebra path to take.
     """
 
     __slots__ = ("signature", "edge_ids", "index")
@@ -38,7 +40,7 @@ class HyperedgePartition:
         self,
         signature: Signature,
         edge_ids: Tuple[int, ...],
-        index: InvertedHyperedgeIndex,
+        index,
     ) -> None:
         self.signature = signature
         self.edge_ids = edge_ids
@@ -73,10 +75,21 @@ class PartitionedStore:
     Building the store is the whole of HGMatch's offline preprocessing:
     group hyperedges by signature and build one inverted index per group.
     No auxiliary structure is ever built at query time.
+
+    ``index_backend`` selects the posting-list representation for every
+    partition: ``"merge"`` (sorted tuples + merge scans) or ``"bitset"``
+    (dense row-id bitmasks + bitwise algebra).  Both yield identical
+    candidate sets; see :mod:`repro.hypergraph.index`.
     """
 
-    def __init__(self, graph: Hypergraph) -> None:
+    def __init__(self, graph: Hypergraph, index_backend: str = "merge") -> None:
+        if index_backend not in INDEX_BACKENDS:
+            raise ValueError(
+                f"unknown index backend {index_backend!r}; "
+                f"expected one of {INDEX_BACKENDS}"
+            )
         self._graph = graph
+        self.index_backend = index_backend
         grouped: Dict[Signature, list] = {}
         for edge_id in range(graph.num_edges):
             grouped.setdefault(graph.edge_signature(edge_id), []).append(edge_id)
@@ -84,7 +97,7 @@ class PartitionedStore:
         self._partitions: Dict[Signature, HyperedgePartition] = {}
         for signature, edge_ids in grouped.items():
             ids = tuple(edge_ids)
-            index = InvertedHyperedgeIndex.build(graph, ids)
+            index = build_index(index_backend, graph, ids)
             self._partitions[signature] = HyperedgePartition(signature, ids, index)
 
     @property

@@ -23,6 +23,7 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+from ..core.candidates import VertexStepState
 from ..core.counters import MatchCounters
 from ..core.engine import HGMatch
 from ..errors import SchedulerError, TimeoutExceeded
@@ -192,6 +193,10 @@ class ThreadedExecutor:
         rng = random.Random(self.seed * 7919 + worker_id)
         own = state.deques[worker_id]
         num_steps = plan.num_steps
+        # Tasks stay self-contained edge-id tuples (cheap to steal, the
+        # Theorem VI.1 memory bound holds); the worker merely caches one
+        # push/pop-delta vertex_step_map and re-points it at each task.
+        expansion_state = VertexStepState(engine.data)
         try:
             while not state.cancelled.is_set():
                 task = own.pop()
@@ -213,7 +218,8 @@ class ThreadedExecutor:
                     state.cancelled.set()
                     return
                 started = time.perf_counter()
-                children = engine.expand(plan, task, counters)
+                vmap = expansion_state.advance(task)
+                children = engine.expand(plan, task, counters, vmap=vmap)
                 spawned: List[PartialEmbedding] = []
                 for child in children:
                     if len(child) == num_steps:

@@ -1,0 +1,40 @@
+"""Test-support helpers shared by the test suite and benchmarks.
+
+Lives inside the installed package (not in a ``conftest.py``) so test
+modules can import it unambiguously: with both ``tests/`` and
+``benchmarks/`` carrying a ``conftest.py``, a bare ``from conftest
+import ...`` resolves to whichever directory pytest put on ``sys.path``
+first and breaks collection under some rootdirs.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def make_random_instance(rng: random.Random, max_vertices: int = 16):
+    """A (data, query) pair small enough for brute-force comparison.
+
+    The query is a random-walk sub-hypergraph of the data, so at least
+    one embedding always exists.  Returns None when sampling fails (the
+    random data was too sparse), letting callers skip the trial.
+    """
+    from .hypergraph.generators import generate_hypergraph
+    from .hypergraph.sampling import QuerySetting, sample_query
+
+    data = generate_hypergraph(
+        num_vertices=rng.randint(6, max_vertices),
+        num_edges=rng.randint(4, 14),
+        num_labels=rng.randint(1, 3),
+        mean_arity=2.5,
+        max_arity=4,
+        rng=rng,
+    )
+    if data.num_edges < 2:
+        return None
+    setting = QuerySetting("t", rng.randint(2, 3), 2, 12)
+    try:
+        query = sample_query(data, setting, rng, max_attempts=60)
+    except Exception:
+        return None
+    return data, query

@@ -43,29 +43,5 @@ def small_rng() -> random.Random:
     return random.Random(20230612)
 
 
-def make_random_instance(rng: random.Random, max_vertices: int = 16):
-    """A (data, query) pair small enough for brute-force comparison.
-
-    The query is a random-walk sub-hypergraph of the data, so at least
-    one embedding always exists.  Returns None when sampling fails (the
-    random data was too sparse), letting callers skip the trial.
-    """
-    from repro.hypergraph.generators import generate_hypergraph
-    from repro.hypergraph.sampling import QuerySetting, sample_query
-
-    data = generate_hypergraph(
-        num_vertices=rng.randint(6, max_vertices),
-        num_edges=rng.randint(4, 14),
-        num_labels=rng.randint(1, 3),
-        mean_arity=2.5,
-        max_arity=4,
-        rng=rng,
-    )
-    if data.num_edges < 2:
-        return None
-    setting = QuerySetting("t", rng.randint(2, 3), 2, 12)
-    try:
-        query = sample_query(data, setting, rng, max_attempts=60)
-    except Exception:
-        return None
-    return data, query
+# make_random_instance moved to repro.testing: importing it from a
+# conftest is ambiguous when benchmarks/conftest.py is also on sys.path.

@@ -20,7 +20,7 @@ from repro.baselines import BASELINE_NAMES, brute_force, make_baseline
 from repro.dataflow import run_query
 from repro.parallel import SimulatedExecutor, ThreadedExecutor
 
-from conftest import make_random_instance
+from repro.testing import make_random_instance
 
 
 def _skip_if_none(instance):

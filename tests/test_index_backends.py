@@ -1,0 +1,167 @@
+"""Equivalence of the merge and bitset index backends.
+
+The bitset backend must be an exact drop-in: identical candidate tuples
+from ``generate_candidates`` at every step of every expansion, and
+identical embedding counts across the sequential, BFS and threaded
+engines.  Seeded random instances keep the corpus reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import HGMatch, Hypergraph, PartitionedStore
+from repro.core.candidates import generate_candidates, vertex_step_map
+from repro.hypergraph import BitsetHyperedgeIndex, InvertedHyperedgeIndex
+from repro.testing import make_random_instance
+
+SEEDS = range(10)
+
+
+def _instance(seed: int):
+    instance = make_random_instance(random.Random(7000 + seed), max_vertices=14)
+    if instance is None:
+        pytest.skip("sampling failed for this seed")
+    return instance
+
+
+class TestIndexEquality:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_postings_identical(self, seed):
+        data, _ = _instance(seed)
+        merge_store = PartitionedStore(data, index_backend="merge")
+        bitset_store = PartitionedStore(data, index_backend="bitset")
+        for signature, partition in merge_store.partitions.items():
+            other = bitset_store.partition(signature)
+            assert other is not None
+            assert isinstance(partition.index, InvertedHyperedgeIndex)
+            assert isinstance(other.index, BitsetHyperedgeIndex)
+            assert set(partition.index.vertices()) == set(other.index.vertices())
+            for vertex in partition.index.vertices():
+                assert partition.index.postings(vertex) == other.index.postings(
+                    vertex
+                )
+            assert partition.index.num_entries == other.index.num_entries
+
+
+class TestCandidateEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_identical_candidate_tuples_at_every_step(self, seed):
+        """Walk the full enumeration tree under the merge backend and
+        replay every (step, partial) probe against the bitset backend."""
+        data, query = _instance(seed)
+        merge_engine = HGMatch(data, index_backend="merge")
+        bitset_engine = HGMatch(data, index_backend="bitset")
+        plan = merge_engine.plan(query)
+
+        probes = 0
+        stack = [()]
+        while stack:
+            matched = stack.pop()
+            step_plan = plan.steps[len(matched)]
+            merge_part = merge_engine.store.partition(step_plan.signature)
+            bitset_part = bitset_engine.store.partition(step_plan.signature)
+            vmap = vertex_step_map(data, matched)
+            merge_candidates = generate_candidates(
+                data, merge_part, step_plan, matched, vmap
+            )
+            bitset_candidates = generate_candidates(
+                data, bitset_part, step_plan, matched, vmap
+            )
+            assert bitset_candidates == merge_candidates
+            assert list(merge_candidates) == sorted(set(merge_candidates))
+            probes += 1
+            for extended in merge_engine.expand(plan, matched):
+                if len(extended) < plan.num_steps:
+                    stack.append(extended)
+        assert probes >= 1
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_identical_embeddings_across_engines_and_workers(self, seed):
+        data, query = _instance(seed)
+        merge_engine = HGMatch(data, index_backend="merge")
+        bitset_engine = HGMatch(data, index_backend="bitset")
+
+        merge_embeddings = {
+            e.canonical() for e in merge_engine.match(query, strict=True)
+        }
+        bitset_embeddings = {
+            e.canonical() for e in bitset_engine.match(query, strict=True)
+        }
+        assert bitset_embeddings == merge_embeddings
+
+        reference = len(merge_embeddings)
+        for workers in (1, 4):
+            assert merge_engine.count(query, workers=workers) == reference
+            assert bitset_engine.count(query, workers=workers) == reference
+        assert bitset_engine.count_bfs(query) == reference
+        assert merge_engine.count_bfs(query) == reference
+
+
+class TestVertexStepState:
+    """The push/pop-delta map must always equal the from-scratch rebuild."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_advance_matches_full_rebuild(self, seed):
+        from repro.core.candidates import VertexStepState
+
+        data, query = _instance(seed)
+        engine = HGMatch(data)
+        plan = engine.plan(query)
+        state = VertexStepState(data)
+        stack = [()]
+        while stack:
+            matched = stack.pop()
+            assert state.advance(matched) == vertex_step_map(data, matched)
+            assert state.matched == matched
+            for extended in engine.expand(plan, matched):
+                if len(extended) < plan.num_steps:
+                    stack.append(extended)
+
+    def test_push_pop_roundtrip(self, fig1_data):
+        from repro.core.candidates import VertexStepState
+
+        state = VertexStepState(fig1_data, matched_edges=(0, 2))
+        assert state.vmap == vertex_step_map(fig1_data, (0, 2))
+        state.push(4)
+        assert state.vmap == vertex_step_map(fig1_data, (0, 2, 4))
+        assert state.pop() == 4
+        assert state.vmap == vertex_step_map(fig1_data, (0, 2))
+        state.advance(())
+        assert state.vmap == {}
+        assert state.depth == 0
+
+
+class TestPersistenceRoundTrip:
+    def test_bitset_store_loads_from_disk(self, fig1_data, tmp_path):
+        from repro.hypergraph import load_store, save_store, stores_equal
+
+        store = PartitionedStore(fig1_data, index_backend="bitset")
+        path = str(tmp_path / "fig1.hgstore")
+        save_store(store, path)
+        for backend in ("merge", "bitset"):
+            loaded = load_store(path, index_backend=backend)
+            assert loaded.index_backend == backend
+            assert stores_equal(store, loaded)
+
+
+class TestBackendSelection:
+    def test_unknown_backend_rejected(self, fig1_data):
+        with pytest.raises(ValueError):
+            PartitionedStore(fig1_data, index_backend="roaring")
+
+    def test_engine_reports_backend(self, fig1_data):
+        assert HGMatch(fig1_data).index_backend == "merge"
+        assert (
+            HGMatch(fig1_data, index_backend="bitset").index_backend == "bitset"
+        )
+
+    def test_plan_carries_backend(self, fig1_data, fig1_query):
+        engine = HGMatch(fig1_data, index_backend="bitset")
+        plan = engine.plan(fig1_query)
+        assert plan.index_backend == "bitset"
+        assert "bitset" in plan.describe()

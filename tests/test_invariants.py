@@ -17,7 +17,7 @@ from hypothesis import strategies as st
 from repro import HGMatch, Hypergraph, PartitionedStore
 from repro.hypergraph.generators import generate_hypergraph, generate_planted_hypergraph
 
-from conftest import make_random_instance
+from repro.testing import make_random_instance
 
 relaxed = settings(
     max_examples=20,
