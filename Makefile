@@ -4,14 +4,23 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench-index lint-imports
+.PHONY: test test-backends bench-smoke bench-index lint-imports
 
 ## Tier-1 verification: the whole test suite, stop on first failure.
+## Honours REPRO_INDEX_BACKEND (merge/bitset/adaptive).
 test:
 	$(PYTHON) -m pytest -x -q
 
-## One fast benchmark as a smoke signal: the index-backend comparison
-## (also regenerates BENCH_index_backends.json).
+## The full backend matrix locally: tier-1 once per posting-list
+## representation (what CI runs as a matrix).
+test-backends:
+	REPRO_INDEX_BACKEND=merge $(PYTHON) -m pytest -x -q
+	REPRO_INDEX_BACKEND=bitset $(PYTHON) -m pytest -x -q
+	REPRO_INDEX_BACKEND=adaptive $(PYTHON) -m pytest -x -q
+
+## One fast benchmark as a smoke signal: the three-backend index
+## comparison (merge/bitset/adaptive + mask-native pipeline; also
+## regenerates BENCH_index_backends.json).
 bench-smoke:
 	$(PYTHON) benchmarks/bench_index_backends.py
 

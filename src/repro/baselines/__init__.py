@@ -28,15 +28,24 @@ _REGISTRY = {
 }
 
 
-def make_baseline(name: str, data: Hypergraph):
-    """Instantiate a baseline matcher by its paper name."""
+def make_baseline(name: str, data: Hypergraph, store=None):
+    """Instantiate a baseline matcher by its paper name.
+
+    ``store`` (a :class:`repro.hypergraph.PartitionedStore` over
+    ``data``, e.g. shared with an HGMatch engine) lets the backtracking
+    baselines run their IHS signature-containment pruning over the
+    store's posting masks; RapidMatch-H operates on bipartite
+    conversions and ignores it.
+    """
     try:
         matcher_class = _REGISTRY[name]
     except KeyError:
         raise ValueError(
             f"unknown baseline {name!r}; expected one of {sorted(_REGISTRY)}"
         ) from None
-    return matcher_class(data)
+    if name == "RapidMatch-H":
+        return matcher_class(data)
+    return matcher_class(data, store=store)
 
 
 __all__ = [

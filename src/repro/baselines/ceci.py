@@ -23,8 +23,10 @@ class CECIHMatcher(VertexBacktrackingMatcher):
 
     name = "CECI-H"
 
-    def __init__(self, data: Hypergraph) -> None:
-        super().__init__(data, use_ihs=True, refine=True, backjump=False)
+    def __init__(self, data: Hypergraph, store=None) -> None:
+        super().__init__(
+            data, use_ihs=True, refine=True, backjump=False, store=store
+        )
 
     def matching_order(
         self, query: Hypergraph, candidates: Dict[int, List[int]]

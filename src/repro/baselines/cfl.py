@@ -21,8 +21,10 @@ class CFLHMatcher(VertexBacktrackingMatcher):
 
     name = "CFL-H"
 
-    def __init__(self, data: Hypergraph) -> None:
-        super().__init__(data, use_ihs=True, refine=False, backjump=False)
+    def __init__(self, data: Hypergraph, store=None) -> None:
+        super().__init__(
+            data, use_ihs=True, refine=False, backjump=False, store=store
+        )
 
     def matching_order(
         self, query: Hypergraph, candidates: Dict[int, List[int]]

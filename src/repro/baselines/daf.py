@@ -23,8 +23,10 @@ class DAFHMatcher(VertexBacktrackingMatcher):
 
     name = "DAF-H"
 
-    def __init__(self, data: Hypergraph) -> None:
-        super().__init__(data, use_ihs=True, refine=False, backjump=True)
+    def __init__(self, data: Hypergraph, store=None) -> None:
+        super().__init__(
+            data, use_ihs=True, refine=False, backjump=True, store=store
+        )
 
     def matching_order(
         self, query: Hypergraph, candidates: Dict[int, List[int]]

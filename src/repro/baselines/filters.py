@@ -16,6 +16,14 @@ enters the candidate set of query vertex ``u`` only if:
 
 Signature multiset containment (condition 4) subsumes condition 3, but
 condition 3 is kept as the cheap pre-check the paper lists.
+
+When a :class:`repro.hypergraph.PartitionedStore` is available, the
+signature-containment check runs over the store's inverted posting
+index instead of per-vertex Python ``Counter`` multisets: the number of
+``v``-incident hyperedges with signature ``s`` *is* the cardinality of
+``v``'s posting set in partition ``s``, which the mask-capable backends
+answer as a popcount of the posting bitmask (``bitset``) or a container
+count (``adaptive``) — no signature multiset is ever materialised.
 """
 
 from __future__ import annotations
@@ -23,7 +31,7 @@ from __future__ import annotations
 from collections import Counter
 from typing import Dict, List, Tuple
 
-from ..hypergraph import Hypergraph
+from ..hypergraph import Hypergraph, PartitionedStore
 
 
 class VertexStatistics:
@@ -90,8 +98,16 @@ def ihs_candidates(
     data: Hypergraph,
     query_stats: "VertexStatistics | None" = None,
     data_stats: "VertexStatistics | None" = None,
+    store: "PartitionedStore | None" = None,
 ) -> Dict[int, List[int]]:
-    """Full IHS candidate filter (conditions 1–4 above)."""
+    """Full IHS candidate filter (conditions 1–4 above).
+
+    ``store`` optionally supplies the signature-partitioned posting
+    index of ``data``; the condition-4 containment check then prunes via
+    posting-set cardinalities per partition (module docs) instead of
+    building one signature ``Counter`` per data vertex.  Results are
+    identical either way.
+    """
     query_stats = query_stats if query_stats is not None else VertexStatistics(query)
     data_stats = data_stats if data_stats is not None else VertexStatistics(data)
     base = ldf_candidates(query, data)
@@ -100,13 +116,33 @@ def ihs_candidates(
         u_adj = query_stats.adjacency_size(u)
         u_arities = query_stats.arity_histogram(u)
         u_signatures = query_stats.signature_multiset(u)
+        required = None
+        if store is not None:
+            # Resolve each required signature to its partition index once
+            # per query vertex; a missing partition empties the pool.
+            required = []
+            for signature, count in u_signatures.items():
+                partition = store.partition(signature)
+                if partition is None:
+                    required = None
+                    break
+                required.append((partition.index, count))
+            if required is None:
+                candidates[u] = []
+                continue
         kept: List[int] = []
         for v in pool:
             if data_stats.adjacency_size(v) < u_adj:
                 continue
             if not _histogram_contained(u_arities, data_stats.arity_histogram(v)):
                 continue
-            if not _histogram_contained(
+            if required is not None:
+                if any(
+                    index.postings_count(v) < count
+                    for index, count in required
+                ):
+                    continue
+            elif not _histogram_contained(
                 u_signatures, data_stats.signature_multiset(v)
             ):
                 continue

@@ -68,6 +68,13 @@ class VertexBacktrackingMatcher:
         a query vertex fails, jump back to its deepest mapped neighbour
         instead of the previous depth (a light rendition of DAF's
         failing-set pruning).
+    store:
+        Optionally a :class:`repro.hypergraph.PartitionedStore` over
+        ``data`` (e.g. shared with an HGMatch engine in a benchmark
+        line-up); the IHS filter then prunes signature containment via
+        the store's posting index — posting-mask popcounts on the
+        mask-capable backends — instead of per-vertex signature
+        multisets.
     """
 
     name = "generic-H"
@@ -78,11 +85,13 @@ class VertexBacktrackingMatcher:
         use_ihs: bool = True,
         refine: bool = False,
         backjump: bool = False,
+        store=None,
     ) -> None:
         self.data = data
         self.use_ihs = use_ihs
         self.refine = refine
         self.backjump = backjump
+        self.store = store
         self.data_stats = VertexStatistics(data)
         self._neighbour_cache: Dict[int, FrozenSet[int]] = {}
 
@@ -104,7 +113,9 @@ class VertexBacktrackingMatcher:
     def candidates(self, query: Hypergraph) -> Dict[int, List[int]]:
         """Candidate vertex sets under the configured filter."""
         if self.use_ihs:
-            return ihs_candidates(query, self.data, data_stats=self.data_stats)
+            return ihs_candidates(
+                query, self.data, data_stats=self.data_stats, store=self.store
+            )
         return ldf_candidates(query, self.data)
 
     def run(

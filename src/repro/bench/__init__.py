@@ -23,6 +23,7 @@ from .reporting import (
     geometric_mean,
     log_bar,
     speedup,
+    work_model_label,
 )
 
 __all__ = [
@@ -44,4 +45,5 @@ __all__ = [
     "log_bar",
     "speedup",
     "geometric_mean",
+    "work_model_label",
 ]

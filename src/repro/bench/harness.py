@@ -71,8 +71,12 @@ def run_with_timeout(
     )
 
 
-def make_engine(data: Hypergraph, index_backend: str = "merge") -> HGMatch:
-    """Build an HGMatch engine with the requested index backend.
+def make_engine(
+    data: Hypergraph, index_backend: "str | None" = None
+) -> HGMatch:
+    """Build an HGMatch engine with the requested index backend
+    (``merge``/``bitset``/``adaptive``; None defers to the
+    ``REPRO_INDEX_BACKEND``/``merge`` default).
 
     Kept here so benchmark modules can sweep backends without importing
     the storage layer directly.

@@ -12,6 +12,22 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Sequence
 
+from ..core.counters import WORK_UNIT_MODELS
+
+
+def work_model_label(backend_or_model: str) -> str:
+    """The ``work_units`` cost model a run was charged under.
+
+    Accepts either an index backend name (``merge``/``bitset``/
+    ``adaptive``) or a model name already (``postings``/``mask-ops``/
+    ``mixed``).  Reports that embed ``work_units`` must carry this label:
+    the merge backend counts posting entries scanned while the mask
+    backends count big-int/container operations, so raw ``work_units``
+    are never comparable across models (see
+    :mod:`repro.core.counters`).
+    """
+    return WORK_UNIT_MODELS.get(backend_or_model, backend_or_model)
+
 
 def format_table(rows: Sequence[Dict[str, object]], title: str = "") -> str:
     """Render dict rows as an aligned text table (column order from the

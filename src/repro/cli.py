@@ -66,9 +66,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     plan.add_argument(
         "--index-backend",
-        default="merge",
+        default=None,
         choices=INDEX_BACKENDS,
-        help="posting-list representation of the store",
+        help="posting-list representation of the store: merge (sorted "
+        "tuples), bitset (row bitmasks) or adaptive (roaring-style "
+        "containers); default REPRO_INDEX_BACKEND or merge",
     )
 
     index = commands.add_parser(
@@ -86,9 +88,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     match.add_argument(
         "--index-backend",
-        default="merge",
+        default=None,
         choices=INDEX_BACKENDS,
-        help="posting-list representation of the index (HGMatch engine)",
+        help="posting-list representation of the index: merge, bitset or "
+        "adaptive (default REPRO_INDEX_BACKEND or merge); for baseline "
+        "engines an explicit value enables store-backed IHS pruning",
     )
     match.add_argument("--workers", type=int, default=1)
     match.add_argument("--timeout", type=float, default=None)
@@ -184,7 +188,14 @@ def _cmd_match(args, out) -> int:
                     query, workers=args.workers, time_budget=args.timeout
                 )
         else:
-            matcher = make_baseline(args.engine, data)
+            store = None
+            if args.index_backend is not None:
+                # An explicit backend opts the baseline's IHS filter into
+                # posting-mask pruning over a partitioned store.
+                from .hypergraph import PartitionedStore
+
+                store = PartitionedStore(data, index_backend=args.index_backend)
+            matcher = make_baseline(args.engine, data, store=store)
             count = len(matcher.hyperedge_embeddings(query, time_budget=args.timeout))
     except TimeoutExceeded:
         out.write(f"TIMEOUT after {args.timeout}s\n")

@@ -8,8 +8,19 @@ candidate generation (Algorithm 4), profile validation (Algorithm 5) and
 the vertex-mapping expansion.
 """
 
-from .candidates import VertexStepState, generate_candidates, vertex_step_map
-from .counters import MatchCounters
+from .candidates import (
+    AnchorUnionMemo,
+    CandidateSet,
+    ChunkCandidates,
+    MaskCandidates,
+    TupleCandidates,
+    VertexStepState,
+    generate_candidate_set,
+    generate_candidates,
+    vertex_step_map,
+    vertex_step_tuples,
+)
+from .counters import WORK_UNIT_MODELS, MatchCounters
 from .engine import Embedding, HGMatch
 from .estimation import (
     PlanEstimate,
@@ -40,7 +51,15 @@ __all__ = [
     "compute_matching_order",
     "is_connected_order",
     "generate_candidates",
+    "generate_candidate_set",
+    "CandidateSet",
+    "TupleCandidates",
+    "MaskCandidates",
+    "ChunkCandidates",
+    "AnchorUnionMemo",
+    "WORK_UNIT_MODELS",
     "vertex_step_map",
+    "vertex_step_tuples",
     "VertexStepState",
     "is_valid_expansion",
     "certify_embedding",

@@ -14,20 +14,46 @@ order, candidates are data hyperedges that
 Each shared vertex contributes the union of the posting lists of its
 possible images; the final candidate set is the intersection of those
 unions — pure set algebra over the inverted hyperedge index, no
-backtracking.  The algebra itself dispatches on the partition's index
-backend: merge scans over sorted tuples, or bitwise ``|``/``&`` over
-row-id bitmasks (:class:`repro.hypergraph.BitsetHyperedgeIndex`); both
-return identical ascending edge-id tuples.
+backtracking.  The algebra dispatches on the partition's index backend:
+merge scans over sorted tuples, bitwise ``|``/``&`` over row-id bitmasks
+(:class:`repro.hypergraph.BitsetHyperedgeIndex`), or container-pairwise
+``|``/``&`` over roaring-style chunk maps
+(:class:`repro.hypergraph.AdaptiveHyperedgeIndex`).
+
+The pipeline is *mask-native*: :func:`generate_candidate_set` returns an
+opaque :class:`CandidateSet` that keeps the backend's own representation
+(tuple, bitmask, or chunk map) and decodes lazily.  Validation iterates
+set bits directly and only accepted expansions ever materialise edge-id
+tuples; :func:`generate_candidates` is the decoded-tuple convenience
+wrapper kept for tests, benchmarks and external callers.
+
+Two cost models feed ``counters.work_units`` (see
+:mod:`repro.core.counters`): the merge path charges posting entries
+scanned, the mask paths charge vertices scanned plus masks touched plus
+the result cardinality.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set, Tuple
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Sequence, Set, Tuple
 
-from ..hypergraph import Hypergraph, intersect_many, union_many
+from ..hypergraph import (
+    chunks_count,
+    chunks_intersect,
+    chunks_union_many,
+    Hypergraph,
+    intersect_many,
+    union_many,
+)
+from ..hypergraph.index import container_intersect
 from ..hypergraph.storage import HyperedgePartition
 from .counters import MatchCounters
 from .plan import StepPlan
+
+#: Sentinel for "no anchor processed yet" in the adaptive fast path
+#: (a real result may be a falsy empty container).
+_NO_RESULT = object()
 
 
 def vertex_step_map(
@@ -48,6 +74,23 @@ def vertex_step_map(
     return vmap
 
 
+def vertex_step_tuples(
+    data: Hypergraph, matched_edges: Sequence[int]
+) -> Dict[int, Tuple[int, ...]]:
+    """``vertex_step_map`` with ascending step *tuples* as values.
+
+    The validation fast path compares per-vertex sorted step tuples
+    (Theorem V.2's profile keys); building them here in step order makes
+    every tuple sorted by construction, so validation never re-sorts.
+    """
+    steps: Dict[int, Tuple[int, ...]] = {}
+    for step, edge_id in enumerate(matched_edges):
+        for vertex in data.edge(edge_id):
+            incident = steps.get(vertex)
+            steps[vertex] = (step,) if incident is None else incident + (step,)
+    return steps
+
+
 class VertexStepState:
     """A ``vertex_step_map`` maintained by push/pop deltas.
 
@@ -59,9 +102,15 @@ class VertexStepState:
     in the LIFO stack, the BFS frontier and a worker's deque are siblings
     or parent/child almost always, so the usual delta is one pop plus
     one push — O(arity) instead of the O(total arity) full rebuild.
+
+    Alongside the step *sets* the state maintains the per-vertex sorted
+    step *tuples* (:attr:`step_tuples`): pushes always carry the next
+    step index, so appending keeps each tuple ascending and validation's
+    profile fast path gets its sorted tuples for free instead of calling
+    ``tuple(sorted(...))`` once per candidate vertex.
     """
 
-    __slots__ = ("_graph", "_matched", "_vmap")
+    __slots__ = ("_graph", "_matched", "_vmap", "_steps")
 
     def __init__(
         self, graph: Hypergraph, matched_edges: Sequence[int] = ()
@@ -69,6 +118,7 @@ class VertexStepState:
         self._graph = graph
         self._matched: List[int] = []
         self._vmap: Dict[int, Set[int]] = {}
+        self._steps: Dict[int, Tuple[int, ...]] = {}
         for edge_id in matched_edges:
             self.push(edge_id)
 
@@ -76,6 +126,11 @@ class VertexStepState:
     def vmap(self) -> Dict[int, Set[int]]:
         """The live map — read-only to callers; mutate via push/pop."""
         return self._vmap
+
+    @property
+    def step_tuples(self) -> Dict[int, Tuple[int, ...]]:
+        """Per-vertex ascending step tuples — read-only to callers."""
+        return self._steps
 
     @property
     def matched(self) -> Tuple[int, ...]:
@@ -94,23 +149,31 @@ class VertexStepState:
         step = len(self._matched)
         self._matched.append(edge_id)
         vmap = self._vmap
+        step_tuples = self._steps
         for vertex in self._graph.edge(edge_id):
             steps = vmap.get(vertex)
             if steps is None:
                 vmap[vertex] = {step}
+                step_tuples[vertex] = (step,)
             else:
                 steps.add(step)
+                step_tuples[vertex] += (step,)
 
     def pop(self) -> int:
         """Undo the most recent :meth:`push`; returns the popped edge id."""
         edge_id = self._matched.pop()
         step = len(self._matched)
         vmap = self._vmap
+        step_tuples = self._steps
         for vertex in self._graph.edge(edge_id):
             steps = vmap[vertex]
             steps.discard(step)
             if not steps:
                 del vmap[vertex]
+                del step_tuples[vertex]
+            else:
+                # The popped step is always the tuple's last element.
+                step_tuples[vertex] = step_tuples[vertex][:-1]
         return edge_id
 
     def advance(self, matched_edges: Sequence[int]) -> Dict[int, Set[int]]:
@@ -131,6 +194,206 @@ class VertexStepState:
         return self._vmap
 
 
+# ----------------------------------------------------------------------
+# Opaque candidate sets (the mask-native boundary of Algorithm 4)
+# ----------------------------------------------------------------------
+
+
+class CandidateSet:
+    """Opaque result of Algorithm 4's set algebra.
+
+    Keeps the owning backend's native representation; iteration yields
+    ascending edge ids without materialising the whole set, and
+    :meth:`to_tuple` decodes only when a caller really needs the tuple
+    boundary (tests, benchmarks, the ``generate_candidates`` wrapper).
+    """
+
+    __slots__ = ()
+
+    def to_tuple(self) -> Tuple[int, ...]:
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[int]:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, CandidateSet):
+            return self.to_tuple() == other.to_tuple()
+        if isinstance(other, tuple):
+            return self.to_tuple() == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.to_tuple())
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.to_tuple()!r})"
+
+
+class TupleCandidates(CandidateSet):
+    """Merge-backend (and whole-partition) candidates: already a tuple."""
+
+    __slots__ = ("_edges",)
+
+    def __init__(self, edges: Tuple[int, ...]) -> None:
+        self._edges = edges
+
+    def to_tuple(self) -> Tuple[int, ...]:
+        return self._edges
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._edges)
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+
+EMPTY_CANDIDATES = TupleCandidates(())
+
+
+class MaskCandidates(CandidateSet):
+    """Bitset-backend candidates: a row bitmask plus its owning index.
+
+    Hot consumers (``HGMatch.expand``, the bench's mask-native replay)
+    should read :attr:`mask` / :attr:`row_to_edge` and run the bit-scan
+    loop inline — a generator's per-item resume costs more than the
+    whole row decode it replaces.
+    """
+
+    __slots__ = ("_index", "_mask")
+
+    def __init__(self, index, mask: int) -> None:
+        self._index = index
+        self._mask = mask
+
+    @property
+    def mask(self) -> int:
+        return self._mask
+
+    @property
+    def row_to_edge(self) -> Tuple[int, ...]:
+        return self._index.row_to_edge
+
+    def to_tuple(self) -> Tuple[int, ...]:
+        return self._index.decode_mask(self._mask)
+
+    def __iter__(self) -> Iterator[int]:
+        return self._index.iter_mask(self._mask)
+
+    def __len__(self) -> int:
+        return self._mask.bit_count()
+
+
+class ChunkCandidates(CandidateSet):
+    """Adaptive-backend candidates: a chunk map plus its owning index."""
+
+    __slots__ = ("_index", "_chunks", "_count")
+
+    def __init__(self, index, chunks, count: "int | None" = None) -> None:
+        self._index = index
+        self._chunks = chunks
+        self._count = chunks_count(chunks) if count is None else count
+
+    @property
+    def chunks(self):
+        return self._chunks
+
+    def to_tuple(self) -> Tuple[int, ...]:
+        return self._index.decode_chunks(self._chunks)
+
+    def __iter__(self) -> Iterator[int]:
+        return self._index.iter_chunks(self._chunks)
+
+    def __len__(self) -> int:
+        return self._count
+
+
+# ----------------------------------------------------------------------
+# Anchor-union memoisation
+# ----------------------------------------------------------------------
+
+
+class AnchorUnionMemo:
+    """Engine-level LRU memo for per-anchor posting-union masks.
+
+    Consecutive tasks in the LIFO stack, the BFS frontier and a worker's
+    deque are siblings sharing all but the last matched edge, so they
+    keep re-deriving identical per-anchor unions.  The memo keys one
+    union by ``(partition signature, anchor coordinates, possible-image
+    tuple)`` and stores the backend-native mask (bitmask or chunk map,
+    both treated as immutable).  The cached union is a pure function of
+    the partition and the image *set* alone; the anchor's
+    ``(prev_step, query_vertex)`` ints only scope entries per query
+    plan, and the images are keyed as the ordered tuple they were
+    filtered in (iteration order of a data edge is fixed, so equal image
+    sets from the same anchor produce equal tuples) — hashing a small
+    int tuple is several times cheaper than building a fresh
+    ``frozenset`` per probe, which is what makes the memo profitable at
+    small partition sizes too.  Only the mask backends consult it: the
+    merge path stays unmemoised so its faithful posting-scan cost model
+    keeps charging the work the paper's Algorithm 4 performs.
+
+    Thread-safe without a lock: every mutation is a single C-level
+    ``OrderedDict`` call, atomic under the GIL, and the compound
+    read-then-recency/insert-then-evict sequences tolerate interleaving
+    (a concurrently evicted key surfaces as a caught ``KeyError``; the
+    hit/miss tallies are statistics, not invariants).  Workers of the
+    threaded executor share the engine and hence this memo — a lock
+    here would tax every anchor of every worker to protect nothing
+    correctness-critical.
+    """
+
+    __slots__ = ("maxsize", "min_rows", "hits", "misses", "_entries")
+
+    #: Sentinel distinguishing "miss" from a memoised falsy mask.
+    _MISS = object()
+
+    def __init__(self, maxsize: int = 4096, min_rows: int = 1024) -> None:
+        self.maxsize = maxsize
+        #: Partitions below this row count bypass the memo entirely: the
+        #: OR fold over a handful of machine words costs less than the
+        #: key build + probe, so caching only taxes them.  The memo pays
+        #: where masks span many words — exactly the very-large-partition
+        #: regime it exists for.
+        self.min_rows = min_rows
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[object, object]" = OrderedDict()
+
+    def get(self, key):
+        value = self._entries.get(key, self._MISS)
+        if value is self._MISS:
+            self.misses += 1
+            return value
+        try:
+            self._entries.move_to_end(key)
+        except KeyError:
+            pass
+        self.hits += 1
+        return value
+
+    def put(self, key, value) -> None:
+        entries = self._entries
+        entries[key] = value
+        if len(entries) > self.maxsize:
+            try:
+                entries.popitem(last=False)
+            except KeyError:
+                pass
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
 def _anchor_images(
     data: Hypergraph,
     prev_image,
@@ -139,7 +402,7 @@ def _anchor_images(
     non_incident: Set[int],
 ) -> List[int]:
     """Vertices of ``prev_image`` that can serve as the anchor's image
-    (Algorithm 4 lines 4-5).  Shared by both algebra backends so the
+    (Algorithm 4 lines 4-5).  Shared by all algebra backends so the
     filter can never drift between them."""
     return [
         vertex
@@ -158,17 +421,40 @@ def generate_candidates(
     vmap: Dict[int, Set[int]],
     counters: "MatchCounters | None" = None,
 ) -> Tuple[int, ...]:
+    """Run Algorithm 4 and decode to an ascending candidate tuple.
+
+    Tuple-boundary wrapper around :func:`generate_candidate_set` for
+    callers that want the classic representation regardless of backend
+    (tests, benchmarks, baselines).  The engine's expand loop uses the
+    mask-native function directly and never pays this decode.
+    """
+    return generate_candidate_set(
+        data, partition, step_plan, matched_edges, vmap, counters
+    ).to_tuple()
+
+
+def generate_candidate_set(
+    data: Hypergraph,
+    partition: "HyperedgePartition | None",
+    step_plan: StepPlan,
+    matched_edges: Sequence[int],
+    vmap: Dict[int, Set[int]],
+    counters: "MatchCounters | None" = None,
+    memo: "AnchorUnionMemo | None" = None,
+) -> CandidateSet:
     """Run Algorithm 4: candidate data hyperedges for ``step_plan``.
 
     ``matched_edges`` holds the data edge ids for steps
     ``0 .. step_plan.step - 1``; ``vmap`` must be
-    ``vertex_step_map(data, matched_edges)``.  Returns an ascending tuple
-    of candidate edge ids (possibly empty).  ``partition`` is the data
+    ``vertex_step_map(data, matched_edges)``.  Returns a
+    :class:`CandidateSet` in the partition backend's native
+    representation (possibly empty).  ``partition`` is the data
     partition with the step's signature, or None when no data hyperedge
-    carries it.
+    carries it.  ``memo`` optionally caches per-anchor union masks
+    across calls (mask backends only).
     """
     if partition is None:
-        return ()
+        return EMPTY_CANDIDATES
 
     # Line 1: vertices that must NOT be incident to the matched hyperedge
     # (they belong to images of non-adjacent query hyperedges).
@@ -176,9 +462,16 @@ def generate_candidates(
     for prev in step_plan.nonadjacent_prev:
         non_incident.update(data.edge(matched_edges[prev]))
 
-    if getattr(partition.index, "backend", "merge") == "bitset":
+    backend = getattr(partition.index, "backend", "merge")
+    if backend == "bitset":
         return _generate_candidates_bitset(
-            data, partition, step_plan, matched_edges, vmap, non_incident, counters
+            data, partition, step_plan, matched_edges, vmap, non_incident,
+            counters, memo,
+        )
+    if backend == "adaptive":
+        return _generate_candidates_adaptive(
+            data, partition, step_plan, matched_edges, vmap, non_incident,
+            counters, memo,
         )
 
     # Lines 3-6: one union-of-posting-lists per (adjacent edge, shared
@@ -194,7 +487,7 @@ def generate_candidates(
         if not possible_images:
             if counters is not None:
                 counters.work_units += work + len(prev_image)
-            return ()
+            return EMPTY_CANDIDATES
         postings = [partition.incident_edges(v) for v in possible_images]
         merged = union_many(postings)
         work += len(prev_image) + sum(len(p) for p in postings)
@@ -212,7 +505,7 @@ def generate_candidates(
     if counters is not None:
         counters.work_units += work
         counters.candidates += len(candidates)
-    return candidates
+    return TupleCandidates(candidates)
 
 
 def _generate_candidates_bitset(
@@ -223,17 +516,21 @@ def _generate_candidates_bitset(
     vmap: Dict[int, Set[int]],
     non_incident: Set[int],
     counters: "MatchCounters | None",
-) -> Tuple[int, ...]:
+    memo: "AnchorUnionMemo | None",
+) -> CandidateSet:
     """Algorithm 4 over row-id bitmasks (same result set as the merge path).
 
     Each anchor's union of posting lists is an OR of per-vertex masks and
     the final intersection is a running AND, so the set algebra costs a
     handful of big-int ops per anchor.  Work units charge the vertices
-    scanned plus one unit per mask touched plus the final decode — the
-    ops the backend actually performs — so the simulated executor's cost
-    model tracks the cheaper algebra.
+    scanned plus one unit per mask touched (one unit total on a memo
+    hit) plus the result cardinality — the ops the backend actually
+    performs — so the simulated executor's cost model tracks the cheaper
+    algebra.
     """
     index = partition.index
+    if memo is not None and len(partition.edge_ids) < memo.min_rows:
+        memo = None
     result_mask: "int | None" = None
     work = 0
     for anchor in step_plan.anchors:
@@ -245,11 +542,27 @@ def _generate_candidates_bitset(
         if not possible_images:
             if counters is not None:
                 counters.work_units += work
-            return ()
-        anchor_mask = 0
-        for vertex in possible_images:
-            anchor_mask |= index.postings_mask(vertex)
-        work += len(possible_images)
+            return EMPTY_CANDIDATES
+        anchor_mask = None
+        key = None
+        if memo is not None:
+            key = (
+                partition.signature,
+                anchor.prev_step,
+                anchor.query_vertex,
+                tuple(possible_images),
+            )
+            cached = memo.get(key)
+            if cached is not AnchorUnionMemo._MISS:
+                anchor_mask = cached
+                work += 1
+        if anchor_mask is None:
+            anchor_mask = 0
+            for vertex in possible_images:
+                anchor_mask |= index.postings_mask(vertex)
+            work += len(possible_images)
+            if memo is not None:
+                memo.put(key, anchor_mask)
         result_mask = (
             anchor_mask if result_mask is None else result_mask & anchor_mask
         )
@@ -258,12 +571,162 @@ def _generate_candidates_bitset(
 
     if result_mask is None:
         # First step of the order (no anchors): the whole partition.
-        candidates = partition.edge_ids
+        candidates: CandidateSet = TupleCandidates(partition.edge_ids)
     else:
-        candidates = index.decode_mask(result_mask)
-    work += len(candidates)
+        candidates = MaskCandidates(index, result_mask)
 
     if counters is not None:
-        counters.work_units += work
-        counters.candidates += len(candidates)
+        size = len(candidates)
+        counters.work_units += work + size
+        counters.candidates += size
+    return candidates
+
+
+def _generate_candidates_adaptive(
+    data: Hypergraph,
+    partition: HyperedgePartition,
+    step_plan: StepPlan,
+    matched_edges: Sequence[int],
+    vmap: Dict[int, Set[int]],
+    non_incident: Set[int],
+    counters: "MatchCounters | None",
+    memo: "AnchorUnionMemo | None",
+) -> CandidateSet:
+    """Algorithm 4 over roaring-style chunk maps.
+
+    Identical structure to the bitset path — per-anchor union, running
+    intersection, same mask-ops cost model — but every ``|``/``&`` is
+    container-pairwise over the chunks both operands populate, so dense
+    chunks run at big-int speed while sparse chunks stay small sorted
+    arrays.
+    """
+    index = partition.index
+    if memo is not None and len(partition.edge_ids) < memo.min_rows:
+        memo = None
+    array_max = index.array_max
+    flat = index.flat_containers
+    result_chunks = None
+    # Sentinel-based: a genuinely empty container is falsy (0 or ()).
+    result_container = _NO_RESULT
+    work = 0
+    for anchor in step_plan.anchors:
+        prev_image = data.edge(matched_edges[anchor.prev_step])
+        work += len(prev_image)
+        possible_images = _anchor_images(
+            data, prev_image, anchor, vmap, non_incident
+        )
+        if not possible_images:
+            if counters is not None:
+                counters.work_units += work
+            return EMPTY_CANDIDATES
+        key = cached = None
+        if memo is not None:
+            key = (
+                partition.signature,
+                anchor.prev_step,
+                anchor.query_vertex,
+                tuple(possible_images),
+            )
+            cached = memo.get(key)
+            if cached is AnchorUnionMemo._MISS:
+                cached = None
+            else:
+                work += 1
+        if flat is not None:
+            # Single-chunk partition: fold bare containers inline — the
+            # hot loop mirrors the bitset backend's OR fold, with sparse
+            # array containers gathered on the side.
+            if cached is not None:
+                anchor_container = cached
+            else:
+                bits = 0
+                arrays = None
+                flat_get = flat.get
+                for vertex in possible_images:
+                    container = flat_get(vertex)
+                    if container is None:
+                        continue
+                    if type(container) is int:
+                        bits |= container
+                    elif arrays is None:
+                        arrays = [container]
+                    else:
+                        arrays.append(container)
+                if arrays is None:
+                    anchor_container = bits
+                elif bits or len(arrays) > 1:
+                    # Mixed / multi-array union, inlined from
+                    # containers_union_many — the call itself costs the
+                    # adaptive backend measurable margin at this
+                    # frequency.  Must stay behaviourally identical to
+                    # that helper; TestAdaptiveContainers::
+                    # test_flat_fold_equivalent_at_container_extremes
+                    # pins the equivalence.
+                    if bits or sum(map(len, arrays)) > array_max:
+                        for array in arrays:
+                            for offset in array:
+                                bits |= 1 << offset
+                        anchor_container = bits
+                    else:
+                        anchor_container = tuple(
+                            sorted({o for array in arrays for o in array})
+                        )
+                else:
+                    anchor_container = arrays[0]
+                work += len(possible_images)
+                if memo is not None:
+                    memo.put(key, anchor_container)
+            if result_container is _NO_RESULT:
+                result_container = anchor_container
+            elif type(result_container) is int and type(
+                anchor_container
+            ) is int:
+                result_container &= anchor_container
+            else:
+                result_container = container_intersect(
+                    result_container, anchor_container
+                )
+            if not result_container:
+                break
+        else:
+            if cached is not None:
+                anchor_chunks = cached
+            else:
+                anchor_chunks = chunks_union_many(
+                    [index.postings_chunks(v) for v in possible_images],
+                    array_max,
+                )
+                work += len(possible_images)
+                if memo is not None:
+                    memo.put(key, anchor_chunks)
+            result_chunks = (
+                anchor_chunks
+                if result_chunks is None
+                else chunks_intersect(result_chunks, anchor_chunks)
+            )
+            if not result_chunks:
+                break
+
+    if result_container is not _NO_RESULT:
+        # Single-chunk results share the bitset consumers: a bitmask
+        # container IS a row mask (chunk 0), and an array container is
+        # at most array_max entries — decoding it eagerly costs less
+        # than any lazy wrapper.
+        if type(result_container) is int:
+            candidates: CandidateSet = MaskCandidates(index, result_container)
+        else:
+            row_to_edge = index.row_to_edge
+            candidates = TupleCandidates(
+                tuple(row_to_edge[offset] for offset in result_container)
+            )
+    elif result_chunks is not None:
+        candidates = ChunkCandidates(index, result_chunks)
+    else:
+        # First step of the order (no anchors): the whole partition.
+        candidates = TupleCandidates(partition.edge_ids)
+
+    if counters is not None:
+        size = len(candidates)
+        counters.work_units += work + size
+        counters.candidates += size
     return candidates

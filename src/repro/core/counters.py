@@ -11,11 +11,41 @@ The paper instruments three quantities per query:
 :class:`MatchCounters` records those plus a few engine-health metrics
 (tasks executed, set-operation work units) that the simulated parallel
 executor uses as its cost model.
+
+Work-unit cost models
+---------------------
+``work_units`` is charged differently per index backend, and the two
+models are **not comparable raw** — a run's model is recorded in
+:attr:`MatchCounters.work_model` (see :data:`WORK_UNIT_MODELS`):
+
+``"postings"`` (merge backend)
+    The paper's faithful Algorithm 4 cost: one unit per posting entry
+    scanned by the k-way union/intersection merge loops, plus the
+    anchor vertices inspected.  Proportional to the data actually
+    merged, which is what the simulated executor charges.
+
+``"mask-ops"`` (bitset and adaptive backends)
+    One unit per anchor vertex scanned, per posting mask OR-ed into an
+    anchor union (a single unit on an anchor-union memo hit), and per
+    candidate in the result cardinality.  The big-int / container ops
+    the backend actually performs — typically one to two orders of
+    magnitude fewer units than ``"postings"`` for the same query.
+
+Cross-backend comparisons must divide by each run's own model (the
+bench harness labels rows via
+:func:`repro.bench.reporting.work_model_label`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+#: ``index backend name -> work_units cost model`` (see module docs).
+WORK_UNIT_MODELS = {
+    "merge": "postings",
+    "bitset": "mask-ops",
+    "adaptive": "mask-ops",
+}
 
 
 @dataclass
@@ -30,9 +60,14 @@ class MatchCounters:
     final_candidates: int = 0
     final_filtered: int = 0
     tasks: int = 0
-    #: Abstract set-operation work units (posting entries touched).  The
-    #: simulated executor charges task costs from this.
+    #: Abstract set-operation work units under the cost model named by
+    #: :attr:`work_model` (module docs).  The simulated executor charges
+    #: task costs from this.
     work_units: int = 0
+    #: Which cost model ``work_units`` was charged under: ``"postings"``,
+    #: ``"mask-ops"``, ``""`` (not stamped) or ``"mixed"`` (counters from
+    #: runs under different models were merged — the sum is meaningless).
+    work_model: str = ""
     #: Peak number of partial embeddings retained at once (scheduler
     #: memory accounting, Exp-5).
     peak_retained: int = 0
@@ -44,6 +79,20 @@ class MatchCounters:
         if self.retained > self.peak_retained:
             self.peak_retained = self.retained
 
+    def note_work_model(self, model: str) -> None:
+        """Record the cost model a run charges ``work_units`` under.
+
+        Reusing one counter set across runs with different models turns
+        the sum meaningless; as in :meth:`merge`, that is surfaced as
+        ``"mixed"`` rather than silently relabelled.
+        """
+        if not model:
+            return
+        if not self.work_model:
+            self.work_model = model
+        elif self.work_model != model:
+            self.work_model = "mixed"
+
     def merge(self, other: "MatchCounters") -> None:
         """Fold another counter set into this one (parallel workers)."""
         self.candidates += other.candidates
@@ -53,6 +102,11 @@ class MatchCounters:
         self.final_filtered += other.final_filtered
         self.tasks += other.tasks
         self.work_units += other.work_units
+        if other.work_model:
+            if not self.work_model:
+                self.work_model = other.work_model
+            elif self.work_model != other.work_model:
+                self.work_model = "mixed"
         self.peak_retained = max(self.peak_retained, other.peak_retained)
 
     def false_positive_rate(self) -> float:
@@ -80,5 +134,6 @@ class MatchCounters:
             "final_filtered": self.final_filtered,
             "tasks": self.tasks,
             "work_units": self.work_units,
+            "work_model": self.work_model,
             "peak_retained": self.peak_retained,
         }

@@ -23,8 +23,15 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import QueryError, TimeoutExceeded
 from ..hypergraph import Hypergraph, PartitionedStore
-from .candidates import VertexStepState, generate_candidates, vertex_step_map
-from .counters import MatchCounters
+from .candidates import (
+    AnchorUnionMemo,
+    MaskCandidates,
+    VertexStepState,
+    generate_candidate_set,
+    vertex_step_map,
+    vertex_step_tuples,
+)
+from .counters import WORK_UNIT_MODELS, MatchCounters
 from .expansion import count_vertex_mappings, iter_vertex_mappings
 from .ordering import compute_matching_order, is_connected_order
 from .plan import ExecutionPlan, build_execution_plan
@@ -102,15 +109,17 @@ class HGMatch:
         engines.
     index_backend:
         Posting-list representation for a store built here — ``"merge"``
-        (sorted tuples) or ``"bitset"`` (row-id bitmasks).  Ignored when
-        a prebuilt ``store`` is supplied (the store's backend wins).
+        (sorted tuples), ``"bitset"`` (row-id bitmasks) or ``"adaptive"``
+        (roaring-style chunked containers); ``None`` defers to
+        ``REPRO_INDEX_BACKEND``/``"merge"``.  Ignored when a prebuilt
+        ``store`` is supplied (the store's backend wins).
     """
 
     def __init__(
         self,
         data: Hypergraph,
         store: "PartitionedStore | None" = None,
-        index_backend: str = "merge",
+        index_backend: "str | None" = None,
     ) -> None:
         self.data = data
         self.store = (
@@ -118,6 +127,10 @@ class HGMatch:
             if store is not None
             else PartitionedStore(data, index_backend=index_backend)
         )
+        # Sibling tasks (LIFO/BFS/worker deques) share anchors, so their
+        # per-anchor posting unions are memoised engine-wide; the memo is
+        # thread-safe and only consulted by the mask backends.
+        self._anchor_memo = AnchorUnionMemo()
 
     @property
     def index_backend(self) -> str:
@@ -159,6 +172,7 @@ class HGMatch:
         matched_edges: Tuple[int, ...],
         counters: "MatchCounters | None" = None,
         vmap: "Dict[int, set] | None" = None,
+        step_tuples: "Dict[int, Tuple[int, ...]] | None" = None,
     ) -> List[Tuple[int, ...]]:
         """Expand one partial embedding by the next hyperedge in the order.
 
@@ -168,9 +182,16 @@ class HGMatch:
 
         ``vmap`` lets loop-style callers pass the incrementally
         maintained ``vertex_step_map`` of ``matched_edges`` (see
-        :class:`repro.core.candidates.VertexStepState`); it is read, not
-        mutated.  Without it the map is rebuilt from the task tuple, so
-        a bare task remains fully self-contained.
+        :class:`repro.core.candidates.VertexStepState`); ``step_tuples``
+        likewise passes the state's precomputed per-vertex sorted step
+        tuples to validation.  Both are read, not mutated.  Without them
+        the maps are rebuilt from the task tuple, so a bare task remains
+        fully self-contained.
+
+        The expansion is mask-native: the candidate set stays in the
+        backend's own representation (bitmask / chunk map) and is
+        iterated bit by bit, so candidates that validation rejects are
+        never materialised into edge-id tuples.
         """
         step_plan = plan.steps[len(matched_edges)]
         partition = self.store.partition(step_plan.signature)
@@ -178,25 +199,51 @@ class HGMatch:
             return []
         if vmap is None:
             vmap = vertex_step_map(self.data, matched_edges)
-        candidates = generate_candidates(
-            self.data, partition, step_plan, matched_edges, vmap, counters
+            step_tuples = vertex_step_tuples(self.data, matched_edges)
+        candidates = generate_candidate_set(
+            self.data, partition, step_plan, matched_edges, vmap, counters,
+            memo=self._anchor_memo,
         )
         final_step = step_plan.step == plan.num_steps - 1
         if counters is not None and final_step:
             counters.final_candidates += len(candidates)
         partial_num_vertices = len(vmap)
+        data = self.data
         extended: List[Tuple[int, ...]] = []
+        append = extended.append
+        if type(candidates) is MaskCandidates:
+            # Inline bit scan: cheaper than both the decoded tuple it
+            # replaces and a per-bit generator.
+            mask = candidates.mask
+            row_to_edge = candidates.row_to_edge
+            while mask:
+                low = mask & -mask
+                mask ^= low
+                candidate = row_to_edge[low.bit_length() - 1]
+                if is_valid_expansion(
+                    data,
+                    step_plan,
+                    vmap,
+                    partial_num_vertices,
+                    candidate,
+                    counters,
+                    final_step=final_step,
+                    step_tuples=step_tuples,
+                ):
+                    append(matched_edges + (candidate,))
+            return extended
         for candidate in candidates:
             if is_valid_expansion(
-                self.data,
+                data,
                 step_plan,
                 vmap,
                 partial_num_vertices,
                 candidate,
                 counters,
                 final_step=final_step,
+                step_tuples=step_tuples,
             ):
-                extended.append(matched_edges + (candidate,))
+                append(matched_edges + (candidate,))
         return extended
 
     # ------------------------------------------------------------------
@@ -223,10 +270,13 @@ class HGMatch:
         plan = self.plan(query, order)
         deadline = None if time_budget is None else time.monotonic() + time_budget
         num_steps = plan.num_steps
+        if counters is not None:
+            counters.note_work_model(WORK_UNIT_MODELS.get(self.index_backend, ""))
         # One incrementally maintained vertex_step_map for the whole loop:
         # consecutive LIFO pops are siblings/children, so advancing costs
         # a push/pop delta instead of a per-task rebuild.
         state = VertexStepState(self.data)
+        step_tuples = state.step_tuples
         stack: List[Tuple[int, ...]] = [()]
         while stack:
             matched = stack.pop()
@@ -236,7 +286,9 @@ class HGMatch:
             if deadline is not None and time.monotonic() > deadline:
                 raise TimeoutExceeded(time.monotonic() - (deadline - time_budget), time_budget)
             vmap = state.advance(matched)
-            for extended in self.expand(plan, matched, counters, vmap=vmap):
+            for extended in self.expand(
+                plan, matched, counters, vmap=vmap, step_tuples=step_tuples
+            ):
                 if len(extended) == num_steps:
                     if strict and not certify_embedding(
                         self.data, query, plan.order, extended
@@ -314,10 +366,13 @@ class HGMatch:
         """
         plan = self.plan(query, order)
         deadline = None if time_budget is None else time.monotonic() + time_budget
+        if counters is not None:
+            counters.note_work_model(WORK_UNIT_MODELS.get(self.index_backend, ""))
         # Same push/pop-delta state as `match`: level order visits each
         # parent's children consecutively, so advancing between frontier
         # entries usually costs one pop plus one push.
         state = VertexStepState(self.data)
+        step_tuples = state.step_tuples
         frontier: List[Tuple[int, ...]] = [()]
         for _ in range(plan.num_steps):
             next_frontier: List[Tuple[int, ...]] = []
@@ -330,7 +385,10 @@ class HGMatch:
                     )
                 vmap = state.advance(matched)
                 next_frontier.extend(
-                    self.expand(plan, matched, counters, vmap=vmap)
+                    self.expand(
+                        plan, matched, counters, vmap=vmap,
+                        step_tuples=step_tuples,
+                    )
                 )
             frontier = next_frontier
             if counters is not None:

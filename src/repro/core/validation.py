@@ -17,7 +17,7 @@ lets the query-side multiset be precomputed once in the plan.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, Sequence, Set
+from typing import Dict, Sequence, Set, Tuple
 
 from ..hypergraph import Hypergraph
 from .counters import MatchCounters
@@ -32,6 +32,7 @@ def is_valid_expansion(
     candidate_edge: int,
     counters: "MatchCounters | None" = None,
     final_step: bool = False,
+    step_tuples: "Dict[int, Tuple[int, ...]] | None" = None,
 ) -> bool:
     """Run Algorithm 5 for one candidate.
 
@@ -45,6 +46,12 @@ def is_valid_expansion(
         candidate).
     candidate_edge:
         Data hyperedge id proposed for ``step_plan.step``.
+    step_tuples:
+        Optionally the per-vertex *ascending step tuples* of the partial
+        embedding (``VertexStepState.step_tuples`` or
+        :func:`repro.core.candidates.vertex_step_tuples`).  When given,
+        the profile fast path reads them directly instead of sorting
+        each vertex's step set per candidate.
     """
     edge = data.edge(candidate_edge)
 
@@ -65,20 +72,26 @@ def is_valid_expansion(
         # its multiset to a sorted tuple, so the data side only builds a
         # parallel tuple — no Counter, no frozenset hashing.  Step sets in
         # ``vmap`` hold indices < step, hence appending ``step`` keeps the
-        # per-vertex step tuple sorted.
+        # per-vertex step tuple sorted; with ``step_tuples`` supplied the
+        # sorted prefix comes precomputed from the enumeration loop.
         label_ids = step_plan.profile_label_ids
         entries = []
+        incident_tuples = step_tuples if step_tuples is not None else None
         for vertex in edge:
             if counters is not None:
                 counters.work_units += 1
             label_id = label_ids.get(data.label(vertex))
             if label_id is None:
                 return False
-            incident = vmap.get(vertex)
-            if incident is None:
-                steps = (step,)
+            if incident_tuples is not None:
+                incident = incident_tuples.get(vertex)
+                steps = (step,) if incident is None else incident + (step,)
             else:
-                steps = tuple(sorted(incident)) + (step,)
+                incident = vmap.get(vertex)
+                if incident is None:
+                    steps = (step,)
+                else:
+                    steps = tuple(sorted(incident)) + (step,)
             entries.append((label_id, steps))
         entries.sort()
         return tuple(entries) == profile_key

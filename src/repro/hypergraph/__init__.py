@@ -10,10 +10,16 @@ sampler (Section VII-A).
 
 from .hypergraph import Hypergraph, HypergraphBuilder
 from .index import (
+    ARRAY_CONTAINER_MAX,
+    CHUNK_BITS,
     INDEX_BACKENDS,
+    AdaptiveHyperedgeIndex,
     BitsetHyperedgeIndex,
     InvertedHyperedgeIndex,
     build_index,
+    chunks_count,
+    chunks_intersect,
+    chunks_union_many,
     index_from_postings,
     intersect_many,
     intersect_sorted,
@@ -36,16 +42,29 @@ from .signature import (
 )
 from .persistence import load_store, save_store, stores_equal
 from .statistics import DatasetStatistics, dataset_statistics, format_bytes
-from .storage import HyperedgePartition, PartitionedStore
+from .storage import (
+    HyperedgePartition,
+    PartitionedStore,
+    default_index_backend,
+    resolve_index_backend,
+)
 
 __all__ = [
     "Hypergraph",
     "HypergraphBuilder",
     "InvertedHyperedgeIndex",
     "BitsetHyperedgeIndex",
+    "AdaptiveHyperedgeIndex",
     "INDEX_BACKENDS",
+    "ARRAY_CONTAINER_MAX",
+    "CHUNK_BITS",
+    "default_index_backend",
+    "resolve_index_backend",
     "build_index",
     "index_from_postings",
+    "chunks_count",
+    "chunks_intersect",
+    "chunks_union_many",
     "HyperedgePartition",
     "PartitionedStore",
     "Signature",

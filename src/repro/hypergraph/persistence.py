@@ -28,8 +28,12 @@ from typing import Dict, List, TextIO, Tuple
 
 from ..errors import ParseError
 from .hypergraph import Hypergraph
-from .index import INDEX_BACKENDS, index_from_postings
-from .storage import HyperedgePartition, PartitionedStore
+from .index import index_from_postings
+from .storage import (
+    HyperedgePartition,
+    PartitionedStore,
+    resolve_index_backend,
+)
 
 _MAGIC = "HGSTORE 1"
 
@@ -85,18 +89,22 @@ def save_store(store: PartitionedStore, path: str) -> None:
 
 
 def parse_store(
-    stream: TextIO, index_backend: str = "merge"
+    stream: TextIO, index_backend: "str | None" = None
 ) -> PartitionedStore:
     """Read an indexed data hypergraph back (no recomputation).
 
     The on-disk format stores backend-neutral posting lists; the
-    requested ``index_backend`` is materialised while reading.
+    requested ``index_backend`` — any of ``merge``/``bitset``/
+    ``adaptive``, default per :func:`repro.hypergraph.storage.
+    default_index_backend` — is materialised while reading.  For the
+    adaptive backend that includes re-deriving each chunk's
+    array-versus-bitmask container choice, which is a pure function of
+    the posting lists and therefore survives the round trip.
     """
-    if index_backend not in INDEX_BACKENDS:
-        raise ParseError(
-            f"unknown index backend {index_backend!r}; "
-            f"expected one of {INDEX_BACKENDS}"
-        )
+    try:
+        index_backend = resolve_index_backend(index_backend)
+    except ValueError as exc:
+        raise ParseError(str(exc)) from None
     header = stream.readline().strip()
     if header != _MAGIC:
         raise ParseError(f"not an HGSTORE file (header {header!r})")
@@ -165,7 +173,9 @@ def parse_store(
     return store
 
 
-def load_store(path: str, index_backend: str = "merge") -> PartitionedStore:
+def load_store(
+    path: str, index_backend: "str | None" = None
+) -> PartitionedStore:
     """Read an indexed data hypergraph from ``path``."""
     with open(path, "r", encoding="utf-8") as stream:
         return parse_store(stream, index_backend=index_backend)

@@ -12,11 +12,36 @@ built by :mod:`repro.hypergraph.index`.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Iterator, Mapping, Tuple
 
 from .hypergraph import Hypergraph
 from .index import INDEX_BACKENDS, build_index
 from .signature import Signature
+
+
+def default_index_backend() -> str:
+    """The backend used when callers pass ``index_backend=None``.
+
+    Resolved at call time from the ``REPRO_INDEX_BACKEND`` environment
+    variable (falling back to ``"merge"``), so a whole process — the
+    test suite under CI's backend matrix, a deployment — can be switched
+    without touching call sites.
+    """
+    return os.environ.get("REPRO_INDEX_BACKEND") or "merge"
+
+
+def resolve_index_backend(index_backend: "str | None") -> str:
+    """Normalise an ``index_backend`` argument, validating the name."""
+    backend = (
+        default_index_backend() if index_backend is None else index_backend
+    )
+    if backend not in INDEX_BACKENDS:
+        raise ValueError(
+            f"unknown index backend {backend!r}; "
+            f"expected one of {INDEX_BACKENDS}"
+        )
+    return backend
 
 
 class HyperedgePartition:
@@ -77,17 +102,18 @@ class PartitionedStore:
     No auxiliary structure is ever built at query time.
 
     ``index_backend`` selects the posting-list representation for every
-    partition: ``"merge"`` (sorted tuples + merge scans) or ``"bitset"``
-    (dense row-id bitmasks + bitwise algebra).  Both yield identical
-    candidate sets; see :mod:`repro.hypergraph.index`.
+    partition: ``"merge"`` (sorted tuples + merge scans), ``"bitset"``
+    (dense row-id bitmasks + bitwise algebra) or ``"adaptive"``
+    (roaring-style chunked containers).  ``None`` defers to
+    :func:`default_index_backend` (the ``REPRO_INDEX_BACKEND``
+    environment variable, falling back to ``"merge"``).  All backends
+    yield identical candidate sets; see :mod:`repro.hypergraph.index`.
     """
 
-    def __init__(self, graph: Hypergraph, index_backend: str = "merge") -> None:
-        if index_backend not in INDEX_BACKENDS:
-            raise ValueError(
-                f"unknown index backend {index_backend!r}; "
-                f"expected one of {INDEX_BACKENDS}"
-            )
+    def __init__(
+        self, graph: Hypergraph, index_backend: "str | None" = None
+    ) -> None:
+        index_backend = resolve_index_backend(index_backend)
         self._graph = graph
         self.index_backend = index_backend
         grouped: Dict[Signature, list] = {}

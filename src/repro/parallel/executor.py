@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from ..core.candidates import VertexStepState
-from ..core.counters import MatchCounters
+from ..core.counters import WORK_UNIT_MODELS, MatchCounters
 from ..core.engine import HGMatch
 from ..errors import SchedulerError, TimeoutExceeded
 from ..hypergraph import Hypergraph
@@ -197,6 +197,8 @@ class ThreadedExecutor:
         # Theorem VI.1 memory bound holds); the worker merely caches one
         # push/pop-delta vertex_step_map and re-points it at each task.
         expansion_state = VertexStepState(engine.data)
+        step_tuples = expansion_state.step_tuples
+        counters.note_work_model(WORK_UNIT_MODELS.get(engine.index_backend, ""))
         try:
             while not state.cancelled.is_set():
                 task = own.pop()
@@ -219,7 +221,9 @@ class ThreadedExecutor:
                     return
                 started = time.perf_counter()
                 vmap = expansion_state.advance(task)
-                children = engine.expand(plan, task, counters, vmap=vmap)
+                children = engine.expand(
+                    plan, task, counters, vmap=vmap, step_tuples=step_tuples
+                )
                 spawned: List[PartialEmbedding] = []
                 for child in children:
                     if len(child) == num_steps:

@@ -1,12 +1,35 @@
-"""Shared fixtures: the paper's running example and small workloads."""
+"""Shared fixtures: the paper's running example and small workloads.
+
+The suite doubles as a backend matrix: ``REPRO_INDEX_BACKEND`` (merge /
+bitset / adaptive) switches the default posting-list representation of
+every store built without an explicit ``index_backend`` — CI runs the
+whole tier-1 suite once per backend.  The env var is consumed at store
+build time by :func:`repro.hypergraph.storage.default_index_backend`;
+this conftest validates it up front so a typo fails the session
+immediately instead of silently testing ``merge`` three times.
+"""
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
 
 from repro import HGMatch, Hypergraph
+from repro.hypergraph import INDEX_BACKENDS, default_index_backend
+
+
+def pytest_configure(config):
+    backend = os.environ.get("REPRO_INDEX_BACKEND")
+    if backend and backend not in INDEX_BACKENDS:
+        raise pytest.UsageError(
+            f"REPRO_INDEX_BACKEND={backend!r} is not one of {INDEX_BACKENDS}"
+        )
+
+
+def pytest_report_header(config):
+    return f"repro index backend: {default_index_backend()}"
 
 
 @pytest.fixture

@@ -55,7 +55,40 @@ class TestCounters:
     def test_as_row_keys(self):
         row = MatchCounters().as_row()
         assert {"candidates", "filtered", "embeddings", "final_candidates",
-                "final_filtered", "tasks", "work_units", "peak_retained"} <= set(row)
+                "final_filtered", "tasks", "work_units", "work_model",
+                "peak_retained"} <= set(row)
+
+    def test_work_model_mixing(self):
+        """Combining counters charged under different cost models must
+        surface as 'mixed' — raw sums across models are meaningless
+        (both via merge() and via reuse through note_work_model)."""
+        first = MatchCounters(work_units=5, work_model="postings")
+        second = MatchCounters(work_units=7, work_model="mask-ops")
+        first.merge(second)
+        assert first.work_model == "mixed"
+
+        reused = MatchCounters()
+        reused.note_work_model("postings")
+        assert reused.work_model == "postings"
+        reused.note_work_model("postings")
+        assert reused.work_model == "postings"
+        reused.note_work_model("mask-ops")
+        assert reused.work_model == "mixed"
+        reused.note_work_model("")
+        assert reused.work_model == "mixed"
+
+    def test_work_model_stamped_by_engines(self, fig1_data, fig1_query):
+        """One counter set reused across engines with different backends
+        ends up 'mixed', not silently relabelled."""
+        counters = MatchCounters()
+        HGMatch(fig1_data, index_backend="merge").count(
+            fig1_query, counters=counters
+        )
+        assert counters.work_model == "postings"
+        HGMatch(fig1_data, index_backend="bitset").count(
+            fig1_query, counters=counters
+        )
+        assert counters.work_model == "mixed"
 
     def test_final_counters_populated_by_engine(self, fig1_data, fig1_query):
         counters = MatchCounters()
