@@ -4,7 +4,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-backends bench-smoke bench-index lint-imports
+.PHONY: test test-backends test-processes bench-smoke bench-index \
+	bench-sharding lint-imports
 
 ## Tier-1 verification: the whole test suite, stop on first failure.
 ## Honours REPRO_INDEX_BACKEND (merge/bitset/adaptive).
@@ -18,6 +19,20 @@ test-backends:
 	REPRO_INDEX_BACKEND=bitset $(PYTHON) -m pytest -x -q
 	REPRO_INDEX_BACKEND=adaptive $(PYTHON) -m pytest -x -q
 
+## Multiprocess smoke: the sharded-execution subsystem across all three
+## backends (wire format, shard slicing, process pool, parity) — the
+## tier-1 subset CI's multiprocess job runs.
+test-processes:
+	REPRO_INDEX_BACKEND=merge $(PYTHON) -m pytest -x -q \
+		tests/test_process_executor.py tests/test_sharding.py \
+		tests/test_wire_format.py
+	REPRO_INDEX_BACKEND=bitset $(PYTHON) -m pytest -x -q \
+		tests/test_process_executor.py tests/test_sharding.py \
+		tests/test_wire_format.py
+	REPRO_INDEX_BACKEND=adaptive $(PYTHON) -m pytest -x -q \
+		tests/test_process_executor.py tests/test_sharding.py \
+		tests/test_wire_format.py
+
 ## One fast benchmark as a smoke signal: the three-backend index
 ## comparison (merge/bitset/adaptive + mask-native pipeline; also
 ## regenerates BENCH_index_backends.json).
@@ -26,6 +41,12 @@ bench-smoke:
 
 ## Alias kept for discoverability.
 bench-index: bench-smoke
+
+## Sharded execution benchmark: threads vs processes at 4 shards on the
+## Fig. 8 trace + parity/payload gates (regenerates BENCH_sharding.json;
+## the >= 1.5x speedup gate enforces only on hosts with >= 2 cores).
+bench-sharding:
+	$(PYTHON) benchmarks/bench_sharding.py
 
 ## Cheap sanity check that every package module imports cleanly.
 lint-imports:

@@ -1,0 +1,293 @@
+"""Benchmark: process-sharded execution over the mask-native seam.
+
+Runs the Fig. 8 trace (the same HB/SB × q2/q3/q6 workload as
+``bench_index_backends``) through three execution engines and gates the
+sharded subsystem:
+
+* **parity** — sharded ``count``/``count_bfs`` results must be
+  bit-identical to the sequential engine for all three index backends
+  (always enforced);
+* **payload** — the bytes crossing the process boundaries must be the
+  backend's *mask* representation, not decoded edge-id lists: on the
+  identical trace the bitset/adaptive payload totals must undercut the
+  merge backend's tuple payloads (always enforced);
+* **speedup** — processes ≥ 1.5× wall-clock over the threaded executor
+  at 4 shards.  Enforced only on hosts with ≥ 2 usable cores: the
+  threaded executor is GIL-serialised, so the process pool's advantage
+  *is* the extra cores — on a single-core host every executor
+  serialises onto the same CPU and the ratio merely records overhead,
+  which the JSON captures but no gate can meaningfully demand.
+
+The timing protocol measures steady-state serving: the worker pools are
+built once (the offline stage, like store building) and every timed
+pass replays the full workload; ``REPEATS`` passes, best-of wins.
+Results land in ``BENCH_sharding.json`` at the repo root.
+
+Run standalone (``python benchmarks/bench_sharding.py``) or via pytest
+(``pytest benchmarks/bench_sharding.py``); the pytest entry points are
+the gates.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List
+
+from repro import HGMatch
+from repro.bench import make_engine, work_model_label, workload
+from repro.datasets import load_dataset
+from repro.parallel import ProcessShardExecutor, ThreadedExecutor
+
+#: Fig. 8 protocol at reproduction scale — identical to
+#: bench_index_backends so the two JSON trajectories stay comparable.
+DATASETS = ("HB", "SB")
+SETTINGS = ("q2", "q3", "q6")
+QUERIES_PER_SETTING = 3
+REPEATS = 3
+
+BACKENDS = ("merge", "bitset", "adaptive")
+#: The seam's backends: payloads are row masks / chunk maps.
+MASK_BACKENDS = ("bitset", "adaptive")
+NUM_SHARDS = 4
+SPEEDUP_GATE = 1.5
+
+RESULT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_sharding.json",
+)
+
+
+def usable_cores() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _workload_queries() -> List[tuple]:
+    queries = []
+    for dataset in DATASETS:
+        for setting in SETTINGS:
+            for query in workload(dataset, setting, QUERIES_PER_SETTING):
+                queries.append((dataset, query))
+    return queries
+
+
+def run_benchmark() -> dict:
+    """Time and verify every backend; returns the JSON summary."""
+    queries = _workload_queries()
+    engines: Dict[str, Dict[str, HGMatch]] = {
+        dataset: {
+            backend: make_engine(load_dataset(dataset), index_backend=backend)
+            for backend in BACKENDS
+        }
+        for dataset in DATASETS
+    }
+    # Sequential reference counts (the bit-identity baseline).
+    reference = [
+        engines[dataset][BACKENDS[0]].count(query)
+        for dataset, query in queries
+    ]
+
+    rows = []
+    parity_failures: List[str] = []
+    for backend in BACKENDS:
+        executors: Dict[str, ProcessShardExecutor] = {}
+        try:
+            # Offline stage: build the shard pools and warm them (the
+            # first run builds each worker's store shard).
+            for dataset in DATASETS:
+                executor = ProcessShardExecutor(
+                    NUM_SHARDS, index_backend=backend
+                )
+                executors[dataset] = executor
+                executor.run(engines[dataset][backend], queries[0][1])
+
+            # Parity: sharded count/count_bfs == sequential, per query.
+            payload_bytes = [0] * NUM_SHARDS
+            for (dataset, query), expected in zip(queries, reference):
+                engine = engines[dataset][backend]
+                if engine.count(query) != expected:
+                    parity_failures.append(f"{backend}: sequential drifted")
+                result = executors[dataset].run(engine, query)
+                if result.embeddings != expected:
+                    parity_failures.append(
+                        f"{backend}: processes returned {result.embeddings}, "
+                        f"sequential {expected}"
+                    )
+                if engine.count_bfs(query) != expected:
+                    parity_failures.append(f"{backend}: count_bfs diverged")
+                for stats in result.worker_stats:
+                    payload_bytes[stats.worker_id] += stats.payload_bytes
+
+            # Timing: best-of-REPEATS full-workload passes.
+            sequential_s = min(
+                _time_pass(
+                    lambda: [
+                        engines[dataset][backend].count(query)
+                        for dataset, query in queries
+                    ]
+                )
+                for _ in range(REPEATS)
+            )
+            threaded = ThreadedExecutor(num_workers=NUM_SHARDS)
+            threads_s = min(
+                _time_pass(
+                    lambda: [
+                        threaded.run(engines[dataset][backend], query)
+                        for dataset, query in queries
+                    ]
+                )
+                for _ in range(REPEATS)
+            )
+            processes_s = min(
+                _time_pass(
+                    lambda: [
+                        executors[dataset].run(
+                            engines[dataset][backend], query
+                        )
+                        for dataset, query in queries
+                    ]
+                )
+                for _ in range(REPEATS)
+            )
+        finally:
+            for executor in executors.values():
+                executor.close()
+
+        rows.append(
+            {
+                "backend": backend,
+                "work_model": work_model_label(backend),
+                "sequential_seconds": round(sequential_s, 6),
+                f"threads{NUM_SHARDS}_seconds": round(threads_s, 6),
+                f"processes{NUM_SHARDS}_seconds": round(processes_s, 6),
+                "speedup_vs_threads": round(
+                    threads_s / max(processes_s, 1e-12), 3
+                ),
+                "speedup_vs_sequential": round(
+                    sequential_s / max(processes_s, 1e-12), 3
+                ),
+                "payload_bytes_per_shard": payload_bytes,
+                "payload_bytes_total": sum(payload_bytes),
+            }
+        )
+
+    by_backend = {row["backend"]: row for row in rows}
+    cores = usable_cores()
+    summary = {
+        "benchmark": "sharding",
+        "workload": {
+            "datasets": list(DATASETS),
+            "settings": list(SETTINGS),
+            "queries_per_setting": QUERIES_PER_SETTING,
+            "repeats": REPEATS,
+            "queries": len(queries),
+        },
+        "num_shards": NUM_SHARDS,
+        "cores": cores,
+        "speedup_gate": SPEEDUP_GATE,
+        "speedup_gate_enforced": cores >= 2,
+        "parity_failures": parity_failures,
+        "rows": rows,
+        # Headline numbers: the mask seam's backend.
+        "bitset_speedup_vs_threads": by_backend["bitset"][
+            "speedup_vs_threads"
+        ],
+        "mask_payload_vs_tuple_payload": {
+            backend: round(
+                by_backend[backend]["payload_bytes_total"]
+                / max(by_backend["merge"]["payload_bytes_total"], 1),
+                3,
+            )
+            for backend in MASK_BACKENDS
+        },
+    }
+    return summary
+
+
+def _time_pass(run_pass) -> float:
+    started = time.perf_counter()
+    run_pass()
+    return time.perf_counter() - started
+
+
+def write_summary(summary: dict) -> str:
+    with open(RESULT_PATH, "w", encoding="utf-8") as stream:
+        json.dump(summary, stream, indent=2)
+        stream.write("\n")
+    return RESULT_PATH
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (the gates)
+# ----------------------------------------------------------------------
+import pytest
+
+
+@pytest.fixture(scope="module")
+def summary():
+    result = run_benchmark()
+    write_summary(result)
+    return result
+
+
+def test_sharded_counts_bit_identical(summary):
+    """count/count_bfs parity against the sequential engine, all three
+    index backends, every workload query."""
+    assert summary["parity_failures"] == []
+
+
+@pytest.mark.parametrize("backend", MASK_BACKENDS)
+def test_masks_cross_the_boundary(summary, backend):
+    """On the identical trace, mask payloads must undercut the edge-id
+    tuple payloads the merge backend ships — proof the boundary carries
+    the compressed representation, not decoded lists."""
+    ratio = summary["mask_payload_vs_tuple_payload"][backend]
+    assert 0 < ratio < 1.0, summary
+
+
+def test_processes_beat_threads_at_4_shards(summary):
+    """The ≥ 1.5× wall-clock gate (multi-core hosts only; see module
+    docstring for why a single core cannot express the comparison)."""
+    if not summary["speedup_gate_enforced"]:
+        pytest.skip(
+            f"host exposes {summary['cores']} usable core(s); the "
+            f"threaded-vs-process comparison needs >= 2"
+        )
+    assert summary["bitset_speedup_vs_threads"] >= SPEEDUP_GATE, summary
+
+
+def main() -> int:
+    result = run_benchmark()
+    path = write_summary(result)
+    for row in result["rows"]:
+        print(
+            f"{row['backend']}: seq={row['sequential_seconds']:.4f}s "
+            f"threads{NUM_SHARDS}={row[f'threads{NUM_SHARDS}_seconds']:.4f}s "
+            f"processes{NUM_SHARDS}={row[f'processes{NUM_SHARDS}_seconds']:.4f}s "
+            f"(x{row['speedup_vs_threads']:.2f} vs threads, "
+            f"payload={row['payload_bytes_total']}B "
+            f"{row['payload_bytes_per_shard']})"
+        )
+    print(
+        f"cores={result['cores']} "
+        f"bitset speedup vs threads: x{result['bitset_speedup_vs_threads']:.2f} "
+        f"(gate {'ENFORCED' if result['speedup_gate_enforced'] else 'SKIPPED: single core'}) "
+        f"-> {path}"
+    )
+    # Mirror the pytest gates for CI's script-mode run.
+    ok = not result["parity_failures"] and all(
+        0 < ratio < 1.0
+        for ratio in result["mask_payload_vs_tuple_payload"].values()
+    )
+    if result["speedup_gate_enforced"]:
+        ok = ok and result["bitset_speedup_vs_threads"] >= SPEEDUP_GATE
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

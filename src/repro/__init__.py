@@ -37,6 +37,7 @@ from .hypergraph import (
     Hypergraph,
     HypergraphBuilder,
     PartitionedStore,
+    ShardedStore,
     dataset_statistics,
     sample_queries,
     sample_query,
@@ -48,6 +49,7 @@ __all__ = [
     "Hypergraph",
     "HypergraphBuilder",
     "PartitionedStore",
+    "ShardedStore",
     "HGMatch",
     "Embedding",
     "MatchCounters",

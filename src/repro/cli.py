@@ -95,6 +95,24 @@ def build_parser() -> argparse.ArgumentParser:
         "engines an explicit value enables store-backed IHS pruning",
     )
     match.add_argument("--workers", type=int, default=1)
+    match.add_argument(
+        "--executor",
+        default=None,
+        choices=("threads", "processes", "simulated"),
+        help="parallel engine for HGMatch: threads (work-stealing "
+        "scheduler, GIL-serialised), processes (one worker process per "
+        "store shard; real multi-core) or simulated (discrete-event, "
+        "virtual time); default is sequential, or threads when "
+        "--workers > 1",
+    )
+    match.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard count for --executor processes (contiguous "
+        "row-range shards of every signature partition; default: "
+        "--workers)",
+    )
     match.add_argument("--timeout", type=float, default=None)
     match.add_argument(
         "--print-embeddings", action="store_true", help="print each embedding"
@@ -176,18 +194,59 @@ def _cmd_match(args, out) -> int:
     started = time.perf_counter()
     try:
         if args.engine == "HGMatch":
-            engine = HGMatch(data, index_backend=args.index_backend)
+            executor = args.executor
+            shards = args.shards
+            if shards is not None and executor not in (None, "processes"):
+                # Sharding is the process executor's concept; silently
+                # running threads/simulated without it would misreport.
+                out.write(
+                    f"error: --shards applies to --executor processes, "
+                    f"not {executor!r}\n"
+                )
+                return 1
+            if shards is None and executor == "processes":
+                shards = max(args.workers, 1)
+            elif shards is not None and executor is None:
+                # Asking for shards without naming an engine means the
+                # sharded one.
+                executor = "processes"
+            engine = HGMatch(
+                data,
+                index_backend=args.index_backend,
+                shards=shards if shards is not None else 1,
+            )
             if args.print_embeddings:
+                if executor is not None:
+                    # match() streams from the sequential loop; accepting
+                    # the flag and silently ignoring it would misreport
+                    # what ran.
+                    out.write(
+                        "error: --print-embeddings streams the sequential "
+                        "engine; drop --executor/--shards\n"
+                    )
+                    return 1
                 count = 0
                 for embedding in engine.match(query, time_budget=args.timeout):
                     if count < args.limit:
                         out.write(f"{embedding.hyperedge_mapping()}\n")
                     count += 1
             else:
-                count = engine.count(
-                    query, workers=args.workers, time_budget=args.timeout
-                )
+                try:
+                    count = engine.count(
+                        query,
+                        workers=args.workers,
+                        time_budget=args.timeout,
+                        executor=executor,
+                    )
+                finally:
+                    engine.close()
         else:
+            if args.executor is not None or args.shards is not None:
+                out.write(
+                    "error: --executor/--shards apply to the HGMatch "
+                    "engine only\n"
+                )
+                return 1
             store = None
             if args.index_backend is not None:
                 # An explicit backend opts the baseline's IHS filter into

@@ -35,6 +35,7 @@ the result cardinality.
 
 from __future__ import annotations
 
+import struct
 from collections import OrderedDict
 from typing import Dict, Iterator, List, Sequence, Set, Tuple
 
@@ -46,7 +47,13 @@ from ..hypergraph import (
     intersect_many,
     union_many,
 )
-from ..hypergraph.index import container_intersect
+from ..hypergraph.index import (
+    CHUNK_BITS,
+    bits_to_array,
+    chunks_from_rows,
+    container_intersect,
+    mask_from_chunks,
+)
 from ..hypergraph.storage import HyperedgePartition
 from .counters import MatchCounters
 from .plan import StepPlan
@@ -108,9 +115,16 @@ class VertexStepState:
     step index, so appending keeps each tuple ascending and validation's
     profile fast path gets its sorted tuples for free instead of calling
     ``tuple(sorted(...))`` once per candidate vertex.
+
+    It also maintains the per-vertex step *bitmasks*
+    (:attr:`step_masks`, bit ``s`` set iff the vertex occurs in step
+    ``s``): the mask backends' validation fast path compares profiles
+    over these small ints (one ``|`` per vertex) instead of
+    concatenating tuples — the same algebra Algorithm 4 already runs on
+    its posting masks, applied to Algorithm 5.
     """
 
-    __slots__ = ("_graph", "_matched", "_vmap", "_steps")
+    __slots__ = ("_graph", "_matched", "_vmap", "_steps", "_masks")
 
     def __init__(
         self, graph: Hypergraph, matched_edges: Sequence[int] = ()
@@ -119,6 +133,7 @@ class VertexStepState:
         self._matched: List[int] = []
         self._vmap: Dict[int, Set[int]] = {}
         self._steps: Dict[int, Tuple[int, ...]] = {}
+        self._masks: Dict[int, int] = {}
         for edge_id in matched_edges:
             self.push(edge_id)
 
@@ -131,6 +146,11 @@ class VertexStepState:
     def step_tuples(self) -> Dict[int, Tuple[int, ...]]:
         """Per-vertex ascending step tuples — read-only to callers."""
         return self._steps
+
+    @property
+    def step_masks(self) -> Dict[int, int]:
+        """Per-vertex step bitmasks — read-only to callers."""
+        return self._masks
 
     @property
     def matched(self) -> Tuple[int, ...]:
@@ -148,32 +168,40 @@ class VertexStepState:
         """Extend the embedding by ``edge_id`` at the next step index."""
         step = len(self._matched)
         self._matched.append(edge_id)
+        bit = 1 << step
         vmap = self._vmap
         step_tuples = self._steps
+        step_masks = self._masks
         for vertex in self._graph.edge(edge_id):
             steps = vmap.get(vertex)
             if steps is None:
                 vmap[vertex] = {step}
                 step_tuples[vertex] = (step,)
+                step_masks[vertex] = bit
             else:
                 steps.add(step)
                 step_tuples[vertex] += (step,)
+                step_masks[vertex] |= bit
 
     def pop(self) -> int:
         """Undo the most recent :meth:`push`; returns the popped edge id."""
         edge_id = self._matched.pop()
         step = len(self._matched)
+        bit = 1 << step
         vmap = self._vmap
         step_tuples = self._steps
+        step_masks = self._masks
         for vertex in self._graph.edge(edge_id):
             steps = vmap[vertex]
             steps.discard(step)
             if not steps:
                 del vmap[vertex]
                 del step_tuples[vertex]
+                del step_masks[vertex]
             else:
                 # The popped step is always the tuple's last element.
                 step_tuples[vertex] = step_tuples[vertex][:-1]
+                step_masks[vertex] ^= bit
         return edge_id
 
     def advance(self, matched_edges: Sequence[int]) -> Dict[int, Set[int]]:
@@ -213,6 +241,30 @@ class CandidateSet:
     def to_tuple(self) -> Tuple[int, ...]:
         raise NotImplementedError
 
+    def to_bytes(self, row_offset: int = 0) -> bytes:
+        """Serialise to the compact wire format (see module helpers).
+
+        ``row_offset`` translates *row* coordinates into a wider row
+        space before encoding — a store shard passes its global row base
+        so the payload arrives in global coordinates (edge-id payloads
+        ignore it: edge ids are global already).  Decode with
+        :meth:`from_bytes` against the receiving side's index.
+        """
+        raise NotImplementedError
+
+    @staticmethod
+    def from_bytes(payload: bytes, index=None) -> "CandidateSet":
+        """Reconstruct a candidate set from :meth:`to_bytes` output.
+
+        ``index`` is the receiving side's owning index; required for
+        mask and chunk payloads (rows are meaningless without its
+        ``row_to_edge`` table) and ignored for edge-id tuples.  The
+        payload is normalised to the index's native representation, so
+        a single-chunk shard's bare-mask payload lands as a chunk map
+        on an adaptive reader and vice versa.
+        """
+        return candidate_set_from_bytes(payload, index)
+
     def __iter__(self) -> Iterator[int]:
         raise NotImplementedError
 
@@ -247,6 +299,10 @@ class TupleCandidates(CandidateSet):
     def to_tuple(self) -> Tuple[int, ...]:
         return self._edges
 
+    def to_bytes(self, row_offset: int = 0) -> bytes:
+        # Edge ids are global; row_offset only applies to row payloads.
+        return encode_tuple_payload(self._edges)
+
     def __iter__(self) -> Iterator[int]:
         return iter(self._edges)
 
@@ -277,11 +333,19 @@ class MaskCandidates(CandidateSet):
         return self._mask
 
     @property
+    def index(self):
+        """The owning index (read-only)."""
+        return self._index
+
+    @property
     def row_to_edge(self) -> Tuple[int, ...]:
         return self._index.row_to_edge
 
     def to_tuple(self) -> Tuple[int, ...]:
         return self._index.decode_mask(self._mask)
+
+    def to_bytes(self, row_offset: int = 0) -> bytes:
+        return encode_mask_payload(self._mask, row_offset)
 
     def __iter__(self) -> Iterator[int]:
         return self._index.iter_mask(self._mask)
@@ -304,14 +368,200 @@ class ChunkCandidates(CandidateSet):
     def chunks(self):
         return self._chunks
 
+    @property
+    def index(self):
+        """The owning index (read-only)."""
+        return self._index
+
     def to_tuple(self) -> Tuple[int, ...]:
         return self._index.decode_chunks(self._chunks)
+
+    def to_bytes(self, row_offset: int = 0) -> bytes:
+        if row_offset == 0:
+            return encode_chunks_payload(self._chunks)
+        # Shifting by an arbitrary offset can split containers across
+        # chunk boundaries, so translate through explicit rows.
+        chunk_bits = self._index.chunk_bits
+        rows: List[int] = []
+        for chunk in sorted(self._chunks):
+            base = (chunk << chunk_bits) + row_offset
+            container = self._chunks[chunk]
+            if isinstance(container, int):
+                container = bits_to_array(container)
+            rows.extend(base + offset for offset in container)
+        return encode_chunks_payload(
+            chunks_from_rows(rows, chunk_bits, self._index.array_max)
+        )
 
     def __iter__(self) -> Iterator[int]:
         return self._index.iter_chunks(self._chunks)
 
     def __len__(self) -> int:
         return self._count
+
+
+# ----------------------------------------------------------------------
+# Wire format (the process-sharding seam)
+# ----------------------------------------------------------------------
+# One tag byte selects the representation; everything else is
+# little-endian struct data, so a payload costs bytes proportional to
+# the *representation* (mask bits / containers), never a decoded
+# edge-id list:
+#
+#   ``T``  count:u32, then count edge ids as i64 — the merge backend's
+#          native tuples (edge ids are global, no row translation).
+#   ``M``  offset:u32, then the *local* row bitmask's little-endian
+#          bytes.  The decoder shifts rows up by ``offset``, so a
+#          shard's payload costs bytes proportional to its local span —
+#          never to its global row base (a shard at base 750k with one
+#          survivor ships ~6 bytes, not ~94 KB of leading zeros).
+#   ``C``  count:u32, then per chunk: index:u32, kind:u8 (0 = array,
+#          1 = bitmask), and the container (array: count:u16 + u32
+#          offsets; bitmask: length:u32 + little-endian bytes).  Chunk
+#          indices absorb the row base, so these are written directly
+#          in the target coordinates.
+#
+# Row payloads (``M``/``C``) land in the row space the caller chose via
+# ``to_bytes(row_offset=...)``; writer and reader must agree on the
+# chunk width (both default to ``CHUNK_BITS``).  The decoder normalises
+# to the receiving index's backend, so shards and the composing engine
+# can disagree about *which* row representation is native without ever
+# materialising edge-id lists.
+
+_WIRE_TUPLE = 0x54  # b"T"
+_WIRE_MASK = 0x4D  # b"M"
+_WIRE_CHUNKS = 0x43  # b"C"
+_ARRAY_KIND = 0
+_BITS_KIND = 1
+
+
+def encode_tuple_payload(edges: Sequence[int]) -> bytes:
+    """Wire payload for an ascending edge-id tuple."""
+    return struct.pack(f"<BI{len(edges)}q", _WIRE_TUPLE, len(edges), *edges)
+
+
+def encode_mask_payload(mask: int, row_offset: int = 0) -> bytes:
+    """Wire payload for a row bitmask over *local* rows; the decoder
+    shifts rows up by ``row_offset`` (see the format notes above)."""
+    return struct.pack("<BI", _WIRE_MASK, row_offset) + mask.to_bytes(
+        (mask.bit_length() + 7) // 8, "little"
+    )
+
+
+def encode_chunks_payload(chunks) -> bytes:
+    """Wire payload for a roaring-style chunk map."""
+    parts = [struct.pack("<BI", _WIRE_CHUNKS, len(chunks))]
+    for chunk in sorted(chunks):
+        container = chunks[chunk]
+        if isinstance(container, int):
+            data = container.to_bytes((container.bit_length() + 7) // 8, "little")
+            parts.append(struct.pack("<IBI", chunk, _BITS_KIND, len(data)))
+            parts.append(data)
+        else:
+            parts.append(
+                struct.pack(
+                    f"<IBH{len(container)}I",
+                    chunk,
+                    _ARRAY_KIND,
+                    len(container),
+                    *container,
+                )
+            )
+    return b"".join(parts)
+
+
+def candidate_set_from_bytes(payload: bytes, index=None) -> CandidateSet:
+    """Decode a :meth:`CandidateSet.to_bytes` payload against ``index``.
+
+    Mask and chunk payloads are normalised to the index's native
+    representation (``bitset`` readers get a :class:`MaskCandidates`,
+    ``adaptive`` readers a :class:`ChunkCandidates`); tuple payloads
+    never need the index at all.
+    """
+    if not payload:
+        raise ValueError("empty candidate payload")
+    tag = payload[0]
+    if tag == _WIRE_TUPLE:
+        (count,) = struct.unpack_from("<I", payload, 1)
+        edges = struct.unpack_from(f"<{count}q", payload, 5)
+        return TupleCandidates(tuple(edges)) if count else EMPTY_CANDIDATES
+    backend = getattr(index, "backend", None)
+    if tag == _WIRE_MASK:
+        if index is None:
+            raise ValueError("mask payloads require the owning index")
+        (row_offset,) = struct.unpack_from("<I", payload, 1)
+        mask = int.from_bytes(payload[5:], "little")
+        if backend == "adaptive":
+            # Re-chunk from explicit rows: O(survivors), regardless of
+            # how far the offset pushes them up the row space.
+            rows = [row_offset + row for row in bits_to_array(mask)]
+            return ChunkCandidates(
+                index,
+                chunks_from_rows(rows, index.chunk_bits, index.array_max),
+            )
+        return MaskCandidates(index, mask << row_offset)
+    if tag == _WIRE_CHUNKS:
+        if index is None:
+            raise ValueError("chunk payloads require the owning index")
+        (count,) = struct.unpack_from("<I", payload, 1)
+        offset = 5
+        chunks = {}
+        for _ in range(count):
+            chunk, kind = struct.unpack_from("<IB", payload, offset)
+            offset += 5
+            if kind == _BITS_KIND:
+                (length,) = struct.unpack_from("<I", payload, offset)
+                offset += 4
+                chunks[chunk] = int.from_bytes(
+                    payload[offset : offset + length], "little"
+                )
+                offset += length
+            else:
+                (cardinality,) = struct.unpack_from("<H", payload, offset)
+                offset += 2
+                chunks[chunk] = tuple(
+                    struct.unpack_from(f"<{cardinality}I", payload, offset)
+                )
+                offset += 4 * cardinality
+        if backend == "bitset":
+            # Bitset indices have no chunk notion; flatten at the
+            # default wire width.
+            chunk_bits = getattr(index, "chunk_bits", CHUNK_BITS)
+            return MaskCandidates(index, mask_from_chunks(chunks, chunk_bits))
+        return ChunkCandidates(index, chunks)
+    raise ValueError(f"unknown candidate payload tag {tag:#x}")
+
+
+def compose_candidate_sets(sets: Sequence[CandidateSet]) -> CandidateSet:
+    """Union of candidate sets over one row space (the shard seam).
+
+    The engine-side half of process sharding: each shard contributes the
+    survivors of its disjoint row range (decoded into the *global* index
+    via :func:`candidate_set_from_bytes`) and the union runs on the
+    native representations — big-int ``|`` for masks, container-pairwise
+    ``|`` for chunk maps, a k-way merge for tuples.  Nothing decodes to
+    edge ids unless representations are mixed (which uniform-backend
+    stores never produce).
+    """
+    populated = [s for s in sets if len(s)]
+    if not populated:
+        return EMPTY_CANDIDATES
+    if len(populated) == 1:
+        return populated[0]
+    first = populated[0]
+    if all(type(s) is MaskCandidates for s in populated):
+        mask = 0
+        for s in populated:
+            mask |= s.mask
+        return MaskCandidates(first.index, mask)
+    if all(type(s) is ChunkCandidates for s in populated):
+        chunks = chunks_union_many(
+            [s.chunks for s in populated], first.index.array_max
+        )
+        return ChunkCandidates(first.index, chunks)
+    # Tuples — and the mixed-representation fallback — go through the
+    # decoded k-way merge.
+    return TupleCandidates(union_many([s.to_tuple() for s in populated]))
 
 
 # ----------------------------------------------------------------------

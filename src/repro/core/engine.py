@@ -113,6 +113,13 @@ class HGMatch:
         (roaring-style chunked containers); ``None`` defers to
         ``REPRO_INDEX_BACKEND``/``"merge"``.  Ignored when a prebuilt
         ``store`` is supplied (the store's backend wins).
+    shards:
+        Default shard count for the multiprocess executor
+        (``count``/``count_bfs`` with ``executor="processes"``): each
+        signature partition's rows are split into this many contiguous
+        ranges, one worker process per shard
+        (:class:`repro.parallel.ProcessShardExecutor`).  ``1`` keeps
+        everything in-process.
     """
 
     def __init__(
@@ -120,22 +127,42 @@ class HGMatch:
         data: Hypergraph,
         store: "PartitionedStore | None" = None,
         index_backend: "str | None" = None,
+        shards: int = 1,
     ) -> None:
+        if shards < 1:
+            raise QueryError("shards must be >= 1")
         self.data = data
         self.store = (
             store
             if store is not None
             else PartitionedStore(data, index_backend=index_backend)
         )
+        self.shards = shards
         # Sibling tasks (LIFO/BFS/worker deques) share anchors, so their
         # per-anchor posting unions are memoised engine-wide; the memo is
         # thread-safe and only consulted by the mask backends.
         self._anchor_memo = AnchorUnionMemo()
+        # One process pool per engine, built lazily on the first
+        # "processes" run and reused across queries (workers keep their
+        # store shards warm).
+        self._shard_executor = None
 
     @property
     def index_backend(self) -> str:
         """The posting-list representation of the engine's store."""
         return getattr(self.store, "index_backend", "merge")
+
+    @property
+    def uses_mask_validation(self) -> bool:
+        """Whether enumeration validates profiles over step bitmasks.
+
+        The mask backends run Algorithm 5's profile comparison on
+        per-vertex step *bitmasks* (``StepPlan.profile_mask_key``), the
+        same algebra Algorithm 4 runs on posting masks; the merge
+        backend keeps the sorted-tuple path that mirrors the paper's
+        profile multisets directly.
+        """
+        return self.index_backend in ("bitset", "adaptive")
 
     # ------------------------------------------------------------------
     # Planning
@@ -173,6 +200,7 @@ class HGMatch:
         counters: "MatchCounters | None" = None,
         vmap: "Dict[int, set] | None" = None,
         step_tuples: "Dict[int, Tuple[int, ...]] | None" = None,
+        step_masks: "Dict[int, int] | None" = None,
     ) -> List[Tuple[int, ...]]:
         """Expand one partial embedding by the next hyperedge in the order.
 
@@ -184,9 +212,10 @@ class HGMatch:
         maintained ``vertex_step_map`` of ``matched_edges`` (see
         :class:`repro.core.candidates.VertexStepState`); ``step_tuples``
         likewise passes the state's precomputed per-vertex sorted step
-        tuples to validation.  Both are read, not mutated.  Without them
-        the maps are rebuilt from the task tuple, so a bare task remains
-        fully self-contained.
+        tuples to validation, and ``step_masks`` its per-vertex step
+        bitmasks (the mask backends' validation fast path).  All are
+        read, not mutated.  Without them the maps are rebuilt from the
+        task tuple, so a bare task remains fully self-contained.
 
         The expansion is mask-native: the candidate set stays in the
         backend's own representation (bitmask / chunk map) and is
@@ -229,6 +258,7 @@ class HGMatch:
                     counters,
                     final_step=final_step,
                     step_tuples=step_tuples,
+                    step_masks=step_masks,
                 ):
                     append(matched_edges + (candidate,))
             return extended
@@ -242,6 +272,7 @@ class HGMatch:
                 counters,
                 final_step=final_step,
                 step_tuples=step_tuples,
+                step_masks=step_masks,
             ):
                 append(matched_edges + (candidate,))
         return extended
@@ -277,6 +308,7 @@ class HGMatch:
         # a push/pop delta instead of a per-task rebuild.
         state = VertexStepState(self.data)
         step_tuples = state.step_tuples
+        step_masks = state.step_masks if self.uses_mask_validation else None
         stack: List[Tuple[int, ...]] = [()]
         while stack:
             matched = stack.pop()
@@ -287,7 +319,8 @@ class HGMatch:
                 raise TimeoutExceeded(time.monotonic() - (deadline - time_budget), time_budget)
             vmap = state.advance(matched)
             for extended in self.expand(
-                plan, matched, counters, vmap=vmap, step_tuples=step_tuples
+                plan, matched, counters, vmap=vmap, step_tuples=step_tuples,
+                step_masks=step_masks,
             ):
                 if len(extended) == num_steps:
                     if strict and not certify_embedding(
@@ -312,27 +345,104 @@ class HGMatch:
         workers: int = 1,
         counters: "MatchCounters | None" = None,
         time_budget: "float | None" = None,
+        executor: "str | None" = None,
+        shards: "int | None" = None,
     ) -> int:
         """Count all embeddings of ``query``.
 
-        ``workers > 1`` dispatches to the parallel task scheduler
-        (:mod:`repro.parallel.executor`); otherwise the sequential LIFO
-        loop is used.
+        ``executor`` selects the execution engine:
+
+        * ``None`` — the sequential LIFO loop, or ``"threads"`` when
+          ``workers > 1`` (the historical behaviour);
+        * ``"threads"`` — the work-stealing thread scheduler
+          (:class:`repro.parallel.ThreadedExecutor`, ``workers``
+          threads); GIL-serialised, demonstrates correctness and load
+          balance;
+        * ``"processes"`` — the shard-per-process executor
+          (:class:`repro.parallel.ProcessShardExecutor`) for real
+          multi-core wall clock; the pool persists across calls.
+          Parallelism is ``shards``, falling back to the engine's
+          ``shards``, falling back to ``workers`` — so
+          ``count(q, workers=8, executor="processes")`` runs 8 worker
+          processes rather than silently one;
+        * ``"simulated"`` — the discrete-event scheduler
+          (:class:`repro.parallel.SimulatedExecutor`, virtual time;
+          ``time_budget`` does not apply).
+
+        All executors return bit-identical counts.
         """
-        if workers > 1:
+        if executor is None:
+            executor = "threads" if workers > 1 else "sequential"
+        if executor == "threads":
             from ..parallel.executor import ThreadedExecutor  # lazy: avoid cycle
 
-            executor = ThreadedExecutor(num_workers=workers)
-            result = executor.run(self, query, order=order, time_budget=time_budget)
+            threaded = ThreadedExecutor(num_workers=max(workers, 1))
+            result = threaded.run(self, query, order=order, time_budget=time_budget)
             if counters is not None:
                 counters.merge(result.counters)
             return result.embeddings
+        if executor == "processes":
+            if shards is None and self.shards == 1 and workers > 1:
+                # ``workers`` expresses the desired parallelism for the
+                # other executors; honour it here too unless the engine
+                # or call named an explicit shard count.
+                shards = workers
+            result = self.shard_executor(shards).run(
+                self, query, order=order, time_budget=time_budget
+            )
+            if counters is not None:
+                counters.merge(result.counters)
+            return result.embeddings
+        if executor == "simulated":
+            from ..parallel.simulation import SimulatedExecutor  # lazy: avoid cycle
+
+            simulated = SimulatedExecutor(num_workers=max(workers, 1))
+            result = simulated.run(self, query, order=order)
+            if counters is not None:
+                counters.merge(result.counters)
+            return result.embeddings
+        if executor != "sequential":
+            raise QueryError(
+                f"unknown executor {executor!r}; expected one of "
+                f"('sequential', 'threads', 'processes', 'simulated')"
+            )
         total = 0
         for _ in self.match(
             query, order=order, counters=counters, time_budget=time_budget
         ):
             total += 1
         return total
+
+    def shard_executor(self, shards: "int | None" = None):
+        """The engine's persistent multiprocess executor (lazily built).
+
+        Workers build their store shards once and stay warm across
+        queries; asking for a different shard count tears the pool down
+        and rebuilds it.  Worker processes are daemonic, so an exiting
+        parent never leaks them; call ``close()`` on the returned
+        executor to release them early.
+        """
+        from ..parallel.shard_executor import ProcessShardExecutor  # lazy
+
+        shards = self.shards if shards is None else shards
+        if shards < 1:
+            raise QueryError("shards must be >= 1")
+        current = self._shard_executor
+        if current is not None and current.num_shards != shards:
+            current.close()
+            current = None
+        if current is None:
+            current = ProcessShardExecutor(
+                num_shards=shards, index_backend=self.index_backend
+            )
+            self._shard_executor = current
+        return current
+
+    def close(self) -> None:
+        """Release the multiprocess shard pool, if one was started."""
+        if self._shard_executor is not None:
+            self._shard_executor.close()
+            self._shard_executor = None
 
     def count_vertex_embeddings(
         self, query: Hypergraph, order: "Sequence[int] | None" = None
@@ -356,6 +466,9 @@ class HGMatch:
         order: "Sequence[int] | None" = None,
         counters: "MatchCounters | None" = None,
         time_budget: "float | None" = None,
+        executor: "str | None" = None,
+        workers: int = 1,
+        shards: "int | None" = None,
     ) -> int:
         """Count embeddings with breadth-first (level-synchronous) execution.
 
@@ -363,16 +476,54 @@ class HGMatch:
         strategy the paper's Exp-5 compares against: ``peak_retained`` on
         the supplied counters then reflects the exponential intermediate
         blow-up that the task-based scheduler avoids.
+
+        ``executor`` mirrors :meth:`count`: ``None``/``"sequential"`` is
+        the in-process loop here; ``"threads"`` splits every frontier
+        level across ``workers`` threads; ``"processes"`` runs the
+        shard-per-process executor, whose level-synchronous protocol *is*
+        BFS; ``"simulated"`` counts via the discrete-event scheduler
+        (task-parallel in virtual time — counts match, the BFS memory
+        profile does not apply).  All executors return bit-identical
+        counts.
         """
+        if executor == "processes":
+            if shards is None and self.shards == 1 and workers > 1:
+                shards = workers  # as in count(): workers names parallelism
+            result = self.shard_executor(shards).run(
+                self, query, order=order, time_budget=time_budget
+            )
+            if counters is not None:
+                counters.merge(result.counters)
+            return result.embeddings
+        if executor == "simulated":
+            from ..parallel.simulation import SimulatedExecutor  # lazy: avoid cycle
+
+            result = SimulatedExecutor(num_workers=max(workers, 1)).run(
+                self, query, order=order
+            )
+            if counters is not None:
+                counters.merge(result.counters)
+            return result.embeddings
+        if executor not in (None, "sequential", "threads"):
+            raise QueryError(
+                f"unknown executor {executor!r}; expected one of "
+                f"('sequential', 'threads', 'processes', 'simulated')"
+            )
+        threaded = executor == "threads" and workers > 1
         plan = self.plan(query, order)
         deadline = None if time_budget is None else time.monotonic() + time_budget
         if counters is not None:
             counters.note_work_model(WORK_UNIT_MODELS.get(self.index_backend, ""))
+        if threaded:
+            return self._count_bfs_threaded(
+                plan, counters, deadline, workers, time_budget
+            )
         # Same push/pop-delta state as `match`: level order visits each
         # parent's children consecutively, so advancing between frontier
         # entries usually costs one pop plus one push.
         state = VertexStepState(self.data)
         step_tuples = state.step_tuples
+        step_masks = state.step_masks if self.uses_mask_validation else None
         frontier: List[Tuple[int, ...]] = [()]
         for _ in range(plan.num_steps):
             next_frontier: List[Tuple[int, ...]] = []
@@ -387,13 +538,84 @@ class HGMatch:
                 next_frontier.extend(
                     self.expand(
                         plan, matched, counters, vmap=vmap,
-                        step_tuples=step_tuples,
+                        step_tuples=step_tuples, step_masks=step_masks,
                     )
                 )
             frontier = next_frontier
             if counters is not None:
                 counters.retained = len(frontier)
                 counters.peak_retained = max(counters.peak_retained, len(frontier))
+        if counters is not None:
+            counters.embeddings += len(frontier)
+        return len(frontier)
+
+    def _count_bfs_threaded(
+        self,
+        plan: ExecutionPlan,
+        counters: "MatchCounters | None",
+        deadline: "float | None",
+        workers: int,
+        time_budget: "float | None",
+    ) -> int:
+        """Level-synchronous BFS with each frontier split across threads.
+
+        Every thread keeps its own :class:`VertexStepState` and expands a
+        contiguous frontier slice (siblings stay adjacent, so the
+        push/pop deltas stay cheap); levels are barriers, and slices are
+        re-gathered in submission order so the frontier — and therefore
+        the count — is bit-identical to the sequential loop.
+        """
+        from concurrent.futures import ThreadPoolExecutor  # lazy: cheap import
+
+        use_masks = self.uses_mask_validation
+        states = [VertexStepState(self.data) for _ in range(workers)]
+
+        def expand_slice(worker_id, chunk, chunk_counters):
+            state = states[worker_id]
+            step_tuples = state.step_tuples
+            step_masks = state.step_masks if use_masks else None
+            out: List[Tuple[int, ...]] = []
+            for matched in chunk:
+                vmap = state.advance(matched)
+                out.extend(
+                    self.expand(
+                        plan, matched, chunk_counters, vmap=vmap,
+                        step_tuples=step_tuples, step_masks=step_masks,
+                    )
+                )
+            return out
+
+        frontier: List[Tuple[int, ...]] = [()]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            for _ in range(plan.num_steps):
+                if deadline is not None and time.monotonic() > deadline:
+                    raise TimeoutExceeded(
+                        time.monotonic() - (deadline - time_budget), time_budget
+                    )
+                if counters is not None:
+                    counters.tasks += len(frontier)
+                chunk_size = -(-len(frontier) // workers) if frontier else 1
+                slices = [
+                    frontier[low : low + chunk_size]
+                    for low in range(0, len(frontier), chunk_size)
+                ]
+                slice_counters = [MatchCounters() for _ in slices]
+                futures = [
+                    pool.submit(expand_slice, position, chunk, slice_counters[position])
+                    for position, chunk in enumerate(slices)
+                ]
+                next_frontier: List[Tuple[int, ...]] = []
+                for future in futures:
+                    next_frontier.extend(future.result())
+                if counters is not None:
+                    for chunk_counters in slice_counters:
+                        counters.merge(chunk_counters)
+                frontier = next_frontier
+                if counters is not None:
+                    counters.retained = len(frontier)
+                    counters.peak_retained = max(
+                        counters.peak_retained, len(frontier)
+                    )
         if counters is not None:
             counters.embeddings += len(frontier)
         return len(frontier)

@@ -68,6 +68,14 @@ class StepPlan:
     #: predate the fast path; validation then falls back to the Counter.
     profile_label_ids: Mapping[object, int] = field(default_factory=dict)
     profile_key: Tuple[ProfileEntry, ...] = ()
+    #: Bitmask twin of ``profile_key``: each entry is ``(label id, step
+    #: bitmask)`` with bit ``s`` set iff the vertex occurs in step
+    #: ``s <= step``.  The mask backends' validation compares profiles
+    #: over these small ints (one ``|`` per candidate vertex) instead of
+    #: concatenating sorted step tuples — same multiset, bijective
+    #: encoding (a set of step indices and its bitmask determine each
+    #: other), so Theorem V.2's equality test is unchanged.
+    profile_mask_key: Tuple[Tuple[int, int], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -157,6 +165,7 @@ def build_execution_plan(
         profile: Counter = Counter()
         label_ids: Dict[object, int] = {}
         key_entries: List[ProfileEntry] = []
+        mask_entries: List[Tuple[int, int]] = []
         for vertex in edge:
             incident_upto = frozenset(
                 s for s in incident_steps[vertex] if s <= step
@@ -165,7 +174,11 @@ def build_execution_plan(
             profile[(label, incident_upto)] += 1
             label_id = label_ids.setdefault(label, len(label_ids))
             key_entries.append((label_id, tuple(sorted(incident_upto))))
+            mask_entries.append(
+                (label_id, sum(1 << s for s in incident_upto))
+            )
         key_entries.sort()
+        mask_entries.sort()
 
         new_vertices = edge - covered
         covered |= edge
@@ -183,6 +196,7 @@ def build_execution_plan(
                 query_profile=profile,
                 profile_label_ids=label_ids,
                 profile_key=tuple(key_entries),
+                profile_mask_key=tuple(mask_entries),
             )
         )
 

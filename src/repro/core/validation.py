@@ -33,6 +33,7 @@ def is_valid_expansion(
     counters: "MatchCounters | None" = None,
     final_step: bool = False,
     step_tuples: "Dict[int, Tuple[int, ...]] | None" = None,
+    step_masks: "Dict[int, int] | None" = None,
 ) -> bool:
     """Run Algorithm 5 for one candidate.
 
@@ -52,6 +53,15 @@ def is_valid_expansion(
         :func:`repro.core.candidates.vertex_step_tuples`).  When given,
         the profile fast path reads them directly instead of sorting
         each vertex's step set per candidate.
+    step_masks:
+        Optionally the per-vertex *step bitmasks* of the partial
+        embedding (``VertexStepState.step_masks``).  When given — the
+        mask backends' enumeration loops pass it — the profile
+        comparison runs entirely over small ints against the plan's
+        ``profile_mask_key``: one ``|`` per vertex instead of a tuple
+        concatenation.  Equivalent to the tuple path by the bijection
+        between step sets and their bitmasks (pinned by the validation
+        test suite).
     """
     edge = data.edge(candidate_edge)
 
@@ -66,6 +76,26 @@ def is_valid_expansion(
 
     # Theorem V.2: compare profile multisets over the new hyperedge.
     step = step_plan.step
+
+    if step_masks is not None and step_plan.profile_mask_key:
+        # Mask fast path (Algorithm 5 over the bitset algebra): profiles
+        # are (label id, step bitmask) pairs; same multiset equality as
+        # the tuple path under the set <-> bitmask bijection.
+        label_ids = step_plan.profile_label_ids
+        step_bit = 1 << step
+        mask_entries = []
+        for vertex in edge:
+            if counters is not None:
+                counters.work_units += 1
+            label_id = label_ids.get(data.label(vertex))
+            if label_id is None:
+                return False
+            mask_entries.append(
+                (label_id, step_masks.get(vertex, 0) | step_bit)
+            )
+        mask_entries.sort()
+        return tuple(mask_entries) == step_plan.profile_mask_key
+
     profile_key = step_plan.profile_key
     if profile_key:
         # Fast path: the plan interned labels to small ints and flattened

@@ -18,14 +18,17 @@ from .index import (
     InvertedHyperedgeIndex,
     build_index,
     chunks_count,
+    chunks_from_rows,
     chunks_intersect,
     chunks_union_many,
     index_from_postings,
     intersect_many,
     intersect_sorted,
+    mask_from_chunks,
     union_many,
     union_sorted,
 )
+from .sharding import ShardedStore, StoreShard, shard_ranges
 from .sampling import (
     PAPER_QUERY_SETTINGS,
     QuerySetting,
@@ -63,10 +66,15 @@ __all__ = [
     "build_index",
     "index_from_postings",
     "chunks_count",
+    "chunks_from_rows",
     "chunks_intersect",
     "chunks_union_many",
+    "mask_from_chunks",
     "HyperedgePartition",
     "PartitionedStore",
+    "ShardedStore",
+    "StoreShard",
+    "shard_ranges",
     "Signature",
     "signature_of_labels",
     "signature_arity",

@@ -359,6 +359,38 @@ def containers_union_many(
     return tuple(sorted({offset for array in arrays for offset in array}))
 
 
+def chunks_from_rows(
+    rows: Sequence[int],
+    chunk_bits: int = CHUNK_BITS,
+    array_max: int = ARRAY_CONTAINER_MAX,
+) -> ChunkMap:
+    """Bucket *ascending* row ids into a normalised chunk map.
+
+    The inverse of flattening a chunk map to rows; used when a row set
+    produced outside the index (validation survivors, wire payloads
+    shifted into another row space) has to re-enter the adaptive
+    representation.
+    """
+    offset_mask = (1 << chunk_bits) - 1
+    raw: Dict[int, List[int]] = {}
+    for row in rows:
+        raw.setdefault(row >> chunk_bits, []).append(row & offset_mask)
+    return {
+        chunk: _normalise_container(offsets, array_max)
+        for chunk, offsets in raw.items()
+    }
+
+
+def mask_from_chunks(chunks: ChunkMap, chunk_bits: int = CHUNK_BITS) -> int:
+    """Flatten a chunk map back into one row bitmask."""
+    mask = 0
+    for chunk, container in chunks.items():
+        if not isinstance(container, int):
+            container = array_to_bits(container)
+        mask |= container << (chunk << chunk_bits)
+    return mask
+
+
 def chunks_intersect(first: ChunkMap, second: ChunkMap) -> ChunkMap:
     """Intersection of two chunk maps; empty chunks are dropped."""
     if len(first) > len(second):

@@ -1,0 +1,248 @@
+"""Process-sharded storage: row-range shards of the partitioned store.
+
+The mask-native :class:`~repro.core.candidates.CandidateSet` boundary
+makes the partitioned store shardable along its row spaces: Algorithm 4
+is pure set algebra over posting structures, and set algebra distributes
+over a disjoint split of the rows.  Splitting every signature
+partition's rows ``0 .. n-1`` into ``num_shards`` contiguous ranges
+therefore yields ``num_shards`` *independent* sub-stores — each one
+holding backend-native posting structures (merge tuples, row bitmasks
+or roaring-style chunk maps) over its **local** row space — whose
+shard-local candidate sets concatenate (disjoint union) to exactly the
+global candidate set:
+
+    ``Alg4(partition) ∩ rows_i == Alg4(partition[rows_i])``
+
+because every union and intersection in Algorithm 4 commutes with
+restriction to a row range.  A worker process owning one
+:class:`StoreShard` can thus expand any partial embedding against its
+own rows only, ship the surviving candidates as a compact mask payload
+(:meth:`repro.core.candidates.CandidateSet.to_bytes` in *global* row
+coordinates), and the engine composes the per-shard payloads with the
+same container-pairwise ``|`` algebra — no decoded edge-id lists ever
+cross a process boundary.
+
+Memory per worker is bounded by its shard's postings (~``1/num_shards``
+of the index), which is the production sharding story: the same wire
+format and composition rules apply unchanged when shards live on
+different hosts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+from .hypergraph import Hypergraph
+from .index import build_index
+from .signature import Signature
+from .storage import (
+    HyperedgePartition,
+    group_edges_by_signature,
+    resolve_index_backend,
+)
+
+
+def shard_ranges(num_rows: int, num_shards: int) -> Tuple[Tuple[int, int], ...]:
+    """Split ``0 .. num_rows-1`` into ``num_shards`` contiguous ranges.
+
+    Balanced to within one row (the first ``num_rows % num_shards``
+    shards take the extra row); empty ranges are legal and show up for
+    partitions smaller than the shard count.
+
+    >>> shard_ranges(10, 4)
+    ((0, 3), (3, 6), (6, 8), (8, 10))
+    >>> shard_ranges(2, 4)
+    ((0, 1), (1, 2), (2, 2), (2, 2))
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    base, extra = divmod(num_rows, num_shards)
+    ranges = []
+    low = 0
+    for shard_id in range(num_shards):
+        high = low + base + (1 if shard_id < extra else 0)
+        ranges.append((low, high))
+        low = high
+    return tuple(ranges)
+
+
+class StoreShard:
+    """One shard: every signature partition restricted to a row range.
+
+    For each signature the shard holds a regular
+    :class:`HyperedgePartition` over its *slice* of the global
+    partition's (ascending) edge ids, indexed with the same backend —
+    local row ``r`` of the shard stands for global row
+    ``row_base(signature) + r``.  Edge ids stay global, so shard-local
+    candidate sets decode to globally valid edge ids; only *row*
+    coordinates need the base offset, which
+    :meth:`~repro.core.candidates.CandidateSet.to_bytes` applies when a
+    payload leaves the shard.
+
+    Built worker-side from the data hypergraph (see :meth:`build`);
+    nothing in a shard needs the global store.
+    """
+
+    __slots__ = ("shard_id", "num_shards", "index_backend", "_partitions",
+                 "_row_bases")
+
+    def __init__(
+        self,
+        shard_id: int,
+        num_shards: int,
+        index_backend: str,
+        partitions: Dict[Signature, HyperedgePartition],
+        row_bases: Dict[Signature, int],
+    ) -> None:
+        self.shard_id = shard_id
+        self.num_shards = num_shards
+        self.index_backend = index_backend
+        self._partitions = partitions
+        self._row_bases = row_bases
+
+    @classmethod
+    def build(
+        cls,
+        graph: Hypergraph,
+        shard_id: int,
+        num_shards: int,
+        index_backend: "str | None" = None,
+    ) -> "StoreShard":
+        """Build shard ``shard_id`` of ``num_shards`` directly from the
+        graph — the worker-side entry point (no global store required)."""
+        return cls.from_grouped(
+            graph, group_edges_by_signature(graph), shard_id, num_shards,
+            index_backend,
+        )
+
+    @classmethod
+    def from_grouped(
+        cls,
+        graph: Hypergraph,
+        grouped: "Dict[Signature, List[int]]",
+        shard_id: int,
+        num_shards: int,
+        index_backend: "str | None" = None,
+    ) -> "StoreShard":
+        """Build a shard from a precomputed signature grouping, so
+        :class:`ShardedStore` pays the O(num_edges) grouping once for
+        all its shards."""
+        if not 0 <= shard_id < num_shards:
+            raise ValueError(
+                f"shard_id {shard_id} out of range for {num_shards} shards"
+            )
+        index_backend = resolve_index_backend(index_backend)
+        partitions: Dict[Signature, HyperedgePartition] = {}
+        row_bases: Dict[Signature, int] = {}
+        for signature, edge_ids in grouped.items():
+            low, high = shard_ranges(len(edge_ids), num_shards)[shard_id]
+            if low == high:
+                continue  # this shard owns no rows of the partition
+            ids = tuple(edge_ids[low:high])
+            index = build_index(index_backend, graph, ids)
+            partitions[signature] = HyperedgePartition(signature, ids, index)
+            row_bases[signature] = low
+        return cls(shard_id, num_shards, index_backend, partitions, row_bases)
+
+    @property
+    def partitions(self) -> Mapping[Signature, HyperedgePartition]:
+        """Mapping from signature to the shard's partition slice."""
+        return self._partitions
+
+    def partition(self, signature: Signature) -> "HyperedgePartition | None":
+        """The shard's slice of the signature's partition, or None when
+        the shard owns no rows of it (absent signature or empty range)."""
+        return self._partitions.get(signature)
+
+    def row_base(self, signature: Signature) -> int:
+        """Global row index of the shard's first local row (0 if the
+        shard owns no rows of the signature)."""
+        return self._row_bases.get(signature, 0)
+
+    def cardinality(self, signature: Signature) -> int:
+        """Shard-local row count for the signature."""
+        partition = self._partitions.get(signature)
+        return partition.cardinality if partition is not None else 0
+
+    def index_size_entries(self) -> int:
+        """Total posting entries across the shard's partitions — the
+        per-worker share of the Section IV-C index size bound."""
+        return sum(
+            partition.index.num_entries
+            for partition in self._partitions.values()
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"StoreShard({self.shard_id}/{self.num_shards}, "
+            f"partitions={len(self._partitions)}, "
+            f"backend={self.index_backend})"
+        )
+
+
+class ShardedStore:
+    """All ``num_shards`` row-range shards of one data hypergraph.
+
+    The in-process view of the sharding scheme: builds every
+    :class:`StoreShard` eagerly, which tests, the simulated executor and
+    single-process tools use to reason about shard placement.  The
+    multiprocess executor never instantiates this class — each worker
+    builds exactly one shard via :meth:`StoreShard.build` so no process
+    ever holds the full index.
+
+    Invariant (verified by the sharding test suite): for every
+    signature, concatenating the shards' ``edge_ids`` in shard order
+    reproduces the global partition's ascending edge-id tuple, and every
+    shard-local posting structure equals the global one restricted to
+    the shard's row range.
+    """
+
+    def __init__(
+        self,
+        graph: Hypergraph,
+        num_shards: int,
+        index_backend: "str | None" = None,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self._graph = graph
+        self.num_shards = num_shards
+        self.index_backend = resolve_index_backend(index_backend)
+        grouped = group_edges_by_signature(graph)
+        self._shards = tuple(
+            StoreShard.from_grouped(
+                graph, grouped, shard_id, num_shards, self.index_backend
+            )
+            for shard_id in range(num_shards)
+        )
+
+    @property
+    def graph(self) -> Hypergraph:
+        return self._graph
+
+    @property
+    def shards(self) -> Tuple[StoreShard, ...]:
+        return self._shards
+
+    def shard(self, shard_id: int) -> StoreShard:
+        return self._shards[shard_id]
+
+    def __iter__(self) -> Iterable[StoreShard]:
+        return iter(self._shards)
+
+    def __len__(self) -> int:
+        return self.num_shards
+
+    def signatures(self) -> Tuple[Signature, ...]:
+        """All signatures owned by at least one shard."""
+        seen = {}
+        for shard in self._shards:
+            for signature in shard.partitions:
+                seen.setdefault(signature, None)
+        return tuple(seen)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedStore(shards={self.num_shards}, "
+            f"backend={self.index_backend}, edges={self._graph.num_edges})"
+        )

@@ -13,11 +13,28 @@ built by :mod:`repro.hypergraph.index`.
 from __future__ import annotations
 
 import os
-from typing import Dict, Iterator, Mapping, Tuple
+from typing import Dict, Iterator, List, Mapping, Tuple
 
 from .hypergraph import Hypergraph
 from .index import INDEX_BACKENDS, build_index
 from .signature import Signature
+
+
+def group_edges_by_signature(
+    graph: Hypergraph,
+) -> "Dict[Signature, List[int]]":
+    """Edge ids grouped by signature, ascending within each group.
+
+    The canonical partition layout: :class:`PartitionedStore` and the
+    row-range sharding in :mod:`repro.hypergraph.sharding` both build
+    from this one function, which is what makes a shard's global row
+    coordinates (``row_base + local row``) line up with the global
+    partition's rows — never reimplement the grouping independently.
+    """
+    grouped: Dict[Signature, List[int]] = {}
+    for edge_id in range(graph.num_edges):
+        grouped.setdefault(graph.edge_signature(edge_id), []).append(edge_id)
+    return grouped
 
 
 def default_index_backend() -> str:
@@ -116,9 +133,7 @@ class PartitionedStore:
         index_backend = resolve_index_backend(index_backend)
         self._graph = graph
         self.index_backend = index_backend
-        grouped: Dict[Signature, list] = {}
-        for edge_id in range(graph.num_edges):
-            grouped.setdefault(graph.edge_signature(edge_id), []).append(edge_id)
+        grouped = group_edges_by_signature(graph)
 
         self._partitions: Dict[Signature, HyperedgePartition] = {}
         for signature, edge_ids in grouped.items():

@@ -1,10 +1,15 @@
 """HGMatch's parallel execution engine (Section VI).
 
-Two executors share the same task semantics (self-contained partial
-embeddings, LIFO deques, steal-half-from-tail):
+Three executors share the same task semantics (self-contained partial
+embeddings):
 
-* :class:`ThreadedExecutor` — real threads; demonstrates correctness,
-  bounded memory and load-balance accounting under CPython.
+* :class:`ThreadedExecutor` — real threads, LIFO deques,
+  steal-half-from-tail; demonstrates correctness, bounded memory and
+  load-balance accounting under CPython (GIL-serialised).
+* :class:`ProcessShardExecutor` — one worker process per store shard;
+  level-synchronous enumeration over the mask-native seam (candidate
+  payloads cross process boundaries as compact masks), real multi-core
+  wall clock.
 * :class:`SimulatedExecutor` — discrete-event simulation in virtual
   time with a set-operation cost model; backs the scalability and
   load-balancing experiments (see DESIGN.md, substitution 2).
@@ -12,6 +17,7 @@ embeddings, LIFO deques, steal-half-from-tail):
 
 from .deque import WorkStealingDeque
 from .executor import ParallelResult, ThreadedExecutor
+from .shard_executor import ProcessShardExecutor
 from .memory import (
     MemoryMeasurement,
     entry_units_per_partial,
@@ -24,12 +30,20 @@ from .simulation import (
     SimulationResult,
     simulate_speedups,
 )
-from .tasks import ROOT_TASK, PartialEmbedding, WorkerStats, task_kind
+from .tasks import (
+    ROOT_TASK,
+    PartialEmbedding,
+    WorkerStats,
+    default_seed,
+    task_kind,
+)
 
 __all__ = [
     "WorkStealingDeque",
     "ThreadedExecutor",
+    "ProcessShardExecutor",
     "ParallelResult",
+    "default_seed",
     "SimulatedExecutor",
     "SimulationResult",
     "CostModel",

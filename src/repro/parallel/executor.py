@@ -29,7 +29,7 @@ from ..core.engine import HGMatch
 from ..errors import SchedulerError, TimeoutExceeded
 from ..hypergraph import Hypergraph
 from .deque import WorkStealingDeque
-from .tasks import ROOT_TASK, PartialEmbedding, WorkerStats
+from .tasks import ROOT_TASK, PartialEmbedding, WorkerStats, default_seed
 
 
 @dataclass
@@ -87,7 +87,12 @@ class ThreadedExecutor:
         process the initial static share they were assigned
         ("HGMatch-NOSTL" in Exp-6).
     seed:
-        Seed for victim selection, making runs reproducible.
+        Seed for victim selection, making runs reproducible.  ``None``
+        (the default) resolves to the ``REPRO_SEED`` environment
+        variable (falling back to 0) via
+        :func:`repro.parallel.tasks.default_seed`; each job derives its
+        per-worker RNGs from this value alone, never from the
+        process-global :mod:`random` state.
     """
 
     def __init__(
@@ -95,7 +100,7 @@ class ThreadedExecutor:
         num_workers: int,
         steal_mode: str = "half",
         stealing: bool = True,
-        seed: int = 0,
+        seed: "int | None" = None,
     ) -> None:
         if num_workers < 1:
             raise SchedulerError("num_workers must be >= 1")
@@ -104,7 +109,7 @@ class ThreadedExecutor:
         self.num_workers = num_workers
         self.steal_mode = steal_mode
         self.stealing = stealing
-        self.seed = seed
+        self.seed = default_seed() if seed is None else seed
 
     def run(
         self,
@@ -190,6 +195,8 @@ class ThreadedExecutor:
         counters: MatchCounters,
         deadline: "float | None",
     ) -> None:
+        # Per-job, per-worker RNG derived from the executor seed alone:
+        # steal decisions never consult the process-global random state.
         rng = random.Random(self.seed * 7919 + worker_id)
         own = state.deques[worker_id]
         num_steps = plan.num_steps
@@ -198,6 +205,9 @@ class ThreadedExecutor:
         # push/pop-delta vertex_step_map and re-points it at each task.
         expansion_state = VertexStepState(engine.data)
         step_tuples = expansion_state.step_tuples
+        step_masks = (
+            expansion_state.step_masks if engine.uses_mask_validation else None
+        )
         counters.note_work_model(WORK_UNIT_MODELS.get(engine.index_backend, ""))
         try:
             while not state.cancelled.is_set():
@@ -222,7 +232,8 @@ class ThreadedExecutor:
                 started = time.perf_counter()
                 vmap = expansion_state.advance(task)
                 children = engine.expand(
-                    plan, task, counters, vmap=vmap, step_tuples=step_tuples
+                    plan, task, counters, vmap=vmap, step_tuples=step_tuples,
+                    step_masks=step_masks,
                 )
                 spawned: List[PartialEmbedding] = []
                 for child in children:

@@ -1,0 +1,566 @@
+"""The multiprocess executor: one worker process per store shard.
+
+This is the execution engine that escapes the GIL for real: the
+partitioned store is split along its row spaces
+(:class:`repro.hypergraph.sharding.StoreShard`), each worker process
+builds and owns exactly one shard (~``1/num_shards`` of the index), and
+enumeration proceeds level-synchronously over the paper's task tree:
+
+1. the parent broadcasts the current frontier of partial embeddings
+   (self-contained edge-id tuples, Definition VI.1) to every shard;
+2. each shard runs Algorithm 4 + Algorithm 5 for every partial against
+   *its rows only* — candidate generation distributes over the
+   row-disjoint split (see :mod:`repro.hypergraph.sharding`), and each
+   surviving candidate is validated in exactly the one shard that owns
+   its row, so no expansion work is duplicated across processes;
+3. survivors come back as compact wire payloads
+   (:meth:`repro.core.candidates.CandidateSet.to_bytes` in global row
+   coordinates — row bitmasks or roaring-style chunk maps, never
+   decoded edge-id lists), and the parent composes the per-shard sets
+   with the container-pairwise ``|`` algebra
+   (:func:`repro.core.candidates.compose_candidate_sets`) before
+   extending the frontier.
+
+The per-shard duplication is limited to the *query-side* anchor-image
+filtering (a scan of the previous images' vertices, independent of
+partition size); all data-side work — posting algebra, validation —
+splits across shards.  ``MatchCounters`` come back per worker with
+their ``work_model`` tags and are merged by the parent
+(:meth:`~repro.core.counters.MatchCounters.merge` surfaces model
+mixtures instead of silently adding incomparable units), and per-shard
+:class:`~repro.parallel.tasks.WorkerStats` record the payload bytes
+that actually crossed each process boundary.
+
+Workers are spawn-safe: the worker entry point is a module-level
+function, every message crosses a :class:`multiprocessing.Pipe` as
+picklable data, and no global state is assumed — ``start_method`` may
+be ``"fork"``, ``"spawn"`` or ``"forkserver"``.  The pool persists
+across queries (shards are built once per data graph) and worker
+processes are daemonic, so an exiting parent never leaks them.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from bisect import bisect_left
+from multiprocessing import get_context
+from multiprocessing.connection import wait as _connection_wait
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.candidates import (
+    AnchorUnionMemo,
+    ChunkCandidates,
+    MaskCandidates,
+    VertexStepState,
+    candidate_set_from_bytes,
+    compose_candidate_sets,
+    encode_chunks_payload,
+    encode_mask_payload,
+    encode_tuple_payload,
+    generate_candidate_set,
+)
+from ..core.counters import WORK_UNIT_MODELS, MatchCounters
+from ..core.plan import build_execution_plan
+from ..core.validation import is_valid_expansion
+from ..errors import SchedulerError, TimeoutExceeded
+from ..hypergraph import Hypergraph
+from ..hypergraph.index import chunks_from_rows
+from ..hypergraph.sharding import StoreShard
+from ..hypergraph.storage import resolve_index_backend
+from .executor import ParallelResult
+from .tasks import ROOT_TASK, PartialEmbedding, WorkerStats, default_seed
+
+#: Backends whose survivors ship as row payloads (mask / chunk map);
+#: the merge backend's native representation is the edge-id tuple.
+_MASK_BACKENDS = ("bitset", "adaptive")
+
+
+# ----------------------------------------------------------------------
+# Worker side (runs in the shard's own process)
+# ----------------------------------------------------------------------
+
+
+def _encode_survivors(
+    backend: str,
+    rows: List[int],
+    edges: List[int],
+    row_base: int,
+    index,
+) -> "bytes | None":
+    """Serialise one partial's accepted candidates in the backend's
+    native wire representation, shifted into global row coordinates."""
+    if backend == "bitset":
+        if not rows:
+            return None
+        mask = 0
+        for row in rows:
+            mask |= 1 << row
+        # Local mask + decode offset: payload bytes track the shard's
+        # survivor span, not its global row base.
+        return encode_mask_payload(mask, row_base)
+    if backend == "adaptive":
+        if not rows:
+            return None
+        chunks = chunks_from_rows(
+            [row + row_base for row in rows], index.chunk_bits, index.array_max
+        )
+        # Sparse survivor sets often encode smaller as a bare mask (the
+        # chunk framing costs 9 bytes per dense chunk / 7 + 4·n per
+        # array); both sizes are closed-form, so pick the winner before
+        # serialising anything.  The reader re-chunks either form.
+        chunk_size = 5
+        for container in chunks.values():
+            if isinstance(container, int):
+                chunk_size += 9 + (container.bit_length() + 7) // 8
+            else:
+                chunk_size += 7 + 4 * len(container)
+        mask_size = 5 + (rows[-1] + 8) // 8  # rows ascending; span bytes
+        if mask_size < chunk_size:
+            mask = 0
+            for row in rows:
+                mask |= 1 << row
+            return encode_mask_payload(mask, row_base)
+        return encode_chunks_payload(chunks)
+    if not edges:
+        return None
+    return encode_tuple_payload(edges)
+
+
+def _expand_level(
+    graph: Hypergraph,
+    shard: StoreShard,
+    plan,
+    step: int,
+    frontier: Sequence[PartialEmbedding],
+    state: VertexStepState,
+    counters: MatchCounters,
+    stats: WorkerStats,
+    memo: AnchorUnionMemo,
+    mask_validation: bool,
+) -> Tuple[str, "List[Optional[bytes]] | None", int]:
+    """Expand every frontier partial against the shard's rows.
+
+    Returns ``("level", payloads, embeddings)``: one payload (or None)
+    per partial on intermediate steps, survivor *counts* on the final
+    step (complete embeddings are consumed on the spot, like the other
+    executors' implicit TSINK handling).
+    """
+    step_plan = plan.steps[step]
+    final = step == plan.num_steps - 1
+    partition = shard.partition(step_plan.signature)
+    if partition is None:
+        # The shard owns no rows of this signature; nothing to report.
+        return ("level", None, 0)
+    started = time.perf_counter()
+    backend = shard.index_backend
+    index = partition.index
+    row_base = shard.row_base(step_plan.signature)
+    edge_ids = partition.edge_ids
+    step_tuples = state.step_tuples
+    step_masks = state.step_masks if mask_validation else None
+    payloads: "List[Optional[bytes]] | None" = None if final else []
+    embeddings = 0
+    for partial in frontier:
+        vmap = state.advance(partial)
+        candidates = generate_candidate_set(
+            graph, partition, step_plan, partial, vmap, counters, memo=memo
+        )
+        if final:
+            counters.final_candidates += len(candidates)
+        partial_num_vertices = len(vmap)
+        rows: List[int] = []
+        edges: List[int] = []
+        accepted = 0
+        if type(candidates) is MaskCandidates:
+            # Rows fall out of the bit scan for free.
+            mask = candidates.mask
+            row_to_edge = candidates.row_to_edge
+            while mask:
+                low = mask & -mask
+                mask ^= low
+                row = low.bit_length() - 1
+                if is_valid_expansion(
+                    graph, step_plan, vmap, partial_num_vertices,
+                    row_to_edge[row], counters, final_step=final,
+                    step_tuples=step_tuples, step_masks=step_masks,
+                ):
+                    accepted += 1
+                    if not final:
+                        rows.append(row)
+        elif type(candidates) is ChunkCandidates:
+            chunk_bits = index.chunk_bits
+            row_to_edge = index.row_to_edge
+            chunks = candidates.chunks
+            for chunk in sorted(chunks):
+                base = chunk << chunk_bits
+                container = chunks[chunk]
+                if isinstance(container, int):
+                    while container:
+                        low = container & -container
+                        container ^= low
+                        row = base + low.bit_length() - 1
+                        if is_valid_expansion(
+                            graph, step_plan, vmap, partial_num_vertices,
+                            row_to_edge[row], counters, final_step=final,
+                            step_tuples=step_tuples, step_masks=step_masks,
+                        ):
+                            accepted += 1
+                            if not final:
+                                rows.append(row)
+                else:
+                    for offset in container:
+                        row = base + offset
+                        if is_valid_expansion(
+                            graph, step_plan, vmap, partial_num_vertices,
+                            row_to_edge[row], counters, final_step=final,
+                            step_tuples=step_tuples, step_masks=step_masks,
+                        ):
+                            accepted += 1
+                            if not final:
+                                rows.append(row)
+        else:
+            # Tuple candidates: the merge backend's native output, or a
+            # mask backend's no-anchor scan / tiny array-container
+            # result.  Rows (needed only for mask payloads) come from a
+            # bisect into the ascending edge-id table.
+            need_rows = not final and backend != "merge"
+            for edge in candidates:
+                if is_valid_expansion(
+                    graph, step_plan, vmap, partial_num_vertices, edge,
+                    counters, final_step=final,
+                    step_tuples=step_tuples, step_masks=step_masks,
+                ):
+                    accepted += 1
+                    if not final:
+                        if need_rows:
+                            rows.append(bisect_left(edge_ids, edge))
+                        else:
+                            edges.append(edge)
+        stats.tasks_executed += 1
+        if final:
+            embeddings += accepted
+            stats.embeddings += accepted
+        else:
+            payload = _encode_survivors(backend, rows, edges, row_base, index)
+            if payload is not None:
+                stats.payload_bytes += len(payload)
+            payloads.append(payload)
+    stats.busy_time += time.perf_counter() - started
+    return ("level", payloads, embeddings)
+
+
+def _shard_worker_main(
+    conn,
+    graph: Hypergraph,
+    shard_id: int,
+    num_shards: int,
+    index_backend: str,
+) -> None:
+    """Worker entry point: build the shard once, then serve jobs.
+
+    Message protocol (all tuples, first element is the kind):
+    ``("job", query, order)`` resets per-job state; ``("level", step,
+    frontier)`` answers with the level reply; ``("collect",)`` returns
+    ``(counters, stats)``; ``("stop",)`` exits.  Any worker-side
+    exception is reported as ``("error", traceback)`` — the parent
+    raises it as a :class:`SchedulerError`.
+    """
+    try:
+        shard = StoreShard.build(graph, shard_id, num_shards, index_backend)
+        memo = AnchorUnionMemo()
+        mask_validation = index_backend in _MASK_BACKENDS
+        plan = None
+        state: "VertexStepState | None" = None
+        counters = MatchCounters()
+        stats = WorkerStats(worker_id=shard_id)
+        while True:
+            message = conn.recv()
+            kind = message[0]
+            if kind == "level":
+                _, step, frontier = message
+                reply = _expand_level(
+                    graph, shard, plan, step, frontier, state,
+                    counters, stats, memo, mask_validation,
+                )
+                if step == plan.num_steps - 1:
+                    # Piggyback the job accounting on the final level:
+                    # saves the parent a whole collect round trip.
+                    reply = reply + (counters, stats)
+                conn.send(reply)
+            elif kind == "job":
+                _, query, order = message
+                plan = build_execution_plan(
+                    query, order, index_backend=index_backend
+                )
+                counters = MatchCounters()
+                counters.note_work_model(
+                    WORK_UNIT_MODELS.get(index_backend, "")
+                )
+                stats = WorkerStats(worker_id=shard_id)
+                state = VertexStepState(graph)
+            elif kind == "collect":
+                conn.send((counters, stats))
+            elif kind == "stop":
+                return
+            else:  # pragma: no cover - protocol misuse
+                raise SchedulerError(f"unknown worker message {kind!r}")
+    except (EOFError, KeyboardInterrupt):  # parent went away
+        return
+    except BaseException:  # report, then die visibly
+        import traceback
+
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (OSError, ValueError):  # pragma: no cover - pipe gone
+            pass
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+
+
+class ProcessShardExecutor:
+    """Run matching jobs on ``num_shards`` worker processes.
+
+    Parameters
+    ----------
+    num_shards:
+        Worker-process count; each worker owns one contiguous row-range
+        shard of every signature partition.
+    index_backend:
+        Posting-list representation the shards build (``None`` defers
+        to ``REPRO_INDEX_BACKEND``/``"merge"``); must match the
+        engine's backend so payloads decode into the parent's store.
+    start_method:
+        ``multiprocessing`` start method (``"fork"``/``"spawn"``/
+        ``"forkserver"``); ``None`` uses the platform default.  The
+        worker protocol is spawn-safe.
+    seed:
+        Scheduler seed recorded for the job (``None`` resolves to
+        ``REPRO_SEED``); the level-synchronous protocol is fully
+        deterministic, so this only namespaces future stochastic
+        policies.
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        index_backend: "str | None" = None,
+        start_method: "str | None" = None,
+        seed: "int | None" = None,
+    ) -> None:
+        if num_shards < 1:
+            raise SchedulerError("num_shards must be >= 1")
+        self.num_shards = num_shards
+        self.index_backend = resolve_index_backend(index_backend)
+        self.start_method = start_method
+        self.seed = default_seed() if seed is None else seed
+        self._graph: "Hypergraph | None" = None
+        self._processes: list = []
+        self._conns: list = []
+
+    # -- pool lifecycle -------------------------------------------------
+
+    def _ensure_pool(self, engine) -> None:
+        if engine.index_backend != self.index_backend:
+            raise SchedulerError(
+                f"engine backend {engine.index_backend!r} does not match "
+                f"executor backend {self.index_backend!r}"
+            )
+        if self._graph is engine.data and self._processes:
+            return
+        self.close()
+        context = (
+            get_context(self.start_method)
+            if self.start_method is not None
+            else get_context()
+        )
+        for shard_id in range(self.num_shards):
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_shard_worker_main,
+                args=(
+                    child_conn,
+                    engine.data,
+                    shard_id,
+                    self.num_shards,
+                    self.index_backend,
+                ),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._processes.append(process)
+            self._conns.append(parent_conn)
+        self._graph = engine.data
+
+    def close(self) -> None:
+        """Stop the worker pool (idempotent)."""
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (OSError, ValueError):
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for process in self._processes:
+            process.join(timeout=2.0)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(timeout=1.0)
+        self._processes = []
+        self._conns = []
+        self._graph = None
+
+    def __enter__(self) -> "ProcessShardExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - best effort
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- messaging ------------------------------------------------------
+
+    def _broadcast(self, message) -> None:
+        # Pickle once, write the same bytes to every pipe (the frontier
+        # is the big payload; Connection.send would re-pickle per shard).
+        payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+        for shard_id, conn in enumerate(self._conns):
+            try:
+                conn.send_bytes(payload)
+            except (BrokenPipeError, OSError):
+                # A worker died between jobs; tear down so the next run
+                # rebuilds a healthy pool.
+                self.close()
+                raise SchedulerError(
+                    f"shard worker {shard_id} is gone; pool torn down"
+                ) from None
+
+    def _gather(self) -> list:
+        replies = [None] * self.num_shards
+        pending = {conn: i for i, conn in enumerate(self._conns)}
+        while pending:
+            for conn in _connection_wait(list(pending)):
+                shard_id = pending.pop(conn)
+                try:
+                    reply = conn.recv()
+                except EOFError:
+                    # Tear the pool down: the dead worker can't serve the
+                    # next job, and the survivors hold stale replies.
+                    self.close()
+                    raise SchedulerError(
+                        f"shard worker {shard_id} died mid-job"
+                    ) from None
+                if (
+                    isinstance(reply, tuple)
+                    and reply
+                    and reply[0] == "error"
+                ):
+                    message = reply[1]
+                    self.close()
+                    raise SchedulerError(
+                        f"shard worker {shard_id} failed:\n{message}"
+                    )
+                replies[shard_id] = reply
+        return replies
+
+    # -- execution ------------------------------------------------------
+
+    def run(
+        self,
+        engine,
+        query: Hypergraph,
+        order: "Sequence[int] | None" = None,
+        time_budget: "float | None" = None,
+    ) -> ParallelResult:
+        """Execute one matching job across the shard pool.
+
+        Counts are bit-identical to the sequential engine: shards
+        partition every partition's rows disjointly, each candidate is
+        generated and validated in exactly one shard, and the composed
+        per-level frontiers equal the sequential BFS frontiers as sets.
+        ``time_budget`` is enforced at level granularity (levels are the
+        executor's natural barriers).
+        """
+        plan = engine.plan(query, order)
+        self._ensure_pool(engine)
+        deadline = (
+            None if time_budget is None else time.monotonic() + time_budget
+        )
+        started = time.monotonic()
+        self._broadcast(("job", query, plan.order))
+        num_steps = plan.num_steps
+        frontier: List[PartialEmbedding] = [ROOT_TASK]
+        embeddings = 0
+        logical_tasks = 0
+        peak_retained = 0
+        collected = None
+        for step in range(num_steps):
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutExceeded(
+                    time.monotonic() - (deadline - time_budget), time_budget
+                )
+            self._broadcast(("level", step, frontier))
+            logical_tasks += len(frontier)
+            replies = self._gather()
+            if step == num_steps - 1:
+                embeddings += sum(reply[2] for reply in replies)
+                # Final replies carry the job accounting (see worker).
+                collected = [reply[3:5] for reply in replies]
+                break
+            partition = engine.store.partition(plan.steps[step].signature)
+            index = None if partition is None else partition.index
+            next_frontier: List[PartialEmbedding] = []
+            for position, partial in enumerate(frontier):
+                shard_sets = []
+                for reply in replies:
+                    payloads = reply[1]
+                    if payloads is None:
+                        continue
+                    payload = payloads[position]
+                    if payload is not None:
+                        shard_sets.append(
+                            candidate_set_from_bytes(payload, index)
+                        )
+                if not shard_sets:
+                    continue
+                composed = compose_candidate_sets(shard_sets)
+                for edge in composed:
+                    next_frontier.append(partial + (edge,))
+            frontier = next_frontier
+            peak_retained = max(peak_retained, len(frontier))
+            if not frontier:
+                break
+        elapsed = time.monotonic() - started
+
+        if collected is None:
+            # The frontier drained before the final level; the workers
+            # never piggybacked their accounting, so ask for it.
+            self._broadcast(("collect",))
+            collected = self._gather()
+        merged = MatchCounters()
+        worker_stats: List[WorkerStats] = []
+        for counters, stats in collected:
+            merged.merge(counters)
+            worker_stats.append(stats)
+        # Logical task/embedding accounting lives parent-side: each
+        # frontier entry is one task of the paper's tree (a shard's
+        # per-partial probes are recorded in its WorkerStats instead).
+        merged.tasks = logical_tasks
+        merged.embeddings = embeddings
+        merged.peak_retained = peak_retained
+        return ParallelResult(
+            embeddings=embeddings,
+            elapsed=elapsed,
+            counters=merged,
+            worker_stats=worker_stats,
+        )

@@ -31,7 +31,7 @@ from ..core.counters import MatchCounters
 from ..core.engine import HGMatch
 from ..errors import SchedulerError
 from ..hypergraph import Hypergraph
-from .tasks import ROOT_TASK, PartialEmbedding, WorkerStats
+from .tasks import ROOT_TASK, PartialEmbedding, WorkerStats, default_seed
 
 
 @dataclass(frozen=True)
@@ -97,7 +97,7 @@ class SimulatedExecutor:
         cost_model: "CostModel | None" = None,
         stealing: bool = True,
         steal_mode: str = "half",
-        seed: int = 0,
+        seed: "int | None" = None,
     ) -> None:
         if num_workers < 1:
             raise SchedulerError("num_workers must be >= 1")
@@ -107,7 +107,9 @@ class SimulatedExecutor:
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.stealing = stealing
         self.steal_mode = steal_mode
-        self.seed = seed
+        # None resolves to REPRO_SEED (tasks.default_seed); the victim
+        # RNG below is seeded per job from this value alone.
+        self.seed = default_seed() if seed is None else seed
 
     def run(
         self,

@@ -19,6 +19,7 @@ behaviourally identical and avoids a million tiny allocations.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Tuple
 
@@ -27,6 +28,28 @@ PartialEmbedding = Tuple[int, ...]
 
 #: The root task (the empty partial embedding, i.e. TSCAN).
 ROOT_TASK: PartialEmbedding = ()
+
+
+def default_seed() -> int:
+    """The process-wide scheduler seed: ``REPRO_SEED`` or 0.
+
+    Every executor RNG (steal-victim selection in the threaded,
+    simulated and multiprocess schedulers) is seeded per job by deriving
+    from this value, never from the process-global :mod:`random` state —
+    so two runs of the same job under the same ``REPRO_SEED`` make
+    identical steal decisions, in every worker thread and every worker
+    process, and cross-process tests can assert exact reproducibility.
+
+    Resolved at call time (like ``REPRO_INDEX_BACKEND``) so a test
+    session or deployment can switch seeds without touching call sites.
+    """
+    value = os.environ.get("REPRO_SEED")
+    try:
+        return int(value) if value else 0
+    except ValueError:
+        raise ValueError(
+            f"REPRO_SEED must be an integer, got {value!r}"
+        ) from None
 
 
 def task_kind(task: PartialEmbedding, num_steps: int) -> str:
@@ -50,6 +73,9 @@ class WorkerStats:
     steals_succeeded: int = 0
     tasks_stolen: int = 0
     peak_queue: int = 0
+    #: Bytes of candidate payloads this worker shipped across a process
+    #: boundary (multiprocess executor only; 0 for thread workers).
+    payload_bytes: int = 0
 
     def as_row(self) -> dict:
         return {
@@ -60,4 +86,5 @@ class WorkerStats:
             "steals": self.steals_succeeded,
             "stolen_tasks": self.tasks_stolen,
             "peak_queue": self.peak_queue,
+            "payload_bytes": self.payload_bytes,
         }

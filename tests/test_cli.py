@@ -118,6 +118,59 @@ class TestMatch:
         assert code == 0
         assert output.startswith("2 embeddings")
 
+    def test_match_processes(self, fig1_files):
+        data_path, query_path = fig1_files
+        code, output = run_cli(
+            "match", data_path, query_path,
+            "--executor", "processes", "--shards", "2",
+        )
+        assert code == 0
+        assert output.startswith("2 embeddings")
+
+    def test_match_shards_implies_processes(self, fig1_files):
+        data_path, query_path = fig1_files
+        code, output = run_cli(
+            "match", data_path, query_path, "--shards", "2"
+        )
+        assert code == 0
+        assert output.startswith("2 embeddings")
+
+    def test_shards_rejected_for_non_process_executors(self, fig1_files):
+        data_path, query_path = fig1_files
+        code, output = run_cli(
+            "match", data_path, query_path,
+            "--executor", "threads", "--shards", "4",
+        )
+        assert code == 1
+        assert "--executor processes" in output
+
+    def test_baselines_reject_executor_flags(self, fig1_files):
+        data_path, query_path = fig1_files
+        code, output = run_cli(
+            "match", data_path, query_path,
+            "--engine", "CFL-H", "--executor", "processes", "--shards", "2",
+        )
+        assert code == 1
+        assert "HGMatch engine only" in output
+
+    def test_print_embeddings_rejects_executor(self, fig1_files):
+        data_path, query_path = fig1_files
+        code, output = run_cli(
+            "match", data_path, query_path,
+            "--print-embeddings", "--executor", "processes", "--shards", "2",
+        )
+        assert code == 1
+        assert "sequential" in output
+
+    def test_match_simulated(self, fig1_files):
+        data_path, query_path = fig1_files
+        code, output = run_cli(
+            "match", data_path, query_path,
+            "--executor", "simulated", "--workers", "3",
+        )
+        assert code == 0
+        assert output.startswith("2 embeddings")
+
     def test_print_embeddings(self, fig1_files):
         data_path, query_path = fig1_files
         code, output = run_cli(

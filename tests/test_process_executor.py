@@ -1,0 +1,260 @@
+"""The multiprocess shard executor: parity, accounting and lifecycle.
+
+The correctness bar is bit-identical counts against the sequential
+engine for every index backend — the acceptance gate of the sharded
+execution subsystem — plus the funnel counters (candidates / filtered /
+final_*) matching exactly, since each candidate is generated and
+validated in exactly one shard.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import HGMatch, Hypergraph
+from repro.core.counters import MatchCounters
+from repro.errors import QueryError, SchedulerError, TimeoutExceeded
+from repro.hypergraph import INDEX_BACKENDS
+from repro.parallel import ProcessShardExecutor
+from repro.testing import make_random_instance
+
+
+@pytest.fixture(scope="module")
+def workload_instances():
+    """A deterministic batch of small (data, query) pairs."""
+    rng = random.Random(987)
+    instances = []
+    while len(instances) < 6:
+        instance = make_random_instance(rng)
+        if instance is not None:
+            instances.append(instance)
+    return instances
+
+
+@pytest.mark.parametrize("backend", INDEX_BACKENDS)
+@pytest.mark.parametrize("num_shards", [1, 2, 4])
+def test_counts_match_sequential(workload_instances, backend, num_shards):
+    for data, query in workload_instances:
+        engine = HGMatch(data, index_backend=backend, shards=num_shards)
+        try:
+            expected = engine.count(query)
+            assert engine.count(query, executor="processes") == expected
+            assert engine.count_bfs(query, executor="processes") == expected
+        finally:
+            engine.close()
+
+
+@pytest.mark.parametrize("backend", INDEX_BACKENDS)
+def test_counter_funnel_matches_sequential(workload_instances, backend):
+    data, query = workload_instances[0]
+    engine = HGMatch(data, index_backend=backend, shards=3)
+    try:
+        sequential = MatchCounters()
+        expected = engine.count(query, counters=sequential)
+        sharded = MatchCounters()
+        assert engine.count(
+            query, executor="processes", counters=sharded
+        ) == expected
+        # Disjoint row ownership: every candidate is produced and
+        # validated exactly once across the pool, so the funnel is exact.
+        assert sharded.candidates == sequential.candidates
+        assert sharded.filtered == sequential.filtered
+        assert sharded.final_candidates == sequential.final_candidates
+        assert sharded.final_filtered == sequential.final_filtered
+        assert sharded.embeddings == sequential.embeddings
+        assert sharded.work_model == sequential.work_model
+    finally:
+        engine.close()
+
+
+@pytest.mark.parametrize("backend", ("bitset", "adaptive"))
+def test_mask_backends_ship_masks_not_edge_lists(workload_instances, backend):
+    """Payloads crossing the process boundary must be row payloads
+    (bitmask/chunk tags), never decoded edge-id tuples."""
+    from repro.core.candidates import _WIRE_CHUNKS, _WIRE_MASK, _WIRE_TUPLE
+    from repro.hypergraph import StoreShard
+    from repro.parallel.shard_executor import _encode_survivors
+
+    data, query = workload_instances[0]
+    shard = StoreShard.build(data, 0, 2, index_backend=backend)
+    signature = next(iter(shard.partitions))
+    index = shard.partition(signature).index
+    payload = _encode_survivors(backend, [0], [], 7, index)
+    # bitset ships masks; adaptive ships whichever row representation
+    # (mask or chunk map) is smaller — never a decoded edge-id tuple.
+    assert payload[0] in (_WIRE_MASK, _WIRE_CHUNKS)
+    assert payload[0] != _WIRE_TUPLE
+    if backend == "adaptive":
+        dense = _encode_survivors(
+            backend, list(range(min(64, len(index.row_to_edge)) or 1)), [], 0,
+            index,
+        )
+        assert dense[0] in (_WIRE_MASK, _WIRE_CHUNKS)
+
+    engine = HGMatch(data, index_backend=backend)
+    executor = ProcessShardExecutor(2, index_backend=backend)
+    try:
+        result = executor.run(engine, query)
+        assert result.embeddings == engine.count(query)
+        assert len(result.worker_stats) == 2
+        # Each shard reports the bytes it actually shipped.
+        assert all(s.payload_bytes >= 0 for s in result.worker_stats)
+    finally:
+        executor.close()
+        engine.close()
+
+
+def test_pool_persists_across_queries(workload_instances):
+    data, first_query = workload_instances[0]
+    engine = HGMatch(data, index_backend="bitset", shards=2)
+    try:
+        executor = engine.shard_executor()
+        assert engine.count(first_query, executor="processes") == engine.count(
+            first_query
+        )
+        # Same pool object serves the next query against the same data.
+        assert engine.shard_executor() is executor
+        assert engine.count(first_query, executor="processes") == engine.count(
+            first_query
+        )
+        # Asking for a different shard count rebuilds the pool.
+        other = engine.shard_executor(3)
+        assert other is not executor
+        assert other.num_shards == 3
+    finally:
+        engine.close()
+
+
+def test_results_are_reproducible_across_runs(workload_instances):
+    data, query = workload_instances[1]
+    engine = HGMatch(data, index_backend="adaptive", shards=2)
+    try:
+        first = engine.shard_executor().run(engine, query)
+        second = engine.shard_executor().run(engine, query)
+        assert first.embeddings == second.embeddings
+        assert first.counters.as_row() == second.counters.as_row()
+        assert [s.payload_bytes for s in first.worker_stats] == [
+            s.payload_bytes for s in second.worker_stats
+        ]
+    finally:
+        engine.close()
+
+
+def test_backend_mismatch_is_rejected(workload_instances):
+    data, query = workload_instances[0]
+    engine = HGMatch(data, index_backend="merge")
+    executor = ProcessShardExecutor(2, index_backend="bitset")
+    try:
+        with pytest.raises(SchedulerError):
+            executor.run(engine, query)
+    finally:
+        executor.close()
+        engine.close()
+
+
+def test_invalid_executor_and_shards():
+    data = Hypergraph(labels=["A", "A"], edges=[{0, 1}])
+    query = Hypergraph(labels=["A", "A"], edges=[{0, 1}])
+    engine = HGMatch(data)
+    with pytest.raises(QueryError):
+        engine.count(query, executor="warp-drive")
+    with pytest.raises(QueryError):
+        engine.count_bfs(query, executor="warp-drive")
+    with pytest.raises(QueryError):
+        HGMatch(data, shards=0)
+    with pytest.raises(SchedulerError):
+        ProcessShardExecutor(0)
+
+
+def test_single_step_query(fig1_data):
+    """num_steps == 1: the SCAN level is also the final level."""
+    query = Hypergraph(labels=["A", "B"], edges=[{0, 1}])
+    engine = HGMatch(fig1_data, shards=2)
+    try:
+        expected = engine.count(query)
+        assert engine.count(query, executor="processes") == expected
+    finally:
+        engine.close()
+
+
+def test_workers_names_parallelism_when_shards_unset(workload_instances):
+    """count(workers=N, executor="processes") on an unsharded engine
+    runs N worker processes, matching every other executor's meaning of
+    ``workers``."""
+    data, query = workload_instances[0]
+    engine = HGMatch(data, index_backend="bitset")  # shards defaults to 1
+    try:
+        expected = engine.count(query)
+        assert (
+            engine.count(query, workers=3, executor="processes") == expected
+        )
+        assert engine._shard_executor.num_shards == 3
+    finally:
+        engine.close()
+
+
+def test_dead_worker_tears_pool_down(workload_instances):
+    """A killed worker must surface as SchedulerError and leave the
+    executor able to rebuild a healthy pool on the next run."""
+    data, query = workload_instances[0]
+    engine = HGMatch(data, index_backend="bitset")
+    executor = ProcessShardExecutor(2, index_backend="bitset")
+    try:
+        expected = engine.count(query)
+        assert executor.run(engine, query).embeddings == expected
+        executor._processes[0].terminate()
+        executor._processes[0].join(timeout=2.0)
+        with pytest.raises(SchedulerError):
+            executor.run(engine, query)
+        # The failed run closed the pool; the next run rebuilds it.
+        assert executor.run(engine, query).embeddings == expected
+    finally:
+        executor.close()
+        engine.close()
+
+
+def test_timeout_raises(workload_instances):
+    data, query = workload_instances[0]
+    engine = HGMatch(data, shards=2)
+    try:
+        with pytest.raises(TimeoutExceeded):
+            engine.count(query, executor="processes", time_budget=-1.0)
+        # The pool survives a timeout and still answers correctly.
+        assert engine.count(query, executor="processes") == engine.count(query)
+    finally:
+        engine.close()
+
+
+def test_spawn_start_method(workload_instances):
+    """The worker protocol must survive the spawn start method (fresh
+    interpreter, everything crossing as pickles)."""
+    data, query = workload_instances[0]
+    engine = HGMatch(data, index_backend="bitset")
+    executor = ProcessShardExecutor(
+        2, index_backend="bitset", start_method="spawn"
+    )
+    try:
+        assert executor.run(engine, query).embeddings == engine.count(query)
+    finally:
+        executor.close()
+        engine.close()
+
+
+def test_fig1_running_example_across_executors(fig1_data, fig1_query):
+    engine = HGMatch(fig1_data, shards=2)
+    try:
+        expected = engine.count(fig1_query)
+        assert engine.count(fig1_query, executor="threads", workers=3) == expected
+        assert engine.count(fig1_query, executor="processes") == expected
+        assert engine.count(fig1_query, executor="simulated", workers=3) == expected
+        assert engine.count_bfs(fig1_query) == expected
+        assert (
+            engine.count_bfs(fig1_query, executor="threads", workers=3)
+            == expected
+        )
+        assert engine.count_bfs(fig1_query, executor="processes") == expected
+        assert engine.count_bfs(fig1_query, executor="simulated") == expected
+    finally:
+        engine.close()

@@ -93,3 +93,98 @@ class TestCertifyEmbedding:
         query = Hypergraph(["A", "A", "A"], [{0, 1}, {1, 2}])
         data = Hypergraph(["A", "A"], [{0, 1}])
         assert not certify_embedding(data, query, (0, 1), (0, 0))
+
+
+class TestMaskProfileEquivalence:
+    """Algorithm 5 over per-step vertex bitmasks (the mask backends'
+    fast path) must accept exactly the candidates the sorted-tuple path
+    accepts — the step-set <-> bitmask encoding is bijective."""
+
+    def _paths_agree(self, data, step_plan, vmap, candidate):
+        from repro.core.candidates import vertex_step_tuples
+
+        step_tuples = {
+            v: tuple(sorted(steps)) for v, steps in vmap.items()
+        }
+        step_masks = {
+            v: sum(1 << s for s in steps) for v, steps in vmap.items()
+        }
+        tuple_path = is_valid_expansion(
+            data, step_plan, vmap, len(vmap), candidate,
+            step_tuples=step_tuples,
+        )
+        mask_path = is_valid_expansion(
+            data, step_plan, vmap, len(vmap), candidate,
+            step_masks=step_masks,
+        )
+        assert tuple_path == mask_path
+        return tuple_path
+
+    def test_plan_carries_mask_key(self, fig1_query):
+        plan = build_execution_plan(fig1_query, (0, 1, 2))
+        for step_plan in plan.steps:
+            assert len(step_plan.profile_mask_key) == len(step_plan.profile_key)
+            # Entry-wise consistency: same label ids, mask == tuple bits.
+            tuple_multiset = sorted(
+                (label_id, sum(1 << s for s in steps))
+                for label_id, steps in step_plan.profile_key
+            )
+            assert sorted(step_plan.profile_mask_key) == tuple_multiset
+
+    def test_fig1_candidates_agree(self, fig1_data, fig1_query):
+        plan = build_execution_plan(fig1_query, (0, 1, 2))
+        for matched in ((0, 2), (1, 3)):
+            vmap = vertex_step_map(fig1_data, matched)
+            for candidate in range(fig1_data.num_edges):
+                self._paths_agree(fig1_data, plan.steps[2], vmap, candidate)
+
+    def test_random_instances_agree(self):
+        import random
+
+        from repro import HGMatch
+        from repro.testing import make_random_instance
+
+        rng = random.Random(555)
+        trials = 0
+        while trials < 10:
+            instance = make_random_instance(rng)
+            if instance is None:
+                continue
+            trials += 1
+            data, query = instance
+            engine = HGMatch(data)
+            plan = engine.plan(query)
+            stack = [()]
+            while stack:
+                matched = stack.pop()
+                step_plan = plan.steps[len(matched)]
+                vmap = vertex_step_map(data, matched)
+                partition = engine.store.partition(step_plan.signature)
+                if partition is not None:
+                    for candidate in partition.edge_ids:
+                        self._paths_agree(data, step_plan, vmap, candidate)
+                for extended in engine.expand(plan, matched):
+                    if len(extended) < plan.num_steps:
+                        stack.append(extended)
+
+    def test_engine_counts_agree_across_validation_paths(self):
+        """Backend choice (and therefore validation path) never changes
+        the count."""
+        import random
+
+        from repro import HGMatch
+        from repro.testing import make_random_instance
+
+        rng = random.Random(556)
+        trials = 0
+        while trials < 6:
+            instance = make_random_instance(rng)
+            if instance is None:
+                continue
+            trials += 1
+            data, query = instance
+            counts = {
+                backend: HGMatch(data, index_backend=backend).count(query)
+                for backend in ("merge", "bitset", "adaptive")
+            }
+            assert len(set(counts.values())) == 1, counts

@@ -1,0 +1,251 @@
+"""Property tests for the candidate-set wire format.
+
+``CandidateSet.from_bytes(to_bytes(s))`` must preserve membership and
+cardinality for all three representations — tuples, row bitmasks and
+roaring-style chunk maps — including empty sets, single-chunk extremes
+and the ``row_offset`` shift that moves a shard-local payload into the
+global row space.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.candidates import (
+    ChunkCandidates,
+    EMPTY_CANDIDATES,
+    MaskCandidates,
+    TupleCandidates,
+    candidate_set_from_bytes,
+    compose_candidate_sets,
+)
+from repro.hypergraph import (
+    AdaptiveHyperedgeIndex,
+    BitsetHyperedgeIndex,
+    CHUNK_BITS,
+    chunks_from_rows,
+)
+
+CHUNK_SIZE = 1 << CHUNK_BITS
+
+
+def make_bitset_index(num_rows: int) -> BitsetHyperedgeIndex:
+    """A bitset index whose row ``r`` maps to edge id ``10 * r`` (so the
+    row/edge distinction can't silently cancel out)."""
+    return BitsetHyperedgeIndex(
+        tuple(10 * row for row in range(num_rows)), {}
+    )
+
+
+def make_adaptive_index(num_rows: int) -> AdaptiveHyperedgeIndex:
+    return AdaptiveHyperedgeIndex(
+        tuple(10 * row for row in range(num_rows)), {}
+    )
+
+
+def random_rows(rng: random.Random, num_rows: int) -> list:
+    count = rng.randint(0, min(num_rows, 64))
+    return sorted(rng.sample(range(num_rows), count))
+
+
+class TestTuplePayloads:
+    def test_round_trip_preserves_membership(self):
+        rng = random.Random(7)
+        for _ in range(50):
+            edges = tuple(sorted(rng.sample(range(100_000), rng.randint(0, 40))))
+            restored = candidate_set_from_bytes(TupleCandidates(edges).to_bytes())
+            assert restored.to_tuple() == edges
+            assert len(restored) == len(edges)
+
+    def test_empty_tuple(self):
+        restored = candidate_set_from_bytes(EMPTY_CANDIDATES.to_bytes())
+        assert restored.to_tuple() == ()
+        assert not restored
+
+    def test_row_offset_is_ignored(self):
+        # Edge ids are global; only row payloads translate.
+        edges = (3, 17, 92)
+        assert (
+            TupleCandidates(edges).to_bytes(row_offset=5)
+            == TupleCandidates(edges).to_bytes()
+        )
+
+
+class TestMaskPayloads:
+    @pytest.mark.parametrize("num_rows", [1, 7, 64, 300])
+    def test_round_trip_preserves_membership(self, num_rows):
+        rng = random.Random(num_rows)
+        index = make_bitset_index(num_rows)
+        for _ in range(30):
+            rows = random_rows(rng, num_rows)
+            mask = sum(1 << row for row in rows)
+            payload = MaskCandidates(index, mask).to_bytes()
+            restored = candidate_set_from_bytes(payload, index)
+            assert isinstance(restored, MaskCandidates)
+            assert restored.to_tuple() == tuple(10 * row for row in rows)
+            assert len(restored) == len(rows)
+
+    def test_empty_mask(self):
+        index = make_bitset_index(8)
+        restored = candidate_set_from_bytes(
+            MaskCandidates(index, 0).to_bytes(), index
+        )
+        assert restored.to_tuple() == ()
+        assert len(restored) == 0
+
+    def test_requires_index(self):
+        payload = MaskCandidates(make_bitset_index(4), 0b1011).to_bytes()
+        with pytest.raises(ValueError):
+            candidate_set_from_bytes(payload)
+
+    def test_row_offset_shifts_into_global_space(self):
+        # A shard owning global rows 100..103 encodes local mask 0b1011.
+        shard_index = make_bitset_index(4)
+        global_index = make_bitset_index(200)
+        payload = MaskCandidates(shard_index, 0b1011).to_bytes(row_offset=100)
+        restored = candidate_set_from_bytes(payload, global_index)
+        assert restored.to_tuple() == (1000, 1010, 1030)
+
+    def test_payload_size_independent_of_row_offset(self):
+        # The offset travels as a fixed header field, so a shard deep in
+        # a huge partition pays for its survivor span, not its position.
+        index = make_bitset_index(4)
+        near = MaskCandidates(index, 0b1011).to_bytes(row_offset=0)
+        far = MaskCandidates(index, 0b1011).to_bytes(row_offset=750_000)
+        assert len(far) == len(near)
+
+    def test_mask_payload_normalises_to_adaptive_reader(self):
+        # A single-chunk shard may ship a bare mask even under the
+        # adaptive backend; the reader re-chunks it.
+        adaptive = make_adaptive_index(3 * CHUNK_SIZE)
+        rows = [5, CHUNK_SIZE + 2, 2 * CHUNK_SIZE + 9]
+        mask = sum(1 << row for row in rows)
+        restored = candidate_set_from_bytes(
+            MaskCandidates(make_bitset_index(4), mask).to_bytes(), adaptive
+        )
+        assert isinstance(restored, ChunkCandidates)
+        assert restored.to_tuple() == tuple(10 * row for row in rows)
+
+
+class TestChunkPayloads:
+    @pytest.mark.parametrize(
+        "num_rows", [1, CHUNK_SIZE - 1, CHUNK_SIZE, CHUNK_SIZE + 1, 3 * CHUNK_SIZE]
+    )
+    def test_round_trip_preserves_membership(self, num_rows):
+        rng = random.Random(num_rows % 97)
+        index = make_adaptive_index(num_rows)
+        for _ in range(20):
+            rows = random_rows(rng, num_rows)
+            chunks = chunks_from_rows(rows)
+            payload = ChunkCandidates(index, chunks).to_bytes()
+            restored = candidate_set_from_bytes(payload, index)
+            assert restored.to_tuple() == tuple(10 * row for row in rows)
+            assert len(restored) == len(rows)
+
+    def test_single_chunk_extremes(self):
+        # First offset, last offset, and a full chunk — the container
+        # boundary cases.
+        index = make_adaptive_index(2 * CHUNK_SIZE)
+        for rows in (
+            [0],
+            [CHUNK_SIZE - 1],
+            [0, CHUNK_SIZE - 1],
+            list(range(CHUNK_SIZE)),
+        ):
+            chunks = chunks_from_rows(rows)
+            restored = candidate_set_from_bytes(
+                ChunkCandidates(index, chunks).to_bytes(), index
+            )
+            assert restored.to_tuple() == tuple(10 * row for row in rows)
+
+    def test_empty_chunk_map(self):
+        index = make_adaptive_index(16)
+        restored = candidate_set_from_bytes(
+            ChunkCandidates(index, {}).to_bytes(), index
+        )
+        assert restored.to_tuple() == ()
+        assert len(restored) == 0
+
+    def test_dense_and_sparse_containers_round_trip(self):
+        index = make_adaptive_index(CHUNK_SIZE)
+        # Sparse (array container) and dense (bitmask container) chunks
+        # in one payload.
+        rows = [1, 3] + list(range(100, 160))
+        chunks = chunks_from_rows(rows)
+        restored = candidate_set_from_bytes(
+            ChunkCandidates(index, chunks).to_bytes(), index
+        )
+        assert restored.to_tuple() == tuple(10 * row for row in rows)
+
+    def test_row_offset_crossing_chunk_boundary(self):
+        # Shifting by a non-chunk-aligned offset splits containers
+        # across chunk boundaries; membership must survive.
+        shard_index = make_adaptive_index(64)
+        global_index = make_adaptive_index(2 * CHUNK_SIZE)
+        rows = [0, 10, 63]
+        offset = CHUNK_SIZE - 32  # rows straddle the chunk boundary
+        payload = ChunkCandidates(
+            shard_index, chunks_from_rows(rows)
+        ).to_bytes(row_offset=offset)
+        restored = candidate_set_from_bytes(payload, global_index)
+        assert restored.to_tuple() == tuple(10 * (row + offset) for row in rows)
+
+    def test_chunk_payload_normalises_to_bitset_reader(self):
+        bitset = make_bitset_index(CHUNK_SIZE + 50)
+        rows = [3, CHUNK_SIZE + 7]
+        payload = ChunkCandidates(
+            make_adaptive_index(2 * CHUNK_SIZE), chunks_from_rows(rows)
+        ).to_bytes()
+        restored = candidate_set_from_bytes(payload, bitset)
+        assert isinstance(restored, MaskCandidates)
+        assert restored.to_tuple() == tuple(10 * row for row in rows)
+
+
+class TestCompose:
+    def test_disjoint_shard_masks_compose_to_union(self):
+        index = make_bitset_index(40)
+        parts = [
+            MaskCandidates(index, 0b1010),
+            MaskCandidates(index, 0b0100 << 10),
+            MaskCandidates(index, 1 << 39),
+        ]
+        composed = compose_candidate_sets(parts)
+        expected = tuple(
+            sorted(edge for part in parts for edge in part.to_tuple())
+        )
+        assert composed.to_tuple() == expected
+
+    def test_compose_empty_and_single(self):
+        index = make_bitset_index(8)
+        assert compose_candidate_sets([]) is EMPTY_CANDIDATES
+        assert (
+            compose_candidate_sets([MaskCandidates(index, 0)])
+            is EMPTY_CANDIDATES
+        )
+        only = MaskCandidates(index, 0b11)
+        assert compose_candidate_sets([MaskCandidates(index, 0), only]) is only
+
+    def test_compose_chunk_maps(self):
+        index = make_adaptive_index(3 * CHUNK_SIZE)
+        first = ChunkCandidates(index, chunks_from_rows([1, 2, 3]))
+        second = ChunkCandidates(
+            index, chunks_from_rows([CHUNK_SIZE + 5, 2 * CHUNK_SIZE])
+        )
+        composed = compose_candidate_sets([first, second])
+        assert composed.to_tuple() == tuple(
+            10 * row for row in (1, 2, 3, CHUNK_SIZE + 5, 2 * CHUNK_SIZE)
+        )
+
+    def test_compose_tuples(self):
+        first = TupleCandidates((1, 5))
+        second = TupleCandidates((7, 9))
+        assert compose_candidate_sets([second, first]).to_tuple() == (1, 5, 7, 9)
+
+    def test_compose_mixed_representations_falls_back(self):
+        index = make_bitset_index(8)
+        composed = compose_candidate_sets(
+            [MaskCandidates(index, 0b1), TupleCandidates((70,))]
+        )
+        assert composed.to_tuple() == (0, 70)
