@@ -4,8 +4,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-backends test-processes bench-smoke bench-index \
-	bench-sharding lint-imports
+.PHONY: test test-backends test-processes test-sockets bench-smoke \
+	bench-index bench-sharding bench-net docs-check lint-imports
 
 ## Tier-1 verification: the whole test suite, stop on first failure.
 ## Honours REPRO_INDEX_BACKEND (merge/bitset/adaptive).
@@ -33,6 +33,17 @@ test-processes:
 		tests/test_process_executor.py tests/test_sharding.py \
 		tests/test_wire_format.py
 
+## Socket-transport smoke: framing, handshake and the network shard
+## executor across all three backends (the tier-1 subset CI's
+## socket job runs).
+test-sockets:
+	REPRO_INDEX_BACKEND=merge $(PYTHON) -m pytest -x -q \
+		tests/test_transport.py tests/test_net_executor.py
+	REPRO_INDEX_BACKEND=bitset $(PYTHON) -m pytest -x -q \
+		tests/test_transport.py tests/test_net_executor.py
+	REPRO_INDEX_BACKEND=adaptive $(PYTHON) -m pytest -x -q \
+		tests/test_transport.py tests/test_net_executor.py
+
 ## One fast benchmark as a smoke signal: the three-backend index
 ## comparison (merge/bitset/adaptive + mask-native pipeline; also
 ## regenerates BENCH_index_backends.json).
@@ -47,6 +58,17 @@ bench-index: bench-smoke
 ## the >= 1.5x speedup gate enforces only on hosts with >= 2 cores).
 bench-sharding:
 	$(PYTHON) benchmarks/bench_sharding.py
+
+## Socket executor benchmark: loopback clusters at 4 shards on the
+## Fig. 8 trace, parity vs threads/processes + payload gates
+## (regenerates BENCH_net.json; wall clock recorded, not gated).
+bench-net:
+	$(PYTHON) benchmarks/bench_net.py
+
+## Documentation checks: the WIRE_FORMAT.md doctests (the byte-level
+## spec is executable) and a link check over docs/ + README.
+docs-check:
+	$(PYTHON) tools/docs_check.py
 
 ## Cheap sanity check that every package module imports cleanly.
 lint-imports:

@@ -34,6 +34,11 @@ from typing import Dict, List, Tuple
 
 from repro import HGMatch
 from repro.bench import make_engine, work_model_label, workload
+from repro.bench import (
+    FIG8_DATASETS as DATASETS,
+    FIG8_QUERIES_PER_SETTING as QUERIES_PER_SETTING,
+    FIG8_SETTINGS as SETTINGS,
+)
 from repro.core.candidates import (
     generate_candidate_set,
     generate_candidates,
@@ -41,16 +46,13 @@ from repro.core.candidates import (
 )
 from repro.datasets import load_dataset
 
-#: Fig. 8 protocol at reproduction scale, restricted to the datasets
-#: and query classes whose partitions are large enough that posting-list
-#: algebra (not per-call overhead) dominates — the regime the backends
-#: differ in.  q4 is excluded: its enumeration is tens of thousands of
-#: tiny probes whose fixed per-call cost swamps the algebra on both
-#: backends.  The trace totals ~100ms of merge-side work so the ratio
-#: is stable across runs and machines.
-DATASETS = ("HB", "SB")
-SETTINGS = ("q2", "q3", "q6")
-QUERIES_PER_SETTING = 3
+# The Fig. 8 trace (shared with bench_sharding/bench_net via
+# repro.bench.fig8) is restricted to datasets and query classes whose
+# partitions are large enough that posting-list algebra — not per-call
+# overhead — dominates: the regime the backends differ in.  q4 is
+# excluded: its enumeration is tens of thousands of tiny probes whose
+# fixed per-call cost swamps the algebra on both backends.  The trace
+# totals ~100ms of merge-side work so ratios are stable across runs.
 REPEATS = 5
 
 #: merge first: it is the baseline every regression gate divides by.

@@ -32,19 +32,22 @@ from __future__ import annotations
 
 import json
 import os
-import time
 from typing import Dict, List
 
 from repro import HGMatch
-from repro.bench import make_engine, work_model_label, workload
+from repro.bench import (
+    FIG8_DATASETS as DATASETS,
+    FIG8_QUERIES_PER_SETTING as QUERIES_PER_SETTING,
+    FIG8_SETTINGS as SETTINGS,
+    fig8_queries,
+    make_engine,
+    time_pass as _time_pass,
+    usable_cores,
+    work_model_label,
+)
 from repro.datasets import load_dataset
 from repro.parallel import ProcessShardExecutor, ThreadedExecutor
 
-#: Fig. 8 protocol at reproduction scale — identical to
-#: bench_index_backends so the two JSON trajectories stay comparable.
-DATASETS = ("HB", "SB")
-SETTINGS = ("q2", "q3", "q6")
-QUERIES_PER_SETTING = 3
 REPEATS = 3
 
 BACKENDS = ("merge", "bitset", "adaptive")
@@ -59,26 +62,9 @@ RESULT_PATH = os.path.join(
 )
 
 
-def usable_cores() -> int:
-    """CPUs this process may actually run on (affinity-aware)."""
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux
-        return os.cpu_count() or 1
-
-
-def _workload_queries() -> List[tuple]:
-    queries = []
-    for dataset in DATASETS:
-        for setting in SETTINGS:
-            for query in workload(dataset, setting, QUERIES_PER_SETTING):
-                queries.append((dataset, query))
-    return queries
-
-
 def run_benchmark() -> dict:
     """Time and verify every backend; returns the JSON summary."""
-    queries = _workload_queries()
+    queries = fig8_queries()
     engines: Dict[str, Dict[str, HGMatch]] = {
         dataset: {
             backend: make_engine(load_dataset(dataset), index_backend=backend)
@@ -207,12 +193,6 @@ def run_benchmark() -> dict:
         },
     }
     return summary
-
-
-def _time_pass(run_pass) -> float:
-    started = time.perf_counter()
-    run_pass()
-    return time.perf_counter() - started
 
 
 def write_summary(summary: dict) -> str:

@@ -6,6 +6,10 @@ the three execution modes of this reproduction:
 * the sequential LIFO loop,
 * the threaded work-stealing executor (correctness + load accounting;
   the GIL hides wall-clock speedup, see DESIGN.md),
+* a localhost *socket cluster* — shard-worker TCP servers spawned on
+  loopback ports and driven by the network coordinator, i.e. the full
+  multi-host wire path (framing, handshake, versioned mask payloads;
+  see docs/WIRE_FORMAT.md) on one machine,
 * the discrete-event simulated executor that reproduces the paper's
   scalability curve with a 20-physical-core NUMA knee,
 
@@ -22,10 +26,12 @@ from repro.bench import workload
 from repro.datasets import load_dataset
 from repro.parallel import (
     CostModel,
+    NetShardExecutor,
     SimulatedExecutor,
     ThreadedExecutor,
     measure_memory,
     simulate_speedups,
+    spawn_local_cluster,
 )
 
 
@@ -47,6 +53,25 @@ def main() -> None:
           [stats.tasks_executed for stats in result.worker_stats])
     print("  load imbalance (max/mean busy time):",
           round(result.load_imbalance(), 3))
+
+    print("\nLocalhost socket cluster (4 shard workers over TCP):")
+    cluster = spawn_local_cluster(data, num_shards=4)
+    net = NetShardExecutor(addresses=cluster.addresses)
+    try:
+        socket_result = net.run(engine, query)
+        print("  embeddings:", socket_result.embeddings,
+              "(equals threaded:",
+              socket_result.embeddings == result.embeddings, ")")
+        assert socket_result.embeddings == result.embeddings, (
+            "socket cluster diverged from the threaded executor"
+        )
+        print("  per-shard payload bytes on the wire:",
+              [stats.payload_bytes for stats in socket_result.worker_stats])
+        print("  workers:", ", ".join(
+            f"{host}:{port}" for host, port in cluster.addresses))
+    finally:
+        net.close()
+        cluster.close()
 
     print("\nSimulated scalability (Fig. 10 shape, physical cores = 20):")
     rows = simulate_speedups(

@@ -11,6 +11,14 @@ from .harness import (
     run_hgmatch,
     run_with_timeout,
 )
+from .fig8 import (
+    FIG8_DATASETS,
+    FIG8_QUERIES_PER_SETTING,
+    FIG8_SETTINGS,
+    fig8_queries,
+    time_pass,
+    usable_cores,
+)
 from .queries import (
     SETTING_NAMES,
     clear_workload_cache,
@@ -40,6 +48,12 @@ __all__ = [
     "full_workload",
     "SETTING_NAMES",
     "clear_workload_cache",
+    "FIG8_DATASETS",
+    "FIG8_SETTINGS",
+    "FIG8_QUERIES_PER_SETTING",
+    "fig8_queries",
+    "time_pass",
+    "usable_cores",
     "format_table",
     "format_series",
     "log_bar",

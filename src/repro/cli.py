@@ -13,6 +13,9 @@ Commands
 ``match``
     Count (or print) the embeddings of a query in a data hypergraph,
     with any engine from the benchmark line-up.
+``serve-shard``
+    Serve one store shard over TCP — the worker side of
+    ``match --executor sockets`` (see ``docs/ARCHITECTURE.md``).
 
 Data and query files use the native ``.hg`` text format
 (:mod:`repro.hypergraph.io`); dataset names refer to the registry in
@@ -98,20 +101,28 @@ def build_parser() -> argparse.ArgumentParser:
     match.add_argument(
         "--executor",
         default=None,
-        choices=("threads", "processes", "simulated"),
+        choices=("threads", "processes", "sockets", "simulated"),
         help="parallel engine for HGMatch: threads (work-stealing "
         "scheduler, GIL-serialised), processes (one worker process per "
-        "store shard; real multi-core) or simulated (discrete-event, "
-        "virtual time); default is sequential, or threads when "
-        "--workers > 1",
+        "store shard; real multi-core), sockets (shard workers over "
+        "TCP — local loopback cluster, or remote servers via --hosts) "
+        "or simulated (discrete-event, virtual time); default is "
+        "sequential, or threads when --workers > 1",
     )
     match.add_argument(
         "--shards",
         type=int,
         default=None,
-        help="shard count for --executor processes (contiguous "
+        help="shard count for --executor processes/sockets (contiguous "
         "row-range shards of every signature partition; default: "
         "--workers)",
+    )
+    match.add_argument(
+        "--hosts",
+        default=None,
+        help="comma-separated host:port list of running shard-worker "
+        "servers (see the serve-shard command); implies --executor "
+        "sockets and fixes the shard count to the host count",
     )
     match.add_argument("--timeout", type=float, default=None)
     match.add_argument(
@@ -119,6 +130,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     match.add_argument(
         "--limit", type=int, default=20, help="max embeddings to print"
+    )
+
+    serve = commands.add_parser(
+        "serve-shard",
+        help="serve one store shard over TCP (the sockets executor's "
+        "worker side); the framed protocol is specified in "
+        "docs/WIRE_FORMAT.md",
+    )
+    serve.add_argument("source", help="dataset name or .hg path")
+    serve.add_argument(
+        "--shard-id", type=int, required=True,
+        help="which shard of the row-range split this worker owns (0-based)",
+    )
+    serve.add_argument(
+        "--num-shards", type=int, required=True,
+        help="total shard count the coordinator will compose",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (use 0.0.0.0 to accept remote "
+        "coordinators; the protocol trusts its peers — bind publicly "
+        "only inside a private network)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port to bind (0 = OS-assigned; the bound port is "
+        "printed before serving)",
+    )
+    serve.add_argument(
+        "--index-backend",
+        default=None,
+        choices=INDEX_BACKENDS,
+        help="posting-list representation of the shard's index; must "
+        "match the coordinator's (enforced at handshake)",
+    )
+    serve.add_argument(
+        "--max-sessions", type=int, default=None,
+        help="exit after serving this many coordinator sessions "
+        "(default: serve until a peer sends the QUIT frame — "
+        "repro.parallel.shutdown_worker((host, port)) — or Ctrl-C)",
     )
     return parser
 
@@ -196,15 +247,46 @@ def _cmd_match(args, out) -> int:
         if args.engine == "HGMatch":
             executor = args.executor
             shards = args.shards
-            if shards is not None and executor not in (None, "processes"):
-                # Sharding is the process executor's concept; silently
-                # running threads/simulated without it would misreport.
+            hosts = args.hosts
+            if hosts is not None and executor not in (None, "sockets"):
                 out.write(
-                    f"error: --shards applies to --executor processes, "
+                    f"error: --hosts applies to --executor sockets, "
                     f"not {executor!r}\n"
                 )
                 return 1
-            if shards is None and executor == "processes":
+            if hosts is not None:
+                # Naming worker addresses means the socket executor.
+                executor = "sockets"
+            if shards is not None and executor not in (
+                None, "processes", "sockets"
+            ):
+                # Sharding is the shard executors' concept; silently
+                # running threads/simulated without it would misreport.
+                out.write(
+                    f"error: --shards applies to --executor processes "
+                    f"or sockets, not {executor!r}\n"
+                )
+                return 1
+            addresses = None
+            if hosts is not None:
+                from .parallel.transport import parse_address
+
+                addresses = [
+                    parse_address(entry.strip())
+                    for entry in hosts.split(",")
+                    if entry.strip()
+                ]
+                if not addresses:
+                    out.write("error: --hosts lists no addresses\n")
+                    return 1
+                if shards is not None and shards != len(addresses):
+                    out.write(
+                        f"error: --shards {shards} contradicts "
+                        f"{len(addresses)} --hosts addresses\n"
+                    )
+                    return 1
+                shards = len(addresses)
+            if shards is None and executor in ("processes", "sockets"):
                 shards = max(args.workers, 1)
             elif shards is not None and executor is None:
                 # Asking for shards without naming an engine means the
@@ -215,6 +297,10 @@ def _cmd_match(args, out) -> int:
                 index_backend=args.index_backend,
                 shards=shards if shards is not None else 1,
             )
+            if addresses is not None:
+                # Pin the engine's socket executor to the named workers
+                # before count() lazily builds a local cluster instead.
+                engine.net_executor(hosts=addresses)
             if args.print_embeddings:
                 if executor is not None:
                     # match() streams from the sequential loop; accepting
@@ -241,10 +327,14 @@ def _cmd_match(args, out) -> int:
                 finally:
                     engine.close()
         else:
-            if args.executor is not None or args.shards is not None:
+            if (
+                args.executor is not None
+                or args.shards is not None
+                or args.hosts is not None
+            ):
                 out.write(
-                    "error: --executor/--shards apply to the HGMatch "
-                    "engine only\n"
+                    "error: --executor/--shards/--hosts apply to the "
+                    "HGMatch engine only\n"
                 )
                 return 1
             store = None
@@ -261,6 +351,45 @@ def _cmd_match(args, out) -> int:
         return 2
     elapsed = time.perf_counter() - started
     out.write(f"{count} embeddings in {elapsed:.4f}s ({args.engine})\n")
+    return 0
+
+
+def _cmd_serve_shard(args, out) -> int:
+    from .parallel.net_executor import ShardWorker
+
+    if args.num_shards < 1:
+        out.write("error: --num-shards must be >= 1\n")
+        return 1
+    if not 0 <= args.shard_id < args.num_shards:
+        out.write(
+            f"error: --shard-id {args.shard_id} out of range for "
+            f"{args.num_shards} shards\n"
+        )
+        return 1
+    graph = _load_graph(args.source)
+    worker = ShardWorker(
+        graph,
+        args.shard_id,
+        args.num_shards,
+        index_backend=args.index_backend,
+        host=args.host,
+        port=args.port,
+    )
+    host, port = worker.bind()
+    out.write(
+        f"serving shard {args.shard_id}/{args.num_shards} of "
+        f"{args.source} ({worker.index_backend} backend, "
+        f"{worker.shard.index_size_entries()} posting entries) on "
+        f"{host}:{port}\n"
+    )
+    if hasattr(out, "flush"):
+        out.flush()  # wrappers read the port line before connecting
+    try:
+        worker.serve_forever(max_sessions=args.max_sessions)
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        pass
+    finally:
+        worker.close()
     return 0
 
 
@@ -282,6 +411,8 @@ def main(argv: "Optional[List[str]]" = None, out=None) -> int:
             return _cmd_index(args, out)
         if args.command == "match":
             return _cmd_match(args, out)
+        if args.command == "serve-shard":
+            return _cmd_serve_shard(args, out)
     except (ReproError, OSError) as exc:
         out.write(f"error: {exc}\n")
         return 1

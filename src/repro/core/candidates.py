@@ -427,12 +427,50 @@ class ChunkCandidates(CandidateSet):
 # to the receiving index's backend, so shards and the composing engine
 # can disagree about *which* row representation is native without ever
 # materialising edge-id lists.
+#
+# Payloads that leave the process group — the socket transport of
+# :mod:`repro.parallel.net_executor` — are additionally *versioned*:
+# one leading byte (:data:`WIRE_VERSION`) precedes the tag, so a host
+# running an older reader rejects a payload it cannot parse instead of
+# mis-decoding it.  Pipes between a parent and the workers it spawned
+# skip the byte (both ends are the same build by construction); use
+# :func:`encode_versioned` / :func:`decode_versioned` at any boundary
+# where the two ends may have been deployed independently.  The full
+# byte-level specification lives in ``docs/WIRE_FORMAT.md``.
 
 _WIRE_TUPLE = 0x54  # b"T"
 _WIRE_MASK = 0x4D  # b"M"
 _WIRE_CHUNKS = 0x43  # b"C"
 _ARRAY_KIND = 0
 _BITS_KIND = 1
+
+#: Version byte prefixed to candidate payloads that cross a machine
+#: boundary.  Bump on any incompatible change to the ``T``/``M``/``C``
+#: encodings below; decoders reject unknown versions.
+WIRE_VERSION = 1
+
+
+def encode_versioned(payload: bytes) -> bytes:
+    """Prefix a ``to_bytes`` payload with the wire-format version byte."""
+    return bytes((WIRE_VERSION,)) + payload
+
+
+def decode_versioned(data: bytes) -> bytes:
+    """Strip (and validate) the version byte of a versioned payload.
+
+    Raises ``ValueError`` on an empty payload or a version this build
+    does not speak — the caller decides whether that is fatal for the
+    connection (the socket transport treats it as a protocol error).
+    """
+    if not data:
+        raise ValueError("empty versioned candidate payload")
+    version = data[0]
+    if version != WIRE_VERSION:
+        raise ValueError(
+            f"unsupported candidate wire version {version}; "
+            f"this build speaks version {WIRE_VERSION}"
+        )
+    return data[1:]
 
 
 def encode_tuple_payload(edges: Sequence[int]) -> bytes:

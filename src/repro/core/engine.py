@@ -146,6 +146,9 @@ class HGMatch:
         # "processes" run and reused across queries (workers keep their
         # store shards warm).
         self._shard_executor = None
+        # Likewise one socket coordinator per engine for "sockets" runs
+        # (it owns a local worker cluster unless given addresses).
+        self._net_executor = None
 
     @property
     def index_backend(self) -> str:
@@ -365,6 +368,13 @@ class HGMatch:
           ``shards``, falling back to ``workers`` — so
           ``count(q, workers=8, executor="processes")`` runs 8 worker
           processes rather than silently one;
+        * ``"sockets"`` — the network shard executor
+          (:class:`repro.parallel.NetShardExecutor`): the same
+          level-synchronous protocol over framed TCP.  With no
+          configured hosts (see :meth:`net_executor`) it spawns a
+          local loopback cluster, exercising the full multi-host wire
+          path on one machine; parallelism resolves like
+          ``"processes"``;
         * ``"simulated"`` — the discrete-event scheduler
           (:class:`repro.parallel.SimulatedExecutor`, virtual time;
           ``time_budget`` does not apply).
@@ -381,13 +391,18 @@ class HGMatch:
             if counters is not None:
                 counters.merge(result.counters)
             return result.embeddings
-        if executor == "processes":
+        if executor in ("processes", "sockets"):
             if shards is None and self.shards == 1 and workers > 1:
                 # ``workers`` expresses the desired parallelism for the
                 # other executors; honour it here too unless the engine
                 # or call named an explicit shard count.
                 shards = workers
-            result = self.shard_executor(shards).run(
+            pool = (
+                self.shard_executor(shards)
+                if executor == "processes"
+                else self.net_executor(shards)
+            )
+            result = pool.run(
                 self, query, order=order, time_budget=time_budget
             )
             if counters is not None:
@@ -404,7 +419,8 @@ class HGMatch:
         if executor != "sequential":
             raise QueryError(
                 f"unknown executor {executor!r}; expected one of "
-                f"('sequential', 'threads', 'processes', 'simulated')"
+                f"('sequential', 'threads', 'processes', 'sockets', "
+                f"'simulated')"
             )
         total = 0
         for _ in self.match(
@@ -438,11 +454,67 @@ class HGMatch:
             self._shard_executor = current
         return current
 
+    def net_executor(self, shards: "int | None" = None, hosts=None):
+        """The engine's persistent socket shard executor (lazily built).
+
+        ``hosts`` — a sequence of ``(host, port)`` worker addresses —
+        (re)configures the executor for externally managed shard
+        servers (the multi-host mode); without it the executor owns a
+        local loopback cluster of ``shards`` workers.  A configured
+        executor persists across queries like :meth:`shard_executor`
+        and is reused when ``shards`` is None or matches; asking for a
+        different shard count tears it down and rebuilds.
+        """
+        from ..parallel.net_executor import NetShardExecutor  # lazy
+
+        current = self._net_executor
+        if hosts is not None:
+            addresses = [tuple(address) for address in hosts]
+            if shards is not None and shards != len(addresses):
+                raise QueryError(
+                    f"shards={shards} contradicts {len(addresses)} "
+                    f"worker addresses"
+                )
+            if current is not None:
+                if current.addresses == addresses:
+                    return current
+                current.close()
+            current = NetShardExecutor(
+                addresses=addresses, index_backend=self.index_backend
+            )
+            self._net_executor = current
+            return current
+        if current is not None and current.addresses is not None:
+            # Host-configured executors win over shard-count defaults:
+            # the caller pinned real machines; silently replacing them
+            # with a local cluster would misreport where work ran.
+            if shards is None or shards == current.num_shards:
+                return current
+            raise QueryError(
+                f"engine is configured for {current.num_shards} socket "
+                f"workers at fixed addresses; cannot run {shards} shards"
+            )
+        shards = self.shards if shards is None else shards
+        if shards < 1:
+            raise QueryError("shards must be >= 1")
+        if current is not None and current.num_shards != shards:
+            current.close()
+            current = None
+        if current is None:
+            current = NetShardExecutor(
+                num_shards=shards, index_backend=self.index_backend
+            )
+            self._net_executor = current
+        return current
+
     def close(self) -> None:
-        """Release the multiprocess shard pool, if one was started."""
+        """Release the shard pools (process and socket), if started."""
         if self._shard_executor is not None:
             self._shard_executor.close()
             self._shard_executor = None
+        if self._net_executor is not None:
+            self._net_executor.close()
+            self._net_executor = None
 
     def count_vertex_embeddings(
         self, query: Hypergraph, order: "Sequence[int] | None" = None
@@ -481,15 +553,21 @@ class HGMatch:
         the in-process loop here; ``"threads"`` splits every frontier
         level across ``workers`` threads; ``"processes"`` runs the
         shard-per-process executor, whose level-synchronous protocol *is*
-        BFS; ``"simulated"`` counts via the discrete-event scheduler
+        BFS; ``"sockets"`` runs the same protocol over TCP shard
+        workers; ``"simulated"`` counts via the discrete-event scheduler
         (task-parallel in virtual time — counts match, the BFS memory
         profile does not apply).  All executors return bit-identical
         counts.
         """
-        if executor == "processes":
+        if executor in ("processes", "sockets"):
             if shards is None and self.shards == 1 and workers > 1:
                 shards = workers  # as in count(): workers names parallelism
-            result = self.shard_executor(shards).run(
+            pool = (
+                self.shard_executor(shards)
+                if executor == "processes"
+                else self.net_executor(shards)
+            )
+            result = pool.run(
                 self, query, order=order, time_budget=time_budget
             )
             if counters is not None:
@@ -507,7 +585,8 @@ class HGMatch:
         if executor not in (None, "sequential", "threads"):
             raise QueryError(
                 f"unknown executor {executor!r}; expected one of "
-                f"('sequential', 'threads', 'processes', 'simulated')"
+                f"('sequential', 'threads', 'processes', 'sockets', "
+                f"'simulated')"
             )
         threaded = executor == "threads" and workers > 1
         plan = self.plan(query, order)

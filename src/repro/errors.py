@@ -32,6 +32,17 @@ class SchedulerError(ReproError):
     """Raised on invalid scheduler or executor configuration."""
 
 
+class TransportError(SchedulerError):
+    """Raised on a malformed or interrupted network transport exchange.
+
+    Covers the socket seam of the sharded executor: truncated frames,
+    unknown protocol/wire versions, oversized frame lengths and peers
+    vanishing mid-message.  Subclasses :class:`SchedulerError` because a
+    broken transport is an executor failure from the caller's point of
+    view — existing ``except SchedulerError`` handlers keep working.
+    """
+
+
 class TimeoutExceeded(ReproError):
     """Raised internally when a matching job exceeds its time budget.
 

@@ -28,7 +28,7 @@ from .index import (
     union_many,
     union_sorted,
 )
-from .sharding import ShardedStore, StoreShard, shard_ranges
+from .sharding import ShardDescriptor, ShardedStore, StoreShard, shard_ranges
 from .sampling import (
     PAPER_QUERY_SETTINGS,
     QuerySetting,
@@ -72,6 +72,7 @@ __all__ = [
     "mask_from_chunks",
     "HyperedgePartition",
     "PartitionedStore",
+    "ShardDescriptor",
     "ShardedStore",
     "StoreShard",
     "shard_ranges",

@@ -30,6 +30,7 @@ different hosts.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Tuple
 
 from .hypergraph import Hypergraph
@@ -40,6 +41,52 @@ from .storage import (
     group_edges_by_signature,
     resolve_index_backend,
 )
+
+
+@dataclass(frozen=True)
+class ShardDescriptor:
+    """Handoff summary of one shard: what a remote peer must agree on.
+
+    This is the payload of the socket transport's handshake
+    (:mod:`repro.parallel.transport`): a worker announces which slice of
+    which store it owns, and the coordinator refuses to compose with a
+    worker whose descriptor does not fit the executor's expectations —
+    wrong backend (payloads would mis-decode), wrong shard arithmetic
+    (rows would be double- or under-counted) or a different data graph
+    (counts would be silently wrong).  All fields are plain ints/str so
+    the descriptor crosses any serialisation boundary.
+    """
+
+    shard_id: int
+    num_shards: int
+    index_backend: str
+    #: Signature partitions this shard owns at least one row of.
+    num_partitions: int
+    #: Shard-local row count summed over its partitions.
+    num_rows: int
+    #: Edge/vertex counts of the data graph the shard was built from —
+    #: a cheap fingerprint that catches composing shards of different
+    #: graphs (a full hash would re-read every edge for little gain).
+    graph_edges: int
+    graph_vertices: int
+
+    def as_dict(self) -> dict:
+        return {
+            "shard_id": self.shard_id,
+            "num_shards": self.num_shards,
+            "index_backend": self.index_backend,
+            "num_partitions": self.num_partitions,
+            "num_rows": self.num_rows,
+            "graph_edges": self.graph_edges,
+            "graph_vertices": self.graph_vertices,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "ShardDescriptor":
+        return cls(**{key: payload[key] for key in (
+            "shard_id", "num_shards", "index_backend", "num_partitions",
+            "num_rows", "graph_edges", "graph_vertices",
+        )})
 
 
 def shard_ranges(num_rows: int, num_shards: int) -> Tuple[Tuple[int, int], ...]:
@@ -84,7 +131,7 @@ class StoreShard:
     """
 
     __slots__ = ("shard_id", "num_shards", "index_backend", "_partitions",
-                 "_row_bases")
+                 "_row_bases", "graph_edges", "graph_vertices")
 
     def __init__(
         self,
@@ -93,12 +140,16 @@ class StoreShard:
         index_backend: str,
         partitions: Dict[Signature, HyperedgePartition],
         row_bases: Dict[Signature, int],
+        graph_edges: int = 0,
+        graph_vertices: int = 0,
     ) -> None:
         self.shard_id = shard_id
         self.num_shards = num_shards
         self.index_backend = index_backend
         self._partitions = partitions
         self._row_bases = row_bases
+        self.graph_edges = graph_edges
+        self.graph_vertices = graph_vertices
 
     @classmethod
     def build(
@@ -142,7 +193,10 @@ class StoreShard:
             index = build_index(index_backend, graph, ids)
             partitions[signature] = HyperedgePartition(signature, ids, index)
             row_bases[signature] = low
-        return cls(shard_id, num_shards, index_backend, partitions, row_bases)
+        return cls(
+            shard_id, num_shards, index_backend, partitions, row_bases,
+            graph_edges=graph.num_edges, graph_vertices=graph.num_vertices,
+        )
 
     @property
     def partitions(self) -> Mapping[Signature, HyperedgePartition]:
@@ -170,6 +224,21 @@ class StoreShard:
         return sum(
             partition.index.num_entries
             for partition in self._partitions.values()
+        )
+
+    def describe(self) -> ShardDescriptor:
+        """The shard's handoff descriptor (the socket handshake body)."""
+        return ShardDescriptor(
+            shard_id=self.shard_id,
+            num_shards=self.num_shards,
+            index_backend=self.index_backend,
+            num_partitions=len(self._partitions),
+            num_rows=sum(
+                partition.cardinality
+                for partition in self._partitions.values()
+            ),
+            graph_edges=self.graph_edges,
+            graph_vertices=self.graph_vertices,
         )
 
     def __repr__(self) -> str:

@@ -10,6 +10,12 @@ embeddings):
   level-synchronous enumeration over the mask-native seam (candidate
   payloads cross process boundaries as compact masks), real multi-core
   wall clock.
+* :class:`NetShardExecutor` — the same level-synchronous protocol over
+  framed TCP (:mod:`repro.parallel.transport`): shard workers are
+  :class:`ShardWorker` servers, on this machine
+  (:func:`spawn_local_cluster`) or on other hosts; candidate payloads
+  cross machine boundaries in the versioned wire format (see
+  ``docs/WIRE_FORMAT.md``).
 * :class:`SimulatedExecutor` — discrete-event simulation in virtual
   time with a set-operation cost model; backs the scalability and
   load-balancing experiments (see DESIGN.md, substitution 2).
@@ -17,6 +23,13 @@ embeddings):
 
 from .deque import WorkStealingDeque
 from .executor import ParallelResult, ThreadedExecutor
+from .net_executor import (
+    LocalCluster,
+    NetShardExecutor,
+    ShardWorker,
+    shutdown_worker,
+    spawn_local_cluster,
+)
 from .shard_executor import ProcessShardExecutor
 from .memory import (
     MemoryMeasurement,
@@ -42,6 +55,11 @@ __all__ = [
     "WorkStealingDeque",
     "ThreadedExecutor",
     "ProcessShardExecutor",
+    "NetShardExecutor",
+    "ShardWorker",
+    "LocalCluster",
+    "spawn_local_cluster",
+    "shutdown_worker",
     "ParallelResult",
     "default_seed",
     "SimulatedExecutor",

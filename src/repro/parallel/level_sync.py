@@ -1,0 +1,344 @@
+"""The level-synchronous shard protocol, transport-agnostic.
+
+Both halves of the protocol live here, shared by every transport:
+
+* the **worker-side kernel** — :func:`expand_level` expands a frontier
+  against one :class:`~repro.hypergraph.sharding.StoreShard` and
+  :func:`encode_survivors` serialises the accepted candidates in the
+  backend's native wire representation;
+* the **coordinator loop** — :func:`run_level_synchronous` broadcasts
+  the job, then for each plan step broadcasts the frontier, gathers
+  one reply per shard and composes the surviving candidate sets with
+  :func:`repro.core.candidates.compose_candidate_sets`.
+
+:class:`~repro.parallel.shard_executor.ProcessShardExecutor` (pipes to
+local worker processes) and :class:`~repro.parallel.net_executor.
+NetShardExecutor` (framed TCP to shard servers, possibly on other
+hosts) differ only in how bytes move.  Keeping both halves in one
+place is what guarantees the transports cannot drift — a socket
+cluster and a process pool produce bit-identical counts because they
+literally execute these functions.
+
+An executor plugs in by providing:
+
+``num_shards``
+    How many shard replies to expect per gather.
+``_ensure_pool(engine)``
+    Make the shard peers ready for ``engine`` (spawn processes /
+    connect sockets, verify the backend matches).
+``_broadcast(message)``
+    Deliver one protocol tuple — ``("job", query, order)``,
+    ``("level", step, frontier)`` or ``("collect",)`` — to every shard.
+``_gather()``
+    Collect one reply per shard, **in shard order**: level replies as
+    ``("level", payloads, embeddings)`` (with ``(counters, stats)``
+    appended on the final level) and collect replies as
+    ``(counters, stats)``.  ``payloads`` holds one raw
+    :meth:`~repro.core.candidates.CandidateSet.to_bytes` payload (or
+    None) per frontier partial — any transport-level version byte is
+    already stripped and validated by the transport's gather.
+
+Failure policy is the transport's: both executors tear their pool down
+and raise :class:`~repro.errors.SchedulerError` when a shard dies
+mid-job, so this loop only ever sees complete, ordered replies.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_left
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.candidates import (
+    AnchorUnionMemo,
+    ChunkCandidates,
+    MaskCandidates,
+    VertexStepState,
+    candidate_set_from_bytes,
+    compose_candidate_sets,
+    encode_chunks_payload,
+    encode_mask_payload,
+    encode_tuple_payload,
+    generate_candidate_set,
+)
+from ..core.counters import MatchCounters
+from ..core.validation import is_valid_expansion
+from ..errors import TimeoutExceeded
+from ..hypergraph import Hypergraph
+from ..hypergraph.index import chunks_from_rows
+from ..hypergraph.sharding import StoreShard
+from .executor import ParallelResult
+from .tasks import ROOT_TASK, PartialEmbedding, WorkerStats
+
+#: Backends whose survivors ship as row payloads (mask / chunk map);
+#: the merge backend's native representation is the edge-id tuple.
+MASK_BACKENDS = ("bitset", "adaptive")
+
+
+# ----------------------------------------------------------------------
+# Worker-side kernel (runs in a shard's process, local or remote)
+# ----------------------------------------------------------------------
+
+
+def encode_survivors(
+    backend: str,
+    rows: List[int],
+    edges: List[int],
+    row_base: int,
+    index,
+) -> "bytes | None":
+    """Serialise one partial's accepted candidates in the backend's
+    native wire representation, shifted into global row coordinates."""
+    if backend == "bitset":
+        if not rows:
+            return None
+        mask = 0
+        for row in rows:
+            mask |= 1 << row
+        # Local mask + decode offset: payload bytes track the shard's
+        # survivor span, not its global row base.
+        return encode_mask_payload(mask, row_base)
+    if backend == "adaptive":
+        if not rows:
+            return None
+        chunks = chunks_from_rows(
+            [row + row_base for row in rows], index.chunk_bits, index.array_max
+        )
+        # Sparse survivor sets often encode smaller as a bare mask (the
+        # chunk framing costs 9 bytes per dense chunk / 7 + 4·n per
+        # array); both sizes are closed-form, so pick the winner before
+        # serialising anything.  The reader re-chunks either form.
+        chunk_size = 5
+        for container in chunks.values():
+            if isinstance(container, int):
+                chunk_size += 9 + (container.bit_length() + 7) // 8
+            else:
+                chunk_size += 7 + 4 * len(container)
+        mask_size = 5 + (rows[-1] + 8) // 8  # rows ascending; span bytes
+        if mask_size < chunk_size:
+            mask = 0
+            for row in rows:
+                mask |= 1 << row
+            return encode_mask_payload(mask, row_base)
+        return encode_chunks_payload(chunks)
+    if not edges:
+        return None
+    return encode_tuple_payload(edges)
+
+
+def expand_level(
+    graph: Hypergraph,
+    shard: StoreShard,
+    plan,
+    step: int,
+    frontier: Sequence[PartialEmbedding],
+    state: VertexStepState,
+    counters: MatchCounters,
+    stats: WorkerStats,
+    memo: AnchorUnionMemo,
+    mask_validation: bool,
+) -> Tuple[str, "List[Optional[bytes]] | None", int]:
+    """Expand every frontier partial against the shard's rows.
+
+    Returns ``("level", payloads, embeddings)``: one payload (or None)
+    per partial on intermediate steps, survivor *counts* on the final
+    step (complete embeddings are consumed on the spot, like the other
+    executors' implicit TSINK handling).
+    """
+    step_plan = plan.steps[step]
+    final = step == plan.num_steps - 1
+    partition = shard.partition(step_plan.signature)
+    if partition is None:
+        # The shard owns no rows of this signature; nothing to report.
+        return ("level", None, 0)
+    started = time.perf_counter()
+    backend = shard.index_backend
+    index = partition.index
+    row_base = shard.row_base(step_plan.signature)
+    edge_ids = partition.edge_ids
+    step_tuples = state.step_tuples
+    step_masks = state.step_masks if mask_validation else None
+    payloads: "List[Optional[bytes]] | None" = None if final else []
+    embeddings = 0
+    for partial in frontier:
+        vmap = state.advance(partial)
+        candidates = generate_candidate_set(
+            graph, partition, step_plan, partial, vmap, counters, memo=memo
+        )
+        if final:
+            counters.final_candidates += len(candidates)
+        partial_num_vertices = len(vmap)
+        rows: List[int] = []
+        edges: List[int] = []
+        accepted = 0
+        if type(candidates) is MaskCandidates:
+            # Rows fall out of the bit scan for free.
+            mask = candidates.mask
+            row_to_edge = candidates.row_to_edge
+            while mask:
+                low = mask & -mask
+                mask ^= low
+                row = low.bit_length() - 1
+                if is_valid_expansion(
+                    graph, step_plan, vmap, partial_num_vertices,
+                    row_to_edge[row], counters, final_step=final,
+                    step_tuples=step_tuples, step_masks=step_masks,
+                ):
+                    accepted += 1
+                    if not final:
+                        rows.append(row)
+        elif type(candidates) is ChunkCandidates:
+            chunk_bits = index.chunk_bits
+            row_to_edge = index.row_to_edge
+            chunks = candidates.chunks
+            for chunk in sorted(chunks):
+                base = chunk << chunk_bits
+                container = chunks[chunk]
+                if isinstance(container, int):
+                    while container:
+                        low = container & -container
+                        container ^= low
+                        row = base + low.bit_length() - 1
+                        if is_valid_expansion(
+                            graph, step_plan, vmap, partial_num_vertices,
+                            row_to_edge[row], counters, final_step=final,
+                            step_tuples=step_tuples, step_masks=step_masks,
+                        ):
+                            accepted += 1
+                            if not final:
+                                rows.append(row)
+                else:
+                    for offset in container:
+                        row = base + offset
+                        if is_valid_expansion(
+                            graph, step_plan, vmap, partial_num_vertices,
+                            row_to_edge[row], counters, final_step=final,
+                            step_tuples=step_tuples, step_masks=step_masks,
+                        ):
+                            accepted += 1
+                            if not final:
+                                rows.append(row)
+        else:
+            # Tuple candidates: the merge backend's native output, or a
+            # mask backend's no-anchor scan / tiny array-container
+            # result.  Rows (needed only for mask payloads) come from a
+            # bisect into the ascending edge-id table.
+            need_rows = not final and backend != "merge"
+            for edge in candidates:
+                if is_valid_expansion(
+                    graph, step_plan, vmap, partial_num_vertices, edge,
+                    counters, final_step=final,
+                    step_tuples=step_tuples, step_masks=step_masks,
+                ):
+                    accepted += 1
+                    if not final:
+                        if need_rows:
+                            rows.append(bisect_left(edge_ids, edge))
+                        else:
+                            edges.append(edge)
+        stats.tasks_executed += 1
+        if final:
+            embeddings += accepted
+            stats.embeddings += accepted
+        else:
+            payload = encode_survivors(backend, rows, edges, row_base, index)
+            if payload is not None:
+                stats.payload_bytes += len(payload)
+            payloads.append(payload)
+    stats.busy_time += time.perf_counter() - started
+    return ("level", payloads, embeddings)
+
+
+# ----------------------------------------------------------------------
+# Coordinator loop
+# ----------------------------------------------------------------------
+
+
+def run_level_synchronous(
+    executor,
+    engine,
+    query,
+    order=None,
+    time_budget: "float | None" = None,
+) -> ParallelResult:
+    """Execute one matching job over ``executor``'s shard peers.
+
+    Counts are bit-identical to the sequential engine: shards partition
+    every partition's rows disjointly, each candidate is generated and
+    validated in exactly one shard, and the composed per-level
+    frontiers equal the sequential BFS frontiers as sets.
+    ``time_budget`` is enforced at level granularity (levels are the
+    protocol's natural barriers).
+    """
+    plan = engine.plan(query, order)
+    executor._ensure_pool(engine)
+    deadline = None if time_budget is None else time.monotonic() + time_budget
+    started = time.monotonic()
+    executor._broadcast(("job", query, plan.order))
+    num_steps = plan.num_steps
+    frontier: List[PartialEmbedding] = [ROOT_TASK]
+    embeddings = 0
+    logical_tasks = 0
+    peak_retained = 0
+    collected = None
+    for step in range(num_steps):
+        if deadline is not None and time.monotonic() > deadline:
+            raise TimeoutExceeded(
+                time.monotonic() - (deadline - time_budget), time_budget
+            )
+        executor._broadcast(("level", step, frontier))
+        logical_tasks += len(frontier)
+        replies = executor._gather()
+        if step == num_steps - 1:
+            embeddings += sum(reply[2] for reply in replies)
+            # Final replies carry the job accounting (workers piggyback
+            # it on the last level, saving a collect round trip).
+            collected = [reply[3:5] for reply in replies]
+            break
+        partition = engine.store.partition(plan.steps[step].signature)
+        index = None if partition is None else partition.index
+        next_frontier: List[PartialEmbedding] = []
+        for position, partial in enumerate(frontier):
+            shard_sets = []
+            for reply in replies:
+                payloads = reply[1]
+                if payloads is None:
+                    continue
+                payload = payloads[position]
+                if payload is not None:
+                    shard_sets.append(
+                        candidate_set_from_bytes(payload, index)
+                    )
+            if not shard_sets:
+                continue
+            composed = compose_candidate_sets(shard_sets)
+            for edge in composed:
+                next_frontier.append(partial + (edge,))
+        frontier = next_frontier
+        peak_retained = max(peak_retained, len(frontier))
+        if not frontier:
+            break
+    elapsed = time.monotonic() - started
+
+    if collected is None:
+        # The frontier drained before the final level; the workers never
+        # piggybacked their accounting, so ask for it.
+        executor._broadcast(("collect",))
+        collected = executor._gather()
+    merged = MatchCounters()
+    worker_stats: List[WorkerStats] = []
+    for counters, stats in collected:
+        merged.merge(counters)
+        worker_stats.append(stats)
+    # Logical task/embedding accounting lives coordinator-side: each
+    # frontier entry is one task of the paper's tree (a shard's
+    # per-partial probes are recorded in its WorkerStats instead).
+    merged.tasks = logical_tasks
+    merged.embeddings = embeddings
+    merged.peak_retained = peak_retained
+    return ParallelResult(
+        embeddings=embeddings,
+        elapsed=elapsed,
+        counters=merged,
+        worker_stats=worker_stats,
+    )

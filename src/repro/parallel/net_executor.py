@@ -1,0 +1,737 @@
+"""Socket-sharded execution: shard servers + the network coordinator.
+
+The last transport rung below multi-host deployment.  The pieces:
+
+* :class:`ShardWorker` — a TCP server process that builds and owns one
+  :class:`~repro.hypergraph.sharding.StoreShard` and answers the
+  level-synchronous protocol over framed messages
+  (:mod:`repro.parallel.transport`).  Run it on any host that can load
+  the data hypergraph (``python -m repro serve-shard`` is the CLI
+  wrapper).
+* :class:`NetShardExecutor` — the coordinator: connects to ``N`` shard
+  workers, validates their handshakes (backend, shard arithmetic, data
+  fingerprint, scheduler seed), and runs the exact same
+  level-synchronous composition loop as the multiprocess executor
+  (:func:`repro.parallel.level_sync.run_level_synchronous`), so counts
+  are bit-identical across pipes, sockets and the sequential engine.
+* :func:`spawn_local_cluster` — boots ``N`` shard workers as local
+  subprocesses on ephemeral loopback ports.  Tests, the CLI's
+  ``--executor sockets`` and the benchmarks use it to exercise the
+  full network path on one machine; multi-host deployments start the
+  workers themselves and hand the coordinator their addresses.
+
+What crosses the wire is what crossed the pipes: the frontier of
+self-contained partial embeddings outbound, and compact
+:class:`~repro.core.candidates.CandidateSet` payloads (row bitmasks /
+chunk maps / edge-id tuples, each prefixed with the candidate wire
+version byte) inbound — never decoded edge-id lists for the mask
+backends.  ``docs/WIRE_FORMAT.md`` specifies every byte;
+``docs/ARCHITECTURE.md`` places this layer in the system.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import time
+from multiprocessing import get_context
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.candidates import (
+    AnchorUnionMemo,
+    VertexStepState,
+    decode_versioned,
+    encode_versioned,
+)
+from ..core.counters import WORK_UNIT_MODELS, MatchCounters
+from ..core.plan import build_execution_plan
+from ..errors import SchedulerError, TransportError
+from ..hypergraph import Hypergraph
+from ..hypergraph.sharding import ShardDescriptor, StoreShard
+from ..hypergraph.storage import resolve_index_backend
+from . import transport
+from .executor import ParallelResult
+from .level_sync import MASK_BACKENDS, expand_level
+from .tasks import WorkerStats, default_seed
+
+#: How long the coordinator waits for a TCP connect + handshake.
+CONNECT_TIMEOUT = 10.0
+
+#: Per-frame I/O timeout on established connections.  Generous — level
+#: replies can take as long as the shard's share of the enumeration —
+#: but finite, so a wedged peer surfaces as an error instead of a hang.
+IO_TIMEOUT = 600.0
+
+
+def _disable_nagle(sock: socket.socket) -> None:
+    """Request/response protocols want small frames out *now*: Nagle
+    coalescing only adds latency to the level barrier."""
+    try:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    except (OSError, AttributeError):  # pragma: no cover - non-TCP peer
+        pass
+
+
+# ----------------------------------------------------------------------
+# Worker side: the shard server
+# ----------------------------------------------------------------------
+
+
+class ShardWorker:
+    """A TCP server owning one store shard.
+
+    Builds shard ``shard_id`` of ``num_shards`` from ``graph`` at
+    construction (the offline stage), then serves coordinator sessions
+    sequentially: each accepted connection gets a HELLO handshake
+    carrying the shard's :class:`~repro.hypergraph.sharding.
+    ShardDescriptor` and the worker's scheduler seed, then answers
+    JOB / LEVEL / COLLECT frames until the peer sends STOP (end the
+    session) or SHUTDOWN (stop the server).  One session at a time is
+    the right concurrency: a shard's store is single-writer state per
+    job, and the level-synchronous protocol keeps exactly one request
+    in flight.
+
+    The server never trusts the stream: malformed frames raise
+    :class:`~repro.errors.TransportError` and end the session (the
+    server keeps accepting), while enumeration errors are reported to
+    the peer as ERROR frames before the session ends.
+    """
+
+    def __init__(
+        self,
+        graph: Hypergraph,
+        shard_id: int,
+        num_shards: int,
+        index_backend: "str | None" = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        seed: "int | None" = None,
+    ) -> None:
+        self.index_backend = resolve_index_backend(index_backend)
+        self.seed = default_seed() if seed is None else seed
+        self.shard = StoreShard.build(
+            graph, shard_id, num_shards, self.index_backend
+        )
+        self._graph = graph
+        self._memo = AnchorUnionMemo()
+        self._mask_validation = self.index_backend in MASK_BACKENDS
+        self._listener: "socket.socket | None" = None
+        self._host = host
+        self._port = port
+
+    # -- lifecycle ------------------------------------------------------
+
+    def bind(self) -> Tuple[str, int]:
+        """Bind the listener; returns the bound ``(host, port)`` (the
+        port is the OS-assigned one when constructed with port 0)."""
+        if self._listener is None:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((self._host, self._port))
+            listener.listen(1)
+            self._listener = listener
+            self._host, self._port = listener.getsockname()[:2]
+        return self._host, self._port
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._host, self._port
+
+    def close(self) -> None:
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover - best effort
+                pass
+            self._listener = None
+
+    # -- serving --------------------------------------------------------
+
+    def serve_forever(self, max_sessions: "int | None" = None) -> None:
+        """Accept and serve sessions until SHUTDOWN (or ``max_sessions``
+        sessions have ended — a testing/CLI convenience)."""
+        self.bind()
+        sessions = 0
+        try:
+            while max_sessions is None or sessions < max_sessions:
+                try:
+                    conn, _peer = self._listener.accept()
+                except OSError:  # listener closed under us
+                    return
+                try:
+                    keep_serving = self._serve_session(conn)
+                finally:
+                    try:
+                        conn.close()
+                    except OSError:  # pragma: no cover - best effort
+                        pass
+                sessions += 1
+                if not keep_serving:
+                    return
+        finally:
+            self.close()
+
+    def _serve_session(self, conn: socket.socket) -> bool:
+        """Serve one coordinator connection; False means SHUTDOWN."""
+        conn.settimeout(IO_TIMEOUT)
+        _disable_nagle(conn)
+        descriptor = self.shard.describe()
+        try:
+            transport.send_frame(
+                conn,
+                transport.MSG_HELLO,
+                transport.encode_handshake(descriptor.as_dict(), self.seed),
+            )
+        except TransportError:
+            return True  # peer vanished before the handshake; next session
+        plan = None
+        state: "VertexStepState | None" = None
+        counters = MatchCounters()
+        stats = WorkerStats(worker_id=self.shard.shard_id)
+        while True:
+            try:
+                kind, body = transport.recv_frame(conn)
+            except TransportError:
+                # Peer gone or stream garbled; the session is over either
+                # way, and the server stays up for the next coordinator.
+                return True
+            try:
+                if kind == transport.MSG_LEVEL:
+                    step, frontier = transport.decode_pickle_body(body)
+                    reply = expand_level(
+                        self._graph, self.shard, plan, step, frontier,
+                        state, counters, stats, self._memo,
+                        self._mask_validation,
+                    )
+                    _, payloads, embeddings = reply
+                    versioned: "List[Optional[bytes]] | None" = None
+                    if payloads is not None:
+                        versioned = []
+                        for payload in payloads:
+                            if payload is None:
+                                versioned.append(None)
+                            else:
+                                versioned.append(encode_versioned(payload))
+                                # The version byte ships too; account it.
+                                stats.payload_bytes += 1
+                    accounting = None
+                    if step == plan.num_steps - 1:
+                        # Piggyback the job accounting on the final
+                        # level: saves a whole COLLECT round trip.
+                        accounting = pickle.dumps(
+                            (counters, stats),
+                            protocol=pickle.HIGHEST_PROTOCOL,
+                        )
+                    transport.send_frame(
+                        conn,
+                        transport.MSG_LEVEL_REPLY,
+                        transport.encode_level_reply(
+                            versioned, embeddings, accounting
+                        ),
+                    )
+                elif kind == transport.MSG_JOB:
+                    query, order = transport.decode_pickle_body(body)
+                    plan = build_execution_plan(
+                        query, order, index_backend=self.index_backend
+                    )
+                    counters = MatchCounters()
+                    counters.note_work_model(
+                        WORK_UNIT_MODELS.get(self.index_backend, "")
+                    )
+                    stats = WorkerStats(worker_id=self.shard.shard_id)
+                    state = VertexStepState(self._graph)
+                elif kind == transport.MSG_COLLECT:
+                    transport.send_frame(
+                        conn,
+                        transport.MSG_ACCOUNTING,
+                        pickle.dumps(
+                            (counters, stats),
+                            protocol=pickle.HIGHEST_PROTOCOL,
+                        ),
+                    )
+                elif kind == transport.MSG_STOP:
+                    return True
+                elif kind == transport.MSG_SHUTDOWN:
+                    return False
+                else:
+                    raise TransportError(
+                        f"unexpected frame kind {kind:#x} in session"
+                    )
+            except TransportError:
+                return True  # write failed: peer gone mid-reply
+            except Exception:  # report, then end the session visibly
+                import traceback
+
+                try:
+                    transport.send_pickle_frame(
+                        conn, transport.MSG_ERROR, traceback.format_exc()
+                    )
+                except TransportError:  # pragma: no cover - peer gone too
+                    pass
+                return True
+
+
+# ----------------------------------------------------------------------
+# Local clusters (subprocess workers on loopback ports)
+# ----------------------------------------------------------------------
+
+
+def _cluster_worker_main(
+    conn,
+    graph: Hypergraph,
+    shard_id: int,
+    num_shards: int,
+    index_backend: str,
+    seed: int,
+) -> None:
+    """Subprocess entry point: build the shard server, report its port
+    through the pipe, then serve until SHUTDOWN."""
+    try:
+        worker = ShardWorker(
+            graph, shard_id, num_shards, index_backend, seed=seed
+        )
+        host, port = worker.bind()
+        conn.send(("ready", host, port))
+        conn.close()
+        worker.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - parent interrupt
+        pass
+
+
+def shutdown_worker(
+    address: Tuple[str, int], timeout: float = 5.0
+) -> bool:
+    """Ask the shard worker at ``address`` to shut its server down.
+
+    Connects, consumes the worker's HELLO and sends the QUIT frame —
+    the protocol's graceful stop (``docs/WIRE_FORMAT.md`` §2.1), also
+    usable against a remote ``serve-shard`` process.  Returns True when
+    the exchange completed, False when the worker was already gone or
+    busy past ``timeout`` (callers fall back to killing the process).
+    """
+    try:
+        with socket.create_connection(
+            tuple(address), timeout=timeout
+        ) as sock:
+            sock.settimeout(timeout)
+            transport.recv_frame(sock)  # the worker's HELLO
+            transport.send_frame(sock, transport.MSG_SHUTDOWN)
+        return True
+    except (TransportError, OSError):
+        return False
+
+
+class LocalCluster:
+    """Handle on a set of locally spawned shard-worker processes."""
+
+    def __init__(self, processes, addresses, index_backend, seed) -> None:
+        self.processes = processes
+        self.addresses: "List[Tuple[str, int]]" = addresses
+        self.index_backend = index_backend
+        self.seed = seed
+
+    def close(self) -> None:
+        """Stop the worker processes (idempotent): ask each server to
+        QUIT, then terminate whatever did not exit in time."""
+        for process, address in zip(self.processes, self.addresses):
+            if process.is_alive():
+                shutdown_worker(address)
+        for process in self.processes:
+            process.join(timeout=2.0)
+        for process in self.processes:
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(timeout=2.0)
+        self.processes = []
+
+    def __enter__(self) -> "LocalCluster":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def spawn_local_cluster(
+    graph: Hypergraph,
+    num_shards: int,
+    index_backend: "str | None" = None,
+    seed: "int | None" = None,
+    start_method: "str | None" = None,
+    ready_timeout: float = 30.0,
+) -> LocalCluster:
+    """Boot ``num_shards`` shard workers as subprocesses on loopback.
+
+    Each worker builds its own :class:`~repro.hypergraph.sharding.
+    StoreShard`, binds an ephemeral 127.0.0.1 port and serves the
+    framed protocol; the returned :class:`LocalCluster` lists the
+    addresses to hand a :class:`NetShardExecutor`.  This is the
+    single-machine path through the *full* network stack — the tests'
+    and benchmarks' way of proving the multi-host story without a
+    second host.
+    """
+    if num_shards < 1:
+        raise SchedulerError("num_shards must be >= 1")
+    index_backend = resolve_index_backend(index_backend)
+    seed = default_seed() if seed is None else seed
+    context = (
+        get_context(start_method)
+        if start_method is not None
+        else get_context()
+    )
+    processes = []
+    parent_conns = []
+    for shard_id in range(num_shards):
+        parent_conn, child_conn = context.Pipe()
+        process = context.Process(
+            target=_cluster_worker_main,
+            args=(
+                child_conn, graph, shard_id, num_shards, index_backend, seed,
+            ),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        processes.append(process)
+        parent_conns.append(parent_conn)
+    addresses: "List[Tuple[str, int]]" = []
+    try:
+        for shard_id, parent_conn in enumerate(parent_conns):
+            if not parent_conn.poll(ready_timeout):
+                raise SchedulerError(
+                    f"shard worker {shard_id} did not report ready within "
+                    f"{ready_timeout}s"
+                )
+            message = parent_conn.recv()
+            if message[0] != "ready":  # pragma: no cover - protocol misuse
+                raise SchedulerError(
+                    f"shard worker {shard_id} sent {message!r} instead of "
+                    f"its address"
+                )
+            addresses.append((message[1], message[2]))
+    except BaseException:
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+        raise
+    finally:
+        for parent_conn in parent_conns:
+            parent_conn.close()
+    return LocalCluster(processes, addresses, index_backend, seed)
+
+
+# ----------------------------------------------------------------------
+# Coordinator side
+# ----------------------------------------------------------------------
+
+
+class NetShardExecutor:
+    """Run matching jobs over TCP-connected shard workers.
+
+    Two construction modes:
+
+    ``NetShardExecutor(addresses=[("host", port), ...])``
+        Connect to externally managed workers (the multi-host mode; the
+        CLI's ``--hosts``).  ``num_shards`` is the address count, and
+        the handshake must show every shard id ``0..N-1`` exactly once
+        — replies are gathered in *shard* order regardless of the order
+        the addresses were listed in.
+
+    ``NetShardExecutor(num_shards=N)``
+        Spawn (and own) a local cluster for the engine's data graph on
+        first use — the single-machine ``--executor sockets`` path.
+
+    The handshake is validated against the executor's expectations
+    before any job runs: index backend (payloads would mis-decode),
+    shard arithmetic (rows would be double- or under-counted), the data
+    graph fingerprint (counts would be silently wrong) and the
+    scheduler seed (reproducibility).  Any mismatch, disconnect or
+    protocol violation tears the connections down and raises
+    :class:`~repro.errors.SchedulerError`; the next ``run`` starts
+    clean.
+    """
+
+    def __init__(
+        self,
+        addresses: "Sequence[Tuple[str, int]] | None" = None,
+        num_shards: "int | None" = None,
+        index_backend: "str | None" = None,
+        seed: "int | None" = None,
+        start_method: "str | None" = None,
+        connect_timeout: float = CONNECT_TIMEOUT,
+        io_timeout: float = IO_TIMEOUT,
+    ) -> None:
+        if addresses is not None:
+            addresses = [tuple(address) for address in addresses]
+            if num_shards is not None and num_shards != len(addresses):
+                raise SchedulerError(
+                    f"num_shards={num_shards} contradicts "
+                    f"{len(addresses)} worker addresses"
+                )
+            num_shards = len(addresses)
+        if num_shards is None:
+            raise SchedulerError(
+                "NetShardExecutor needs worker addresses or num_shards"
+            )
+        if num_shards < 1:
+            raise SchedulerError("num_shards must be >= 1")
+        self.addresses = addresses
+        self.num_shards = num_shards
+        self.index_backend = resolve_index_backend(index_backend)
+        self.seed = default_seed() if seed is None else seed
+        self.start_method = start_method
+        self.connect_timeout = connect_timeout
+        self.io_timeout = io_timeout
+        self._cluster: "LocalCluster | None" = None
+        self._socks: "List[socket.socket]" = []
+        self._graph: "Hypergraph | None" = None
+
+    # -- connection lifecycle -------------------------------------------
+
+    def _ensure_pool(self, engine) -> None:
+        if engine.index_backend != self.index_backend:
+            raise SchedulerError(
+                f"engine backend {engine.index_backend!r} does not match "
+                f"executor backend {self.index_backend!r}"
+            )
+        if self._graph is engine.data and self._socks:
+            # Reused sessions can have gone stale between jobs (the
+            # worker ends sessions idle past its I/O timeout; a worker
+            # can die).  A COLLECT round trip is a legitimate protocol
+            # exchange, so use it as a liveness probe and fall through
+            # to a clean rebuild instead of failing the job; a genuine
+            # *mid-job* failure still raises (nothing half-composed).
+            try:
+                self._broadcast(("collect",))
+                self._gather()
+                return
+            except SchedulerError:
+                pass  # _broadcast/_gather already tore everything down
+        self._close_connections()
+        if self.addresses is None:
+            # Local mode: own a cluster for this engine's data graph.
+            if self._cluster is not None:
+                self._cluster.close()
+                self._cluster = None
+            self._cluster = spawn_local_cluster(
+                engine.data,
+                self.num_shards,
+                self.index_backend,
+                seed=self.seed,
+                start_method=self.start_method,
+            )
+            addresses = self._cluster.addresses
+        else:
+            addresses = self.addresses
+        ordered: "List[socket.socket | None]" = [None] * self.num_shards
+        current: "socket.socket | None" = None
+        try:
+            for host, port in addresses:
+                try:
+                    current = socket.create_connection(
+                        (host, port), timeout=self.connect_timeout
+                    )
+                except OSError as exc:
+                    raise SchedulerError(
+                        f"could not connect to shard worker at "
+                        f"{host}:{port}: {exc}"
+                    ) from exc
+                _disable_nagle(current)
+                # The handshake runs under the (short) connect timeout: a
+                # peer that accepts but never says HELLO — e.g. a busy
+                # single-session server — should fail fast, not tie the
+                # coordinator up for a whole job timeout.
+                current.settimeout(self.connect_timeout)
+                ordered[self._handshake(current, engine, ordered)] = current
+                current.settimeout(self.io_timeout)
+                current = None
+        except BaseException:
+            for sock in ordered + [current]:
+                if sock is not None:
+                    try:
+                        sock.close()
+                    except OSError:
+                        pass
+            raise
+        self._socks = ordered  # type: ignore[assignment]
+        self._graph = engine.data
+
+    def _handshake(self, sock, engine, ordered) -> int:
+        """Validate one worker's HELLO; returns its shard id."""
+        kind, body = transport.recv_frame(sock)
+        if kind != transport.MSG_HELLO:
+            raise SchedulerError(
+                f"worker spoke {kind:#x} before HELLO; not a shard server?"
+            )
+        descriptor_dict, worker_seed = transport.decode_handshake(body)
+        try:
+            descriptor = ShardDescriptor.from_dict(descriptor_dict)
+        except (KeyError, TypeError) as exc:
+            raise SchedulerError(
+                f"malformed handshake descriptor (missing/invalid field "
+                f"{exc}): not a compatible shard server"
+            ) from None
+        if descriptor.index_backend != self.index_backend:
+            raise SchedulerError(
+                f"handshake backend mismatch: worker shard "
+                f"{descriptor.shard_id} built {descriptor.index_backend!r}, "
+                f"coordinator expects {self.index_backend!r}"
+            )
+        if descriptor.num_shards != self.num_shards:
+            raise SchedulerError(
+                f"shard arithmetic mismatch: worker believes in "
+                f"{descriptor.num_shards} shards, coordinator in "
+                f"{self.num_shards}"
+            )
+        if not 0 <= descriptor.shard_id < self.num_shards:
+            raise SchedulerError(
+                f"worker announced shard id {descriptor.shard_id} outside "
+                f"0..{self.num_shards - 1}"
+            )
+        if ordered[descriptor.shard_id] is not None:
+            raise SchedulerError(
+                f"two workers both announced shard id {descriptor.shard_id}"
+            )
+        if (
+            descriptor.graph_edges != engine.data.num_edges
+            or descriptor.graph_vertices != engine.data.num_vertices
+        ):
+            raise SchedulerError(
+                f"data graph mismatch: worker shard {descriptor.shard_id} "
+                f"was built from a graph with {descriptor.graph_edges} "
+                f"edges / {descriptor.graph_vertices} vertices, the engine "
+                f"holds {engine.data.num_edges} / "
+                f"{engine.data.num_vertices}"
+            )
+        if worker_seed != self.seed:
+            raise SchedulerError(
+                f"scheduler seed mismatch: worker shard "
+                f"{descriptor.shard_id} runs REPRO_SEED={worker_seed}, "
+                f"coordinator {self.seed} — parallel runs would not be "
+                f"reproducible"
+            )
+        return descriptor.shard_id
+
+    def _close_connections(self) -> None:
+        for sock in self._socks:
+            try:
+                transport.send_frame(sock, transport.MSG_STOP)
+            except TransportError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+        self._socks = []
+        self._graph = None
+
+    def close(self) -> None:
+        """End the sessions; stop the owned local cluster, if any."""
+        self._close_connections()
+        if self._cluster is not None:
+            self._cluster.close()
+            self._cluster = None
+
+    def __enter__(self) -> "NetShardExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - best effort
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- messaging (the level_sync plug-in surface) ---------------------
+
+    def _broadcast(self, message) -> None:
+        kind_map = {
+            "job": transport.MSG_JOB,
+            "level": transport.MSG_LEVEL,
+            "collect": transport.MSG_COLLECT,
+        }
+        kind = kind_map[message[0]]
+        body = (
+            b""
+            if kind == transport.MSG_COLLECT
+            else pickle.dumps(
+                message[1:], protocol=pickle.HIGHEST_PROTOCOL
+            )
+        )
+        frame = transport.encode_frame(kind, body)
+        for shard_id, sock in enumerate(self._socks):
+            try:
+                sock.sendall(frame)
+            except OSError:
+                self.close()
+                raise SchedulerError(
+                    f"shard worker {shard_id} is gone; connections torn down"
+                ) from None
+
+    def _gather(self) -> list:
+        replies = [None] * self.num_shards
+        for shard_id, sock in enumerate(self._socks):
+            try:
+                kind, body = transport.recv_frame(sock)
+            except TransportError as exc:
+                self.close()
+                raise SchedulerError(
+                    f"shard worker {shard_id} disconnected mid-job: {exc}"
+                ) from None
+            if kind == transport.MSG_ERROR:
+                message = transport.decode_pickle_body(body)
+                self.close()
+                raise SchedulerError(
+                    f"shard worker {shard_id} failed:\n{message}"
+                )
+            try:
+                if kind == transport.MSG_LEVEL_REPLY:
+                    payloads, embeddings, accounting = (
+                        transport.decode_level_reply(body)
+                    )
+                    if payloads is not None:
+                        payloads = [
+                            None if payload is None
+                            else decode_versioned(payload)
+                            for payload in payloads
+                        ]
+                    reply = ("level", payloads, embeddings)
+                    if accounting is not None:
+                        reply = reply + pickle.loads(accounting)
+                elif kind == transport.MSG_ACCOUNTING:
+                    reply = transport.decode_pickle_body(body)
+                else:
+                    raise TransportError(
+                        f"unexpected reply kind {kind:#x}"
+                    )
+            except (TransportError, ValueError, pickle.PickleError) as exc:
+                self.close()
+                raise SchedulerError(
+                    f"shard worker {shard_id} sent an undecodable reply: "
+                    f"{exc}"
+                ) from None
+            replies[shard_id] = reply
+        return replies
+
+    # -- execution ------------------------------------------------------
+
+    def run(
+        self,
+        engine,
+        query: Hypergraph,
+        order: "Sequence[int] | None" = None,
+        time_budget: "float | None" = None,
+    ) -> ParallelResult:
+        """Execute one matching job across the socket shard pool.
+
+        The identical level-synchronous protocol as the multiprocess
+        executor (one shared implementation,
+        :func:`repro.parallel.level_sync.run_level_synchronous`), so
+        counts are bit-identical to it and to the sequential engine.
+        """
+        from .level_sync import run_level_synchronous  # lazy: avoid cycle
+
+        return run_level_synchronous(
+            self, engine, query, order=order, time_budget=time_budget
+        )

@@ -42,212 +42,25 @@ processes are daemonic, so an exiting parent never leaks them.
 from __future__ import annotations
 
 import pickle
-import time
-from bisect import bisect_left
 from multiprocessing import get_context
 from multiprocessing.connection import wait as _connection_wait
-from typing import List, Optional, Sequence, Tuple
+from typing import Sequence
 
-from ..core.candidates import (
-    AnchorUnionMemo,
-    ChunkCandidates,
-    MaskCandidates,
-    VertexStepState,
-    candidate_set_from_bytes,
-    compose_candidate_sets,
-    encode_chunks_payload,
-    encode_mask_payload,
-    encode_tuple_payload,
-    generate_candidate_set,
-)
+from ..core.candidates import AnchorUnionMemo, VertexStepState
 from ..core.counters import WORK_UNIT_MODELS, MatchCounters
 from ..core.plan import build_execution_plan
-from ..core.validation import is_valid_expansion
-from ..errors import SchedulerError, TimeoutExceeded
+from ..errors import SchedulerError
 from ..hypergraph import Hypergraph
-from ..hypergraph.index import chunks_from_rows
 from ..hypergraph.sharding import StoreShard
 from ..hypergraph.storage import resolve_index_backend
 from .executor import ParallelResult
-from .tasks import ROOT_TASK, PartialEmbedding, WorkerStats, default_seed
-
-#: Backends whose survivors ship as row payloads (mask / chunk map);
-#: the merge backend's native representation is the edge-id tuple.
-_MASK_BACKENDS = ("bitset", "adaptive")
+from .level_sync import MASK_BACKENDS, expand_level
+from .tasks import WorkerStats, default_seed
 
 
 # ----------------------------------------------------------------------
 # Worker side (runs in the shard's own process)
 # ----------------------------------------------------------------------
-
-
-def _encode_survivors(
-    backend: str,
-    rows: List[int],
-    edges: List[int],
-    row_base: int,
-    index,
-) -> "bytes | None":
-    """Serialise one partial's accepted candidates in the backend's
-    native wire representation, shifted into global row coordinates."""
-    if backend == "bitset":
-        if not rows:
-            return None
-        mask = 0
-        for row in rows:
-            mask |= 1 << row
-        # Local mask + decode offset: payload bytes track the shard's
-        # survivor span, not its global row base.
-        return encode_mask_payload(mask, row_base)
-    if backend == "adaptive":
-        if not rows:
-            return None
-        chunks = chunks_from_rows(
-            [row + row_base for row in rows], index.chunk_bits, index.array_max
-        )
-        # Sparse survivor sets often encode smaller as a bare mask (the
-        # chunk framing costs 9 bytes per dense chunk / 7 + 4·n per
-        # array); both sizes are closed-form, so pick the winner before
-        # serialising anything.  The reader re-chunks either form.
-        chunk_size = 5
-        for container in chunks.values():
-            if isinstance(container, int):
-                chunk_size += 9 + (container.bit_length() + 7) // 8
-            else:
-                chunk_size += 7 + 4 * len(container)
-        mask_size = 5 + (rows[-1] + 8) // 8  # rows ascending; span bytes
-        if mask_size < chunk_size:
-            mask = 0
-            for row in rows:
-                mask |= 1 << row
-            return encode_mask_payload(mask, row_base)
-        return encode_chunks_payload(chunks)
-    if not edges:
-        return None
-    return encode_tuple_payload(edges)
-
-
-def _expand_level(
-    graph: Hypergraph,
-    shard: StoreShard,
-    plan,
-    step: int,
-    frontier: Sequence[PartialEmbedding],
-    state: VertexStepState,
-    counters: MatchCounters,
-    stats: WorkerStats,
-    memo: AnchorUnionMemo,
-    mask_validation: bool,
-) -> Tuple[str, "List[Optional[bytes]] | None", int]:
-    """Expand every frontier partial against the shard's rows.
-
-    Returns ``("level", payloads, embeddings)``: one payload (or None)
-    per partial on intermediate steps, survivor *counts* on the final
-    step (complete embeddings are consumed on the spot, like the other
-    executors' implicit TSINK handling).
-    """
-    step_plan = plan.steps[step]
-    final = step == plan.num_steps - 1
-    partition = shard.partition(step_plan.signature)
-    if partition is None:
-        # The shard owns no rows of this signature; nothing to report.
-        return ("level", None, 0)
-    started = time.perf_counter()
-    backend = shard.index_backend
-    index = partition.index
-    row_base = shard.row_base(step_plan.signature)
-    edge_ids = partition.edge_ids
-    step_tuples = state.step_tuples
-    step_masks = state.step_masks if mask_validation else None
-    payloads: "List[Optional[bytes]] | None" = None if final else []
-    embeddings = 0
-    for partial in frontier:
-        vmap = state.advance(partial)
-        candidates = generate_candidate_set(
-            graph, partition, step_plan, partial, vmap, counters, memo=memo
-        )
-        if final:
-            counters.final_candidates += len(candidates)
-        partial_num_vertices = len(vmap)
-        rows: List[int] = []
-        edges: List[int] = []
-        accepted = 0
-        if type(candidates) is MaskCandidates:
-            # Rows fall out of the bit scan for free.
-            mask = candidates.mask
-            row_to_edge = candidates.row_to_edge
-            while mask:
-                low = mask & -mask
-                mask ^= low
-                row = low.bit_length() - 1
-                if is_valid_expansion(
-                    graph, step_plan, vmap, partial_num_vertices,
-                    row_to_edge[row], counters, final_step=final,
-                    step_tuples=step_tuples, step_masks=step_masks,
-                ):
-                    accepted += 1
-                    if not final:
-                        rows.append(row)
-        elif type(candidates) is ChunkCandidates:
-            chunk_bits = index.chunk_bits
-            row_to_edge = index.row_to_edge
-            chunks = candidates.chunks
-            for chunk in sorted(chunks):
-                base = chunk << chunk_bits
-                container = chunks[chunk]
-                if isinstance(container, int):
-                    while container:
-                        low = container & -container
-                        container ^= low
-                        row = base + low.bit_length() - 1
-                        if is_valid_expansion(
-                            graph, step_plan, vmap, partial_num_vertices,
-                            row_to_edge[row], counters, final_step=final,
-                            step_tuples=step_tuples, step_masks=step_masks,
-                        ):
-                            accepted += 1
-                            if not final:
-                                rows.append(row)
-                else:
-                    for offset in container:
-                        row = base + offset
-                        if is_valid_expansion(
-                            graph, step_plan, vmap, partial_num_vertices,
-                            row_to_edge[row], counters, final_step=final,
-                            step_tuples=step_tuples, step_masks=step_masks,
-                        ):
-                            accepted += 1
-                            if not final:
-                                rows.append(row)
-        else:
-            # Tuple candidates: the merge backend's native output, or a
-            # mask backend's no-anchor scan / tiny array-container
-            # result.  Rows (needed only for mask payloads) come from a
-            # bisect into the ascending edge-id table.
-            need_rows = not final and backend != "merge"
-            for edge in candidates:
-                if is_valid_expansion(
-                    graph, step_plan, vmap, partial_num_vertices, edge,
-                    counters, final_step=final,
-                    step_tuples=step_tuples, step_masks=step_masks,
-                ):
-                    accepted += 1
-                    if not final:
-                        if need_rows:
-                            rows.append(bisect_left(edge_ids, edge))
-                        else:
-                            edges.append(edge)
-        stats.tasks_executed += 1
-        if final:
-            embeddings += accepted
-            stats.embeddings += accepted
-        else:
-            payload = _encode_survivors(backend, rows, edges, row_base, index)
-            if payload is not None:
-                stats.payload_bytes += len(payload)
-            payloads.append(payload)
-    stats.busy_time += time.perf_counter() - started
-    return ("level", payloads, embeddings)
 
 
 def _shard_worker_main(
@@ -269,7 +82,7 @@ def _shard_worker_main(
     try:
         shard = StoreShard.build(graph, shard_id, num_shards, index_backend)
         memo = AnchorUnionMemo()
-        mask_validation = index_backend in _MASK_BACKENDS
+        mask_validation = index_backend in MASK_BACKENDS
         plan = None
         state: "VertexStepState | None" = None
         counters = MatchCounters()
@@ -279,7 +92,7 @@ def _shard_worker_main(
             kind = message[0]
             if kind == "level":
                 _, step, frontier = message
-                reply = _expand_level(
+                reply = expand_level(
                     graph, shard, plan, step, frontier, state,
                     counters, stats, memo, mask_validation,
                 )
@@ -484,83 +297,14 @@ class ProcessShardExecutor:
     ) -> ParallelResult:
         """Execute one matching job across the shard pool.
 
-        Counts are bit-identical to the sequential engine: shards
-        partition every partition's rows disjointly, each candidate is
-        generated and validated in exactly one shard, and the composed
-        per-level frontiers equal the sequential BFS frontiers as sets.
-        ``time_budget`` is enforced at level granularity (levels are the
-        executor's natural barriers).
+        Delegates to the transport-agnostic level-synchronous protocol
+        (:func:`repro.parallel.level_sync.run_level_synchronous`) — the
+        same loop the socket executor runs, so the two transports
+        cannot drift apart.  Counts are bit-identical to the sequential
+        engine; ``time_budget`` is enforced at level granularity.
         """
-        plan = engine.plan(query, order)
-        self._ensure_pool(engine)
-        deadline = (
-            None if time_budget is None else time.monotonic() + time_budget
-        )
-        started = time.monotonic()
-        self._broadcast(("job", query, plan.order))
-        num_steps = plan.num_steps
-        frontier: List[PartialEmbedding] = [ROOT_TASK]
-        embeddings = 0
-        logical_tasks = 0
-        peak_retained = 0
-        collected = None
-        for step in range(num_steps):
-            if deadline is not None and time.monotonic() > deadline:
-                raise TimeoutExceeded(
-                    time.monotonic() - (deadline - time_budget), time_budget
-                )
-            self._broadcast(("level", step, frontier))
-            logical_tasks += len(frontier)
-            replies = self._gather()
-            if step == num_steps - 1:
-                embeddings += sum(reply[2] for reply in replies)
-                # Final replies carry the job accounting (see worker).
-                collected = [reply[3:5] for reply in replies]
-                break
-            partition = engine.store.partition(plan.steps[step].signature)
-            index = None if partition is None else partition.index
-            next_frontier: List[PartialEmbedding] = []
-            for position, partial in enumerate(frontier):
-                shard_sets = []
-                for reply in replies:
-                    payloads = reply[1]
-                    if payloads is None:
-                        continue
-                    payload = payloads[position]
-                    if payload is not None:
-                        shard_sets.append(
-                            candidate_set_from_bytes(payload, index)
-                        )
-                if not shard_sets:
-                    continue
-                composed = compose_candidate_sets(shard_sets)
-                for edge in composed:
-                    next_frontier.append(partial + (edge,))
-            frontier = next_frontier
-            peak_retained = max(peak_retained, len(frontier))
-            if not frontier:
-                break
-        elapsed = time.monotonic() - started
+        from .level_sync import run_level_synchronous  # lazy: avoid cycle
 
-        if collected is None:
-            # The frontier drained before the final level; the workers
-            # never piggybacked their accounting, so ask for it.
-            self._broadcast(("collect",))
-            collected = self._gather()
-        merged = MatchCounters()
-        worker_stats: List[WorkerStats] = []
-        for counters, stats in collected:
-            merged.merge(counters)
-            worker_stats.append(stats)
-        # Logical task/embedding accounting lives parent-side: each
-        # frontier entry is one task of the paper's tree (a shard's
-        # per-partial probes are recorded in its WorkerStats instead).
-        merged.tasks = logical_tasks
-        merged.embeddings = embeddings
-        merged.peak_retained = peak_retained
-        return ParallelResult(
-            embeddings=embeddings,
-            elapsed=elapsed,
-            counters=merged,
-            worker_stats=worker_stats,
+        return run_level_synchronous(
+            self, engine, query, order=order, time_budget=time_budget
         )

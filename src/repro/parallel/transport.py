@@ -1,0 +1,352 @@
+"""The socket transport: framed messages for multi-host sharding.
+
+The multiprocess executor already proved the seam: candidate survivors
+cross the shard boundary as compact :class:`~repro.core.candidates.
+CandidateSet` payloads (tags ``T``/``M``/``C``) and the parent composes
+them with the container-pairwise ``|`` algebra.  Those payloads are
+host-neutral — nothing in them references process-local state — so the
+remaining step to multi-host execution is purely a transport: replace
+the parent/child pipes with TCP connections and give the byte stream
+enough structure to survive version skew and partial failure.
+
+This module defines that structure.  It deliberately contains **no
+enumeration logic** (that stays in :mod:`repro.parallel.net_executor`)
+and no I/O policy beyond "read exactly one frame": everything here is a
+pure function of bytes in, bytes out, which is what makes the format
+testable byte-for-byte and documentable (see ``docs/WIRE_FORMAT.md``
+for the normative spec with worked examples).
+
+Framing
+-------
+Every message is one frame::
+
+    u32 length | u8 version | u8 kind | body
+
+``length`` (little-endian, like every integer in the format) counts the
+``version`` byte, the ``kind`` byte and the body.  ``version`` is
+:data:`PROTOCOL_VERSION`; a reader that sees any other value must close
+the connection (the peer speaks a format this build cannot interpret —
+guessing would silently corrupt counts).  ``kind`` selects the message
+type below.  ``length`` is bounded by :data:`MAX_FRAME_BYTES` so a
+corrupt or hostile length prefix fails fast instead of triggering a
+multi-gigabyte allocation.
+
+Message kinds
+-------------
+======  =======  ===========================================================
+byte    name     body
+======  =======  ===========================================================
+``H``   HELLO    pickled handshake dict (worker -> coordinator on accept)
+``J``   JOB      pickled ``(query, order)``
+``L``   LEVEL    pickled ``(step, frontier)``
+``R``   REPLY    binary level reply (see :func:`encode_level_reply`)
+``C``   COLLECT  empty — request ``(counters, stats)``
+``c``   ACCOUNT  pickled ``(counters, stats)``
+``S``   STOP     empty — end this session (connection), keep serving
+``Q``   QUIT     empty — shut the worker server down
+``E``   ERROR    pickled traceback string (worker-side failure)
+======  =======  ===========================================================
+
+Control messages carry pickles — the coordinator and its workers are
+mutually trusted members of one deployment, exactly like the process
+executor's pipes (do **not** expose a worker port to untrusted input).
+The performance-relevant payloads inside a ``REPLY`` are *not* pickles:
+each surviving candidate set is the compact
+:meth:`~repro.core.candidates.CandidateSet.to_bytes` encoding prefixed
+with the candidate wire version byte
+(:data:`repro.core.candidates.WIRE_VERSION`), so the bytes crossing
+machine boundaries are the same mask/container representations the
+in-process algebra uses, independently versioned from the framing.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import TransportError
+
+#: Version byte of the *framing* protocol (handshake, message kinds,
+#: level-reply layout).  Independent from the candidate-payload
+#: ``WIRE_VERSION``: a framing change does not invalidate archived
+#: payloads, and a payload change is caught per-payload.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on a single frame's ``length`` field.  Frontiers are the
+#: largest message in practice and stream level by level, so anything
+#: near this bound indicates a corrupt length prefix, not real data.
+MAX_FRAME_BYTES = 1 << 30
+
+MSG_HELLO = 0x48  # b"H"
+MSG_JOB = 0x4A  # b"J"
+MSG_LEVEL = 0x4C  # b"L"
+MSG_LEVEL_REPLY = 0x52  # b"R"
+MSG_COLLECT = 0x43  # b"C"
+MSG_ACCOUNTING = 0x63  # b"c"
+MSG_STOP = 0x53  # b"S"
+MSG_SHUTDOWN = 0x51  # b"Q"
+MSG_ERROR = 0x45  # b"E"
+
+_KNOWN_KINDS = frozenset({
+    MSG_HELLO, MSG_JOB, MSG_LEVEL, MSG_LEVEL_REPLY, MSG_COLLECT,
+    MSG_ACCOUNTING, MSG_STOP, MSG_SHUTDOWN, MSG_ERROR,
+})
+
+_HEADER = struct.Struct("<IBB")
+
+
+# ----------------------------------------------------------------------
+# Frame encoding / decoding (pure bytes, no sockets)
+# ----------------------------------------------------------------------
+
+
+def encode_frame(kind: int, body: bytes = b"") -> bytes:
+    """Serialise one frame: length prefix, version byte, kind, body."""
+    if kind not in _KNOWN_KINDS:
+        raise TransportError(f"unknown frame kind {kind:#x}")
+    if len(body) + 2 > MAX_FRAME_BYTES:
+        raise TransportError(
+            f"frame body of {len(body)} bytes exceeds MAX_FRAME_BYTES"
+        )
+    return _HEADER.pack(len(body) + 2, PROTOCOL_VERSION, kind) + body
+
+
+def decode_frame(data: bytes) -> Tuple[int, bytes]:
+    """Decode one complete frame; returns ``(kind, body)``.
+
+    Raises :class:`TransportError` on truncation, a length/buffer
+    mismatch, an unknown protocol version or an unknown kind — every
+    way a byte stream can stop being trustworthy.
+    """
+    if len(data) < _HEADER.size:
+        raise TransportError(
+            f"truncated frame: {len(data)} bytes, header needs "
+            f"{_HEADER.size}"
+        )
+    length, version, kind = _HEADER.unpack_from(data)
+    if length < 2 or length > MAX_FRAME_BYTES:
+        raise TransportError(f"implausible frame length {length}")
+    if len(data) != 4 + length:
+        raise TransportError(
+            f"frame length {length} does not match buffer of "
+            f"{len(data)} bytes"
+        )
+    if version != PROTOCOL_VERSION:
+        raise TransportError(
+            f"unsupported protocol version {version}; this build speaks "
+            f"version {PROTOCOL_VERSION}"
+        )
+    if kind not in _KNOWN_KINDS:
+        raise TransportError(f"unknown frame kind {kind:#x}")
+    return kind, data[_HEADER.size:]
+
+
+# ----------------------------------------------------------------------
+# Socket helpers
+# ----------------------------------------------------------------------
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    """Read exactly ``count`` bytes or raise :class:`TransportError`.
+
+    A clean EOF (peer closed between frames) and a mid-frame EOF both
+    surface as :class:`TransportError`; callers that want to treat the
+    clean case specially can check :attr:`TransportError.args` — but in
+    this protocol a peer never closes while the other side expects a
+    frame, so both are failures.
+    """
+    parts: List[bytes] = []
+    remaining = count
+    while remaining:
+        try:
+            chunk = sock.recv(min(remaining, 1 << 20))
+        except socket.timeout as exc:  # pragma: no cover - host-dependent
+            raise TransportError(
+                f"timed out waiting for {remaining} of {count} bytes"
+            ) from exc
+        except OSError as exc:
+            raise TransportError(f"socket read failed: {exc}") from exc
+        if not chunk:
+            received = count - remaining
+            raise TransportError(
+                f"connection closed after {received} of {count} bytes "
+                f"(truncated frame)" if received else
+                "connection closed by peer"
+            )
+        parts.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(parts)
+
+
+def send_frame(sock: socket.socket, kind: int, body: bytes = b"") -> None:
+    """Write one frame to ``sock`` (blocking, whole frame or error)."""
+    try:
+        sock.sendall(encode_frame(kind, body))
+    except OSError as exc:
+        raise TransportError(f"socket write failed: {exc}") from exc
+
+
+def recv_frame(sock: socket.socket) -> Tuple[int, bytes]:
+    """Read one frame from ``sock``; returns ``(kind, body)``."""
+    header = _recv_exact(sock, _HEADER.size)
+    length, version, kind = _HEADER.unpack(header)
+    if length < 2 or length > MAX_FRAME_BYTES:
+        raise TransportError(f"implausible frame length {length}")
+    rest = _recv_exact(sock, length - 2)
+    # Re-assemble and validate through the one decoder so socket reads
+    # and byte-level tests can never disagree about what is legal.
+    return decode_frame(header + rest)
+
+
+def send_pickle_frame(sock: socket.socket, kind: int, payload) -> None:
+    """Pickle ``payload`` and send it as a frame of ``kind``."""
+    send_frame(
+        sock, kind, pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    )
+
+
+def decode_pickle_body(body: bytes):
+    """Unpickle a control-frame body, normalising failures."""
+    try:
+        return pickle.loads(body)
+    except Exception as exc:
+        raise TransportError(f"undecodable control payload: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Level replies (the hot reply: candidate payloads stay raw bytes)
+# ----------------------------------------------------------------------
+#
+# REPLY body layout::
+#
+#     u64 embeddings          accepted complete embeddings (final level)
+#     u8  has_accounting      1 when the pickled (counters, stats) tail
+#                             is present (workers piggyback it on the
+#                             final level, saving a COLLECT round trip)
+#     u32 num_payloads        one slot per frontier partial (0 on the
+#                             final level — survivors are consumed)
+#     per payload:
+#         u32 size            0 = no survivors for that partial
+#         size bytes          versioned candidate payload
+#                             (WIRE_VERSION byte + CandidateSet bytes)
+#     pickled accounting tail (to end of body, iff has_accounting)
+
+
+def encode_level_reply(
+    payloads: "Sequence[Optional[bytes]] | None",
+    embeddings: int,
+    accounting: "bytes | None" = None,
+) -> bytes:
+    """Binary body of a ``REPLY`` frame.
+
+    ``payloads`` holds one *versioned* candidate payload (or None) per
+    frontier partial; pass None on the final level.
+    """
+    parts = [struct.pack(
+        "<QBI",
+        embeddings,
+        0 if accounting is None else 1,
+        0 if payloads is None else len(payloads),
+    )]
+    if payloads is not None:
+        for payload in payloads:
+            if payload is None:
+                parts.append(b"\x00\x00\x00\x00")
+            else:
+                parts.append(struct.pack("<I", len(payload)))
+                parts.append(payload)
+    if accounting is not None:
+        parts.append(accounting)
+    return b"".join(parts)
+
+
+def decode_level_reply(
+    body: bytes,
+) -> Tuple["List[Optional[bytes]] | None", int, "bytes | None"]:
+    """Inverse of :func:`encode_level_reply`.
+
+    Returns ``(payloads, embeddings, accounting)`` with ``payloads``
+    None when the reply carried no payload slots (final level).
+    """
+    try:
+        embeddings, has_accounting, num_payloads = struct.unpack_from(
+            "<QBI", body
+        )
+    except struct.error as exc:
+        raise TransportError(f"truncated level reply: {exc}") from None
+    offset = 13
+    payloads: "List[Optional[bytes]] | None" = None
+    if num_payloads:
+        payloads = []
+        for _ in range(num_payloads):
+            if offset + 4 > len(body):
+                raise TransportError("truncated level reply payload table")
+            (size,) = struct.unpack_from("<I", body, offset)
+            offset += 4
+            if size == 0:
+                payloads.append(None)
+                continue
+            if offset + size > len(body):
+                raise TransportError(
+                    f"level reply payload of {size} bytes overruns body"
+                )
+            payloads.append(body[offset:offset + size])
+            offset += size
+    accounting = body[offset:] if has_accounting else None
+    if has_accounting and not accounting:
+        raise TransportError("level reply promised accounting but had none")
+    return payloads, embeddings, accounting
+
+
+# ----------------------------------------------------------------------
+# Handshake
+# ----------------------------------------------------------------------
+
+
+def encode_handshake(descriptor_dict: dict, seed: int) -> bytes:
+    """HELLO body: the shard's handoff descriptor plus the job seed."""
+    return pickle.dumps(
+        {
+            "protocol": PROTOCOL_VERSION,
+            "seed": seed,
+            "descriptor": dict(descriptor_dict),
+        },
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+
+
+def decode_handshake(body: bytes) -> Tuple[dict, int]:
+    """Inverse of :func:`encode_handshake`: ``(descriptor_dict, seed)``.
+
+    Also validates the embedded ``protocol`` field.  The per-frame
+    version byte already rejects framing skew before this body is ever
+    parsed; the embedded field guards the *handshake schema* itself, so
+    the redundancy is checked rather than silently ignored.
+    """
+    message = decode_pickle_body(body)
+    if not isinstance(message, dict) or "descriptor" not in message:
+        raise TransportError("malformed handshake body")
+    protocol = message.get("protocol")
+    if protocol != PROTOCOL_VERSION:
+        raise TransportError(
+            f"handshake announces protocol {protocol!r}; this build "
+            f"speaks version {PROTOCOL_VERSION}"
+        )
+    return message["descriptor"], message.get("seed", 0)
+
+
+def parse_address(text: str) -> Tuple[str, int]:
+    """Parse ``host:port`` (the CLI's ``--hosts`` entries)."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise TransportError(
+            f"worker address {text!r} is not of the form host:port"
+        )
+    try:
+        return host, int(port)
+    except ValueError:
+        raise TransportError(
+            f"worker address {text!r} has a non-numeric port"
+        ) from None

@@ -162,6 +162,72 @@ class TestMatch:
         assert code == 1
         assert "sequential" in output
 
+    def test_match_sockets(self, fig1_files):
+        data_path, query_path = fig1_files
+        code, output = run_cli(
+            "match", data_path, query_path,
+            "--executor", "sockets", "--shards", "2",
+        )
+        assert code == 0
+        assert output.startswith("2 embeddings")
+
+    def test_match_hosts_implies_sockets(self, fig1_files, fig1_data):
+        import threading
+
+        from repro.parallel import ShardWorker
+
+        data_path, query_path = fig1_files
+        workers = [
+            ShardWorker(fig1_data, shard_id, 2) for shard_id in range(2)
+        ]
+        addresses = [worker.bind() for worker in workers]
+        threads = [
+            threading.Thread(
+                target=worker.serve_forever,
+                kwargs={"max_sessions": 1},
+                daemon=True,
+            )
+            for worker in workers
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            hosts = ",".join(f"{host}:{port}" for host, port in addresses)
+            code, output = run_cli(
+                "match", data_path, query_path, "--hosts", hosts
+            )
+            assert code == 0
+            assert output.startswith("2 embeddings")
+        finally:
+            for worker in workers:
+                worker.close()
+
+    def test_hosts_rejected_for_non_socket_executors(self, fig1_files):
+        data_path, query_path = fig1_files
+        code, output = run_cli(
+            "match", data_path, query_path,
+            "--executor", "threads", "--hosts", "localhost:7441",
+        )
+        assert code == 1
+        assert "--executor sockets" in output
+
+    def test_hosts_shards_contradiction(self, fig1_files):
+        data_path, query_path = fig1_files
+        code, output = run_cli(
+            "match", data_path, query_path,
+            "--hosts", "localhost:7441,localhost:7442", "--shards", "3",
+        )
+        assert code == 1
+        assert "contradicts" in output
+
+    def test_bad_host_address(self, fig1_files):
+        data_path, query_path = fig1_files
+        code, output = run_cli(
+            "match", data_path, query_path, "--hosts", "no-port-here"
+        )
+        assert code == 1
+        assert "host:port" in output
+
     def test_match_simulated(self, fig1_files):
         data_path, query_path = fig1_files
         code, output = run_cli(
@@ -178,6 +244,66 @@ class TestMatch:
         )
         assert code == 0
         assert output.count("{") >= 2
+
+    def test_serve_shard_rejects_bad_shard_arithmetic(self, fig1_files):
+        data_path, _ = fig1_files
+        code, output = run_cli(
+            "serve-shard", data_path, "--shard-id", "5", "--num-shards", "2"
+        )
+        assert code == 1
+        assert "out of range" in output
+        code, output = run_cli(
+            "serve-shard", data_path, "--shard-id", "0", "--num-shards", "0"
+        )
+        assert code == 1
+
+    def test_serve_shard_serves_one_session(self, fig1_files, fig1_data):
+        import io
+        import threading
+
+        from repro import HGMatch
+        from repro.cli import main as cli_main
+        from repro.parallel import NetShardExecutor
+
+        data_path, _ = fig1_files
+        out = io.StringIO()
+        # Pre-bind so the port is known before the server thread starts.
+        ready = threading.Event()
+        result = {}
+
+        def serve():
+            result["code"] = cli_main(
+                [
+                    "serve-shard", data_path, "--shard-id", "0",
+                    "--num-shards", "1", "--max-sessions", "1",
+                ],
+                out=out,
+            )
+
+        class SignallingOut(io.StringIO):
+            def flush(self):
+                ready.set()
+
+        out = SignallingOut()
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        assert ready.wait(timeout=10.0)
+        banner = out.getvalue()
+        address = banner.strip().rsplit(" on ", 1)[1]
+        host, port = address.rsplit(":", 1)
+        engine = HGMatch(fig1_data)
+        executor = NetShardExecutor(addresses=[(host, int(port))])
+        try:
+            query = fig1_data  # any connected query; the data itself works
+            assert executor.run(engine, query).embeddings == engine.count(
+                query
+            )
+        finally:
+            executor.close()
+            engine.close()
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        assert result["code"] == 0
 
     def test_disconnected_query_errors(self, tmp_path, fig1_files):
         from repro import Hypergraph

@@ -1,0 +1,487 @@
+"""The socket shard executor: parity, handshake gates and failure paths.
+
+The correctness bar matches the multiprocess executor's: bit-identical
+counts against the sequential engine for every index backend — now
+across real TCP connections (loopback clusters spawned by
+:func:`repro.parallel.spawn_local_cluster`, i.e. the full network
+path).  On top of that, the suite pins the failure modes a network
+adds: mid-level worker disconnects must raise cleanly (no hang),
+handshake mismatches (backend / shard arithmetic / data graph / seed)
+must refuse to compose, and protocol violations must not corrupt
+counts.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+import socket
+import threading
+
+import pytest
+
+from repro import HGMatch, Hypergraph
+from repro.core.counters import MatchCounters
+from repro.errors import QueryError, SchedulerError
+from repro.hypergraph import INDEX_BACKENDS
+from repro.parallel import (
+    NetShardExecutor,
+    ShardWorker,
+    spawn_local_cluster,
+    transport,
+)
+from repro.testing import make_random_instance
+
+
+@pytest.fixture(scope="module")
+def workload_instances():
+    """A deterministic batch of small (data, query) pairs."""
+    rng = random.Random(987)
+    instances = []
+    while len(instances) < 4:
+        instance = make_random_instance(rng)
+        if instance is not None:
+            instances.append(instance)
+    return instances
+
+
+@pytest.mark.parametrize("backend", INDEX_BACKENDS)
+def test_counts_match_sequential(workload_instances, backend):
+    for data, query in workload_instances[:2]:
+        engine = HGMatch(data, index_backend=backend, shards=2)
+        try:
+            expected = engine.count(query)
+            assert engine.count(query, executor="sockets") == expected
+            assert engine.count_bfs(query, executor="sockets") == expected
+        finally:
+            engine.close()
+
+
+def test_counter_funnel_matches_sequential(workload_instances):
+    data, query = workload_instances[0]
+    engine = HGMatch(data, index_backend="bitset", shards=2)
+    try:
+        sequential = MatchCounters()
+        expected = engine.count(query, counters=sequential)
+        networked = MatchCounters()
+        assert engine.count(
+            query, executor="sockets", counters=networked
+        ) == expected
+        assert networked.candidates == sequential.candidates
+        assert networked.filtered == sequential.filtered
+        assert networked.embeddings == sequential.embeddings
+        assert networked.work_model == sequential.work_model
+    finally:
+        engine.close()
+
+
+def test_addresses_mode_in_any_order(workload_instances):
+    """Replies map by handshake shard id, not by address order."""
+    data, query = workload_instances[0]
+    engine = HGMatch(data, index_backend="adaptive")
+    cluster = spawn_local_cluster(data, 3, index_backend="adaptive")
+    executor = NetShardExecutor(
+        addresses=list(reversed(cluster.addresses)),
+        index_backend="adaptive",
+    )
+    try:
+        result = executor.run(engine, query)
+        assert result.embeddings == engine.count(query)
+        assert [stats.worker_id for stats in result.worker_stats] == [0, 1, 2]
+    finally:
+        executor.close()
+        cluster.close()
+        engine.close()
+
+
+def test_worker_sessions_are_reusable(workload_instances):
+    """STOP ends a session, not the server: two coordinators in turn."""
+    data, query = workload_instances[0]
+    engine = HGMatch(data, index_backend="merge")
+    worker = ShardWorker(data, 0, 1, index_backend="merge")
+    address = worker.bind()
+    thread = threading.Thread(
+        target=worker.serve_forever, kwargs={"max_sessions": 2}, daemon=True
+    )
+    thread.start()
+    try:
+        expected = engine.count(query)
+        for _ in range(2):
+            executor = NetShardExecutor(
+                addresses=[address], index_backend="merge"
+            )
+            try:
+                assert executor.run(engine, query).embeddings == expected
+            finally:
+                executor.close()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+    finally:
+        worker.close()
+        engine.close()
+
+
+def test_handshake_backend_mismatch(workload_instances):
+    data, query = workload_instances[0]
+    engine = HGMatch(data, index_backend="merge")
+    cluster = spawn_local_cluster(data, 2, index_backend="bitset")
+    executor = NetShardExecutor(
+        addresses=cluster.addresses, index_backend="merge"
+    )
+    try:
+        with pytest.raises(SchedulerError, match="backend mismatch"):
+            executor.run(engine, query)
+    finally:
+        executor.close()
+        cluster.close()
+        engine.close()
+
+
+def test_handshake_graph_mismatch():
+    data = Hypergraph(
+        labels=["A", "B", "A", "B"], edges=[{0, 1}, {2, 3}, {0, 3}]
+    )
+    query = Hypergraph(labels=["A", "B"], edges=[{0, 1}])
+    other_data = Hypergraph(labels=["A", "B"], edges=[{0, 1}])
+    engine = HGMatch(data, index_backend="merge")
+    cluster = spawn_local_cluster(other_data, 2, index_backend="merge")
+    executor = NetShardExecutor(
+        addresses=cluster.addresses, index_backend="merge"
+    )
+    try:
+        with pytest.raises(SchedulerError, match="data graph mismatch"):
+            executor.run(engine, query)
+    finally:
+        executor.close()
+        cluster.close()
+        engine.close()
+
+
+def test_handshake_seed_mismatch(workload_instances):
+    data, query = workload_instances[0]
+    engine = HGMatch(data, index_backend="merge")
+    cluster = spawn_local_cluster(data, 1, index_backend="merge", seed=123)
+    executor = NetShardExecutor(
+        addresses=cluster.addresses, index_backend="merge", seed=0
+    )
+    try:
+        with pytest.raises(SchedulerError, match="seed mismatch"):
+            executor.run(engine, query)
+    finally:
+        executor.close()
+        cluster.close()
+        engine.close()
+
+
+def test_handshake_shard_arithmetic_mismatch(workload_instances):
+    """Workers believing in a different shard count must be refused —
+    composing them would double- or under-count rows."""
+    data, query = workload_instances[0]
+    engine = HGMatch(data, index_backend="merge")
+    cluster = spawn_local_cluster(data, 3, index_backend="merge")
+    executor = NetShardExecutor(
+        addresses=cluster.addresses[:2], index_backend="merge"
+    )
+    try:
+        with pytest.raises(SchedulerError, match="shard arithmetic"):
+            executor.run(engine, query)
+    finally:
+        executor.close()
+        cluster.close()
+        engine.close()
+
+
+def test_duplicate_shard_ids_rejected(workload_instances):
+    data, query = workload_instances[0]
+    engine = HGMatch(data, index_backend="merge")
+    # Two independent clusters: their shard-0 servers both announce
+    # shard id 0 — composing them would double-count its rows.
+    first = spawn_local_cluster(data, 2, index_backend="merge")
+    second = spawn_local_cluster(data, 2, index_backend="merge")
+    executor = NetShardExecutor(
+        addresses=[first.addresses[0], second.addresses[0]],
+        index_backend="merge",
+    )
+    try:
+        with pytest.raises(SchedulerError, match="both announced"):
+            executor.run(engine, query)
+    finally:
+        executor.close()
+        first.close()
+        second.close()
+        engine.close()
+
+
+def test_dead_worker_between_jobs_recovers_transparently(workload_instances):
+    """A worker lost *between* jobs (or a session idled out) is caught
+    by the liveness probe on reuse: the executor rebuilds its pool and
+    the query succeeds instead of failing on a stale socket."""
+    data, query = workload_instances[0]
+    engine = HGMatch(data, index_backend="bitset")
+    executor = NetShardExecutor(num_shards=2, index_backend="bitset")
+    try:
+        expected = engine.count(query)
+        assert executor.run(engine, query).embeddings == expected
+        victim = executor._cluster.processes[0]
+        victim.terminate()
+        victim.join(timeout=2.0)
+        # The probe detects the dead session and respawns the cluster.
+        assert executor.run(engine, query).embeddings == expected
+    finally:
+        executor.close()
+        engine.close()
+
+
+def test_mid_level_disconnect_raises_cleanly(workload_instances):
+    """A worker vanishing *mid-job* must raise SchedulerError promptly
+    (no hang, nothing half-composed) — a fake worker completes the
+    handshake and the job setup, then drops the connection."""
+    from repro.hypergraph import StoreShard
+
+    data, query = workload_instances[0]
+    descriptor = StoreShard.build(data, 0, 1, index_backend="merge").describe()
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    address = listener.getsockname()[:2]
+
+    def flaky_worker():
+        conn, _ = listener.accept()
+        with conn:
+            transport.send_frame(
+                conn,
+                transport.MSG_HELLO,
+                transport.encode_handshake(descriptor.as_dict(), 0),
+            )
+            transport.recv_frame(conn)  # JOB
+            transport.recv_frame(conn)  # LEVEL 0
+            # ... and die without replying.
+
+    thread = threading.Thread(target=flaky_worker, daemon=True)
+    thread.start()
+    engine = HGMatch(data, index_backend="merge")
+    executor = NetShardExecutor(addresses=[address], index_backend="merge")
+    try:
+        with pytest.raises(SchedulerError, match="disconnected mid-job"):
+            executor.run(engine, query)
+    finally:
+        executor.close()
+        listener.close()
+        engine.close()
+
+
+def test_shutdown_worker_stops_a_server(workload_instances):
+    """The QUIT frame has a real sender: shutdown_worker() gracefully
+    stops a serve-forever worker, local or remote."""
+    from repro.parallel import shutdown_worker
+
+    data, _query = workload_instances[0]
+    worker = ShardWorker(data, 0, 1, index_backend="merge")
+    address = worker.bind()
+    thread = threading.Thread(target=worker.serve_forever, daemon=True)
+    thread.start()
+    try:
+        assert shutdown_worker(address)
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        # Asking again reports the worker as already gone.
+        assert not shutdown_worker(address, timeout=1.0)
+    finally:
+        worker.close()
+
+
+def test_local_cluster_close_is_graceful(workload_instances):
+    """LocalCluster.close() QUITs its workers; they exit cleanly (code
+    0), not via SIGTERM."""
+    data, _query = workload_instances[0]
+    cluster = spawn_local_cluster(data, 2, index_backend="merge")
+    processes = list(cluster.processes)
+    cluster.close()
+    assert [process.exitcode for process in processes] == [0, 0]
+
+
+def test_malformed_descriptor_is_rejected_cleanly():
+    """A HELLO whose descriptor is missing fields must raise the
+    documented SchedulerError, not leak a KeyError."""
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    address = listener.getsockname()[:2]
+
+    def impostor():
+        conn, _ = listener.accept()
+        with conn:
+            transport.send_frame(
+                conn,
+                transport.MSG_HELLO,
+                transport.encode_handshake({"shard_id": 0}, 0),
+            )
+
+    thread = threading.Thread(target=impostor, daemon=True)
+    thread.start()
+    data = Hypergraph(labels=["A", "A"], edges=[{0, 1}])
+    query = Hypergraph(labels=["A", "A"], edges=[{0, 1}])
+    engine = HGMatch(data, index_backend="merge")
+    executor = NetShardExecutor(addresses=[address], index_backend="merge")
+    try:
+        with pytest.raises(SchedulerError, match="malformed handshake"):
+            executor.run(engine, query)
+    finally:
+        executor.close()
+        listener.close()
+        engine.close()
+
+
+def test_non_hello_peer_is_rejected():
+    """Connecting to something that is not a shard server must fail the
+    handshake, not hang or mis-compose."""
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    address = listener.getsockname()[:2]
+
+    def impostor():
+        conn, _ = listener.accept()
+        with conn:
+            transport.send_frame(conn, transport.MSG_STOP)
+
+    thread = threading.Thread(target=impostor, daemon=True)
+    thread.start()
+    data = Hypergraph(labels=["A", "A"], edges=[{0, 1}])
+    query = Hypergraph(labels=["A", "A"], edges=[{0, 1}])
+    engine = HGMatch(data, index_backend="merge")
+    executor = NetShardExecutor(addresses=[address], index_backend="merge")
+    try:
+        with pytest.raises(SchedulerError, match="before HELLO"):
+            executor.run(engine, query)
+    finally:
+        executor.close()
+        listener.close()
+        engine.close()
+
+
+def test_worker_survives_garbage_frames(workload_instances):
+    """A garbled session must not take the server down: the worker drops
+    the session and serves the next coordinator normally."""
+    data, query = workload_instances[0]
+    engine = HGMatch(data, index_backend="merge")
+    worker = ShardWorker(data, 0, 1, index_backend="merge")
+    address = worker.bind()
+    thread = threading.Thread(
+        target=worker.serve_forever, kwargs={"max_sessions": 2}, daemon=True
+    )
+    thread.start()
+    try:
+        # Session 1: speak garbage (bad version byte) after the HELLO.
+        with socket.create_connection(address, timeout=5.0) as sock:
+            kind, _body = transport.recv_frame(sock)
+            assert kind == transport.MSG_HELLO
+            sock.sendall(b"\x06\x00\x00\x00\xff\xff140282")
+        # Session 2: a real coordinator still gets served.
+        executor = NetShardExecutor(addresses=[address], index_backend="merge")
+        try:
+            assert executor.run(engine, query).embeddings == engine.count(
+                query
+            )
+        finally:
+            executor.close()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+    finally:
+        worker.close()
+        engine.close()
+
+
+def test_worker_reports_enumeration_errors(workload_instances):
+    """Worker-side failures arrive as ERROR frames -> SchedulerError
+    with the remote traceback, mirroring the process executor."""
+    data, query = workload_instances[0]
+    engine = HGMatch(data, index_backend="merge")
+    worker = ShardWorker(data, 0, 1, index_backend="merge")
+    address = worker.bind()
+    thread = threading.Thread(
+        target=worker.serve_forever, kwargs={"max_sessions": 1}, daemon=True
+    )
+    thread.start()
+    try:
+        with socket.create_connection(address, timeout=5.0) as sock:
+            kind, _ = transport.recv_frame(sock)
+            assert kind == transport.MSG_HELLO
+            # A LEVEL before any JOB: plan is None -> worker-side error.
+            transport.send_pickle_frame(
+                sock, transport.MSG_LEVEL, (0, [()])
+            )
+            kind, body = transport.recv_frame(sock)
+            assert kind == transport.MSG_ERROR
+            assert "Traceback" in pickle.loads(body)
+    finally:
+        worker.close()
+        engine.close()
+
+
+def test_engine_net_executor_lifecycle(workload_instances):
+    data, query = workload_instances[0]
+    engine = HGMatch(data, index_backend="bitset", shards=2)
+    try:
+        executor = engine.net_executor()
+        assert engine.count(query, executor="sockets") == engine.count(query)
+        # Same coordinator object serves the next query.
+        assert engine.net_executor() is executor
+        # A different shard count rebuilds.
+        other = engine.net_executor(3)
+        assert other is not executor
+        assert other.num_shards == 3
+        # Host-pinned executors refuse conflicting shard counts.
+        cluster = spawn_local_cluster(data, 2, index_backend="bitset")
+        try:
+            pinned = engine.net_executor(hosts=cluster.addresses)
+            assert pinned.addresses is not None
+            assert engine.net_executor() is pinned
+            assert engine.count(query, executor="sockets") == engine.count(
+                query
+            )
+            with pytest.raises(QueryError):
+                engine.net_executor(5)
+        finally:
+            cluster.close()
+    finally:
+        engine.close()
+
+
+def test_invalid_configuration():
+    with pytest.raises(SchedulerError):
+        NetShardExecutor()
+    with pytest.raises(SchedulerError):
+        NetShardExecutor(num_shards=0)
+    with pytest.raises(SchedulerError):
+        NetShardExecutor(addresses=[("h", 1)], num_shards=2)
+    with pytest.raises(SchedulerError):
+        spawn_local_cluster(
+            Hypergraph(labels=["A", "A"], edges=[{0, 1}]), 0
+        )
+
+
+def test_single_step_query(fig1_data):
+    """num_steps == 1: the SCAN level is also the final level."""
+    query = Hypergraph(labels=["A", "B"], edges=[{0, 1}])
+    engine = HGMatch(fig1_data, shards=2)
+    try:
+        expected = engine.count(query)
+        assert engine.count(query, executor="sockets") == expected
+    finally:
+        engine.close()
+
+
+def test_results_are_reproducible_across_runs(workload_instances):
+    data, query = workload_instances[1]
+    engine = HGMatch(data, index_backend="adaptive", shards=2)
+    try:
+        first = engine.net_executor().run(engine, query)
+        second = engine.net_executor().run(engine, query)
+        assert first.embeddings == second.embeddings
+        assert first.counters.as_row() == second.counters.as_row()
+        assert [s.payload_bytes for s in first.worker_stats] == [
+            s.payload_bytes for s in second.worker_stats
+        ]
+    finally:
+        engine.close()

@@ -75,19 +75,19 @@ def test_mask_backends_ship_masks_not_edge_lists(workload_instances, backend):
     (bitmask/chunk tags), never decoded edge-id tuples."""
     from repro.core.candidates import _WIRE_CHUNKS, _WIRE_MASK, _WIRE_TUPLE
     from repro.hypergraph import StoreShard
-    from repro.parallel.shard_executor import _encode_survivors
+    from repro.parallel.level_sync import encode_survivors
 
     data, query = workload_instances[0]
     shard = StoreShard.build(data, 0, 2, index_backend=backend)
     signature = next(iter(shard.partitions))
     index = shard.partition(signature).index
-    payload = _encode_survivors(backend, [0], [], 7, index)
+    payload = encode_survivors(backend, [0], [], 7, index)
     # bitset ships masks; adaptive ships whichever row representation
     # (mask or chunk map) is smaller — never a decoded edge-id tuple.
     assert payload[0] in (_WIRE_MASK, _WIRE_CHUNKS)
     assert payload[0] != _WIRE_TUPLE
     if backend == "adaptive":
-        dense = _encode_survivors(
+        dense = encode_survivors(
             backend, list(range(min(64, len(index.row_to_edge)) or 1)), [], 0,
             index,
         )

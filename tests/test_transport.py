@@ -1,0 +1,215 @@
+"""Byte-level tests of the socket transport's framed protocol.
+
+Everything here exercises pure encode/decode paths (plus a socketpair
+for the stream helpers) — no worker processes.  The failure modes the
+suite pins are exactly the ones a network can produce and a pipe
+cannot: truncated frames, version skew, corrupt length prefixes and
+payload tables that overrun their body.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.core.candidates import (
+    WIRE_VERSION,
+    decode_versioned,
+    encode_tuple_payload,
+    encode_versioned,
+)
+from repro.errors import SchedulerError, TransportError
+from repro.parallel import transport
+
+
+class TestFrameCodec:
+    def test_round_trip_every_kind(self):
+        for kind in (
+            transport.MSG_HELLO, transport.MSG_JOB, transport.MSG_LEVEL,
+            transport.MSG_LEVEL_REPLY, transport.MSG_COLLECT,
+            transport.MSG_ACCOUNTING, transport.MSG_STOP,
+            transport.MSG_SHUTDOWN, transport.MSG_ERROR,
+        ):
+            body = bytes([kind]) * 7
+            assert transport.decode_frame(
+                transport.encode_frame(kind, body)
+            ) == (kind, body)
+
+    def test_layout_is_the_documented_one(self):
+        # u32 length | u8 version | u8 kind | body — little-endian.
+        frame = transport.encode_frame(transport.MSG_STOP, b"xy")
+        assert frame == struct.pack(
+            "<IBB", 4, transport.PROTOCOL_VERSION, transport.MSG_STOP
+        ) + b"xy"
+
+    def test_truncated_header(self):
+        with pytest.raises(TransportError, match="truncated"):
+            transport.decode_frame(b"\x02\x00")
+
+    def test_length_buffer_mismatch(self):
+        frame = transport.encode_frame(transport.MSG_STOP, b"abc")
+        with pytest.raises(TransportError, match="does not match"):
+            transport.decode_frame(frame[:-1])
+        with pytest.raises(TransportError, match="does not match"):
+            transport.decode_frame(frame + b"z")
+
+    def test_bad_version_byte(self):
+        frame = bytearray(transport.encode_frame(transport.MSG_STOP))
+        frame[4] = transport.PROTOCOL_VERSION + 1
+        with pytest.raises(TransportError, match="unsupported protocol"):
+            transport.decode_frame(bytes(frame))
+
+    def test_unknown_kind(self):
+        frame = bytearray(transport.encode_frame(transport.MSG_STOP))
+        frame[5] = 0x7A
+        with pytest.raises(TransportError, match="unknown frame kind"):
+            transport.decode_frame(bytes(frame))
+        with pytest.raises(TransportError, match="unknown frame kind"):
+            transport.encode_frame(0x7A)
+
+    def test_implausible_length(self):
+        bogus = struct.pack(
+            "<IBB", transport.MAX_FRAME_BYTES + 1,
+            transport.PROTOCOL_VERSION, transport.MSG_STOP,
+        )
+        with pytest.raises(TransportError, match="implausible"):
+            transport.decode_frame(bogus)
+        # A length too small to even hold version+kind is also corrupt.
+        with pytest.raises(TransportError, match="implausible"):
+            transport.decode_frame(struct.pack("<IBB", 1, 1, 0x53))
+
+    def test_transport_error_is_a_scheduler_error(self):
+        # Existing except-SchedulerError handlers must keep catching.
+        assert issubclass(TransportError, SchedulerError)
+
+
+class TestLevelReply:
+    def test_round_trip_with_gaps(self):
+        payloads = [b"\x01T-bytes", None, b"\x01M", None]
+        body = transport.encode_level_reply(payloads, 0)
+        assert transport.decode_level_reply(body) == (payloads, 0, None)
+
+    def test_final_level_reply(self):
+        body = transport.encode_level_reply(None, 42, b"pickled-tail")
+        assert transport.decode_level_reply(body) == (
+            None, 42, b"pickled-tail"
+        )
+
+    def test_truncated_reply_body(self):
+        with pytest.raises(TransportError, match="truncated level reply"):
+            transport.decode_level_reply(b"\x00\x01")
+
+    def test_truncated_payload_table(self):
+        body = transport.encode_level_reply([b"\x01abc"], 0)
+        with pytest.raises(TransportError):
+            transport.decode_level_reply(body[:-2])
+
+    def test_payload_overruns_body(self):
+        body = bytearray(transport.encode_level_reply([b"\x01abc"], 0))
+        # Inflate the payload size field past the end of the body.
+        struct.pack_into("<I", body, 13, 1000)
+        with pytest.raises(TransportError, match="overruns"):
+            transport.decode_level_reply(bytes(body))
+
+    def test_missing_promised_accounting(self):
+        body = transport.encode_level_reply(None, 1, b"tail")
+        with pytest.raises(TransportError, match="accounting"):
+            transport.decode_level_reply(body[: 13])
+
+
+class TestVersionedCandidatePayloads:
+    def test_round_trip(self):
+        payload = encode_tuple_payload((3, 9))
+        wired = encode_versioned(payload)
+        assert wired[0] == WIRE_VERSION
+        assert decode_versioned(wired) == payload
+
+    def test_bad_version_byte_rejected(self):
+        payload = encode_versioned(encode_tuple_payload((1,)))
+        skewed = bytes([WIRE_VERSION + 1]) + payload[1:]
+        with pytest.raises(ValueError, match="unsupported candidate wire"):
+            decode_versioned(skewed)
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            decode_versioned(b"")
+
+
+class TestHandshake:
+    def test_round_trip(self):
+        descriptor = {
+            "shard_id": 1, "num_shards": 4, "index_backend": "bitset",
+            "num_partitions": 3, "num_rows": 17,
+            "graph_edges": 40, "graph_vertices": 19,
+        }
+        body = transport.encode_handshake(descriptor, seed=7)
+        assert transport.decode_handshake(body) == (descriptor, 7)
+
+    def test_malformed_handshake(self):
+        import pickle
+
+        with pytest.raises(TransportError, match="malformed"):
+            transport.decode_handshake(pickle.dumps(["not", "a", "dict"]))
+        with pytest.raises(TransportError, match="undecodable"):
+            transport.decode_handshake(b"\x80garbage")
+
+
+class TestParseAddress:
+    def test_valid(self):
+        assert transport.parse_address("node-3:7441") == ("node-3", 7441)
+
+    @pytest.mark.parametrize("text", ["bare-host", ":99", "host:port"])
+    def test_invalid(self, text):
+        with pytest.raises(TransportError):
+            transport.parse_address(text)
+
+
+class TestStreamHelpers:
+    def test_socket_round_trip(self):
+        left, right = socket.socketpair()
+        try:
+            body = b"x" * 100_000  # multiple recv() chunks
+            thread = threading.Thread(
+                target=transport.send_frame,
+                args=(left, transport.MSG_LEVEL, body),
+            )
+            thread.start()
+            assert transport.recv_frame(right) == (transport.MSG_LEVEL, body)
+            thread.join()
+        finally:
+            left.close()
+            right.close()
+
+    def test_peer_closing_mid_frame_is_truncation(self):
+        left, right = socket.socketpair()
+        try:
+            frame = transport.encode_frame(transport.MSG_LEVEL, b"abcdef")
+            left.sendall(frame[: len(frame) - 3])
+            left.close()
+            with pytest.raises(TransportError, match="truncated frame"):
+                transport.recv_frame(right)
+        finally:
+            right.close()
+
+    def test_peer_closing_between_frames(self):
+        left, right = socket.socketpair()
+        left.close()
+        try:
+            with pytest.raises(TransportError, match="closed by peer"):
+                transport.recv_frame(right)
+        finally:
+            right.close()
+
+    def test_corrupt_length_prefix_fails_fast(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(struct.pack("<I", transport.MAX_FRAME_BYTES + 5))
+            left.sendall(b"\x01\x53")
+            with pytest.raises(TransportError, match="implausible"):
+                transport.recv_frame(right)
+        finally:
+            left.close()
+            right.close()

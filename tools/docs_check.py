@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Documentation checks: wire-format doctests + markdown link check.
+
+Run via ``make docs-check`` (CI's docs job).  Two guarantees:
+
+1. ``docs/WIRE_FORMAT.md`` is executable truth — every ``>>>`` example
+   in it runs against the live library, so the byte-level spec cannot
+   drift from the implementation without failing.
+2. No internal markdown link in ``docs/`` or ``README.md`` points at a
+   file that does not exist (anchors are checked for file existence
+   only; external http(s)/mailto links are skipped — no network in CI).
+"""
+
+from __future__ import annotations
+
+import doctest
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Markdown files whose internal links must resolve.
+LINKED_FILES = ["README.md", "ROADMAP.md"]
+
+#: Markdown files whose ``>>>`` examples must pass.
+DOCTEST_FILES = ["docs/WIRE_FORMAT.md"]
+
+#: ``[text](target)`` — good enough for these docs (no nested brackets).
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def run_doctests() -> int:
+    failures = 0
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    for relative in DOCTEST_FILES:
+        path = os.path.join(REPO_ROOT, relative)
+        result = doctest.testfile(
+            path, module_relative=False, verbose=False,
+            optionflags=doctest.ELLIPSIS,
+        )
+        status = "ok" if result.failed == 0 else "FAILED"
+        print(
+            f"doctest {relative}: {result.attempted} examples, "
+            f"{result.failed} failures [{status}]"
+        )
+        failures += result.failed
+    return failures
+
+
+def iter_markdown_files():
+    for relative in LINKED_FILES:
+        path = os.path.join(REPO_ROOT, relative)
+        if os.path.exists(path):
+            yield path
+    docs_dir = os.path.join(REPO_ROOT, "docs")
+    if os.path.isdir(docs_dir):
+        for name in sorted(os.listdir(docs_dir)):
+            if name.endswith(".md"):
+                yield os.path.join(docs_dir, name)
+
+
+def check_links() -> int:
+    failures = 0
+    checked = 0
+    for path in iter_markdown_files():
+        base = os.path.dirname(path)
+        with open(path, encoding="utf-8") as stream:
+            text = stream.read()
+        for match in _LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue  # pure in-page anchor
+            checked += 1
+            resolved = os.path.normpath(os.path.join(base, target))
+            if not os.path.exists(resolved):
+                failures += 1
+                print(
+                    f"BROKEN LINK in {os.path.relpath(path, REPO_ROOT)}: "
+                    f"{match.group(1)} -> {resolved}"
+                )
+    print(f"link check: {checked} internal links, {failures} broken")
+    return failures
+
+
+def main() -> int:
+    failures = run_doctests() + check_links()
+    if failures:
+        print(f"docs check FAILED ({failures} problems)")
+        return 1
+    print("docs check OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
