@@ -5,7 +5,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-backends test-processes test-sockets bench-smoke \
-	bench-index bench-sharding bench-net docs-check lint-imports
+	bench-index bench-sharding bench-skew bench-net docs-check \
+	lint-imports
 
 ## Tier-1 verification: the whole test suite, stop on first failure.
 ## Honours REPRO_INDEX_BACKEND (merge/bitset/adaptive).
@@ -25,13 +26,13 @@ test-backends:
 test-processes:
 	REPRO_INDEX_BACKEND=merge $(PYTHON) -m pytest -x -q \
 		tests/test_process_executor.py tests/test_sharding.py \
-		tests/test_wire_format.py
+		tests/test_rebalance.py tests/test_wire_format.py
 	REPRO_INDEX_BACKEND=bitset $(PYTHON) -m pytest -x -q \
 		tests/test_process_executor.py tests/test_sharding.py \
-		tests/test_wire_format.py
+		tests/test_rebalance.py tests/test_wire_format.py
 	REPRO_INDEX_BACKEND=adaptive $(PYTHON) -m pytest -x -q \
 		tests/test_process_executor.py tests/test_sharding.py \
-		tests/test_wire_format.py
+		tests/test_rebalance.py tests/test_wire_format.py
 
 ## Socket-transport smoke: framing, handshake and the network shard
 ## executor across all three backends (the tier-1 subset CI's
@@ -54,10 +55,18 @@ bench-smoke:
 bench-index: bench-smoke
 
 ## Sharded execution benchmark: threads vs processes at 4 shards on the
-## Fig. 8 trace + parity/payload gates (regenerates BENCH_sharding.json;
-## the >= 1.5x speedup gate enforces only on hosts with >= 2 cores).
+## Fig. 8 trace + parity/payload/streaming gates and the skewed-trace
+## placement gate (regenerates BENCH_sharding.json; the >= 1.5x speedup
+## gate enforces only on hosts with >= 2 cores — set
+## REPRO_BENCH_MIN_CORES to fail instead of skip below that).
 bench-sharding:
 	$(PYTHON) benchmarks/bench_sharding.py
+
+## Fast skew smoke: only the skewed trace (uniform vs balanced shard
+## placement; gates the >= 1.3x per-shard load-imbalance improvement
+## and count parity; merges the result into BENCH_sharding.json).
+bench-skew:
+	$(PYTHON) benchmarks/bench_sharding.py --skew
 
 ## Socket executor benchmark: loopback clusters at 4 shards on the
 ## Fig. 8 trace, parity vs threads/processes + payload gates

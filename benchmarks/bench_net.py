@@ -8,7 +8,9 @@ framing and versioned candidate payloads — and gates the subsystem:
 
 * **parity** — ``count``/``count_bfs`` with ``executor="sockets"`` must
   be bit-identical to the sequential engine, the threaded executor and
-  the process executor for all three index backends (always enforced);
+  the process executor for all three index backends, and the balanced
+  shard placement must return the same counts as uniform over the
+  whole trace (always enforced);
 * **payload** — the candidate bytes crossing the sockets must be the
   backend's mask representation: on the identical trace the
   bitset/adaptive payload totals must stay at or below the merge
@@ -82,6 +84,7 @@ def run_benchmark() -> dict:
     parity_failures: List[str] = []
     for backend in BACKENDS:
         net_executors: Dict[str, NetShardExecutor] = {}
+        net_balanced: Dict[str, NetShardExecutor] = {}
         process_executors: Dict[str, ProcessShardExecutor] = {}
         try:
             # Offline stage: spawn the socket clusters and process
@@ -92,6 +95,13 @@ def run_benchmark() -> dict:
                 )
                 net_executors[dataset] = net
                 net.run(engines[dataset][backend], queries[0][1])
+                net_b = NetShardExecutor(
+                    num_shards=NUM_SHARDS,
+                    index_backend=backend,
+                    sharding="balanced",
+                )
+                net_balanced[dataset] = net_b
+                net_b.run(engines[dataset][backend], queries[0][1])
                 pool = ProcessShardExecutor(
                     NUM_SHARDS, index_backend=backend
                 )
@@ -125,6 +135,14 @@ def run_benchmark() -> dict:
                     parity_failures.append(
                         f"{backend}: sockets returned {result.embeddings}, "
                         f"sequential {expected}"
+                    )
+                balanced_count = net_balanced[dataset].run(
+                    engine, query
+                ).embeddings
+                if balanced_count != expected:
+                    parity_failures.append(
+                        f"{backend}: balanced sockets returned "
+                        f"{balanced_count}, sequential {expected}"
                     )
                 for stats in result.worker_stats:
                     payload_bytes[stats.worker_id] += stats.payload_bytes
@@ -174,6 +192,8 @@ def run_benchmark() -> dict:
         finally:
             for executor in net_executors.values():
                 executor.close()
+            for executor in net_balanced.values():
+                executor.close()
             for executor in process_executors.values():
                 executor.close()
 
@@ -207,6 +227,7 @@ def run_benchmark() -> dict:
         },
         "num_shards": NUM_SHARDS,
         "cores": usable_cores(),
+        "sharding_modes_checked": ["uniform", "balanced"],
         "parity_failures": parity_failures,
         "rows": rows,
         "mask_payload_vs_tuple_payload": {

@@ -6,7 +6,8 @@ sharded subsystem:
 
 * **parity** — sharded ``count``/``count_bfs`` results must be
   bit-identical to the sequential engine for all three index backends
-  (always enforced);
+  × both shard placements (uniform and balanced), with streaming and
+  barrier composition (always enforced);
 * **payload** — the bytes crossing the process boundaries must be the
   backend's *mask* representation, not decoded edge-id lists: on the
   identical trace the bitset/adaptive payload totals must undercut the
@@ -16,16 +17,29 @@ sharded subsystem:
   threaded executor is GIL-serialised, so the process pool's advantage
   *is* the extra cores — on a single-core host every executor
   serialises onto the same CPU and the ratio merely records overhead,
-  which the JSON captures but no gate can meaningfully demand.
+  which the JSON captures but no gate can meaningfully demand.  Set
+  ``REPRO_BENCH_MIN_CORES`` (CI does: its runners are multi-core) to
+  make a host with fewer usable cores *fail* instead of skip — the
+  guard that keeps the gate from silently never enforcing;
+* **streaming** — streaming composition (fold shard payloads as they
+  arrive) must show no wall-clock regression against the barrier
+  gather on the standard trace (≤ ``STREAM_TOLERANCE`` of it);
+* **skew** — on the skewed trace (one hot signature partition, see
+  :func:`repro.bench.skewed_instance`), balanced placement must cut
+  the max/mean per-shard CPU-load imbalance by ≥ ``SKEW_GATE``× vs
+  uniform, with bit-identical counts.  CPU load (``WorkerStats.
+  cpu_time``) is used rather than wall ``busy_time`` so the gate holds
+  on contended single-core hosts too.
 
 The timing protocol measures steady-state serving: the worker pools are
 built once (the offline stage, like store building) and every timed
 pass replays the full workload; ``REPEATS`` passes, best-of wins.
 Results land in ``BENCH_sharding.json`` at the repo root.
 
-Run standalone (``python benchmarks/bench_sharding.py``) or via pytest
-(``pytest benchmarks/bench_sharding.py``); the pytest entry points are
-the gates.
+Run standalone (``python benchmarks/bench_sharding.py``; pass
+``--skew`` to run only the fast skew section, the ``make bench-skew``
+smoke) or via pytest (``pytest benchmarks/bench_sharding.py``); the
+pytest entry points are the gates.
 """
 
 from __future__ import annotations
@@ -39,14 +53,22 @@ from repro.bench import (
     FIG8_DATASETS as DATASETS,
     FIG8_QUERIES_PER_SETTING as QUERIES_PER_SETTING,
     FIG8_SETTINGS as SETTINGS,
+    SKEW_NUM_SHARDS,
+    SKEW_PARTITIONS,
     fig8_queries,
     make_engine,
+    skewed_instance,
     time_pass as _time_pass,
     usable_cores,
     work_model_label,
 )
 from repro.datasets import load_dataset
-from repro.parallel import ProcessShardExecutor, ThreadedExecutor
+from repro.parallel import (
+    ProcessShardExecutor,
+    ThreadedExecutor,
+    load_imbalance,
+    worker_loads,
+)
 
 REPEATS = 3
 
@@ -55,6 +77,30 @@ BACKENDS = ("merge", "bitset", "adaptive")
 MASK_BACKENDS = ("bitset", "adaptive")
 NUM_SHARDS = 4
 SPEEDUP_GATE = 1.5
+#: Streaming compose may cost at most this factor of the barrier gather
+#: on the standard trace (it should win or tie; the headroom absorbs
+#: timer noise on sub-second workloads).
+STREAM_TOLERANCE = 1.25
+#: Balanced placement must divide the skewed trace's load imbalance by
+#: at least this factor.
+SKEW_GATE = 1.3
+#: Workload replays the skew trace this many times per mode so the
+#: per-shard CPU totals dominate timer noise.
+SKEW_PASSES = 40
+
+
+def required_cores() -> int:
+    """``REPRO_BENCH_MIN_CORES``: minimum usable cores the host must
+    expose before the wall-clock speedup gate may *skip* (0 = never
+    required, the default for dev laptops/containers)."""
+    value = os.environ.get("REPRO_BENCH_MIN_CORES", "")
+    try:
+        return int(value) if value else 0
+    except ValueError:
+        raise ValueError(
+            f"REPRO_BENCH_MIN_CORES must be an integer, got {value!r}"
+        ) from None
+
 
 RESULT_PATH = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
@@ -82,6 +128,7 @@ def run_benchmark() -> dict:
     parity_failures: List[str] = []
     for backend in BACKENDS:
         executors: Dict[str, ProcessShardExecutor] = {}
+        balanced: Dict[str, ProcessShardExecutor] = {}
         try:
             # Offline stage: build the shard pools and warm them (the
             # first run builds each worker's store shard).
@@ -91,8 +138,14 @@ def run_benchmark() -> dict:
                 )
                 executors[dataset] = executor
                 executor.run(engines[dataset][backend], queries[0][1])
+                executor_balanced = ProcessShardExecutor(
+                    NUM_SHARDS, index_backend=backend, sharding="balanced"
+                )
+                balanced[dataset] = executor_balanced
+                executor_balanced.run(engines[dataset][backend], queries[0][1])
 
-            # Parity: sharded count/count_bfs == sequential, per query.
+            # Parity: sharded count/count_bfs == sequential, per query,
+            # for both placements and both composition modes.
             payload_bytes = [0] * NUM_SHARDS
             for (dataset, query), expected in zip(queries, reference):
                 engine = engines[dataset][backend]
@@ -103,6 +156,15 @@ def run_benchmark() -> dict:
                     parity_failures.append(
                         f"{backend}: processes returned {result.embeddings}, "
                         f"sequential {expected}"
+                    )
+                if balanced[dataset].run(engine, query).embeddings != expected:
+                    parity_failures.append(
+                        f"{backend}: balanced placement diverged"
+                    )
+                barrier = executors[dataset].run(engine, query, stream=False)
+                if barrier.embeddings != expected:
+                    parity_failures.append(
+                        f"{backend}: barrier compose diverged"
                     )
                 if engine.count_bfs(query) != expected:
                     parity_failures.append(f"{backend}: count_bfs diverged")
@@ -129,19 +191,38 @@ def run_benchmark() -> dict:
                 )
                 for _ in range(REPEATS)
             )
-            processes_s = min(
-                _time_pass(
-                    lambda: [
-                        executors[dataset].run(
-                            engines[dataset][backend], query
-                        )
-                        for dataset, query in queries
-                    ]
+            # Stream and barrier passes interleave so clock drift and
+            # cache state cancel out of their ratio.
+            processes_s = float("inf")
+            barrier_s = float("inf")
+            for _ in range(REPEATS):
+                processes_s = min(
+                    processes_s,
+                    _time_pass(
+                        lambda: [
+                            executors[dataset].run(
+                                engines[dataset][backend], query
+                            )
+                            for dataset, query in queries
+                        ]
+                    ),
                 )
-                for _ in range(REPEATS)
-            )
+                barrier_s = min(
+                    barrier_s,
+                    _time_pass(
+                        lambda: [
+                            executors[dataset].run(
+                                engines[dataset][backend], query,
+                                stream=False,
+                            )
+                            for dataset, query in queries
+                        ]
+                    ),
+                )
         finally:
             for executor in executors.values():
+                executor.close()
+            for executor in balanced.values():
                 executor.close()
 
         rows.append(
@@ -151,11 +232,17 @@ def run_benchmark() -> dict:
                 "sequential_seconds": round(sequential_s, 6),
                 f"threads{NUM_SHARDS}_seconds": round(threads_s, 6),
                 f"processes{NUM_SHARDS}_seconds": round(processes_s, 6),
+                f"processes{NUM_SHARDS}_barrier_seconds": round(
+                    barrier_s, 6
+                ),
                 "speedup_vs_threads": round(
                     threads_s / max(processes_s, 1e-12), 3
                 ),
                 "speedup_vs_sequential": round(
                     sequential_s / max(processes_s, 1e-12), 3
+                ),
+                "stream_vs_barrier": round(
+                    processes_s / max(barrier_s, 1e-12), 3
                 ),
                 "payload_bytes_per_shard": payload_bytes,
                 "payload_bytes_total": sum(payload_bytes),
@@ -175,13 +262,18 @@ def run_benchmark() -> dict:
         },
         "num_shards": NUM_SHARDS,
         "cores": cores,
+        "required_cores": required_cores(),
         "speedup_gate": SPEEDUP_GATE,
         "speedup_gate_enforced": cores >= 2,
+        "stream_tolerance": STREAM_TOLERANCE,
         "parity_failures": parity_failures,
         "rows": rows,
         # Headline numbers: the mask seam's backend.
         "bitset_speedup_vs_threads": by_backend["bitset"][
             "speedup_vs_threads"
+        ],
+        "bitset_stream_vs_barrier": by_backend["bitset"][
+            "stream_vs_barrier"
         ],
         "mask_payload_vs_tuple_payload": {
             backend: round(
@@ -191,8 +283,60 @@ def run_benchmark() -> dict:
             )
             for backend in MASK_BACKENDS
         },
+        "skew": run_skew_benchmark(),
     }
     return summary
+
+
+def run_skew_benchmark() -> dict:
+    """The skewed trace: per-shard CPU-load imbalance, uniform vs
+    balanced placement, plus count parity across the two placements."""
+    data, skew_queries = skewed_instance()
+    reference_engine = HGMatch(data, index_backend="bitset")
+    expected = [reference_engine.count(query) for query in skew_queries]
+    modes = {}
+    parity_failures: List[str] = []
+    for mode in ("uniform", "balanced"):
+        engine = HGMatch(data, index_backend="bitset")
+        executor = ProcessShardExecutor(
+            SKEW_NUM_SHARDS, index_backend="bitset", sharding=mode
+        )
+        try:
+            executor.run(engine, skew_queries[0])  # warm the pool
+            loads = [0.0] * SKEW_NUM_SHARDS
+            for _ in range(SKEW_PASSES):
+                for query, count in zip(skew_queries, expected):
+                    result = executor.run(engine, query)
+                    if result.embeddings != count:
+                        parity_failures.append(
+                            f"skew {mode}: returned {result.embeddings}, "
+                            f"sequential {count}"
+                        )
+                    for shard_id, load in enumerate(
+                        worker_loads(result.worker_stats)
+                    ):
+                        loads[shard_id] += load
+            mean = sum(loads) / len(loads)
+            modes[mode] = {
+                "cpu_seconds_per_shard": [round(l, 6) for l in loads],
+                "imbalance": round(max(loads) / max(mean, 1e-12), 4),
+            }
+        finally:
+            executor.close()
+    improvement = modes["uniform"]["imbalance"] / max(
+        modes["balanced"]["imbalance"], 1e-12
+    )
+    return {
+        "partitions": [list(partition) for partition in SKEW_PARTITIONS],
+        "num_shards": SKEW_NUM_SHARDS,
+        "passes": SKEW_PASSES,
+        "counts": expected,
+        "parity_failures": parity_failures,
+        "uniform": modes["uniform"],
+        "balanced": modes["balanced"],
+        "imbalance_improvement": round(improvement, 3),
+        "gate": SKEW_GATE,
+    }
 
 
 def write_summary(summary: dict) -> str:
@@ -217,7 +361,8 @@ def summary():
 
 def test_sharded_counts_bit_identical(summary):
     """count/count_bfs parity against the sequential engine, all three
-    index backends, every workload query."""
+    index backends, uniform and balanced placement, streaming and
+    barrier composition, every workload query."""
     assert summary["parity_failures"] == []
 
 
@@ -232,8 +377,17 @@ def test_masks_cross_the_boundary(summary, backend):
 
 def test_processes_beat_threads_at_4_shards(summary):
     """The ≥ 1.5× wall-clock gate (multi-core hosts only; see module
-    docstring for why a single core cannot express the comparison)."""
+    docstring for why a single core cannot express the comparison).
+    ``REPRO_BENCH_MIN_CORES`` turns an unexpected skip into a failure —
+    CI sets it to assert its runners actually enforce this gate."""
     if not summary["speedup_gate_enforced"]:
+        required = summary["required_cores"]
+        if required and summary["cores"] < required:
+            pytest.fail(
+                f"host exposes {summary['cores']} usable core(s) but "
+                f"REPRO_BENCH_MIN_CORES={required}: the speedup gate "
+                f"would silently never enforce on this runner"
+            )
         pytest.skip(
             f"host exposes {summary['cores']} usable core(s); the "
             f"threaded-vs-process comparison needs >= 2"
@@ -241,7 +395,63 @@ def test_processes_beat_threads_at_4_shards(summary):
     assert summary["bitset_speedup_vs_threads"] >= SPEEDUP_GATE, summary
 
 
-def main() -> int:
+def test_streaming_compose_no_regression(summary):
+    """Folding shard payloads as they arrive must not cost wall clock
+    against the full-barrier gather on the standard trace."""
+    for row in summary["rows"]:
+        assert (
+            row[f"processes{NUM_SHARDS}_seconds"]
+            <= row[f"processes{NUM_SHARDS}_barrier_seconds"]
+            * STREAM_TOLERANCE
+        ), row
+
+
+def test_skew_counts_bit_identical(summary):
+    assert summary["skew"]["parity_failures"] == []
+
+
+def test_balanced_beats_uniform_on_skewed_trace(summary):
+    """Balanced placement must cut the skewed trace's per-shard load
+    imbalance by ≥ SKEW_GATE× (gated on all hosts: the metric is CPU
+    time, which contention cannot fake)."""
+    skew = summary["skew"]
+    assert skew["imbalance_improvement"] >= SKEW_GATE, skew
+
+
+def _print_skew(skew: dict) -> None:
+    print(
+        f"skew: uniform imbalance x{skew['uniform']['imbalance']:.2f} "
+        f"-> balanced x{skew['balanced']['imbalance']:.2f} "
+        f"(improvement x{skew['imbalance_improvement']:.2f}, "
+        f"gate x{skew['gate']:.1f}, counts {skew['counts']})"
+    )
+
+
+def _skew_ok(skew: dict) -> bool:
+    return (
+        not skew["parity_failures"]
+        and skew["imbalance_improvement"] >= SKEW_GATE
+    )
+
+
+def main(argv=None) -> int:
+    import sys
+
+    argv = sys.argv[1:] if argv is None else argv
+    if "--skew" in argv:
+        # The fast smoke (`make bench-skew`): only the skewed trace.
+        # Merge into the existing JSON so the full benchmark's numbers
+        # survive the partial run.
+        skew = run_skew_benchmark()
+        result = {}
+        if os.path.exists(RESULT_PATH):
+            with open(RESULT_PATH, "r", encoding="utf-8") as stream:
+                result = json.load(stream)
+        result["skew"] = skew
+        path = write_summary(result)
+        _print_skew(skew)
+        print(f"-> {path}")
+        return 0 if _skew_ok(skew) else 1
     result = run_benchmark()
     path = write_summary(result)
     for row in result["rows"]:
@@ -250,9 +460,11 @@ def main() -> int:
             f"threads{NUM_SHARDS}={row[f'threads{NUM_SHARDS}_seconds']:.4f}s "
             f"processes{NUM_SHARDS}={row[f'processes{NUM_SHARDS}_seconds']:.4f}s "
             f"(x{row['speedup_vs_threads']:.2f} vs threads, "
+            f"stream/barrier x{row['stream_vs_barrier']:.2f}, "
             f"payload={row['payload_bytes_total']}B "
             f"{row['payload_bytes_per_shard']})"
         )
+    _print_skew(result["skew"])
     print(
         f"cores={result['cores']} "
         f"bitset speedup vs threads: x{result['bitset_speedup_vs_threads']:.2f} "
@@ -264,8 +476,22 @@ def main() -> int:
         0 < ratio < 1.0
         for ratio in result["mask_payload_vs_tuple_payload"].values()
     )
+    ok = ok and all(
+        row[f"processes{NUM_SHARDS}_seconds"]
+        <= row[f"processes{NUM_SHARDS}_barrier_seconds"] * STREAM_TOLERANCE
+        for row in result["rows"]
+    )
+    ok = ok and _skew_ok(result["skew"])
     if result["speedup_gate_enforced"]:
         ok = ok and result["bitset_speedup_vs_threads"] >= SPEEDUP_GATE
+    elif result["required_cores"] and result["cores"] < result[
+        "required_cores"
+    ]:
+        print(
+            f"FAIL: REPRO_BENCH_MIN_CORES={result['required_cores']} but "
+            f"host exposes {result['cores']} usable core(s)"
+        )
+        ok = False
     return 0 if ok else 1
 
 

@@ -35,7 +35,12 @@ from .baselines import BASELINE_NAMES, make_baseline
 from .core.engine import HGMatch
 from .datasets import DATASET_ORDER, load_dataset
 from .errors import ReproError, TimeoutExceeded
-from .hypergraph import INDEX_BACKENDS, Hypergraph, dataset_statistics
+from .hypergraph import (
+    INDEX_BACKENDS,
+    SHARDING_MODES,
+    Hypergraph,
+    dataset_statistics,
+)
 from .hypergraph.io import load_native, save_native
 from .hypergraph.sampling import query_setting, sample_query
 
@@ -118,6 +123,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers)",
     )
     match.add_argument(
+        "--sharding",
+        default=None,
+        choices=SHARDING_MODES,
+        help="shard placement for --executor processes/sockets: uniform "
+        "(near-equal row counts per partition) or balanced "
+        "(posting-mass-weighted ranges; hot partitions stop "
+        "concentrating on shard 0); counts are identical either way",
+    )
+    match.add_argument(
+        "--rebalance",
+        action="store_true",
+        help="after the first run, recut the shard ranges from the "
+        "observed per-shard load and run the query again (requires "
+        "--executor processes or sockets); reports the load imbalance "
+        "before and after",
+    )
+    match.add_argument(
         "--hosts",
         default=None,
         help="comma-separated host:port list of running shard-worker "
@@ -164,6 +186,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=INDEX_BACKENDS,
         help="posting-list representation of the shard's index; must "
         "match the coordinator's (enforced at handshake)",
+    )
+    serve.add_argument(
+        "--sharding",
+        default=None,
+        choices=SHARDING_MODES,
+        help="shard placement mode the worker cuts its ranges with; "
+        "must match the coordinator's (enforced at handshake)",
     )
     serve.add_argument(
         "--max-sessions", type=int, default=None,
@@ -267,6 +296,14 @@ def _cmd_match(args, out) -> int:
                     f"or sockets, not {executor!r}\n"
                 )
                 return 1
+            if args.sharding is not None and executor not in (
+                None, "processes", "sockets"
+            ):
+                out.write(
+                    f"error: --sharding applies to --executor processes "
+                    f"or sockets, not {executor!r}\n"
+                )
+                return 1
             addresses = None
             if hosts is not None:
                 from .parallel.transport import parse_address
@@ -288,14 +325,26 @@ def _cmd_match(args, out) -> int:
                 shards = len(addresses)
             if shards is None and executor in ("processes", "sockets"):
                 shards = max(args.workers, 1)
-            elif shards is not None and executor is None:
-                # Asking for shards without naming an engine means the
-                # sharded one.
+            elif (
+                shards is not None or args.sharding is not None
+            ) and executor is None:
+                # Asking for shards (or a placement mode) without naming
+                # an engine means the sharded one.
                 executor = "processes"
+                if shards is None:
+                    shards = max(args.workers, 1)
+            if args.rebalance and executor not in ("processes", "sockets"):
+                out.write(
+                    "error: --rebalance needs --executor processes or "
+                    "sockets (the shard executors own the ranges being "
+                    "recut)\n"
+                )
+                return 1
             engine = HGMatch(
                 data,
                 index_backend=args.index_backend,
                 shards=shards if shards is not None else 1,
+                sharding=args.sharding,
             )
             if addresses is not None:
                 # Pin the engine's socket executor to the named workers
@@ -316,6 +365,40 @@ def _cmd_match(args, out) -> int:
                     if count < args.limit:
                         out.write(f"{embedding.hyperedge_mapping()}\n")
                     count += 1
+            elif args.rebalance:
+                from .parallel import load_imbalance
+
+                try:
+                    pool = (
+                        engine.shard_executor(shards)
+                        if executor == "processes"
+                        else engine.net_executor(shards)
+                    )
+                    first = pool.run(engine, query, time_budget=args.timeout)
+                    before = load_imbalance(first.worker_stats)
+                    moved = pool.rebalance(first.worker_stats)
+                    second = pool.run(
+                        engine, query, time_budget=args.timeout
+                    )
+                    after = load_imbalance(second.worker_stats)
+                    if second.embeddings != first.embeddings:
+                        # Cannot happen while the recut covers the rows
+                        # exactly; check anyway — a silent drift here
+                        # would invalidate every number printed below.
+                        out.write(
+                            f"error: count drifted across the rebalance "
+                            f"({first.embeddings} -> {second.embeddings})\n"
+                        )
+                        return 1
+                    out.write(
+                        f"rebalance: moved {moved} shard(s); load "
+                        f"imbalance {before:.2f}x -> {after:.2f}x; "
+                        f"runs {first.elapsed:.4f}s -> "
+                        f"{second.elapsed:.4f}s\n"
+                    )
+                    count = second.embeddings
+                finally:
+                    engine.close()
             else:
                 try:
                     count = engine.count(
@@ -374,11 +457,13 @@ def _cmd_serve_shard(args, out) -> int:
         index_backend=args.index_backend,
         host=args.host,
         port=args.port,
+        sharding=args.sharding,
     )
     host, port = worker.bind()
     out.write(
         f"serving shard {args.shard_id}/{args.num_shards} of "
         f"{args.source} ({worker.index_backend} backend, "
+        f"{worker.shard.sharding} placement, "
         f"{worker.shard.index_size_entries()} posting entries) on "
         f"{host}:{port}\n"
     )

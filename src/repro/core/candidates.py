@@ -602,6 +602,78 @@ def compose_candidate_sets(sets: Sequence[CandidateSet]) -> CandidateSet:
     return TupleCandidates(union_many([s.to_tuple() for s in populated]))
 
 
+class CandidateAccumulator:
+    """Incremental :func:`compose_candidate_sets`: fold shard survivor
+    sets one at a time, in whatever order they arrive.
+
+    The streaming coordinator
+    (:func:`repro.parallel.level_sync.run_level_synchronous`) folds each
+    shard's payload the moment its reply lands instead of buffering
+    every reply behind the level barrier, so composition overlaps the
+    stragglers' compute.  Because the union is commutative and
+    associative — big-int ``|`` for masks, container-pairwise ``|`` for
+    chunk maps, a sorted merge for tuples — :meth:`result` is
+    bit-identical to ``compose_candidate_sets(sets)`` for every arrival
+    order (pinned by the sharding property tests).
+
+    Mask and chunk sets fold eagerly into one running mask / chunk map
+    (shards' row ranges are disjoint, so the running set stays exactly
+    as large as the final union); tuple and mixed-representation sets
+    are collected and handed to :func:`compose_candidate_sets` at
+    :meth:`result`, whose k-way merge wants all operands at once.
+    """
+
+    __slots__ = ("_mask_index", "_mask", "_chunk_index", "_chunks",
+                 "_others")
+
+    def __init__(self) -> None:
+        self._mask_index = None
+        self._mask: "int | None" = None
+        self._chunk_index = None
+        self._chunks = None
+        self._others: List[CandidateSet] = []
+
+    def add(self, candidates: CandidateSet) -> None:
+        """Fold one shard's survivor set into the running union."""
+        if not len(candidates):
+            return
+        kind = type(candidates)
+        if kind is MaskCandidates:
+            if self._mask is None:
+                self._mask_index = candidates.index
+                self._mask = candidates.mask
+            else:
+                self._mask |= candidates.mask
+        elif kind is ChunkCandidates:
+            if self._chunks is None:
+                self._chunk_index = candidates.index
+                self._chunks = candidates.chunks
+            else:
+                self._chunks = chunks_union_many(
+                    [self._chunks, candidates.chunks],
+                    self._chunk_index.array_max,
+                )
+        else:
+            self._others.append(candidates)
+
+    def __bool__(self) -> bool:
+        return (
+            self._mask is not None
+            or self._chunks is not None
+            or bool(self._others)
+        )
+
+    def result(self) -> CandidateSet:
+        """The union of everything added (``EMPTY_CANDIDATES`` if none)."""
+        parts: List[CandidateSet] = []
+        if self._mask is not None:
+            parts.append(MaskCandidates(self._mask_index, self._mask))
+        if self._chunks is not None:
+            parts.append(ChunkCandidates(self._chunk_index, self._chunks))
+        parts.extend(self._others)
+        return compose_candidate_sets(parts)
+
+
 # ----------------------------------------------------------------------
 # Anchor-union memoisation
 # ----------------------------------------------------------------------

@@ -120,6 +120,13 @@ class HGMatch:
         ranges, one worker process per shard
         (:class:`repro.parallel.ProcessShardExecutor`).  ``1`` keeps
         everything in-process.
+    sharding:
+        Shard *placement* mode for the shard executors: ``"uniform"``
+        (near-equal row counts per partition, the default) or
+        ``"balanced"`` (posting-mass-weighted ranges with partition
+        surpluses steered to the least-loaded shard) — see
+        :mod:`repro.hypergraph.sharding`.  Counts are bit-identical
+        either way; only per-shard load moves.
     """
 
     def __init__(
@@ -128,9 +135,12 @@ class HGMatch:
         store: "PartitionedStore | None" = None,
         index_backend: "str | None" = None,
         shards: int = 1,
+        sharding: "str | None" = None,
     ) -> None:
         if shards < 1:
             raise QueryError("shards must be >= 1")
+        from ..hypergraph.sharding import resolve_sharding  # lazy: cheap
+
         self.data = data
         self.store = (
             store
@@ -138,6 +148,7 @@ class HGMatch:
             else PartitionedStore(data, index_backend=index_backend)
         )
         self.shards = shards
+        self.sharding = resolve_sharding(sharding)
         # Sibling tasks (LIFO/BFS/worker deques) share anchors, so their
         # per-anchor posting unions are memoised engine-wide; the memo is
         # thread-safe and only consulted by the mask backends.
@@ -444,12 +455,17 @@ class HGMatch:
         if shards < 1:
             raise QueryError("shards must be >= 1")
         current = self._shard_executor
-        if current is not None and current.num_shards != shards:
+        if current is not None and (
+            current.num_shards != shards
+            or current.sharding != self.sharding
+        ):
             current.close()
             current = None
         if current is None:
             current = ProcessShardExecutor(
-                num_shards=shards, index_backend=self.index_backend
+                num_shards=shards,
+                index_backend=self.index_backend,
+                sharding=self.sharding,
             )
             self._shard_executor = current
         return current
@@ -480,7 +496,9 @@ class HGMatch:
                     return current
                 current.close()
             current = NetShardExecutor(
-                addresses=addresses, index_backend=self.index_backend
+                addresses=addresses,
+                index_backend=self.index_backend,
+                sharding=self.sharding,
             )
             self._net_executor = current
             return current
@@ -497,12 +515,17 @@ class HGMatch:
         shards = self.shards if shards is None else shards
         if shards < 1:
             raise QueryError("shards must be >= 1")
-        if current is not None and current.num_shards != shards:
+        if current is not None and (
+            current.num_shards != shards
+            or current.sharding != self.sharding
+        ):
             current.close()
             current = None
         if current is None:
             current = NetShardExecutor(
-                num_shards=shards, index_backend=self.index_backend
+                num_shards=shards,
+                index_backend=self.index_backend,
+                sharding=self.sharding,
             )
             self._net_executor = current
         return current

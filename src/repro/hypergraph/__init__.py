@@ -28,7 +28,22 @@ from .index import (
     union_many,
     union_sorted,
 )
-from .sharding import ShardDescriptor, ShardedStore, StoreShard, shard_ranges
+from .sharding import (
+    SHARDING_MODES,
+    RangeTable,
+    ShardDescriptor,
+    ShardedStore,
+    StoreShard,
+    balanced_range_table,
+    build_range_table,
+    range_table_label,
+    range_table_slices,
+    rebalance_range_table,
+    resolve_sharding,
+    shard_ranges,
+    uniform_range_table,
+    weighted_shard_ranges,
+)
 from .sampling import (
     PAPER_QUERY_SETTINGS,
     QuerySetting,
@@ -75,7 +90,17 @@ __all__ = [
     "ShardDescriptor",
     "ShardedStore",
     "StoreShard",
+    "SHARDING_MODES",
+    "RangeTable",
     "shard_ranges",
+    "weighted_shard_ranges",
+    "uniform_range_table",
+    "balanced_range_table",
+    "build_range_table",
+    "rebalance_range_table",
+    "range_table_slices",
+    "range_table_label",
+    "resolve_sharding",
     "Signature",
     "signature_of_labels",
     "signature_arity",

@@ -26,12 +26,31 @@ Memory per worker is bounded by its shard's postings (~``1/num_shards``
 of the index), which is the production sharding story: the same wire
 format and composition rules apply unchanged when shards live on
 different hosts.
+
+Shard *placement* — which contiguous range of each partition a shard
+owns — is a pure policy choice on top of that contract.  Two build-time
+modes exist (:data:`SHARDING_MODES`): ``"uniform"`` splits every
+partition into near-equal row counts (the historical layout), and
+``"balanced"`` cuts ranges by **posting mass** (rows weighted by their
+arity, i.e. the posting entries they contribute) and steers each
+partition's surplus toward the least-loaded shard, so hot or
+indivisibly small partitions stop concentrating on shard 0.  On top of
+either mode, :func:`rebalance_range_table` recuts an existing layout
+from *observed* per-shard load (``WorkerStats`` busy/CPU time), keeping
+each shard's position along every partition's row axis so only shards
+whose boundaries actually moved need to rebuild.  All placements are
+expressed as a :data:`RangeTable` and preserve the same row-disjoint
+exact-cover invariant, so Algorithm 4 distributivity — and therefore
+bit-identical counts — cannot depend on the policy.
 """
 
 from __future__ import annotations
 
+import struct
+import zlib
+from bisect import bisect_left
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Tuple
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
 from .hypergraph import Hypergraph
 from .index import build_index
@@ -41,6 +60,41 @@ from .storage import (
     group_edges_by_signature,
     resolve_index_backend,
 )
+
+#: Build-time shard placement policies.  ``"uniform"`` cuts near-equal
+#: row counts per partition; ``"balanced"`` cuts posting-mass-weighted
+#: ranges and staggers partition surpluses across shards.  Rebalanced
+#: layouts are not a mode — they are labelled ``rebalanced-<fp>`` and
+#: always derive from a running pool (see :func:`rebalance_range_table`).
+SHARDING_MODES = ("uniform", "balanced")
+
+#: Fixed per-row cost, in posting-entry units, added to a row's arity
+#: when the balanced cutter weighs it.  Scanning a candidate row costs
+#: a constant (iterating the candidate, the validation call) *plus* a
+#: per-posting-entry term (the profile comparison over the row's
+#: vertices); weighing rows by arity alone over-allocates fine-grained
+#: rows to a shard, because their constant costs don't shrink with
+#: their arity.  16 entries ≈ the measured constant/per-entry ratio of
+#: the pure-Python validation path (see ``benchmarks/bench_sharding``'s
+#: skew section, which gates the resulting balance).
+ROW_COST_ENTRIES = 16
+
+
+def _row_weight(signature: Signature) -> int:
+    """Load weight of one row of a partition: posting entries + the
+    fixed per-row scan cost (see :data:`ROW_COST_ENTRIES`)."""
+    return len(signature) + ROW_COST_ENTRIES
+
+
+def resolve_sharding(sharding: "str | None") -> str:
+    """Normalise a ``sharding`` argument, validating the mode name."""
+    mode = "uniform" if sharding is None else sharding
+    if mode not in SHARDING_MODES:
+        raise ValueError(
+            f"unknown sharding mode {mode!r}; expected one of "
+            f"{SHARDING_MODES}"
+        )
+    return mode
 
 
 @dataclass(frozen=True)
@@ -69,6 +123,12 @@ class ShardDescriptor:
     #: graphs (a full hash would re-read every edge for little gain).
     graph_edges: int
     graph_vertices: int
+    #: Placement the shard's ranges were cut with: a build mode
+    #: (``uniform``/``balanced``) or a coordinator-issued
+    #: ``rebalanced-<fp>`` label.  Two workers cut under different
+    #: placements own overlapping (or gapping) row ranges — composing
+    #: them would double- or under-count, so the coordinator refuses.
+    sharding: str = "uniform"
 
     def as_dict(self) -> dict:
         return {
@@ -79,13 +139,14 @@ class ShardDescriptor:
             "num_rows": self.num_rows,
             "graph_edges": self.graph_edges,
             "graph_vertices": self.graph_vertices,
+            "sharding": self.sharding,
         }
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "ShardDescriptor":
         return cls(**{key: payload[key] for key in (
             "shard_id", "num_shards", "index_backend", "num_partitions",
-            "num_rows", "graph_edges", "graph_vertices",
+            "num_rows", "graph_edges", "graph_vertices", "sharding",
         )})
 
 
@@ -113,6 +174,274 @@ def shard_ranges(num_rows: int, num_shards: int) -> Tuple[Tuple[int, int], ...]:
     return tuple(ranges)
 
 
+def weighted_shard_ranges(
+    weights: Sequence[float],
+    num_shards: int,
+    capacities: "Sequence[float] | None" = None,
+) -> Tuple[Tuple[int, int], ...]:
+    """Cut ``len(weights)`` rows into ``num_shards`` contiguous ranges of
+    near-equal total *weight* (optionally scaled per range).
+
+    ``weights[r]`` is row ``r``'s load contribution (posting mass for
+    build-time balancing, cost-rate-scaled mass for rebalancing) and
+    must be non-negative.  ``capacities`` — one non-negative value per
+    range, in positional order — makes the cut proportional instead of
+    equal: range ``k`` targets ``total * capacities[k] / sum(capacities)``
+    of the weight (a zero capacity yields an empty range whenever
+    rounding allows).  Like :func:`shard_ranges` the result is always a
+    disjoint exact cover of ``0 .. len(weights)-1`` with empty ranges
+    legal; all-zero weights (or capacities) fall back to the uniform
+    row-count cut.
+
+    >>> weighted_shard_ranges((1, 1, 1, 1, 4), 2)
+    ((0, 4), (4, 5))
+    >>> weighted_shard_ranges((1, 1, 1, 1), 2, capacities=(3, 1))
+    ((0, 3), (3, 4))
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    num_rows = len(weights)
+    if any(weight < 0 for weight in weights):
+        raise ValueError("row weights must be non-negative")
+    if capacities is None:
+        capacities = (1.0,) * num_shards
+    elif len(capacities) != num_shards:
+        raise ValueError(
+            f"{len(capacities)} capacities for {num_shards} shards"
+        )
+    elif any(capacity < 0 for capacity in capacities):
+        raise ValueError("shard capacities must be non-negative")
+    prefix = [0.0]
+    for weight in weights:
+        prefix.append(prefix[-1] + weight)
+    total = prefix[-1]
+    capacity_total = sum(capacities)
+    if total <= 0 or capacity_total <= 0:
+        return shard_ranges(num_rows, num_shards)
+    ranges = []
+    low = 0
+    capacity_seen = 0.0
+    for shard_id in range(num_shards - 1):
+        capacity_seen += capacities[shard_id]
+        target = total * capacity_seen / capacity_total
+        # Round the boundary to whichever adjacent prefix is closer to
+        # the target (ties round down), never moving left of the
+        # previous cut — monotone boundaries keep the cover exact.
+        high = bisect_left(prefix, target, lo=low)
+        if high > low and (
+            high > num_rows
+            or prefix[high] - target >= target - prefix[high - 1]
+        ):
+            high -= 1
+        high = min(high, num_rows)
+        ranges.append((low, high))
+        low = high
+    ranges.append((low, num_rows))
+    return tuple(ranges)
+
+
+#: One placement: per signature, the ``(low, high)`` row range each
+#: shard owns of that partition, indexed by shard id.  Invariant
+#: (pinned by the sharding test suite): for every signature the ranges
+#: are a disjoint exact cover of ``0 .. num_rows - 1``.
+RangeTable = Dict[Signature, Tuple[Tuple[int, int], ...]]
+
+
+def uniform_range_table(
+    grouped: "Mapping[Signature, Sequence[int]]", num_shards: int
+) -> RangeTable:
+    """The historical layout: near-equal row counts per partition."""
+    return {
+        signature: shard_ranges(len(edge_ids), num_shards)
+        for signature, edge_ids in grouped.items()
+    }
+
+
+def balanced_range_table(
+    grouped: "Mapping[Signature, Sequence[int]]", num_shards: int
+) -> RangeTable:
+    """Posting-mass-balanced layout, deterministic from the grouping.
+
+    Every row of a partition weighs its arity in posting entries
+    (``len(signature)`` — the per-partition index statistic) plus the
+    fixed per-row scan cost (:data:`ROW_COST_ENTRIES`), so a
+    partition's mass is ``(arity + row_cost) * rows``.  Partitions are
+    placed in
+    descending *lumpiness* order (arity, then mass): coarse-grained
+    partitions — whose rows are large indivisible units, the ones a
+    uniform row split cannot help — are cut first with equal-mass
+    targets, then each finer partition is cut with targets proportional
+    to the shards' current mass *deficits*, smoothing out whatever the
+    lumpy partitions left uneven.  The function is a pure function of
+    ``(grouped, num_shards)``: workers building their own shard and a
+    coordinator validating the layout always agree without shipping the
+    table.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    loads = [0.0] * num_shards
+    total_mass = 0.0
+    table: RangeTable = {}
+    order = sorted(
+        grouped.items(),
+        key=lambda item: (
+            -len(item[0]),
+            -len(item[0]) * len(item[1]),
+            item[1][0],
+        ),
+    )
+    for signature, edge_ids in order:
+        weight = _row_weight(signature)
+        mass = weight * len(edge_ids)
+        target = (total_mass + mass) / num_shards
+        deficits = [max(target - load, 0.0) for load in loads]
+        if sum(deficits) <= 0:
+            deficits = [1.0] * num_shards
+        ranges = weighted_shard_ranges(
+            (weight,) * len(edge_ids), num_shards, capacities=deficits
+        )
+        table[signature] = ranges
+        for shard_id, (low, high) in enumerate(ranges):
+            loads[shard_id] += weight * (high - low)
+        total_mass += mass
+    return table
+
+
+def build_range_table(
+    grouped: "Mapping[Signature, Sequence[int]]",
+    num_shards: int,
+    sharding: "str | None" = None,
+) -> RangeTable:
+    """The placement for a build-time mode (see :data:`SHARDING_MODES`)."""
+    mode = resolve_sharding(sharding)
+    if mode == "balanced":
+        return balanced_range_table(grouped, num_shards)
+    return uniform_range_table(grouped, num_shards)
+
+
+def rebalance_range_table(
+    grouped: "Mapping[Signature, Sequence[int]]",
+    table: RangeTable,
+    loads: Sequence[float],
+) -> RangeTable:
+    """Recut an existing layout from observed per-shard load.
+
+    ``loads[i]`` is shard ``i``'s measured cost over some window
+    (``WorkerStats.cpu_time``/``busy_time``); a shard that ran hotter
+    than the mean gets proportionally *less* posting mass in the new
+    cut (its capacity is the reciprocal of its load factor, clamped to
+    ``[0.25, 4.0]`` so one noisy sample cannot starve or flood a
+    shard).  Each partition keeps its shards in their current
+    *positional* order along the row axis — boundaries shift, positions
+    never swap — so shards far from a moved boundary keep their exact
+    ranges and need no rebuild.  The result covers every partition's
+    rows exactly like the input did; only the split points move.
+    """
+    num_shards = len(loads)
+    if num_shards == 0:
+        raise ValueError("loads must name at least one shard")
+    if any(load < 0 for load in loads):
+        raise ValueError("shard loads must be non-negative")
+    mean = sum(loads) / num_shards
+    if mean <= 0:
+        return dict(table)
+    capacities = [
+        1.0 / min(max(load / mean, 0.25), 4.0) for load in loads
+    ]
+    out: RangeTable = {}
+    for signature, ranges in table.items():
+        if len(ranges) != num_shards:
+            raise ValueError(
+                f"table has {len(ranges)} ranges for {num_shards} loads"
+            )
+        weight = _row_weight(signature)
+        num_rows = len(grouped[signature])
+        positional = sorted(
+            range(num_shards),
+            key=lambda shard_id: (ranges[shard_id], shard_id),
+        )
+        cuts = weighted_shard_ranges(
+            (weight,) * num_rows,
+            num_shards,
+            capacities=[capacities[shard_id] for shard_id in positional],
+        )
+        recut = [None] * num_shards
+        for position, shard_id in enumerate(positional):
+            recut[shard_id] = cuts[position]
+        out[signature] = tuple(recut)
+    return out
+
+
+def range_table_slices(
+    table: RangeTable, num_shards: int
+) -> "List[Dict[Signature, Tuple[int, int]]]":
+    """Per-shard view of a table: each shard's non-empty ranges only —
+    what actually ships to a worker on a rebalance."""
+    slices: "List[Dict[Signature, Tuple[int, int]]]" = [
+        {} for _ in range(num_shards)
+    ]
+    for signature, ranges in table.items():
+        for shard_id, (low, high) in enumerate(ranges):
+            if low < high:
+                slices[shard_id][signature] = (low, high)
+    return slices
+
+
+def plan_rebalance(
+    grouped: "Mapping[Signature, Sequence[int]]",
+    num_shards: int,
+    current_table: RangeTable,
+    loads: Sequence[float],
+):
+    """Coordinator-side recut planning, shared by both shard executors
+    (the transports differ only in how the slices ship — keeping the
+    computation here is what keeps them from drifting).
+
+    Returns ``None`` when the recut changes no boundary, else
+    ``(table, label, slices, moved)`` where ``slices`` is the
+    per-shard view of the new table (every shard receives its slice —
+    workers whose ranges are unchanged merely adopt the new label
+    without rebuilding, so the whole pool always agrees on one
+    placement label) and ``moved`` lists the shards whose ranges
+    actually changed (the ones that rebuild).
+    """
+    table = rebalance_range_table(grouped, current_table, loads)
+    if table == current_table:
+        return None
+    label = range_table_label(table, grouped)
+    old_slices = range_table_slices(current_table, num_shards)
+    slices = range_table_slices(table, num_shards)
+    moved = [
+        shard_id
+        for shard_id in range(num_shards)
+        if slices[shard_id] != old_slices[shard_id]
+    ]
+    return table, label, slices, moved
+
+
+def range_table_label(
+    table: RangeTable, grouped: "Mapping[Signature, Sequence[int]]"
+) -> str:
+    """Sharding label of a rebalanced layout: ``rebalanced-<crc32>``.
+
+    The fingerprint hashes every partition's cut points keyed by the
+    partition's first (global, deterministic) edge id, so two layouts
+    agree on the label iff they agree on every boundary.  Workers never
+    recompute it — the coordinator ships the label with the slices and
+    workers echo it back in their descriptor, which is what lets the
+    handshake refuse a worker still holding a stale layout.
+    """
+    crc = 0
+    entries = sorted(
+        (grouped[signature][0], ranges) for signature, ranges in table.items()
+    )
+    for first_edge, ranges in entries:
+        crc = zlib.crc32(struct.pack("<q", first_edge), crc)
+        for low, high in ranges:
+            crc = zlib.crc32(struct.pack("<qq", low, high), crc)
+    return f"rebalanced-{crc & 0xFFFFFFFF:08x}"
+
+
 class StoreShard:
     """One shard: every signature partition restricted to a row range.
 
@@ -131,7 +460,7 @@ class StoreShard:
     """
 
     __slots__ = ("shard_id", "num_shards", "index_backend", "_partitions",
-                 "_row_bases", "graph_edges", "graph_vertices")
+                 "_row_bases", "graph_edges", "graph_vertices", "sharding")
 
     def __init__(
         self,
@@ -142,6 +471,7 @@ class StoreShard:
         row_bases: Dict[Signature, int],
         graph_edges: int = 0,
         graph_vertices: int = 0,
+        sharding: str = "uniform",
     ) -> None:
         self.shard_id = shard_id
         self.num_shards = num_shards
@@ -150,6 +480,7 @@ class StoreShard:
         self._row_bases = row_bases
         self.graph_edges = graph_edges
         self.graph_vertices = graph_vertices
+        self.sharding = sharding
 
     @classmethod
     def build(
@@ -158,12 +489,13 @@ class StoreShard:
         shard_id: int,
         num_shards: int,
         index_backend: "str | None" = None,
+        sharding: "str | None" = None,
     ) -> "StoreShard":
         """Build shard ``shard_id`` of ``num_shards`` directly from the
         graph — the worker-side entry point (no global store required)."""
         return cls.from_grouped(
             graph, group_edges_by_signature(graph), shard_id, num_shards,
-            index_backend,
+            index_backend, sharding,
         )
 
     @classmethod
@@ -174,10 +506,43 @@ class StoreShard:
         shard_id: int,
         num_shards: int,
         index_backend: "str | None" = None,
+        sharding: "str | None" = None,
     ) -> "StoreShard":
         """Build a shard from a precomputed signature grouping, so
         :class:`ShardedStore` pays the O(num_edges) grouping once for
-        all its shards."""
+        all its shards.  ``sharding`` selects the placement mode
+        (:data:`SHARDING_MODES`); both modes are pure functions of the
+        grouping, so independently built shards always fit together."""
+        if not 0 <= shard_id < num_shards:
+            raise ValueError(
+                f"shard_id {shard_id} out of range for {num_shards} shards"
+            )
+        mode = resolve_sharding(sharding)
+        table = build_range_table(grouped, num_shards, mode)
+        ranges = {
+            signature: shard_ranges_per_sig[shard_id]
+            for signature, shard_ranges_per_sig in table.items()
+        }
+        return cls.from_ranges(
+            graph, grouped, shard_id, num_shards, index_backend, ranges,
+            sharding=mode,
+        )
+
+    @classmethod
+    def from_ranges(
+        cls,
+        graph: Hypergraph,
+        grouped: "Dict[Signature, List[int]]",
+        shard_id: int,
+        num_shards: int,
+        index_backend: "str | None",
+        ranges: "Mapping[Signature, Tuple[int, int]]",
+        sharding: str = "custom",
+    ) -> "StoreShard":
+        """Build a shard from explicit per-signature row ranges — the
+        rebalance path, where a coordinator ships each worker its slice
+        of a recut :data:`RangeTable` (plus the table's label) instead
+        of a mode name."""
         if not 0 <= shard_id < num_shards:
             raise ValueError(
                 f"shard_id {shard_id} out of range for {num_shards} shards"
@@ -186,7 +551,12 @@ class StoreShard:
         partitions: Dict[Signature, HyperedgePartition] = {}
         row_bases: Dict[Signature, int] = {}
         for signature, edge_ids in grouped.items():
-            low, high = shard_ranges(len(edge_ids), num_shards)[shard_id]
+            low, high = ranges.get(signature, (0, 0))
+            if not 0 <= low <= high <= len(edge_ids):
+                raise ValueError(
+                    f"range ({low}, {high}) outside partition of "
+                    f"{len(edge_ids)} rows"
+                )
             if low == high:
                 continue  # this shard owns no rows of the partition
             ids = tuple(edge_ids[low:high])
@@ -196,6 +566,7 @@ class StoreShard:
         return cls(
             shard_id, num_shards, index_backend, partitions, row_bases,
             graph_edges=graph.num_edges, graph_vertices=graph.num_vertices,
+            sharding=sharding,
         )
 
     @property
@@ -212,6 +583,15 @@ class StoreShard:
         """Global row index of the shard's first local row (0 if the
         shard owns no rows of the signature)."""
         return self._row_bases.get(signature, 0)
+
+    def ranges(self) -> Dict[Signature, Tuple[int, int]]:
+        """The shard's non-empty row ranges — its slice of the range
+        table, in the exact shape a REBALANCE message carries, so a
+        worker can tell a relabel-only rebalance from a real rebuild."""
+        return {
+            signature: (base, base + self._partitions[signature].cardinality)
+            for signature, base in self._row_bases.items()
+        }
 
     def cardinality(self, signature: Signature) -> int:
         """Shard-local row count for the signature."""
@@ -239,6 +619,7 @@ class StoreShard:
             ),
             graph_edges=self.graph_edges,
             graph_vertices=self.graph_vertices,
+            sharding=self.sharding,
         )
 
     def __repr__(self) -> str:
@@ -260,10 +641,11 @@ class ShardedStore:
     ever holds the full index.
 
     Invariant (verified by the sharding test suite): for every
-    signature, concatenating the shards' ``edge_ids`` in shard order
-    reproduces the global partition's ascending edge-id tuple, and every
-    shard-local posting structure equals the global one restricted to
-    the shard's row range.
+    signature, concatenating the shards' ``edge_ids`` in *range order*
+    (ascending ``row_base``; identical to shard order under uniform
+    placement) reproduces the global partition's ascending edge-id
+    tuple, and every shard-local posting structure equals the global one
+    restricted to the shard's row range.
     """
 
     def __init__(
@@ -271,16 +653,29 @@ class ShardedStore:
         graph: Hypergraph,
         num_shards: int,
         index_backend: "str | None" = None,
+        sharding: "str | None" = None,
     ) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
         self._graph = graph
         self.num_shards = num_shards
         self.index_backend = resolve_index_backend(index_backend)
+        self.sharding = resolve_sharding(sharding)
         grouped = group_edges_by_signature(graph)
+        table = build_range_table(grouped, num_shards, self.sharding)
+        self.range_table: RangeTable = table
         self._shards = tuple(
-            StoreShard.from_grouped(
-                graph, grouped, shard_id, num_shards, self.index_backend
+            StoreShard.from_ranges(
+                graph,
+                grouped,
+                shard_id,
+                num_shards,
+                self.index_backend,
+                {
+                    signature: ranges[shard_id]
+                    for signature, ranges in table.items()
+                },
+                sharding=self.sharding,
             )
             for shard_id in range(num_shards)
         )

@@ -48,7 +48,9 @@ from .tasks import (
     PartialEmbedding,
     WorkerStats,
     default_seed,
+    load_imbalance,
     task_kind,
+    worker_loads,
 )
 
 __all__ = [
@@ -74,4 +76,6 @@ __all__ = [
     "PartialEmbedding",
     "ROOT_TASK",
     "task_kind",
+    "worker_loads",
+    "load_imbalance",
 ]

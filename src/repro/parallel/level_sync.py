@@ -37,6 +37,13 @@ An executor plugs in by providing:
     :meth:`~repro.core.candidates.CandidateSet.to_bytes` payload (or
     None) per frontier partial — any transport-level version byte is
     already stripped and validated by the transport's gather.
+``_gather_iter()`` (optional)
+    As-completed variant of ``_gather`` for level replies: yields
+    ``(shard_id, reply)`` pairs the moment each shard answers, in
+    arrival order.  When present, the coordinator streams composition
+    through it (shard union is commutative, so counts cannot depend on
+    arrival order); without it the barrier ``_gather`` is used.  Both
+    shard executors provide it.
 
 Failure policy is the transport's: both executors tear their pool down
 and raise :class:`~repro.errors.SchedulerError` when a shard dies
@@ -51,11 +58,11 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..core.candidates import (
     AnchorUnionMemo,
+    CandidateAccumulator,
     ChunkCandidates,
     MaskCandidates,
     VertexStepState,
     candidate_set_from_bytes,
-    compose_candidate_sets,
     encode_chunks_payload,
     encode_mask_payload,
     encode_tuple_payload,
@@ -63,12 +70,17 @@ from ..core.candidates import (
 )
 from ..core.counters import MatchCounters
 from ..core.validation import is_valid_expansion
-from ..errors import TimeoutExceeded
+from ..errors import SchedulerError, TimeoutExceeded
 from ..hypergraph import Hypergraph
 from ..hypergraph.index import chunks_from_rows
-from ..hypergraph.sharding import StoreShard
+from ..hypergraph.sharding import (
+    StoreShard,
+    build_range_table,
+    plan_rebalance,
+)
+from ..hypergraph.storage import group_edges_by_signature
 from .executor import ParallelResult
-from .tasks import ROOT_TASK, PartialEmbedding, WorkerStats
+from .tasks import ROOT_TASK, PartialEmbedding, WorkerStats, worker_loads
 
 #: Backends whose survivors ship as row payloads (mask / chunk map);
 #: the merge backend's native representation is the edge-id tuple.
@@ -152,6 +164,7 @@ def expand_level(
         # The shard owns no rows of this signature; nothing to report.
         return ("level", None, 0)
     started = time.perf_counter()
+    started_cpu = time.thread_time()
     backend = shard.index_backend
     index = partition.index
     row_base = shard.row_base(step_plan.signature)
@@ -246,6 +259,7 @@ def expand_level(
                 stats.payload_bytes += len(payload)
             payloads.append(payload)
     stats.busy_time += time.perf_counter() - started
+    stats.cpu_time += time.thread_time() - started_cpu
     return ("level", payloads, embeddings)
 
 
@@ -254,21 +268,71 @@ def expand_level(
 # ----------------------------------------------------------------------
 
 
+def plan_pool_rebalance(executor, worker_stats):
+    """Recut planning for a live shard pool, shared by both transports
+    (like the coordinator loop itself — one implementation is what
+    keeps the executors from drifting).
+
+    Validates the stats against the pool, resolves the pool's current
+    table (build mode until a rebalance materialised one) and delegates
+    to :func:`repro.hypergraph.sharding.plan_rebalance`.  Returns
+    ``None`` when no boundary would move, else ``(table, label,
+    slices, moved)``; the caller ships every shard its slice over its
+    own transport.
+    """
+    if len(worker_stats) != executor.num_shards:
+        raise SchedulerError(
+            f"{len(worker_stats)} worker stats for "
+            f"{executor.num_shards} shards"
+        )
+    grouped = group_edges_by_signature(executor._graph)
+    current = executor._range_table
+    if current is None:
+        current = build_range_table(
+            grouped, executor.num_shards, executor.sharding
+        )
+    return plan_rebalance(
+        grouped, executor.num_shards, current, worker_loads(worker_stats)
+    )
+
+
+def _iter_replies(executor, stream: bool):
+    """Level replies as ``(shard_id, reply)`` pairs.
+
+    Streaming transports expose ``_gather_iter`` — an as-completed
+    iterator that yields each shard's reply the moment it lands — so
+    the coordinator folds survivors while stragglers still compute.
+    Transports without it (and explicit ``stream=False`` runs, which
+    the benchmarks use as the barrier baseline) fall back to the
+    ordered barrier gather.
+    """
+    if stream and hasattr(executor, "_gather_iter"):
+        return executor._gather_iter()
+    return enumerate(executor._gather())
+
+
 def run_level_synchronous(
     executor,
     engine,
     query,
     order=None,
     time_budget: "float | None" = None,
+    stream: bool = True,
 ) -> ParallelResult:
     """Execute one matching job over ``executor``'s shard peers.
 
     Counts are bit-identical to the sequential engine: shards partition
     every partition's rows disjointly, each candidate is generated and
     validated in exactly one shard, and the composed per-level
-    frontiers equal the sequential BFS frontiers as sets.
-    ``time_budget`` is enforced at level granularity (levels are the
-    protocol's natural barriers).
+    frontiers equal the sequential BFS frontiers as sets.  Composition
+    itself is *streaming* (``stream=True``, the default): per-shard
+    survivor payloads are folded through an incremental
+    :class:`~repro.core.candidates.CandidateAccumulator` as replies
+    arrive, so the coordinator's decode + union work overlaps the
+    slowest shard's compute instead of waiting behind the full barrier
+    — the union is commutative, so arrival order cannot change the
+    composed frontier.  ``time_budget`` is enforced at level
+    granularity (levels are the protocol's natural barriers).
     """
     plan = engine.plan(query, order)
     executor._ensure_pool(engine)
@@ -288,31 +352,36 @@ def run_level_synchronous(
             )
         executor._broadcast(("level", step, frontier))
         logical_tasks += len(frontier)
-        replies = executor._gather()
         if step == num_steps - 1:
-            embeddings += sum(reply[2] for reply in replies)
             # Final replies carry the job accounting (workers piggyback
             # it on the last level, saving a collect round trip).
-            collected = [reply[3:5] for reply in replies]
+            collected = [None] * executor.num_shards
+            for shard_id, reply in _iter_replies(executor, stream):
+                embeddings += reply[2]
+                collected[shard_id] = reply[3:5]
             break
         partition = engine.store.partition(plan.steps[step].signature)
         index = None if partition is None else partition.index
-        next_frontier: List[PartialEmbedding] = []
-        for position, partial in enumerate(frontier):
-            shard_sets = []
-            for reply in replies:
-                payloads = reply[1]
-                if payloads is None:
-                    continue
-                payload = payloads[position]
-                if payload is not None:
-                    shard_sets.append(
-                        candidate_set_from_bytes(payload, index)
-                    )
-            if not shard_sets:
+        accumulators: "List[Optional[CandidateAccumulator]]" = (
+            [None] * len(frontier)
+        )
+        for _shard_id, reply in _iter_replies(executor, stream):
+            payloads = reply[1]
+            if payloads is None:
                 continue
-            composed = compose_candidate_sets(shard_sets)
-            for edge in composed:
+            for position, payload in enumerate(payloads):
+                if payload is None:
+                    continue
+                accumulator = accumulators[position]
+                if accumulator is None:
+                    accumulator = CandidateAccumulator()
+                    accumulators[position] = accumulator
+                accumulator.add(candidate_set_from_bytes(payload, index))
+        next_frontier: List[PartialEmbedding] = []
+        for partial, accumulator in zip(frontier, accumulators):
+            if accumulator is None:
+                continue
+            for edge in accumulator.result():
                 next_frontier.append(partial + (edge,))
         frontier = next_frontier
         peak_retained = max(peak_retained, len(frontier))

@@ -37,6 +37,8 @@ import time
 from multiprocessing import get_context
 from typing import List, Optional, Sequence, Tuple
 
+import selectors
+
 from ..core.candidates import (
     AnchorUnionMemo,
     VertexStepState,
@@ -47,11 +49,16 @@ from ..core.counters import WORK_UNIT_MODELS, MatchCounters
 from ..core.plan import build_execution_plan
 from ..errors import SchedulerError, TransportError
 from ..hypergraph import Hypergraph
-from ..hypergraph.sharding import ShardDescriptor, StoreShard
-from ..hypergraph.storage import resolve_index_backend
+from ..hypergraph.sharding import (
+    ShardDescriptor,
+    StoreShard,
+    range_table_slices,
+    resolve_sharding,
+)
+from ..hypergraph.storage import group_edges_by_signature, resolve_index_backend
 from . import transport
 from .executor import ParallelResult
-from .level_sync import MASK_BACKENDS, expand_level
+from .level_sync import MASK_BACKENDS, expand_level, plan_pool_rebalance
 from .tasks import WorkerStats, default_seed
 
 #: How long the coordinator waits for a TCP connect + handshake.
@@ -106,11 +113,13 @@ class ShardWorker:
         host: str = "127.0.0.1",
         port: int = 0,
         seed: "int | None" = None,
+        sharding: "str | None" = None,
     ) -> None:
         self.index_backend = resolve_index_backend(index_backend)
         self.seed = default_seed() if seed is None else seed
         self.shard = StoreShard.build(
-            graph, shard_id, num_shards, self.index_backend
+            graph, shard_id, num_shards, self.index_backend,
+            resolve_sharding(sharding),
         )
         self._graph = graph
         self._memo = AnchorUnionMemo()
@@ -249,6 +258,35 @@ class ShardWorker:
                             protocol=pickle.HIGHEST_PROTOCOL,
                         ),
                     )
+                elif kind == transport.MSG_REBALANCE:
+                    label, ranges = transport.decode_pickle_body(body)
+                    if ranges == self.shard.ranges():
+                        # Boundaries didn't touch this shard: adopt the
+                        # new placement label, keep the warm indices.
+                        self.shard.sharding = label
+                    else:
+                        self.shard = StoreShard.from_ranges(
+                            self._graph,
+                            group_edges_by_signature(self._graph),
+                            self.shard.shard_id,
+                            self.shard.num_shards,
+                            self.index_backend,
+                            ranges,
+                            sharding=label,
+                        )
+                        # Cached anchor unions are masks over the old
+                        # shard's rows; clearing is mandatory.
+                        self._memo.clear()
+                    # Answer with a fresh HELLO: the descriptor now
+                    # echoes the coordinator-issued label, which is how
+                    # the peer verifies the rebuild took effect.
+                    transport.send_frame(
+                        conn,
+                        transport.MSG_HELLO,
+                        transport.encode_handshake(
+                            self.shard.describe().as_dict(), self.seed
+                        ),
+                    )
                 elif kind == transport.MSG_STOP:
                     return True
                 elif kind == transport.MSG_SHUTDOWN:
@@ -283,12 +321,14 @@ def _cluster_worker_main(
     num_shards: int,
     index_backend: str,
     seed: int,
+    sharding: str = "uniform",
 ) -> None:
     """Subprocess entry point: build the shard server, report its port
     through the pipe, then serve until SHUTDOWN."""
     try:
         worker = ShardWorker(
-            graph, shard_id, num_shards, index_backend, seed=seed
+            graph, shard_id, num_shards, index_backend, seed=seed,
+            sharding=sharding,
         )
         host, port = worker.bind()
         conn.send(("ready", host, port))
@@ -321,14 +361,111 @@ def shutdown_worker(
         return False
 
 
+def _start_cluster_worker(
+    context,
+    graph: Hypergraph,
+    shard_id: int,
+    num_shards: int,
+    index_backend: str,
+    seed: int,
+    sharding: str,
+):
+    """Start one loopback shard-worker subprocess; returns
+    ``(process, parent_conn)`` — await its port with
+    :func:`_await_worker_ready`."""
+    parent_conn, child_conn = context.Pipe()
+    process = context.Process(
+        target=_cluster_worker_main,
+        args=(
+            child_conn, graph, shard_id, num_shards, index_backend, seed,
+            sharding,
+        ),
+        daemon=True,
+    )
+    process.start()
+    child_conn.close()
+    return process, parent_conn
+
+
+def _await_worker_ready(
+    parent_conn, shard_id: int, ready_timeout: float
+) -> Tuple[str, int]:
+    """Read one worker's ``("ready", host, port)`` report."""
+    if not parent_conn.poll(ready_timeout):
+        raise SchedulerError(
+            f"shard worker {shard_id} did not report ready within "
+            f"{ready_timeout}s"
+        )
+    message = parent_conn.recv()
+    if message[0] != "ready":  # pragma: no cover - protocol misuse
+        raise SchedulerError(
+            f"shard worker {shard_id} sent {message!r} instead of "
+            f"its address"
+        )
+    return message[1], message[2]
+
+
 class LocalCluster:
     """Handle on a set of locally spawned shard-worker processes."""
 
-    def __init__(self, processes, addresses, index_backend, seed) -> None:
+    def __init__(
+        self,
+        processes,
+        addresses,
+        index_backend,
+        seed,
+        graph: "Hypergraph | None" = None,
+        sharding: str = "uniform",
+        start_method: "str | None" = None,
+        ready_timeout: float = 30.0,
+    ) -> None:
         self.processes = processes
         self.addresses: "List[Tuple[str, int]]" = addresses
         self.index_backend = index_backend
         self.seed = seed
+        self.sharding = sharding
+        self._graph = graph
+        self._start_method = start_method
+        self._ready_timeout = ready_timeout
+
+    def respawn(self, shard_id: int) -> Tuple[str, int]:
+        """Replace a dead worker process with a fresh one for the same
+        shard (built with the cluster's spawn-time placement mode) and
+        return its new address — the restart-with-requeue hook the
+        coordinator uses on mid-job worker loss."""
+        if self._graph is None:
+            raise SchedulerError(
+                "cluster was not built by spawn_local_cluster; "
+                "cannot respawn workers"
+            )
+        if not 0 <= shard_id < len(self.processes):
+            raise SchedulerError(f"no shard worker {shard_id} to respawn")
+        old = self.processes[shard_id]
+        if old.is_alive():  # pragma: no cover - caller races the reaper
+            old.terminate()
+        old.join(timeout=2.0)
+        context = (
+            get_context(self._start_method)
+            if self._start_method is not None
+            else get_context()
+        )
+        process, parent_conn = _start_cluster_worker(
+            context, self._graph, shard_id, len(self.processes),
+            self.index_backend, self.seed, self.sharding,
+        )
+        try:
+            address = _await_worker_ready(
+                parent_conn, shard_id, self._ready_timeout
+            )
+        except BaseException:
+            if process.is_alive():
+                process.terminate()
+            raise
+        finally:
+            parent_conn.close()
+        self.processes[shard_id] = process
+        self.addresses[shard_id] = address
+        return address
 
     def close(self) -> None:
         """Stop the worker processes (idempotent): ask each server to
@@ -358,20 +495,22 @@ def spawn_local_cluster(
     seed: "int | None" = None,
     start_method: "str | None" = None,
     ready_timeout: float = 30.0,
+    sharding: "str | None" = None,
 ) -> LocalCluster:
     """Boot ``num_shards`` shard workers as subprocesses on loopback.
 
     Each worker builds its own :class:`~repro.hypergraph.sharding.
-    StoreShard`, binds an ephemeral 127.0.0.1 port and serves the
-    framed protocol; the returned :class:`LocalCluster` lists the
-    addresses to hand a :class:`NetShardExecutor`.  This is the
-    single-machine path through the *full* network stack — the tests'
-    and benchmarks' way of proving the multi-host story without a
-    second host.
+    StoreShard` (under the requested placement mode), binds an
+    ephemeral 127.0.0.1 port and serves the framed protocol; the
+    returned :class:`LocalCluster` lists the addresses to hand a
+    :class:`NetShardExecutor`.  This is the single-machine path through
+    the *full* network stack — the tests' and benchmarks' way of
+    proving the multi-host story without a second host.
     """
     if num_shards < 1:
         raise SchedulerError("num_shards must be >= 1")
     index_backend = resolve_index_backend(index_backend)
+    sharding = resolve_sharding(sharding)
     seed = default_seed() if seed is None else seed
     context = (
         get_context(start_method)
@@ -381,33 +520,18 @@ def spawn_local_cluster(
     processes = []
     parent_conns = []
     for shard_id in range(num_shards):
-        parent_conn, child_conn = context.Pipe()
-        process = context.Process(
-            target=_cluster_worker_main,
-            args=(
-                child_conn, graph, shard_id, num_shards, index_backend, seed,
-            ),
-            daemon=True,
+        process, parent_conn = _start_cluster_worker(
+            context, graph, shard_id, num_shards, index_backend, seed,
+            sharding,
         )
-        process.start()
-        child_conn.close()
         processes.append(process)
         parent_conns.append(parent_conn)
     addresses: "List[Tuple[str, int]]" = []
     try:
         for shard_id, parent_conn in enumerate(parent_conns):
-            if not parent_conn.poll(ready_timeout):
-                raise SchedulerError(
-                    f"shard worker {shard_id} did not report ready within "
-                    f"{ready_timeout}s"
-                )
-            message = parent_conn.recv()
-            if message[0] != "ready":  # pragma: no cover - protocol misuse
-                raise SchedulerError(
-                    f"shard worker {shard_id} sent {message!r} instead of "
-                    f"its address"
-                )
-            addresses.append((message[1], message[2]))
+            addresses.append(
+                _await_worker_ready(parent_conn, shard_id, ready_timeout)
+            )
     except BaseException:
         for process in processes:
             if process.is_alive():
@@ -416,7 +540,11 @@ def spawn_local_cluster(
     finally:
         for parent_conn in parent_conns:
             parent_conn.close()
-    return LocalCluster(processes, addresses, index_backend, seed)
+    return LocalCluster(
+        processes, addresses, index_backend, seed,
+        graph=graph, sharding=sharding, start_method=start_method,
+        ready_timeout=ready_timeout,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -455,6 +583,7 @@ class NetShardExecutor:
         addresses: "Sequence[Tuple[str, int]] | None" = None,
         num_shards: "int | None" = None,
         index_backend: "str | None" = None,
+        sharding: "str | None" = None,
         seed: "int | None" = None,
         start_method: "str | None" = None,
         connect_timeout: float = CONNECT_TIMEOUT,
@@ -477,6 +606,7 @@ class NetShardExecutor:
         self.addresses = addresses
         self.num_shards = num_shards
         self.index_backend = resolve_index_backend(index_backend)
+        self.sharding = resolve_sharding(sharding)
         self.seed = default_seed() if seed is None else seed
         self.start_method = start_method
         self.connect_timeout = connect_timeout
@@ -484,6 +614,16 @@ class NetShardExecutor:
         self._cluster: "LocalCluster | None" = None
         self._socks: "List[socket.socket]" = []
         self._graph: "Hypergraph | None" = None
+        #: Placement of the live pool: build-mode label until a
+        #: rebalance issues a ``rebalanced-<fp>`` table.
+        self._sharding_label = self.sharding
+        self._range_table = None
+        #: Protocol position for mid-job worker recovery: the last JOB
+        #: and LEVEL broadcast (local clusters replay them to a
+        #: respawned worker — see :meth:`_recover_worker`).
+        self._job_message = None
+        self._level_message = None
+        self._respawn_budget = 0
 
     # -- connection lifecycle -------------------------------------------
 
@@ -493,6 +633,7 @@ class NetShardExecutor:
                 f"engine backend {engine.index_backend!r} does not match "
                 f"executor backend {self.index_backend!r}"
             )
+        self._respawn_budget = self.num_shards
         if self._graph is engine.data and self._socks:
             # Reused sessions can have gone stale between jobs (the
             # worker ends sessions idle past its I/O timeout; a worker
@@ -509,15 +650,20 @@ class NetShardExecutor:
         self._close_connections()
         if self.addresses is None:
             # Local mode: own a cluster for this engine's data graph.
+            # A fresh cluster builds spawn-mode shards, so any
+            # rebalanced layout of the previous pool is gone with it.
             if self._cluster is not None:
                 self._cluster.close()
                 self._cluster = None
+            self._sharding_label = self.sharding
+            self._range_table = None
             self._cluster = spawn_local_cluster(
                 engine.data,
                 self.num_shards,
                 self.index_backend,
                 seed=self.seed,
                 start_method=self.start_method,
+                sharding=self.sharding,
             )
             addresses = self._cluster.addresses
         else:
@@ -541,7 +687,9 @@ class NetShardExecutor:
                 # single-session server — should fail fast, not tie the
                 # coordinator up for a whole job timeout.
                 current.settimeout(self.connect_timeout)
-                ordered[self._handshake(current, engine, ordered)] = current
+                ordered[
+                    self._handshake(current, engine.data, ordered=ordered)
+                ] = current
                 current.settimeout(self.io_timeout)
                 current = None
         except BaseException:
@@ -555,8 +703,22 @@ class NetShardExecutor:
         self._socks = ordered  # type: ignore[assignment]
         self._graph = engine.data
 
-    def _handshake(self, sock, engine, ordered) -> int:
-        """Validate one worker's HELLO; returns its shard id."""
+    def _handshake(
+        self,
+        sock,
+        graph,
+        ordered=None,
+        expected_shard: "int | None" = None,
+        expected_sharding: "str | None" = None,
+    ) -> int:
+        """Validate one worker's HELLO; returns its shard id.
+
+        ``ordered`` (pool setup) additionally rejects duplicate shard
+        ids; ``expected_shard`` (worker recovery) pins the id instead.
+        ``expected_sharding`` overrides the placement label to expect —
+        a freshly respawned worker announces the spawn mode even while
+        the pool runs a rebalanced layout.
+        """
         kind, body = transport.recv_frame(sock)
         if kind != transport.MSG_HELLO:
             raise SchedulerError(
@@ -587,20 +749,41 @@ class NetShardExecutor:
                 f"worker announced shard id {descriptor.shard_id} outside "
                 f"0..{self.num_shards - 1}"
             )
-        if ordered[descriptor.shard_id] is not None:
+        if ordered is not None and ordered[descriptor.shard_id] is not None:
             raise SchedulerError(
                 f"two workers both announced shard id {descriptor.shard_id}"
             )
         if (
-            descriptor.graph_edges != engine.data.num_edges
-            or descriptor.graph_vertices != engine.data.num_vertices
+            expected_shard is not None
+            and descriptor.shard_id != expected_shard
+        ):
+            raise SchedulerError(
+                f"respawned worker announced shard id "
+                f"{descriptor.shard_id}, expected {expected_shard}"
+            )
+        sharding = (
+            self._sharding_label
+            if expected_sharding is None
+            else expected_sharding
+        )
+        if descriptor.sharding != sharding:
+            raise SchedulerError(
+                f"shard placement mismatch: worker shard "
+                f"{descriptor.shard_id} was cut under "
+                f"{descriptor.sharding!r}, coordinator expects "
+                f"{sharding!r} — composing different placements would "
+                f"double- or under-count rows"
+            )
+        if (
+            descriptor.graph_edges != graph.num_edges
+            or descriptor.graph_vertices != graph.num_vertices
         ):
             raise SchedulerError(
                 f"data graph mismatch: worker shard {descriptor.shard_id} "
                 f"was built from a graph with {descriptor.graph_edges} "
                 f"edges / {descriptor.graph_vertices} vertices, the engine "
-                f"holds {engine.data.num_edges} / "
-                f"{engine.data.num_vertices}"
+                f"holds {graph.num_edges} / "
+                f"{graph.num_vertices}"
             )
         if worker_seed != self.seed:
             raise SchedulerError(
@@ -652,6 +835,14 @@ class NetShardExecutor:
             "collect": transport.MSG_COLLECT,
         }
         kind = kind_map[message[0]]
+        # Remember the protocol position *before* any byte moves: a
+        # worker recovered mid-gather is replayed the current job and
+        # level, so the cache must already reflect this broadcast.
+        if kind == transport.MSG_JOB:
+            self._job_message = message
+            self._level_message = None
+        elif kind == transport.MSG_LEVEL:
+            self._level_message = message
         body = (
             b""
             if kind == transport.MSG_COLLECT
@@ -669,50 +860,226 @@ class NetShardExecutor:
                     f"shard worker {shard_id} is gone; connections torn down"
                 ) from None
 
+    def _decode_reply(self, shard_id: int, kind: int, body: bytes):
+        """Decode one worker reply frame (level reply or accounting)."""
+        if kind == transport.MSG_ERROR:
+            message = transport.decode_pickle_body(body)
+            self.close()
+            raise SchedulerError(
+                f"shard worker {shard_id} failed:\n{message}"
+            )
+        try:
+            if kind == transport.MSG_LEVEL_REPLY:
+                payloads, embeddings, accounting = (
+                    transport.decode_level_reply(body)
+                )
+                if payloads is not None:
+                    payloads = [
+                        None if payload is None
+                        else decode_versioned(payload)
+                        for payload in payloads
+                    ]
+                reply = ("level", payloads, embeddings)
+                if accounting is not None:
+                    reply = reply + pickle.loads(accounting)
+            elif kind == transport.MSG_ACCOUNTING:
+                reply = transport.decode_pickle_body(body)
+            else:
+                raise TransportError(
+                    f"unexpected reply kind {kind:#x}"
+                )
+        except (TransportError, ValueError, pickle.PickleError) as exc:
+            self.close()
+            raise SchedulerError(
+                f"shard worker {shard_id} sent an undecodable reply: "
+                f"{exc}"
+            ) from None
+        return reply
+
+    def _recover_worker(self, shard_id: int) -> "socket.socket | None":
+        """Restart-with-requeue for a worker lost *mid-job*.
+
+        Only executors that *own* their workers can restart them, so
+        this applies to local clusters exclusively — with externally
+        managed ``addresses`` the coordinator cannot know how to revive
+        a remote host and keeps the documented clean
+        :class:`SchedulerError`.  The respawned worker rebuilds its
+        shard from the spawn-time placement, is upgraded to the pool's
+        rebalanced layout if one is live, and is then replayed the
+        current JOB and the in-flight LEVEL — requeueing exactly the
+        level the dead worker never answered.  Its earlier per-level
+        counter accounting for this job is lost with the process (the
+        embedding count is not: embeddings are only reported on the
+        final level, which the replay re-expands in full).  Returns the
+        fresh socket, or None when recovery is impossible (budget
+        exhausted, respawn failed, replay failed).
+        """
+        if self._cluster is None or self._respawn_budget <= 0:
+            return None
+        if self._job_message is None or self._level_message is None:
+            return None
+        self._respawn_budget -= 1
+        sock: "socket.socket | None" = None
+        try:
+            address = self._cluster.respawn(shard_id)
+            sock = socket.create_connection(
+                address, timeout=self.connect_timeout
+            )
+            _disable_nagle(sock)
+            sock.settimeout(self.connect_timeout)
+            self._handshake(
+                sock,
+                self._graph,
+                expected_shard=shard_id,
+                expected_sharding=self._cluster.sharding,
+            )
+            if self._sharding_label != self._cluster.sharding:
+                # The pool runs a rebalanced layout; bring the fresh
+                # worker onto it before replaying any work.
+                transport.send_pickle_frame(
+                    sock,
+                    transport.MSG_REBALANCE,
+                    (
+                        self._sharding_label,
+                        range_table_slices(
+                            self._range_table, self.num_shards
+                        )[shard_id],
+                    ),
+                )
+                self._handshake(sock, self._graph, expected_shard=shard_id)
+            sock.settimeout(self.io_timeout)
+            for message in (self._job_message, self._level_message):
+                transport.send_frame(
+                    sock,
+                    transport.MSG_JOB
+                    if message[0] == "job"
+                    else transport.MSG_LEVEL,
+                    pickle.dumps(
+                        message[1:], protocol=pickle.HIGHEST_PROTOCOL
+                    ),
+                )
+        except (SchedulerError, TransportError, OSError):
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:  # pragma: no cover - best effort
+                    pass
+            return None
+        self._socks[shard_id] = sock
+        return sock
+
+    def _recv_reply(self, shard_id: int, recover: bool = True):
+        """Read and decode one reply from a shard, recovering a lost
+        local-cluster worker once (respawn + requeue the level)."""
+        try:
+            kind, body = transport.recv_frame(self._socks[shard_id])
+        except TransportError as exc:
+            if recover and self._recover_worker(shard_id) is not None:
+                return self._recv_reply(shard_id, recover=False)
+            self.close()
+            raise SchedulerError(
+                f"shard worker {shard_id} disconnected mid-job: {exc}"
+            ) from None
+        return self._decode_reply(shard_id, kind, body)
+
     def _gather(self) -> list:
         replies = [None] * self.num_shards
-        for shard_id, sock in enumerate(self._socks):
+        for shard_id in range(self.num_shards):
             try:
-                kind, body = transport.recv_frame(sock)
+                kind, body = transport.recv_frame(self._socks[shard_id])
             except TransportError as exc:
                 self.close()
                 raise SchedulerError(
                     f"shard worker {shard_id} disconnected mid-job: {exc}"
                 ) from None
-            if kind == transport.MSG_ERROR:
-                message = transport.decode_pickle_body(body)
-                self.close()
-                raise SchedulerError(
-                    f"shard worker {shard_id} failed:\n{message}"
-                )
-            try:
-                if kind == transport.MSG_LEVEL_REPLY:
-                    payloads, embeddings, accounting = (
-                        transport.decode_level_reply(body)
-                    )
-                    if payloads is not None:
-                        payloads = [
-                            None if payload is None
-                            else decode_versioned(payload)
-                            for payload in payloads
-                        ]
-                    reply = ("level", payloads, embeddings)
-                    if accounting is not None:
-                        reply = reply + pickle.loads(accounting)
-                elif kind == transport.MSG_ACCOUNTING:
-                    reply = transport.decode_pickle_body(body)
-                else:
-                    raise TransportError(
-                        f"unexpected reply kind {kind:#x}"
-                    )
-            except (TransportError, ValueError, pickle.PickleError) as exc:
-                self.close()
-                raise SchedulerError(
-                    f"shard worker {shard_id} sent an undecodable reply: "
-                    f"{exc}"
-                ) from None
-            replies[shard_id] = reply
+            replies[shard_id] = self._decode_reply(shard_id, kind, body)
         return replies
+
+    def _gather_iter(self):
+        """As-completed level replies: ``(shard_id, reply)`` pairs in
+        arrival order (the streaming-compose hook of
+        :func:`repro.parallel.level_sync.run_level_synchronous`).  A
+        local-cluster worker that dies mid-level is respawned and the
+        level requeued to it transparently; external workers keep the
+        clean mid-job failure semantics."""
+        pending = set(range(self.num_shards))
+        while pending:
+            selector = selectors.DefaultSelector()
+            try:
+                for shard_id in pending:
+                    selector.register(
+                        self._socks[shard_id], selectors.EVENT_READ, shard_id
+                    )
+                events = selector.select(timeout=self.io_timeout)
+            finally:
+                selector.close()
+            if not events:
+                self.close()
+                raise SchedulerError(
+                    f"no shard reply within {self.io_timeout}s; "
+                    f"{len(pending)} worker(s) wedged"
+                )
+            for key, _mask in events:
+                shard_id = key.data
+                pending.discard(shard_id)
+                yield shard_id, self._recv_reply(shard_id)
+
+    # -- adaptive placement ----------------------------------------------
+
+    def rebalance(self, worker_stats) -> int:
+        """Recut the live pool's ranges from observed per-shard load.
+
+        The socket twin of :meth:`repro.parallel.shard_executor.
+        ProcessShardExecutor.rebalance` — one shared planner
+        (:func:`repro.parallel.level_sync.plan_pool_rebalance`), two
+        transports.  *Every* worker receives its slice of the recut
+        table in a REBALANCE frame (a worker whose ranges didn't move
+        merely adopts the new placement label and keeps its warm
+        indices — the whole pool must agree on one label or the next
+        session handshake would refuse the laggards), and each answers
+        with a fresh HELLO that must echo the new label.  Works against
+        local clusters and remote ``serve-shard`` workers alike (the
+        frame is part of the wire protocol); runs strictly between
+        jobs.  Returns the number of shards whose ranges moved.
+        """
+        if not self._socks or self._graph is None:
+            raise SchedulerError(
+                "no live pool to rebalance; run a job first"
+            )
+        plan = plan_pool_rebalance(self, worker_stats)
+        if plan is None:
+            return 0
+        table, label, slices, moved = plan
+        for shard_id in range(self.num_shards):
+            try:
+                transport.send_pickle_frame(
+                    self._socks[shard_id],
+                    transport.MSG_REBALANCE,
+                    (label, slices[shard_id]),
+                )
+            except TransportError:
+                self.close()
+                raise SchedulerError(
+                    f"shard worker {shard_id} is gone; connections torn "
+                    f"down"
+                ) from None
+        # Update the expected label before validating the echoes: the
+        # workers announce the *new* layout.
+        self._range_table = table
+        self._sharding_label = label
+        for shard_id in range(self.num_shards):
+            try:
+                self._handshake(
+                    self._socks[shard_id],
+                    self._graph,
+                    expected_shard=shard_id,
+                )
+            except (SchedulerError, TransportError) as exc:
+                self.close()
+                raise SchedulerError(
+                    f"shard worker {shard_id} failed to rebalance: {exc}"
+                ) from None
+        return len(moved)
 
     # -- execution ------------------------------------------------------
 
@@ -722,6 +1089,7 @@ class NetShardExecutor:
         query: Hypergraph,
         order: "Sequence[int] | None" = None,
         time_budget: "float | None" = None,
+        stream: bool = True,
     ) -> ParallelResult:
         """Execute one matching job across the socket shard pool.
 
@@ -729,9 +1097,20 @@ class NetShardExecutor:
         executor (one shared implementation,
         :func:`repro.parallel.level_sync.run_level_synchronous`), so
         counts are bit-identical to it and to the sequential engine.
+        ``stream=False`` forces the barrier gather (the benchmarks'
+        baseline for the streaming-compose comparison).
         """
         from .level_sync import run_level_synchronous  # lazy: avoid cycle
 
-        return run_level_synchronous(
-            self, engine, query, order=order, time_budget=time_budget
-        )
+        try:
+            return run_level_synchronous(
+                self, engine, query, order=order, time_budget=time_budget,
+                stream=stream,
+            )
+        finally:
+            # The recovery cache only matters while a gather is in
+            # flight; dropping it here releases the last level's
+            # frontier (the job's largest allocation) on executors that
+            # stay warm between queries.
+            self._job_message = None
+            self._level_message = None

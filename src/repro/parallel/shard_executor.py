@@ -51,10 +51,10 @@ from ..core.counters import WORK_UNIT_MODELS, MatchCounters
 from ..core.plan import build_execution_plan
 from ..errors import SchedulerError
 from ..hypergraph import Hypergraph
-from ..hypergraph.sharding import StoreShard
-from ..hypergraph.storage import resolve_index_backend
+from ..hypergraph.sharding import StoreShard, resolve_sharding
+from ..hypergraph.storage import group_edges_by_signature, resolve_index_backend
 from .executor import ParallelResult
-from .level_sync import MASK_BACKENDS, expand_level
+from .level_sync import MASK_BACKENDS, expand_level, plan_pool_rebalance
 from .tasks import WorkerStats, default_seed
 
 
@@ -69,18 +69,23 @@ def _shard_worker_main(
     shard_id: int,
     num_shards: int,
     index_backend: str,
+    sharding: str = "uniform",
 ) -> None:
     """Worker entry point: build the shard once, then serve jobs.
 
     Message protocol (all tuples, first element is the kind):
     ``("job", query, order)`` resets per-job state; ``("level", step,
     frontier)`` answers with the level reply; ``("collect",)`` returns
-    ``(counters, stats)``; ``("stop",)`` exits.  Any worker-side
+    ``(counters, stats)``; ``("rebalance", label, ranges)`` rebuilds
+    the shard from an explicit range slice (between jobs) and answers
+    ``("rebalanced", label)``; ``("stop",)`` exits.  Any worker-side
     exception is reported as ``("error", traceback)`` — the parent
     raises it as a :class:`SchedulerError`.
     """
     try:
-        shard = StoreShard.build(graph, shard_id, num_shards, index_backend)
+        shard = StoreShard.build(
+            graph, shard_id, num_shards, index_backend, sharding
+        )
         memo = AnchorUnionMemo()
         mask_validation = index_backend in MASK_BACKENDS
         plan = None
@@ -114,6 +119,22 @@ def _shard_worker_main(
                 state = VertexStepState(graph)
             elif kind == "collect":
                 conn.send((counters, stats))
+            elif kind == "rebalance":
+                _, label, ranges = message
+                if ranges == shard.ranges():
+                    # Boundaries didn't touch this shard: adopt the new
+                    # placement label, keep the warm indices.
+                    shard.sharding = label
+                else:
+                    shard = StoreShard.from_ranges(
+                        graph, group_edges_by_signature(graph), shard_id,
+                        num_shards, index_backend, ranges, sharding=label,
+                    )
+                    # Cached anchor unions are masks over the *old*
+                    # shard's rows; clearing is mandatory, not an
+                    # optimisation.
+                    memo.clear()
+                conn.send(("rebalanced", label))
             elif kind == "stop":
                 return
             else:  # pragma: no cover - protocol misuse
@@ -146,6 +167,12 @@ class ProcessShardExecutor:
         Posting-list representation the shards build (``None`` defers
         to ``REPRO_INDEX_BACKEND``/``"merge"``); must match the
         engine's backend so payloads decode into the parent's store.
+    sharding:
+        Shard placement mode (``"uniform"`` row counts or ``"balanced"``
+        posting mass; ``None`` means uniform) — see
+        :mod:`repro.hypergraph.sharding`.  On top of either mode,
+        :meth:`rebalance` recuts the live pool's ranges from observed
+        per-shard load between jobs.
     start_method:
         ``multiprocessing`` start method (``"fork"``/``"spawn"``/
         ``"forkserver"``); ``None`` uses the platform default.  The
@@ -161,6 +188,7 @@ class ProcessShardExecutor:
         self,
         num_shards: int,
         index_backend: "str | None" = None,
+        sharding: "str | None" = None,
         start_method: "str | None" = None,
         seed: "int | None" = None,
     ) -> None:
@@ -168,11 +196,17 @@ class ProcessShardExecutor:
             raise SchedulerError("num_shards must be >= 1")
         self.num_shards = num_shards
         self.index_backend = resolve_index_backend(index_backend)
+        self.sharding = resolve_sharding(sharding)
         self.start_method = start_method
         self.seed = default_seed() if seed is None else seed
         self._graph: "Hypergraph | None" = None
         self._processes: list = []
         self._conns: list = []
+        #: Current placement of the live pool: None until a rebalance
+        #: materialises a table (the build modes are pure functions of
+        #: the graph, so nothing needs to be stored for them).
+        self._range_table = None
+        self._sharding_label = self.sharding
 
     # -- pool lifecycle -------------------------------------------------
 
@@ -200,6 +234,7 @@ class ProcessShardExecutor:
                     shard_id,
                     self.num_shards,
                     self.index_backend,
+                    self.sharding,
                 ),
                 daemon=True,
             )
@@ -228,6 +263,10 @@ class ProcessShardExecutor:
         self._processes = []
         self._conns = []
         self._graph = None
+        # A rebalanced layout lives exactly as long as the pool that
+        # observed the load; a fresh pool starts from the build mode.
+        self._range_table = None
+        self._sharding_label = self.sharding
 
     def __enter__(self) -> "ProcessShardExecutor":
         return self
@@ -258,8 +297,10 @@ class ProcessShardExecutor:
                     f"shard worker {shard_id} is gone; pool torn down"
                 ) from None
 
-    def _gather(self) -> list:
-        replies = [None] * self.num_shards
+    def _gather_iter(self):
+        """As-completed level replies: ``(shard_id, reply)`` pairs in
+        arrival order (the streaming-compose hook of
+        :func:`repro.parallel.level_sync.run_level_synchronous`)."""
         pending = {conn: i for i, conn in enumerate(self._conns)}
         while pending:
             for conn in _connection_wait(list(pending)):
@@ -283,8 +324,68 @@ class ProcessShardExecutor:
                     raise SchedulerError(
                         f"shard worker {shard_id} failed:\n{message}"
                     )
-                replies[shard_id] = reply
+                yield shard_id, reply
+
+    def _gather(self) -> list:
+        replies = [None] * self.num_shards
+        for shard_id, reply in self._gather_iter():
+            replies[shard_id] = reply
         return replies
+
+    # -- adaptive placement ----------------------------------------------
+
+    def rebalance(self, worker_stats) -> int:
+        """Recut the live pool's ranges from observed per-shard load.
+
+        ``worker_stats`` is a completed run's
+        :attr:`~repro.parallel.executor.ParallelResult.worker_stats`;
+        the recut (see :func:`repro.hypergraph.sharding.
+        rebalance_range_table`) shifts partition boundaries toward the
+        underloaded shards while keeping every shard's position along
+        the row axis, then ships *every* shard its slice of the new
+        table — workers whose ranges didn't move merely adopt the new
+        placement label (keeping their warm indices), so the pool
+        always agrees on one label while the rebuild cost stays
+        proportional to how wrong the old cut was.  Runs strictly
+        between jobs.  Returns the number of shards rebuilt (0 when
+        the observed load was already balanced).
+        """
+        if not self._conns or self._graph is None:
+            raise SchedulerError(
+                "no live pool to rebalance; run a job first"
+            )
+        plan = plan_pool_rebalance(self, worker_stats)
+        if plan is None:
+            return 0
+        table, label, slices, moved = plan
+        for shard_id in range(self.num_shards):
+            try:
+                self._conns[shard_id].send(
+                    ("rebalance", label, slices[shard_id])
+                )
+            except (BrokenPipeError, OSError):
+                self.close()
+                raise SchedulerError(
+                    f"shard worker {shard_id} is gone; pool torn down"
+                ) from None
+        for shard_id in range(self.num_shards):
+            try:
+                ack = self._conns[shard_id].recv()
+            except EOFError:
+                self.close()
+                raise SchedulerError(
+                    f"shard worker {shard_id} died during rebalance"
+                ) from None
+            if ack != ("rebalanced", label):
+                message = ack[1] if ack and ack[0] == "error" else ack
+                self.close()
+                raise SchedulerError(
+                    f"shard worker {shard_id} failed to rebalance:\n"
+                    f"{message}"
+                )
+        self._range_table = table
+        self._sharding_label = label
+        return len(moved)
 
     # -- execution ------------------------------------------------------
 
@@ -294,6 +395,7 @@ class ProcessShardExecutor:
         query: Hypergraph,
         order: "Sequence[int] | None" = None,
         time_budget: "float | None" = None,
+        stream: bool = True,
     ) -> ParallelResult:
         """Execute one matching job across the shard pool.
 
@@ -301,10 +403,13 @@ class ProcessShardExecutor:
         (:func:`repro.parallel.level_sync.run_level_synchronous`) — the
         same loop the socket executor runs, so the two transports
         cannot drift apart.  Counts are bit-identical to the sequential
-        engine; ``time_budget`` is enforced at level granularity.
+        engine; ``time_budget`` is enforced at level granularity;
+        ``stream=False`` forces the barrier gather (the benchmarks'
+        baseline for the streaming-compose comparison).
         """
         from .level_sync import run_level_synchronous  # lazy: avoid cycle
 
         return run_level_synchronous(
-            self, engine, query, order=order, time_budget=time_budget
+            self, engine, query, order=order, time_budget=time_budget,
+            stream=stream,
         )

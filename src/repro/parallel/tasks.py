@@ -76,6 +76,14 @@ class WorkerStats:
     #: Bytes of candidate payloads this worker shipped across a process
     #: boundary (multiprocess executor only; 0 for thread workers).
     payload_bytes: int = 0
+    #: CPU seconds this worker's own thread spent expanding levels
+    #: (``time.thread_time`` deltas; shard executors only).  Unlike
+    #: ``busy_time`` — a wall-clock span that inflates with scheduler
+    #: contention when more workers than cores run concurrently — this
+    #: measures the work a shard actually performed, which is what the
+    #: skew benchmark gates on and what the rebalancer feeds back into
+    #: the range cut.
+    cpu_time: float = 0.0
 
     def as_row(self) -> dict:
         return {
@@ -83,8 +91,37 @@ class WorkerStats:
             "tasks": self.tasks_executed,
             "embeddings": self.embeddings,
             "busy_time": self.busy_time,
+            "cpu_time": self.cpu_time,
             "steals": self.steals_succeeded,
             "stolen_tasks": self.tasks_stolen,
             "peak_queue": self.peak_queue,
             "payload_bytes": self.payload_bytes,
         }
+
+
+def worker_loads(stats: "list[WorkerStats]") -> "list[float]":
+    """Per-worker observed load, ordered by worker id.
+
+    Prefers the contention-robust :attr:`WorkerStats.cpu_time` and
+    falls back to :attr:`WorkerStats.busy_time` for executors that do
+    not record CPU deltas.  This is the one definition shared by the
+    skew benchmark's imbalance metric and the shard rebalancer, so the
+    number being gated is the number being fed back.
+    """
+    ordered = sorted(stats, key=lambda entry: entry.worker_id)
+    if any(entry.cpu_time > 0 for entry in ordered):
+        return [entry.cpu_time for entry in ordered]
+    return [entry.busy_time for entry in ordered]
+
+
+def load_imbalance(stats: "list[WorkerStats]") -> float:
+    """Max/mean per-worker load — 1.0 is perfect balance.
+
+    The critical path of a level-synchronous job is its slowest shard,
+    so this ratio is exactly the factor the level barrier loses to skew.
+    """
+    loads = worker_loads(stats)
+    mean = sum(loads) / max(len(loads), 1)
+    if mean <= 0:
+        return 1.0
+    return max(loads) / mean

@@ -42,6 +42,9 @@ byte    name     body
 ``R``   REPLY    binary level reply (see :func:`encode_level_reply`)
 ``C``   COLLECT  empty — request ``(counters, stats)``
 ``c``   ACCOUNT  pickled ``(counters, stats)``
+``B``   REBALANCE pickled ``(label, ranges)`` — rebuild the shard from
+        an explicit range slice; the worker answers with a fresh HELLO
+        whose descriptor echoes ``label`` as its sharding
 ``S``   STOP     empty — end this session (connection), keep serving
 ``Q``   QUIT     empty — shut the worker server down
 ``E``   ERROR    pickled traceback string (worker-side failure)
@@ -85,13 +88,14 @@ MSG_LEVEL = 0x4C  # b"L"
 MSG_LEVEL_REPLY = 0x52  # b"R"
 MSG_COLLECT = 0x43  # b"C"
 MSG_ACCOUNTING = 0x63  # b"c"
+MSG_REBALANCE = 0x42  # b"B"
 MSG_STOP = 0x53  # b"S"
 MSG_SHUTDOWN = 0x51  # b"Q"
 MSG_ERROR = 0x45  # b"E"
 
 _KNOWN_KINDS = frozenset({
     MSG_HELLO, MSG_JOB, MSG_LEVEL, MSG_LEVEL_REPLY, MSG_COLLECT,
-    MSG_ACCOUNTING, MSG_STOP, MSG_SHUTDOWN, MSG_ERROR,
+    MSG_ACCOUNTING, MSG_REBALANCE, MSG_STOP, MSG_SHUTDOWN, MSG_ERROR,
 })
 
 _HEADER = struct.Struct("<IBB")

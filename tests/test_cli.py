@@ -144,6 +144,52 @@ class TestMatch:
         assert code == 1
         assert "--executor processes" in output
 
+    def test_match_balanced_sharding(self, fig1_files):
+        data_path, query_path = fig1_files
+        code, output = run_cli(
+            "match", data_path, query_path,
+            "--executor", "processes", "--shards", "2",
+            "--sharding", "balanced",
+        )
+        assert code == 0
+        assert output.startswith("2 embeddings")
+
+    def test_sharding_implies_processes(self, fig1_files):
+        data_path, query_path = fig1_files
+        code, output = run_cli(
+            "match", data_path, query_path, "--sharding", "balanced",
+        )
+        assert code == 0
+        assert output.startswith("2 embeddings")
+
+    def test_sharding_rejected_for_non_shard_executors(self, fig1_files):
+        data_path, query_path = fig1_files
+        code, output = run_cli(
+            "match", data_path, query_path,
+            "--executor", "threads", "--sharding", "balanced",
+        )
+        assert code == 1
+        assert "--sharding applies" in output
+
+    def test_match_rebalance(self, fig1_files):
+        data_path, query_path = fig1_files
+        code, output = run_cli(
+            "match", data_path, query_path,
+            "--executor", "processes", "--shards", "2", "--rebalance",
+        )
+        assert code == 0
+        assert "rebalance: moved" in output
+        assert "2 embeddings" in output
+
+    def test_rebalance_requires_shard_executor(self, fig1_files):
+        data_path, query_path = fig1_files
+        code, output = run_cli(
+            "match", data_path, query_path,
+            "--executor", "threads", "--rebalance",
+        )
+        assert code == 1
+        assert "--rebalance needs" in output
+
     def test_baselines_reject_executor_flags(self, fig1_files):
         data_path, query_path = fig1_files
         code, output = run_cli(

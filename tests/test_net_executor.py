@@ -232,6 +232,88 @@ def test_dead_worker_between_jobs_recovers_transparently(workload_instances):
         engine.close()
 
 
+def test_mid_job_local_worker_loss_respawns_and_requeues(
+    workload_instances,
+):
+    """A local-cluster worker killed *mid-job* is respawned and the
+    in-flight level requeued to it: the job completes with the correct
+    count instead of failing (ROADMAP's restart-with-requeue, local
+    slice).  Remote (addresses-mode) workers keep the clean
+    SchedulerError — see test_mid_level_disconnect_raises_cleanly."""
+    data, query = workload_instances[0]
+    engine = HGMatch(data, index_backend="bitset")
+    executor = NetShardExecutor(num_shards=2, index_backend="bitset")
+    try:
+        expected = engine.count(query)
+        assert executor.run(engine, query).embeddings == expected
+
+        original_broadcast = executor._broadcast
+        state = {"killed": False}
+
+        def kill_after_first_level(message):
+            original_broadcast(message)
+            if message[0] == "level" and not state["killed"]:
+                state["killed"] = True
+                victim = executor._cluster.processes[1]
+                victim.terminate()
+                victim.join(timeout=2.0)
+
+        executor._broadcast = kill_after_first_level
+        result = executor.run(engine, query)
+        assert state["killed"]
+        assert result.embeddings == expected
+        # Both shards reported accounting (the respawned one included).
+        assert sorted(s.worker_id for s in result.worker_stats) == [0, 1]
+        # The pool keeps serving afterwards with the fresh worker.
+        executor._broadcast = original_broadcast
+        assert executor.run(engine, query).embeddings == expected
+        assert all(
+            process.is_alive() for process in executor._cluster.processes
+        )
+    finally:
+        executor.close()
+        engine.close()
+
+
+def test_mid_job_worker_loss_after_rebalance_restores_layout(
+    workload_instances,
+):
+    """A worker respawned mid-job rebuilds under the spawn mode and
+    must be upgraded to the pool's rebalanced layout before the level
+    is requeued — otherwise its rows would drift."""
+    data, query = workload_instances[0]
+    engine = HGMatch(data, index_backend="bitset")
+    executor = NetShardExecutor(num_shards=2, index_backend="bitset")
+    try:
+        expected = engine.count(query)
+        first = executor.run(engine, query)
+        assert first.embeddings == expected
+        stats = sorted(first.worker_stats, key=lambda s: s.worker_id)
+        stats[0].cpu_time, stats[1].cpu_time = 4.0, 1.0
+        if executor.rebalance(stats) == 0:
+            pytest.skip("synthetic loads moved no boundary on this data")
+        assert executor._sharding_label.startswith("rebalanced-")
+
+        original_broadcast = executor._broadcast
+        state = {"killed": False}
+
+        def kill_after_first_level(message):
+            original_broadcast(message)
+            if message[0] == "level" and not state["killed"]:
+                state["killed"] = True
+                victim = executor._cluster.processes[0]
+                victim.terminate()
+                victim.join(timeout=2.0)
+
+        executor._broadcast = kill_after_first_level
+        result = executor.run(engine, query)
+        assert state["killed"]
+        assert result.embeddings == expected
+    finally:
+        executor.close()
+        engine.close()
+
+
 def test_mid_level_disconnect_raises_cleanly(workload_instances):
     """A worker vanishing *mid-job* must raise SchedulerError promptly
     (no hang, nothing half-composed) — a fake worker completes the

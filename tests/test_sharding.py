@@ -16,6 +16,7 @@ import pytest
 
 from repro import HGMatch
 from repro.core.candidates import (
+    CandidateAccumulator,
     candidate_set_from_bytes,
     compose_candidate_sets,
     generate_candidate_set,
@@ -24,12 +25,31 @@ from repro.core.candidates import (
 )
 from repro.hypergraph import (
     INDEX_BACKENDS,
+    SHARDING_MODES,
     PartitionedStore,
     ShardedStore,
     StoreShard,
+    balanced_range_table,
+    build_range_table,
+    range_table_label,
+    range_table_slices,
+    rebalance_range_table,
     shard_ranges,
+    weighted_shard_ranges,
 )
+from repro.hypergraph.storage import group_edges_by_signature
 from repro.testing import make_random_instance
+
+
+def assert_exact_cover(ranges, num_rows):
+    """Disjoint exact cover of ``0 .. num_rows - 1`` by contiguous
+    ranges (empty ranges legal)."""
+    assert ranges[0][0] == 0
+    assert ranges[-1][1] == num_rows
+    for (low, high), (next_low, next_high) in zip(ranges, ranges[1:]):
+        assert low <= high
+        assert high == next_low  # contiguous, no gaps, no overlaps
+        assert next_low <= next_high
 
 
 class TestShardRanges:
@@ -38,16 +58,178 @@ class TestShardRanges:
             for num_shards in (1, 2, 3, 4, 7):
                 ranges = shard_ranges(num_rows, num_shards)
                 assert len(ranges) == num_shards
-                assert ranges[0][0] == 0
-                assert ranges[-1][1] == num_rows
-                for (_, high), (low, _) in zip(ranges, ranges[1:]):
-                    assert high == low  # contiguous, no gaps
+                assert_exact_cover(ranges, num_rows)
                 sizes = [high - low for low, high in ranges]
                 assert max(sizes) - min(sizes) <= 1  # balanced
 
     def test_rejects_zero_shards(self):
         with pytest.raises(ValueError):
             shard_ranges(10, 0)
+
+
+class TestWeightedShardRanges:
+    def test_exact_cover_for_arbitrary_weights(self):
+        """The core placement invariant: any non-negative weights —
+        zeros, spikes, all-zero partitions — and any shard count
+        (including more shards than rows) yield a disjoint exact
+        cover."""
+        rng = random.Random(20260728)
+        for _ in range(400):
+            num_shards = rng.randint(1, 9)
+            num_rows = rng.randint(0, 50)
+            weights = [
+                rng.choice((0, 0, 1, 2, 3, 7, 100, 10**6))
+                for _ in range(num_rows)
+            ]
+            capacities = None
+            if rng.random() < 0.5:
+                capacities = [
+                    rng.choice((0, 0.25, 1.0, 3.0))
+                    for _ in range(num_shards)
+                ]
+            ranges = weighted_shard_ranges(
+                weights, num_shards, capacities=capacities
+            )
+            assert len(ranges) == num_shards
+            assert_exact_cover(ranges, num_rows)
+
+    def test_zero_mass_falls_back_to_uniform(self):
+        assert weighted_shard_ranges((0, 0, 0, 0), 2) == shard_ranges(4, 2)
+        assert weighted_shard_ranges((), 3) == shard_ranges(0, 3)
+        assert weighted_shard_ranges(
+            (1, 1), 2, capacities=(0, 0)
+        ) == shard_ranges(2, 2)
+
+    def test_weight_proportional_cut(self):
+        # One heavy row outweighs four light ones: it gets its own range.
+        assert weighted_shard_ranges((1, 1, 1, 1, 4), 2) == ((0, 4), (4, 5))
+
+    def test_capacity_proportional_cut(self):
+        ranges = weighted_shard_ranges((1,) * 8, 2, capacities=(3, 1))
+        assert ranges == ((0, 6), (6, 8))
+
+    def test_zero_capacity_yields_empty_range(self):
+        ranges = weighted_shard_ranges((1,) * 6, 3, capacities=(0, 1, 1))
+        assert ranges[0] == (0, 0)
+        assert_exact_cover(ranges, 6)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            weighted_shard_ranges((1, 2), 0)
+        with pytest.raises(ValueError):
+            weighted_shard_ranges((1, -1), 2)
+        with pytest.raises(ValueError):
+            weighted_shard_ranges((1, 1), 2, capacities=(1,))
+        with pytest.raises(ValueError):
+            weighted_shard_ranges((1, 1), 2, capacities=(1, -2))
+
+
+class TestRangeTables:
+    def _random_grouped(self, rng):
+        """A synthetic signature grouping with skewed shapes."""
+        grouped = {}
+        next_edge = 0
+        for index in range(rng.randint(1, 8)):
+            arity = rng.choice((1, 2, 3, 8, 64))
+            rows = rng.randint(1, 20)
+            signature = tuple(["L"] * arity + [index])
+            grouped[signature] = list(range(next_edge, next_edge + rows))
+            next_edge += rows
+        return grouped
+
+    def test_balanced_table_is_exact_cover(self):
+        rng = random.Random(42)
+        for _ in range(60):
+            grouped = self._random_grouped(rng)
+            num_shards = rng.randint(1, 6)
+            table = balanced_range_table(grouped, num_shards)
+            assert set(table) == set(grouped)
+            for signature, ranges in table.items():
+                assert len(ranges) == num_shards
+                # Positional (range-order) concatenation covers exactly.
+                ordered = sorted(ranges)
+                assert_exact_cover(
+                    tuple(ordered), len(grouped[signature])
+                )
+
+    def test_balanced_table_is_deterministic(self):
+        rng = random.Random(7)
+        grouped = self._random_grouped(rng)
+        assert balanced_range_table(grouped, 4) == balanced_range_table(
+            dict(reversed(list(grouped.items()))), 4
+        )
+
+    def test_rebalanced_table_preserves_cover_and_positions(self):
+        rng = random.Random(99)
+        for _ in range(60):
+            grouped = self._random_grouped(rng)
+            num_shards = rng.randint(1, 6)
+            mode = rng.choice(SHARDING_MODES)
+            table = build_range_table(grouped, num_shards, mode)
+            loads = [rng.choice((0.0, 0.5, 1.0, 4.0)) for _ in range(num_shards)]
+            recut = rebalance_range_table(grouped, table, loads)
+            assert set(recut) == set(table)
+            for signature, ranges in recut.items():
+                ordered = sorted(ranges)
+                assert_exact_cover(
+                    tuple(ordered), len(grouped[signature])
+                )
+                # Positions hold: each shard keeps its rank along the
+                # row axis, only boundaries move.
+                before = sorted(
+                    range(num_shards),
+                    key=lambda s: (table[signature][s], s),
+                )
+                after = sorted(
+                    range(num_shards),
+                    key=lambda s: (ranges[s], s),
+                )
+                non_empty_before = [
+                    s for s in before
+                    if table[signature][s][0] < table[signature][s][1]
+                ]
+                non_empty_after = [
+                    s for s in after if ranges[s][0] < ranges[s][1]
+                ]
+                # Any shard owning rows both before and after must keep
+                # its relative order.
+                common = set(non_empty_before) & set(non_empty_after)
+                assert [
+                    s for s in non_empty_before if s in common
+                ] == [s for s in non_empty_after if s in common]
+
+    def test_rebalance_moves_mass_off_the_hot_shard(self):
+        grouped = {("A", "A"): list(range(100))}
+        table = build_range_table(grouped, 4, "uniform")
+        recut = rebalance_range_table(grouped, table, [4.0, 1.0, 1.0, 1.0])
+        sizes = [high - low for low, high in recut[("A", "A")]]
+        assert sizes[0] < 25  # the hot shard sheds rows
+        assert sum(sizes) == 100
+
+    def test_rebalance_noop_on_balanced_loads(self):
+        grouped = {("A",): list(range(8)), ("B", "B"): list(range(8, 14))}
+        table = build_range_table(grouped, 2, "uniform")
+        assert rebalance_range_table(grouped, table, [0.0, 0.0]) == table
+
+    def test_label_tracks_boundaries(self):
+        grouped = {("A", "A"): list(range(10))}
+        uniform = build_range_table(grouped, 2, "uniform")
+        recut = rebalance_range_table(grouped, uniform, [3.0, 1.0])
+        assert range_table_label(uniform, grouped) != range_table_label(
+            recut, grouped
+        )
+        assert range_table_label(recut, grouped).startswith("rebalanced-")
+        assert range_table_label(recut, grouped) == range_table_label(
+            dict(recut), grouped
+        )
+
+    def test_slices_drop_empty_ranges(self):
+        grouped = {("A",): list(range(2))}
+        table = build_range_table(grouped, 4, "uniform")
+        slices = range_table_slices(table, 4)
+        assert slices[0] == {("A",): (0, 1)}
+        assert slices[1] == {("A",): (1, 2)}
+        assert slices[2] == {} and slices[3] == {}
 
 
 @pytest.mark.parametrize("backend", INDEX_BACKENDS)
@@ -108,10 +290,13 @@ class TestStoreShard:
 
 
 @pytest.mark.parametrize("backend", INDEX_BACKENDS)
-def test_shard_candidates_compose_to_global(backend):
+@pytest.mark.parametrize("sharding", SHARDING_MODES)
+def test_shard_candidates_compose_to_global(backend, sharding):
     """Per-shard Algorithm 4, shipped through the wire format and
     composed engine-side, equals the global candidate set on every probe
-    of random enumerations."""
+    of random enumerations — under either placement mode, via both the
+    barrier composition and the incremental accumulator, in any shard
+    arrival order."""
     rng = random.Random(20260728)
     trials = 0
     while trials < 12:
@@ -122,7 +307,9 @@ def test_shard_candidates_compose_to_global(backend):
         data, query = instance
         engine = HGMatch(data, index_backend=backend)
         num_shards = rng.choice((2, 3, 4))
-        sharded = ShardedStore(data, num_shards, index_backend=backend)
+        sharded = ShardedStore(
+            data, num_shards, index_backend=backend, sharding=sharding
+        )
         plan = engine.plan(query)
         stack = [()]
         while stack:
@@ -153,6 +340,42 @@ def test_shard_candidates_compose_to_global(backend):
                 )
             composed = compose_candidate_sets(shard_sets)
             assert composed.to_tuple() == expected
+            # The streaming accumulator must agree for every arrival
+            # order (the as-completed gather gives no ordering promise).
+            shuffled = list(shard_sets)
+            rng.shuffle(shuffled)
+            accumulator = CandidateAccumulator()
+            for shard_set in shuffled:
+                accumulator.add(shard_set)
+            assert accumulator.result().to_tuple() == expected
             for extended in engine.expand(plan, matched):
                 if len(extended) < plan.num_steps:
                     stack.append(extended)
+
+
+@pytest.mark.parametrize("backend", INDEX_BACKENDS)
+def test_balanced_store_slices_concatenate_in_range_order(
+    fig1_data, backend
+):
+    """Balanced placement permutes which shard owns which range, but
+    range-order concatenation still reproduces every global partition
+    and the row bases match the cut."""
+    full = PartitionedStore(fig1_data, index_backend=backend)
+    sharded = ShardedStore(
+        fig1_data, 3, index_backend=backend, sharding="balanced"
+    )
+    for signature, partition in full.partitions.items():
+        owners = [
+            shard for shard in sharded
+            if shard.partition(signature) is not None
+        ]
+        concatenated = ()
+        for shard in sorted(owners, key=lambda s: s.row_base(signature)):
+            assert shard.row_base(signature) == len(concatenated)
+            concatenated += shard.partition(signature).edge_ids
+        assert concatenated == partition.edge_ids
+        assert sharded.range_table[signature] is not None
+    assert sharded.sharding == "balanced"
+    for shard in sharded:
+        assert shard.sharding == "balanced"
+        assert shard.describe().sharding == "balanced"
