@@ -4,9 +4,9 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-backends test-processes test-sockets bench-smoke \
-	bench-index bench-sharding bench-skew bench-net docs-check \
-	lint-imports
+.PHONY: test test-backends test-processes test-sockets test-chaos \
+	bench-smoke bench-index bench-sharding bench-skew bench-net \
+	bench-chaos docs-check lint-imports
 
 ## Tier-1 verification: the whole test suite, stop on first failure.
 ## Honours REPRO_INDEX_BACKEND (merge/bitset/adaptive).
@@ -45,6 +45,13 @@ test-sockets:
 	REPRO_INDEX_BACKEND=adaptive $(PYTHON) -m pytest -x -q \
 		tests/test_transport.py tests/test_net_executor.py
 
+## Fault-injection smoke: the deterministic chaos harness plus the
+## replication/failover paths of the socket executor (replica
+## handshakes, mid-level kill/sever/garble failover, speculation,
+## dropped-reply deadlines, zero-replica fail-fast).
+test-chaos:
+	$(PYTHON) -m pytest -x -q tests/test_chaos.py tests/test_net_executor.py
+
 ## One fast benchmark as a smoke signal: the three-backend index
 ## comparison (merge/bitset/adaptive + mask-native pipeline; also
 ## regenerates BENCH_index_backends.json).
@@ -73,6 +80,14 @@ bench-skew:
 ## (regenerates BENCH_net.json; wall clock recorded, not gated).
 bench-net:
 	$(PYTHON) benchmarks/bench_net.py
+
+## Replicated-pool fault gate: kill a worker mid-level on a 2-replica
+## socket pool and require bit-identical counts on all three backends,
+## plus a prompt SchedulerError when the last replica dies
+## (regenerates BENCH_chaos.json; failover overhead recorded, not
+## gated).
+bench-chaos:
+	$(PYTHON) benchmarks/bench_chaos.py
 
 ## Documentation checks: the WIRE_FORMAT.md doctests (the byte-level
 ## spec is executable) and a link check over docs/ + README.

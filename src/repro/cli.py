@@ -144,7 +144,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="comma-separated host:port list of running shard-worker "
         "servers (see the serve-shard command); implies --executor "
-        "sockets and fixes the shard count to the host count",
+        "sockets and fixes the shard count to the host count (divided "
+        "by --replicas when replicated)",
+    )
+    match.add_argument(
+        "--replicas",
+        type=int,
+        default=None,
+        help="replicas per shard range for --executor sockets (implies "
+        "sockets): the coordinator fails over mid-level when a replica "
+        "dies and refuses to compose only when a range has zero live "
+        "replicas; with --hosts, the address count must be "
+        "shards x replicas (replicas of a shard listed consecutively)",
     )
     match.add_argument("--timeout", type=float, default=None)
     match.add_argument(
@@ -168,6 +179,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--num-shards", type=int, required=True,
         help="total shard count the coordinator will compose",
+    )
+    serve.add_argument(
+        "--replica-id", type=int, default=0,
+        help="which replica of the shard range this worker is "
+        "(0-based; replicas build identical shards and are "
+        "interchangeable failover targets)",
+    )
+    serve.add_argument(
+        "--num-replicas", type=int, default=1,
+        help="replicas per shard range the coordinator expects "
+        "(must match its --replicas; enforced at handshake)",
     )
     serve.add_argument(
         "--host", default="127.0.0.1",
@@ -277,14 +299,25 @@ def _cmd_match(args, out) -> int:
             executor = args.executor
             shards = args.shards
             hosts = args.hosts
+            replicas = args.replicas
             if hosts is not None and executor not in (None, "sockets"):
                 out.write(
                     f"error: --hosts applies to --executor sockets, "
                     f"not {executor!r}\n"
                 )
                 return 1
-            if hosts is not None:
-                # Naming worker addresses means the socket executor.
+            if replicas is not None and executor not in (None, "sockets"):
+                out.write(
+                    f"error: --replicas applies to --executor sockets, "
+                    f"not {executor!r}\n"
+                )
+                return 1
+            if replicas is not None and replicas < 1:
+                out.write("error: --replicas must be >= 1\n")
+                return 1
+            if hosts is not None or replicas is not None:
+                # Naming worker addresses (or a replication factor)
+                # means the socket executor.
                 executor = "sockets"
             if shards is not None and executor not in (
                 None, "processes", "sockets"
@@ -316,13 +349,23 @@ def _cmd_match(args, out) -> int:
                 if not addresses:
                     out.write("error: --hosts lists no addresses\n")
                     return 1
-                if shards is not None and shards != len(addresses):
+                per_shard = 1 if replicas is None else replicas
+                if len(addresses) % per_shard != 0:
+                    out.write(
+                        f"error: {len(addresses)} --hosts addresses do "
+                        f"not divide into {per_shard} replicas per "
+                        f"shard\n"
+                    )
+                    return 1
+                if shards is not None and (
+                    shards * per_shard != len(addresses)
+                ):
                     out.write(
                         f"error: --shards {shards} contradicts "
                         f"{len(addresses)} --hosts addresses\n"
                     )
                     return 1
-                shards = len(addresses)
+                shards = len(addresses) // per_shard
             if shards is None and executor in ("processes", "sockets"):
                 shards = max(args.workers, 1)
             elif (
@@ -349,7 +392,11 @@ def _cmd_match(args, out) -> int:
             if addresses is not None:
                 # Pin the engine's socket executor to the named workers
                 # before count() lazily builds a local cluster instead.
-                engine.net_executor(hosts=addresses)
+                engine.net_executor(hosts=addresses, replicas=replicas)
+            elif replicas is not None and replicas > 1:
+                # Pin the replication factor: count() asks for the
+                # executor by shard count alone and reuses this one.
+                engine.net_executor(shards, replicas=replicas)
             if args.print_embeddings:
                 if executor is not None:
                     # match() streams from the sequential loop; accepting
@@ -449,6 +496,15 @@ def _cmd_serve_shard(args, out) -> int:
             f"{args.num_shards} shards\n"
         )
         return 1
+    if args.num_replicas < 1:
+        out.write("error: --num-replicas must be >= 1\n")
+        return 1
+    if not 0 <= args.replica_id < args.num_replicas:
+        out.write(
+            f"error: --replica-id {args.replica_id} out of range for "
+            f"{args.num_replicas} replicas\n"
+        )
+        return 1
     graph = _load_graph(args.source)
     worker = ShardWorker(
         graph,
@@ -458,11 +514,18 @@ def _cmd_serve_shard(args, out) -> int:
         host=args.host,
         port=args.port,
         sharding=args.sharding,
+        replica_id=args.replica_id,
+        num_replicas=args.num_replicas,
     )
     host, port = worker.bind()
+    replica_note = (
+        f" (replica {args.replica_id}/{args.num_replicas})"
+        if args.num_replicas > 1
+        else ""
+    )
     out.write(
-        f"serving shard {args.shard_id}/{args.num_shards} of "
-        f"{args.source} ({worker.index_backend} backend, "
+        f"serving shard {args.shard_id}/{args.num_shards}{replica_note} "
+        f"of {args.source} ({worker.index_backend} backend, "
         f"{worker.shard.sharding} placement, "
         f"{worker.shard.index_size_entries()} posting entries) on "
         f"{host}:{port}\n"

@@ -621,10 +621,21 @@ class CandidateAccumulator:
     as large as the final union); tuple and mixed-representation sets
     are collected and handed to :func:`compose_candidate_sets` at
     :meth:`result`, whose k-way merge wants all operands at once.
+
+    Folding is **exactly-once** under duplicated streams: callers that
+    may see the same shard's reply more than once (the socket
+    coordinator under speculative re-dispatch — two replicas of one
+    range answering the same level) pass ``add(..., key=shard_id)``,
+    and every key after the first is ignored.  The row-disjoint
+    contract makes duplicates byte-identical, so dropping them is
+    lossless; dedup-by-key makes it *provable* without comparing
+    payloads.  Mask/chunk unions are idempotent anyway (``a | a ==
+    a``), but tuple sets are concatenated before the k-way merge, so
+    without the key a duplicated tuple reply would double its edges.
     """
 
     __slots__ = ("_mask_index", "_mask", "_chunk_index", "_chunks",
-                 "_others")
+                 "_others", "_seen")
 
     def __init__(self) -> None:
         self._mask_index = None
@@ -632,9 +643,21 @@ class CandidateAccumulator:
         self._chunk_index = None
         self._chunks = None
         self._others: List[CandidateSet] = []
+        self._seen: "set | None" = None
 
-    def add(self, candidates: CandidateSet) -> None:
-        """Fold one shard's survivor set into the running union."""
+    def add(self, candidates: CandidateSet, key=None) -> None:
+        """Fold one shard's survivor set into the running union.
+
+        ``key`` (hashable) identifies the contribution's origin;
+        contributions repeating an already-folded key are discarded —
+        the exactly-once guard for duplicated reply streams.
+        """
+        if key is not None:
+            if self._seen is None:
+                self._seen = set()
+            elif key in self._seen:
+                return
+            self._seen.add(key)
         if not len(candidates):
             return
         kind = type(candidates)

@@ -470,35 +470,59 @@ class HGMatch:
             self._shard_executor = current
         return current
 
-    def net_executor(self, shards: "int | None" = None, hosts=None):
+    def net_executor(
+        self,
+        shards: "int | None" = None,
+        hosts=None,
+        replicas: "int | None" = None,
+    ):
         """The engine's persistent socket shard executor (lazily built).
 
         ``hosts`` — a sequence of ``(host, port)`` worker addresses —
         (re)configures the executor for externally managed shard
         servers (the multi-host mode); without it the executor owns a
-        local loopback cluster of ``shards`` workers.  A configured
+        local loopback cluster of ``shards`` workers.  ``replicas``
+        asks for K-replicated ranges (``hosts`` must then list
+        ``shards × replicas`` addresses; a local cluster spawns the
+        extra workers itself) — the coordinator fails over and may
+        speculate across the replicas of each range.  A configured
         executor persists across queries like :meth:`shard_executor`
-        and is reused when ``shards`` is None or matches; asking for a
-        different shard count tears it down and rebuilds.
+        and is reused when ``shards``/``replicas`` are None or match;
+        asking for a different layout tears it down and rebuilds.
         """
         from ..parallel.net_executor import NetShardExecutor  # lazy
 
+        if replicas is not None and replicas < 1:
+            raise QueryError("replicas must be >= 1")
         current = self._net_executor
         if hosts is not None:
             addresses = [tuple(address) for address in hosts]
-            if shards is not None and shards != len(addresses):
+            num_replicas = 1 if replicas is None else replicas
+            if len(addresses) % num_replicas != 0:
+                raise QueryError(
+                    f"{len(addresses)} worker addresses do not divide "
+                    f"into {num_replicas} replicas per shard"
+                )
+            if (
+                shards is not None
+                and shards * num_replicas != len(addresses)
+            ):
                 raise QueryError(
                     f"shards={shards} contradicts {len(addresses)} "
                     f"worker addresses"
                 )
             if current is not None:
-                if current.addresses == addresses:
+                if (
+                    current.addresses == addresses
+                    and current.num_replicas == num_replicas
+                ):
                     return current
                 current.close()
             current = NetShardExecutor(
                 addresses=addresses,
                 index_backend=self.index_backend,
                 sharding=self.sharding,
+                num_replicas=num_replicas,
             )
             self._net_executor = current
             return current
@@ -506,11 +530,19 @@ class HGMatch:
             # Host-configured executors win over shard-count defaults:
             # the caller pinned real machines; silently replacing them
             # with a local cluster would misreport where work ran.
-            if shards is None or shards == current.num_shards:
+            if (shards is None or shards == current.num_shards) and (
+                replicas is None or replicas == current.num_replicas
+            ):
                 return current
+            if shards is not None and shards != current.num_shards:
+                raise QueryError(
+                    f"engine is configured for {current.num_shards} socket "
+                    f"workers at fixed addresses; cannot run {shards} shards"
+                )
             raise QueryError(
-                f"engine is configured for {current.num_shards} socket "
-                f"workers at fixed addresses; cannot run {shards} shards"
+                f"engine is configured for {current.num_replicas} "
+                f"replica(s) per shard at fixed addresses; cannot run "
+                f"{replicas}"
             )
         shards = self.shards if shards is None else shards
         if shards < 1:
@@ -518,6 +550,7 @@ class HGMatch:
         if current is not None and (
             current.num_shards != shards
             or current.sharding != self.sharding
+            or (replicas is not None and current.num_replicas != replicas)
         ):
             current.close()
             current = None
@@ -526,6 +559,7 @@ class HGMatch:
                 num_shards=shards,
                 index_backend=self.index_backend,
                 sharding=self.sharding,
+                num_replicas=1 if replicas is None else replicas,
             )
             self._net_executor = current
         return current

@@ -31,6 +31,7 @@ from .index import (
 from .sharding import (
     SHARDING_MODES,
     RangeTable,
+    ReplicaSet,
     ShardDescriptor,
     ShardedStore,
     StoreShard,
@@ -87,6 +88,7 @@ __all__ = [
     "mask_from_chunks",
     "HyperedgePartition",
     "PartitionedStore",
+    "ReplicaSet",
     "ShardDescriptor",
     "ShardedStore",
     "StoreShard",

@@ -49,8 +49,8 @@ from __future__ import annotations
 import struct
 import zlib
 from bisect import bisect_left
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
 
 from .hypergraph import Hypergraph
 from .index import build_index
@@ -129,6 +129,15 @@ class ShardDescriptor:
     #: placements own overlapping (or gapping) row ranges — composing
     #: them would double- or under-count, so the coordinator refuses.
     sharding: str = "uniform"
+    #: Replica membership: this worker is replica ``replica_id`` of
+    #: ``num_replicas`` serving the *same* row ranges.  Replicas of one
+    #: shard are interchangeable by construction (they build identical
+    #: shards from the same grouping), which is what makes mid-job
+    #: failover and speculative re-dispatch sound: any replica's level
+    #: reply for a range is bit-identical to any other's.  The identity
+    #: only distinguishes workers; it never changes what rows they own.
+    replica_id: int = 0
+    num_replicas: int = 1
 
     def as_dict(self) -> dict:
         return {
@@ -140,14 +149,112 @@ class ShardDescriptor:
             "graph_edges": self.graph_edges,
             "graph_vertices": self.graph_vertices,
             "sharding": self.sharding,
+            "replica_id": self.replica_id,
+            "num_replicas": self.num_replicas,
         }
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "ShardDescriptor":
-        return cls(**{key: payload[key] for key in (
+        descriptor = cls(**{key: payload[key] for key in (
             "shard_id", "num_shards", "index_backend", "num_partitions",
             "num_rows", "graph_edges", "graph_vertices", "sharding",
         )})
+        # Replica fields default (0 of 1) when absent so descriptors
+        # from pre-replication peers keep parsing — an un-replicated
+        # worker *is* replica 0 of 1.
+        return descriptor.with_replica(
+            int(payload.get("replica_id", 0)),
+            int(payload.get("num_replicas", 1)),
+        )
+
+    def with_replica(
+        self, replica_id: int, num_replicas: int
+    ) -> "ShardDescriptor":
+        """The same shard served as replica ``replica_id`` of
+        ``num_replicas`` — replica identity belongs to the *worker*
+        serving a shard, not to the shard's data, so servers stamp it
+        onto the built shard's descriptor at handshake time."""
+        if num_replicas < 1:
+            raise ValueError("num_replicas must be >= 1")
+        if not 0 <= replica_id < num_replicas:
+            raise ValueError(
+                f"replica_id {replica_id} out of range for "
+                f"{num_replicas} replicas"
+            )
+        return replace(
+            self, replica_id=replica_id, num_replicas=num_replicas
+        )
+
+
+class ReplicaSet:
+    """The live replica membership of one shard range.
+
+    The row-disjoint contract makes every replica of a shard
+    interchangeable: each one holds exactly the same contiguous row
+    ranges (built from the same pure-function placement), so any live
+    member can serve any request for the range.  This container tracks
+    which of the ``num_replicas`` slots currently hold a live member —
+    a coordinator keeps one per range and composes a job as long as
+    *every* range has at least one live member; a range with **zero**
+    live replicas is the only unrecoverable state.
+
+    Members are arbitrary objects (the socket executor stores its
+    connection records); presence *is* liveness — a failed member is
+    removed, a recovered one re-placed.  Iteration and :meth:`members`
+    are ordered by replica id so replica selection is deterministic.
+    """
+
+    __slots__ = ("shard_id", "num_replicas", "_members")
+
+    def __init__(self, shard_id: int, num_replicas: int) -> None:
+        if num_replicas < 1:
+            raise ValueError("num_replicas must be >= 1")
+        self.shard_id = shard_id
+        self.num_replicas = num_replicas
+        self._members: Dict[int, object] = {}
+
+    def place(self, replica_id: int, member) -> None:
+        """Register a live member in slot ``replica_id``; refuses a slot
+        outside the replica arithmetic or one already held (two workers
+        claiming the same identity is a deployment error, the replica
+        twin of duplicate shard ids)."""
+        if not 0 <= replica_id < self.num_replicas:
+            raise ValueError(
+                f"replica_id {replica_id} out of range for "
+                f"{self.num_replicas} replicas of shard {self.shard_id}"
+            )
+        if replica_id in self._members:
+            raise ValueError(
+                f"replica {replica_id} of shard {self.shard_id} is "
+                f"already placed"
+            )
+        self._members[replica_id] = member
+
+    def remove(self, replica_id: int) -> None:
+        """Drop a member (it died or was severed); idempotent."""
+        self._members.pop(replica_id, None)
+
+    def get(self, replica_id: int):
+        return self._members.get(replica_id)
+
+    def members(self) -> "List[Tuple[int, object]]":
+        """Live ``(replica_id, member)`` pairs, ascending replica id."""
+        return sorted(self._members.items())
+
+    def __iter__(self) -> Iterator:
+        return iter(member for _, member in self.members())
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __bool__(self) -> bool:
+        return bool(self._members)
+
+    def __repr__(self) -> str:
+        return (
+            f"ReplicaSet(shard={self.shard_id}, "
+            f"live={sorted(self._members)}/{self.num_replicas})"
+        )
 
 
 def shard_ranges(num_rows: int, num_shards: int) -> Tuple[Tuple[int, int], ...]:

@@ -21,12 +21,15 @@ embeddings):
   load-balancing experiments (see DESIGN.md, substitution 2).
 """
 
+from .chaos import ChaosSocket, FaultPlan
 from .deque import WorkStealingDeque
 from .executor import ParallelResult, ThreadedExecutor
 from .net_executor import (
     LocalCluster,
     NetShardExecutor,
+    RetryPolicy,
     ShardWorker,
+    default_io_timeout,
     shutdown_worker,
     spawn_local_cluster,
 )
@@ -48,6 +51,7 @@ from .tasks import (
     PartialEmbedding,
     WorkerStats,
     default_seed,
+    join_or_kill,
     load_imbalance,
     task_kind,
     worker_loads,
@@ -62,6 +66,11 @@ __all__ = [
     "LocalCluster",
     "spawn_local_cluster",
     "shutdown_worker",
+    "RetryPolicy",
+    "default_io_timeout",
+    "FaultPlan",
+    "ChaosSocket",
+    "join_or_kill",
     "ParallelResult",
     "default_seed",
     "SimulatedExecutor",

@@ -376,7 +376,13 @@ def run_level_synchronous(
                 if accumulator is None:
                     accumulator = CandidateAccumulator()
                     accumulators[position] = accumulator
-                accumulator.add(candidate_set_from_bytes(payload, index))
+                # key= makes the fold exactly-once per shard: a
+                # speculative duplicate reply (two replicas answering
+                # the same level) is discarded, not re-unioned.
+                accumulator.add(
+                    candidate_set_from_bytes(payload, index),
+                    key=_shard_id,
+                )
         next_frontier: List[PartialEmbedding] = []
         for partial, accumulator in zip(frontier, accumulators):
             if accumulator is None:

@@ -8,17 +8,44 @@ The last transport rung below multi-host deployment.  The pieces:
   (:mod:`repro.parallel.transport`).  Run it on any host that can load
   the data hypergraph (``python -m repro serve-shard`` is the CLI
   wrapper).
-* :class:`NetShardExecutor` — the coordinator: connects to ``N`` shard
-  workers, validates their handshakes (backend, shard arithmetic, data
-  fingerprint, scheduler seed), and runs the exact same
-  level-synchronous composition loop as the multiprocess executor
-  (:func:`repro.parallel.level_sync.run_level_synchronous`), so counts
-  are bit-identical across pipes, sockets and the sequential engine.
-* :func:`spawn_local_cluster` — boots ``N`` shard workers as local
-  subprocesses on ephemeral loopback ports.  Tests, the CLI's
-  ``--executor sockets`` and the benchmarks use it to exercise the
-  full network path on one machine; multi-host deployments start the
-  workers themselves and hand the coordinator their addresses.
+* :class:`NetShardExecutor` — the coordinator: connects to the shard
+  workers, validates their handshakes (backend, shard arithmetic,
+  replica arithmetic, data fingerprint, scheduler seed), and runs the
+  exact same level-synchronous composition loop as the multiprocess
+  executor (:func:`repro.parallel.level_sync.run_level_synchronous`),
+  so counts are bit-identical across pipes, sockets and the sequential
+  engine.
+* :func:`spawn_local_cluster` — boots ``num_shards × num_replicas``
+  shard workers as local subprocesses on ephemeral loopback ports.
+  Tests, the CLI's ``--executor sockets`` and the benchmarks use it to
+  exercise the full network path on one machine; multi-host
+  deployments start the workers themselves and hand the coordinator
+  their addresses.
+
+Replication and failover
+------------------------
+Each shard range may be served by ``K`` replicas (``num_replicas``).
+Because shard construction is a pure function of ``(graph, shard_id,
+num_shards, backend, placement)``, every replica of a range holds an
+identical shard, and :func:`~repro.parallel.level_sync.expand_level`
+is a pure function of ``(plan, step, frontier, shard)`` — so any
+replica can answer any LEVEL of a job it has seen the JOB for, and two
+replicas' answers to the same LEVEL are bit-identical.  The
+coordinator exploits this three ways:
+
+* **membership** — compose is refused only when a range has *zero*
+  live replicas; a connect or handshake failure on one address merely
+  drops that replica when ``K > 1``;
+* **mid-job failover** — a replica that dies or exceeds its per-frame
+  deadline mid-level has the in-flight LEVEL re-dispatched to a live
+  replica of the same range (and local clusters can additionally
+  respawn the lost process — PR 5's restart-with-requeue, now one case
+  of the general policy);
+* **speculation** — with ``speculate_after`` set, a straggling level
+  is speculatively re-sent to an idle replica; whichever reply arrives
+  first wins, and the loser's duplicate is discarded *before* it
+  reaches the composition loop (per-member request tokens), so
+  duplicates are provably harmless and counts stay bit-identical.
 
 What crosses the wire is what crossed the pipes: the frontier of
 self-contained partial embeddings outbound, and compact
@@ -26,16 +53,22 @@ self-contained partial embeddings outbound, and compact
 chunk maps / edge-id tuples, each prefixed with the candidate wire
 version byte) inbound — never decoded edge-id lists for the mask
 backends.  ``docs/WIRE_FORMAT.md`` specifies every byte;
-``docs/ARCHITECTURE.md`` places this layer in the system.
+``docs/ARCHITECTURE.md`` places this layer in the system (see its
+"Replication & failover" section for the failover sequence).
 """
 
 from __future__ import annotations
 
+import logging
+import os
 import pickle
+import random
 import socket
 import time
+from collections import deque
+from dataclasses import dataclass
 from multiprocessing import get_context
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import selectors
 
@@ -50,6 +83,7 @@ from ..core.plan import build_execution_plan
 from ..errors import SchedulerError, TransportError
 from ..hypergraph import Hypergraph
 from ..hypergraph.sharding import (
+    ReplicaSet,
     ShardDescriptor,
     StoreShard,
     range_table_slices,
@@ -59,18 +93,82 @@ from ..hypergraph.storage import group_edges_by_signature, resolve_index_backend
 from . import transport
 from .executor import ParallelResult
 from .level_sync import MASK_BACKENDS, expand_level, plan_pool_rebalance
-from .tasks import WorkerStats, default_seed
+from .tasks import WorkerStats, default_seed, join_or_kill
+
+logger = logging.getLogger("repro.parallel")
 
 #: How long the coordinator waits for a TCP connect + handshake.
 CONNECT_TIMEOUT = 10.0
 
-#: Per-frame I/O timeout on established connections.  Generous — level
-#: replies can take as long as the shard's share of the enumeration —
-#: but finite, so a wedged peer surfaces as an error instead of a hang.
-IO_TIMEOUT = 600.0
+#: Default per-frame I/O timeout on established connections — the
+#: fallback when neither the ``REPRO_NET_TIMEOUT`` environment variable
+#: nor the ``io_timeout`` kwarg names one.  Generous — level replies
+#: can take as long as the shard's share of the enumeration — but
+#: finite, so a wedged peer surfaces as failover (or an error) instead
+#: of a hang.
+DEFAULT_IO_TIMEOUT = 600.0
 
 
-def _disable_nagle(sock: socket.socket) -> None:
+def default_io_timeout() -> float:
+    """The per-frame I/O timeout: ``REPRO_NET_TIMEOUT`` seconds or
+    :data:`DEFAULT_IO_TIMEOUT`.
+
+    Resolved at call time (like ``REPRO_SEED``) so a test session or a
+    deployment can tighten the failover deadline without touching call
+    sites; both the coordinator and ``serve-shard`` workers read it.
+    """
+    value = os.environ.get("REPRO_NET_TIMEOUT")
+    if not value:
+        return DEFAULT_IO_TIMEOUT
+    try:
+        timeout = float(value)
+    except ValueError:
+        raise SchedulerError(
+            f"REPRO_NET_TIMEOUT must be a number of seconds, got {value!r}"
+        ) from None
+    if timeout <= 0:
+        raise SchedulerError(
+            f"REPRO_NET_TIMEOUT must be positive, got {value!r}"
+        )
+    return timeout
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with jittered exponential backoff.
+
+    ``delay(attempt)`` for attempts ``0, 1, 2, ...`` grows
+    ``base_delay · 2^attempt`` capped at ``max_delay``, stretched by a
+    uniform ``[0, jitter]`` fraction so a pool of coordinators (or one
+    coordinator's many workers) never retries in lockstep.  The jitter
+    draws from a caller-supplied :class:`random.Random` — seeded, so
+    retry schedules are as reproducible as everything else here.
+    """
+
+    attempts: int = 4
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.5
+
+    def delay(
+        self, attempt: int, rng: "random.Random | None" = None
+    ) -> float:
+        base = min(self.max_delay, self.base_delay * (2.0 ** attempt))
+        if rng is None or self.jitter <= 0:
+            return base
+        return base * (1.0 + self.jitter * rng.random())
+
+
+#: Default policy for coordinator → worker TCP connects.
+CONNECT_RETRY = RetryPolicy()
+
+#: Default policy for polling a spawned worker's ready report (short
+#: first probes — workers are usually up in milliseconds — backing off
+#: while a slow shard build holds the pipe quiet).
+READY_POLL = RetryPolicy(attempts=64, base_delay=0.005, max_delay=0.25)
+
+
+def _disable_nagle(sock) -> None:
     """Request/response protocols want small frames out *now*: Nagle
     coalescing only adds latency to the level barrier."""
     try:
@@ -85,23 +183,30 @@ def _disable_nagle(sock: socket.socket) -> None:
 
 
 class ShardWorker:
-    """A TCP server owning one store shard.
+    """A TCP server owning one store shard (one replica of one range).
 
     Builds shard ``shard_id`` of ``num_shards`` from ``graph`` at
     construction (the offline stage), then serves coordinator sessions
     sequentially: each accepted connection gets a HELLO handshake
     carrying the shard's :class:`~repro.hypergraph.sharding.
-    ShardDescriptor` and the worker's scheduler seed, then answers
+    ShardDescriptor` (stamped with this worker's ``replica_id`` of
+    ``num_replicas``) and the worker's scheduler seed, then answers
     JOB / LEVEL / COLLECT frames until the peer sends STOP (end the
     session) or SHUTDOWN (stop the server).  One session at a time is
     the right concurrency: a shard's store is single-writer state per
-    job, and the level-synchronous protocol keeps exactly one request
-    in flight.
+    job, and the level-synchronous protocol keeps at most one
+    coordinator request in flight per connection.
+
+    Replicas of the same range differ *only* in ``replica_id``: the
+    shard they build is byte-for-byte the same pure function of the
+    placement, which is the whole failover argument.
 
     The server never trusts the stream: malformed frames raise
     :class:`~repro.errors.TransportError` and end the session (the
     server keeps accepting), while enumeration errors are reported to
-    the peer as ERROR frames before the session ends.
+    the peer as ERROR frames — prefixed with the failing shard id,
+    replica id and range label so a multi-host failure is attributable
+    from the coordinator's traceback alone — before the session ends.
     """
 
     def __init__(
@@ -114,9 +219,25 @@ class ShardWorker:
         port: int = 0,
         seed: "int | None" = None,
         sharding: "str | None" = None,
+        replica_id: int = 0,
+        num_replicas: int = 1,
+        io_timeout: "float | None" = None,
+        chaos=None,
     ) -> None:
+        if num_replicas < 1:
+            raise SchedulerError("num_replicas must be >= 1")
+        if not 0 <= replica_id < num_replicas:
+            raise SchedulerError(
+                f"replica_id {replica_id} outside 0..{num_replicas - 1}"
+            )
         self.index_backend = resolve_index_backend(index_backend)
         self.seed = default_seed() if seed is None else seed
+        self.replica_id = replica_id
+        self.num_replicas = num_replicas
+        self.io_timeout = (
+            default_io_timeout() if io_timeout is None else io_timeout
+        )
+        self.chaos = chaos
         self.shard = StoreShard.build(
             graph, shard_id, num_shards, self.index_backend,
             resolve_sharding(sharding),
@@ -156,6 +277,14 @@ class ShardWorker:
 
     # -- serving --------------------------------------------------------
 
+    def _hello_body(self) -> bytes:
+        """The HELLO payload: the shard descriptor stamped with this
+        worker's replica membership, plus the scheduler seed."""
+        descriptor = self.shard.describe().with_replica(
+            self.replica_id, self.num_replicas
+        )
+        return transport.encode_handshake(descriptor.as_dict(), self.seed)
+
     def serve_forever(self, max_sessions: "int | None" = None) -> None:
         """Accept and serve sessions until SHUTDOWN (or ``max_sessions``
         sessions have ended — a testing/CLI convenience)."""
@@ -180,18 +309,19 @@ class ShardWorker:
         finally:
             self.close()
 
-    def _serve_session(self, conn: socket.socket) -> bool:
+    def _serve_session(self, conn) -> bool:
         """Serve one coordinator connection; False means SHUTDOWN."""
-        conn.settimeout(IO_TIMEOUT)
-        _disable_nagle(conn)
-        descriptor = self.shard.describe()
-        try:
-            transport.send_frame(
-                conn,
-                transport.MSG_HELLO,
-                transport.encode_handshake(descriptor.as_dict(), self.seed),
+        if self.chaos is not None:
+            # The chaos wrapper counts this session's outbound frames
+            # (HELLO is frame 1) and applies any worker-role faults.
+            conn = self.chaos.wrap(
+                conn, "worker", self.shard.shard_id, self.replica_id
             )
-        except TransportError:
+        conn.settimeout(self.io_timeout)
+        _disable_nagle(conn)
+        try:
+            transport.send_frame(conn, transport.MSG_HELLO, self._hello_body())
+        except (TransportError, OSError):
             return True  # peer vanished before the handshake; next session
         plan = None
         state: "VertexStepState | None" = None
@@ -281,11 +411,7 @@ class ShardWorker:
                     # echoes the coordinator-issued label, which is how
                     # the peer verifies the rebuild took effect.
                     transport.send_frame(
-                        conn,
-                        transport.MSG_HELLO,
-                        transport.encode_handshake(
-                            self.shard.describe().as_dict(), self.seed
-                        ),
+                        conn, transport.MSG_HELLO, self._hello_body()
                     )
                 elif kind == transport.MSG_STOP:
                     return True
@@ -295,16 +421,22 @@ class ShardWorker:
                     raise TransportError(
                         f"unexpected frame kind {kind:#x} in session"
                     )
-            except TransportError:
-                return True  # write failed: peer gone mid-reply
+            except (TransportError, OSError):
+                return True  # write failed (or chaos severed): peer gone
             except Exception:  # report, then end the session visibly
                 import traceback
 
+                context = (
+                    f"shard {self.shard.shard_id} replica "
+                    f"{self.replica_id} ({self.shard.sharding} placement)"
+                )
                 try:
                     transport.send_pickle_frame(
-                        conn, transport.MSG_ERROR, traceback.format_exc()
+                        conn,
+                        transport.MSG_ERROR,
+                        f"[{context}] " + traceback.format_exc(),
                     )
-                except TransportError:  # pragma: no cover - peer gone too
+                except (TransportError, OSError):  # pragma: no cover
                     pass
                 return True
 
@@ -322,13 +454,17 @@ def _cluster_worker_main(
     index_backend: str,
     seed: int,
     sharding: str = "uniform",
+    replica_id: int = 0,
+    num_replicas: int = 1,
+    chaos=None,
 ) -> None:
     """Subprocess entry point: build the shard server, report its port
     through the pipe, then serve until SHUTDOWN."""
     try:
         worker = ShardWorker(
             graph, shard_id, num_shards, index_backend, seed=seed,
-            sharding=sharding,
+            sharding=sharding, replica_id=replica_id,
+            num_replicas=num_replicas, chaos=chaos,
         )
         host, port = worker.bind()
         conn.send(("ready", host, port))
@@ -369,6 +505,9 @@ def _start_cluster_worker(
     index_backend: str,
     seed: int,
     sharding: str,
+    replica_id: int = 0,
+    num_replicas: int = 1,
+    chaos=None,
 ):
     """Start one loopback shard-worker subprocess; returns
     ``(process, parent_conn)`` — await its port with
@@ -378,7 +517,7 @@ def _start_cluster_worker(
         target=_cluster_worker_main,
         args=(
             child_conn, graph, shard_id, num_shards, index_backend, seed,
-            sharding,
+            sharding, replica_id, num_replicas, chaos,
         ),
         daemon=True,
     )
@@ -388,14 +527,40 @@ def _start_cluster_worker(
 
 
 def _await_worker_ready(
-    parent_conn, shard_id: int, ready_timeout: float
+    parent_conn,
+    shard_id: int,
+    ready_timeout: float,
+    process=None,
+    replica_id: int = 0,
+    retry: "RetryPolicy | None" = None,
 ) -> Tuple[str, int]:
-    """Read one worker's ``("ready", host, port)`` report."""
-    if not parent_conn.poll(ready_timeout):
-        raise SchedulerError(
-            f"shard worker {shard_id} did not report ready within "
-            f"{ready_timeout}s"
-        )
+    """Read one worker's ``("ready", host, port)`` report.
+
+    Polls the pipe under jittered exponential backoff (seeded per
+    worker identity, so schedules are reproducible) instead of one
+    blocking wait: between probes a worker that already *died* —
+    import error, bad placement, OOM — is detected immediately via its
+    ``process`` handle rather than after the full ``ready_timeout``.
+    """
+    retry = READY_POLL if retry is None else retry
+    rng = random.Random((shard_id << 16) ^ replica_id)
+    deadline = time.monotonic() + ready_timeout
+    attempt = 0
+    while True:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise SchedulerError(
+                f"shard worker {shard_id} did not report ready within "
+                f"{ready_timeout}s"
+            )
+        if parent_conn.poll(min(remaining, retry.delay(attempt, rng))):
+            break
+        if process is not None and not process.is_alive():
+            raise SchedulerError(
+                f"shard worker {shard_id} (replica {replica_id}) died "
+                f"before reporting ready (exit code {process.exitcode})"
+            )
+        attempt += 1
     message = parent_conn.recv()
     if message[0] != "ready":  # pragma: no cover - protocol misuse
         raise SchedulerError(
@@ -406,7 +571,13 @@ def _await_worker_ready(
 
 
 class LocalCluster:
-    """Handle on a set of locally spawned shard-worker processes."""
+    """Handle on a set of locally spawned shard-worker processes.
+
+    With ``num_replicas == K`` the cluster holds ``num_shards × K``
+    workers; ``processes``/``addresses`` are flat lists indexed
+    ``shard_id * K + replica_id`` (so K=1 keeps the historical
+    one-entry-per-shard layout).
+    """
 
     def __init__(
         self,
@@ -418,44 +589,86 @@ class LocalCluster:
         sharding: str = "uniform",
         start_method: "str | None" = None,
         ready_timeout: float = 30.0,
+        num_replicas: int = 1,
+        chaos=None,
+        shutdown_timeout: float = 5.0,
     ) -> None:
         self.processes = processes
         self.addresses: "List[Tuple[str, int]]" = addresses
         self.index_backend = index_backend
         self.seed = seed
         self.sharding = sharding
+        self.num_replicas = num_replicas
+        self.chaos = chaos
+        self.shutdown_timeout = shutdown_timeout
         self._graph = graph
         self._start_method = start_method
         self._ready_timeout = ready_timeout
 
-    def respawn(self, shard_id: int) -> Tuple[str, int]:
+    @property
+    def num_shards(self) -> int:
+        return len(self.addresses) // self.num_replicas
+
+    def _index(self, shard_id: int, replica_id: int) -> int:
+        index = shard_id * self.num_replicas + replica_id
+        if (
+            not 0 <= replica_id < self.num_replicas
+            or not 0 <= shard_id
+            or index >= len(self.processes)
+        ):
+            raise SchedulerError(f"no shard worker {shard_id} to respawn")
+        return index
+
+    def address_of(
+        self, shard_id: int, replica_id: int = 0
+    ) -> Tuple[str, int]:
+        return self.addresses[shard_id * self.num_replicas + replica_id]
+
+    def kill_member(self, shard_id: int, replica_id: int = 0) -> None:
+        """Hard-kill one worker process (the chaos harness's armed
+        killer; also useful in tests).  Blocks until it is gone."""
+        process = self.processes[shard_id * self.num_replicas + replica_id]
+        if process.is_alive():
+            process.terminate()
+        join_or_kill(
+            process, timeout=self.shutdown_timeout,
+            label=f"shard {shard_id} replica {replica_id} worker",
+        )
+
+    def respawn(
+        self, shard_id: int, replica_id: int = 0
+    ) -> Tuple[str, int]:
         """Replace a dead worker process with a fresh one for the same
-        shard (built with the cluster's spawn-time placement mode) and
-        return its new address — the restart-with-requeue hook the
+        shard slot (built with the cluster's spawn-time placement mode)
+        and return its new address — the restart-with-requeue hook the
         coordinator uses on mid-job worker loss."""
         if self._graph is None:
             raise SchedulerError(
                 "cluster was not built by spawn_local_cluster; "
                 "cannot respawn workers"
             )
-        if not 0 <= shard_id < len(self.processes):
-            raise SchedulerError(f"no shard worker {shard_id} to respawn")
-        old = self.processes[shard_id]
+        index = self._index(shard_id, replica_id)
+        old = self.processes[index]
         if old.is_alive():  # pragma: no cover - caller races the reaper
             old.terminate()
-        old.join(timeout=2.0)
+        join_or_kill(
+            old, timeout=self.shutdown_timeout,
+            label=f"shard {shard_id} replica {replica_id} worker",
+        )
         context = (
             get_context(self._start_method)
             if self._start_method is not None
             else get_context()
         )
         process, parent_conn = _start_cluster_worker(
-            context, self._graph, shard_id, len(self.processes),
+            context, self._graph, shard_id, self.num_shards,
             self.index_backend, self.seed, self.sharding,
+            replica_id, self.num_replicas, self.chaos,
         )
         try:
             address = _await_worker_ready(
-                parent_conn, shard_id, self._ready_timeout
+                parent_conn, shard_id, self._ready_timeout,
+                process=process, replica_id=replica_id,
             )
         except BaseException:
             if process.is_alive():
@@ -463,23 +676,24 @@ class LocalCluster:
             raise
         finally:
             parent_conn.close()
-        self.processes[shard_id] = process
-        self.addresses[shard_id] = address
+        self.processes[index] = process
+        self.addresses[index] = address
         return address
 
     def close(self) -> None:
         """Stop the worker processes (idempotent): ask each server to
-        QUIT, then terminate whatever did not exit in time."""
+        QUIT, then join with terminate→kill escalation so a stuck
+        worker is never silently leaked."""
         for process, address in zip(self.processes, self.addresses):
             if process.is_alive():
-                shutdown_worker(address)
-        for process in self.processes:
-            process.join(timeout=2.0)
-        for process in self.processes:
-            if process.is_alive():  # pragma: no cover - stuck worker
-                process.terminate()
-                process.join(timeout=2.0)
+                shutdown_worker(address, timeout=self.shutdown_timeout)
+        for index, process in enumerate(self.processes):
+            join_or_kill(
+                process, timeout=self.shutdown_timeout,
+                label=f"shard worker #{index}",
+            )
         self.processes = []
+        self.addresses = []
 
     def __enter__(self) -> "LocalCluster":
         return self
@@ -496,19 +710,27 @@ def spawn_local_cluster(
     start_method: "str | None" = None,
     ready_timeout: float = 30.0,
     sharding: "str | None" = None,
+    num_replicas: int = 1,
+    chaos=None,
 ) -> LocalCluster:
-    """Boot ``num_shards`` shard workers as subprocesses on loopback.
+    """Boot ``num_shards × num_replicas`` shard workers on loopback.
 
     Each worker builds its own :class:`~repro.hypergraph.sharding.
     StoreShard` (under the requested placement mode), binds an
     ephemeral 127.0.0.1 port and serves the framed protocol; the
     returned :class:`LocalCluster` lists the addresses to hand a
-    :class:`NetShardExecutor`.  This is the single-machine path through
-    the *full* network stack — the tests' and benchmarks' way of
-    proving the multi-host story without a second host.
+    :class:`NetShardExecutor`.  Replicas of a shard build identical
+    stores — the coordinator treats them as interchangeable failover
+    targets.  This is the single-machine path through the *full*
+    network stack — the tests' and benchmarks' way of proving the
+    multi-host story without a second host.  A ``chaos``
+    :class:`~repro.parallel.chaos.FaultPlan` is pickled into every
+    worker so worker-role faults (slow/dropped replies) apply there.
     """
     if num_shards < 1:
         raise SchedulerError("num_shards must be >= 1")
+    if num_replicas < 1:
+        raise SchedulerError("num_replicas must be >= 1")
     index_backend = resolve_index_backend(index_backend)
     sharding = resolve_sharding(sharding)
     seed = default_seed() if seed is None else seed
@@ -519,18 +741,26 @@ def spawn_local_cluster(
     )
     processes = []
     parent_conns = []
+    identities = []
     for shard_id in range(num_shards):
-        process, parent_conn = _start_cluster_worker(
-            context, graph, shard_id, num_shards, index_backend, seed,
-            sharding,
-        )
-        processes.append(process)
-        parent_conns.append(parent_conn)
+        for replica_id in range(num_replicas):
+            process, parent_conn = _start_cluster_worker(
+                context, graph, shard_id, num_shards, index_backend, seed,
+                sharding, replica_id, num_replicas, chaos,
+            )
+            processes.append(process)
+            parent_conns.append(parent_conn)
+            identities.append((shard_id, replica_id))
     addresses: "List[Tuple[str, int]]" = []
     try:
-        for shard_id, parent_conn in enumerate(parent_conns):
+        for (shard_id, replica_id), process, parent_conn in zip(
+            identities, processes, parent_conns
+        ):
             addresses.append(
-                _await_worker_ready(parent_conn, shard_id, ready_timeout)
+                _await_worker_ready(
+                    parent_conn, shard_id, ready_timeout,
+                    process=process, replica_id=replica_id,
+                )
             )
     except BaseException:
         for process in processes:
@@ -543,13 +773,43 @@ def spawn_local_cluster(
     return LocalCluster(
         processes, addresses, index_backend, seed,
         graph=graph, sharding=sharding, start_method=start_method,
-        ready_timeout=ready_timeout,
+        ready_timeout=ready_timeout, num_replicas=num_replicas,
+        chaos=chaos,
     )
 
 
 # ----------------------------------------------------------------------
 # Coordinator side
 # ----------------------------------------------------------------------
+
+
+class _Member:
+    """One live replica connection in the coordinator's pool."""
+
+    __slots__ = (
+        "shard_id", "replica_id", "address", "sock",
+        "inflight", "dispatched_at", "deadline",
+    )
+
+    def __init__(self, shard_id, replica_id, address, sock) -> None:
+        self.shard_id = shard_id
+        self.replica_id = replica_id
+        self.address = address
+        self.sock = sock
+        #: Request tokens awaiting replies on this connection, FIFO.
+        #: The worker answers strictly in request order, so the token
+        #: at the head is the one the next inbound frame answers —
+        #: which is how stale (previous-level) and lost-race
+        #: (speculation) replies are told apart from the live one.
+        self.inflight: "deque[int]" = deque()
+        self.dispatched_at: "float | None" = None
+        self.deadline: "float | None" = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"_Member(shard={self.shard_id}, replica={self.replica_id}, "
+            f"address={self.address!r}, inflight={list(self.inflight)})"
+        )
 
 
 class NetShardExecutor:
@@ -559,23 +819,40 @@ class NetShardExecutor:
 
     ``NetShardExecutor(addresses=[("host", port), ...])``
         Connect to externally managed workers (the multi-host mode; the
-        CLI's ``--hosts``).  ``num_shards`` is the address count, and
-        the handshake must show every shard id ``0..N-1`` exactly once
-        — replies are gathered in *shard* order regardless of the order
-        the addresses were listed in.
+        CLI's ``--hosts``).  With ``num_replicas == K`` the address
+        count must be ``N × K`` and the handshakes must cover every
+        shard id ``0..N-1`` — replies are gathered in *shard* order
+        regardless of the order the addresses were listed in.  With
+        ``K > 1`` a dead address merely loses one replica; the
+        coordinator refuses to compose only when some shard has *zero*
+        live replicas.
 
-    ``NetShardExecutor(num_shards=N)``
+    ``NetShardExecutor(num_shards=N, num_replicas=K)``
         Spawn (and own) a local cluster for the engine's data graph on
         first use — the single-machine ``--executor sockets`` path.
 
     The handshake is validated against the executor's expectations
     before any job runs: index backend (payloads would mis-decode),
-    shard arithmetic (rows would be double- or under-counted), the data
-    graph fingerprint (counts would be silently wrong) and the
-    scheduler seed (reproducibility).  Any mismatch, disconnect or
-    protocol violation tears the connections down and raises
-    :class:`~repro.errors.SchedulerError`; the next ``run`` starts
-    clean.
+    shard and replica arithmetic (rows would be double- or
+    under-counted), the data graph fingerprint (counts would be
+    silently wrong) and the scheduler seed (reproducibility).  A
+    *contract* mismatch always tears the connections down and raises
+    :class:`~repro.errors.SchedulerError`; a *liveness* failure
+    (connect refused, peer vanished) is tolerated per-replica when
+    ``K > 1``.
+
+    Mid-job, each LEVEL is dispatched to one live replica per shard
+    under a per-frame deadline (``io_timeout``; default from
+    ``REPRO_NET_TIMEOUT``).  A replica that disconnects or blows the
+    deadline is dropped and the level re-dispatched to another replica
+    (local clusters can also respawn the lost process, budgeted).  With
+    ``speculate_after=S`` seconds, a level still unanswered after ``S``
+    is additionally sent to an idle replica and the first reply wins —
+    per-member FIFO request tokens make the duplicate provably
+    harmless.  Speculation and failover may split a job's per-worker
+    counter accounting across replicas (each replica only counts the
+    levels it expanded); embedding counts are always exact because the
+    coordinator composes exactly one reply per (level, shard).
     """
 
     def __init__(
@@ -587,16 +864,28 @@ class NetShardExecutor:
         seed: "int | None" = None,
         start_method: "str | None" = None,
         connect_timeout: float = CONNECT_TIMEOUT,
-        io_timeout: float = IO_TIMEOUT,
+        io_timeout: "float | None" = None,
+        num_replicas: int = 1,
+        retry: "RetryPolicy | None" = None,
+        speculate_after: "float | None" = None,
+        chaos=None,
     ) -> None:
+        if num_replicas < 1:
+            raise SchedulerError("num_replicas must be >= 1")
         if addresses is not None:
             addresses = [tuple(address) for address in addresses]
-            if num_shards is not None and num_shards != len(addresses):
+            if len(addresses) % num_replicas != 0:
+                raise SchedulerError(
+                    f"{len(addresses)} worker addresses do not divide "
+                    f"into {num_replicas} replicas per shard"
+                )
+            implied = len(addresses) // num_replicas
+            if num_shards is not None and num_shards != implied:
                 raise SchedulerError(
                     f"num_shards={num_shards} contradicts "
                     f"{len(addresses)} worker addresses"
                 )
-            num_shards = len(addresses)
+            num_shards = implied
         if num_shards is None:
             raise SchedulerError(
                 "NetShardExecutor needs worker addresses or num_shards"
@@ -605,27 +894,77 @@ class NetShardExecutor:
             raise SchedulerError("num_shards must be >= 1")
         self.addresses = addresses
         self.num_shards = num_shards
+        self.num_replicas = num_replicas
         self.index_backend = resolve_index_backend(index_backend)
         self.sharding = resolve_sharding(sharding)
         self.seed = default_seed() if seed is None else seed
         self.start_method = start_method
         self.connect_timeout = connect_timeout
-        self.io_timeout = io_timeout
+        self.io_timeout = (
+            default_io_timeout() if io_timeout is None else io_timeout
+        )
+        self.retry = CONNECT_RETRY if retry is None else retry
+        self.speculate_after = speculate_after
+        self.chaos = chaos
+        self._retry_rng = random.Random(self.seed ^ 0x5EED)
         self._cluster: "LocalCluster | None" = None
-        self._socks: "List[socket.socket]" = []
+        #: The live pool: one ReplicaSet of connected :class:`_Member`
+        #: per shard (empty list when no pool is up).
+        self._members: "List[ReplicaSet]" = []
+        #: shard id → members currently working the in-flight request.
+        self._watchers: "Dict[int, List[_Member]]" = {}
+        #: Monotonic request token; bumped per LEVEL/COLLECT broadcast.
+        self._token = 0
+        #: The encoded frame of the in-flight LEVEL/COLLECT — what
+        #: failover and speculation re-send.
+        self._inflight_frame: "bytes | None" = None
         self._graph: "Hypergraph | None" = None
         #: Placement of the live pool: build-mode label until a
         #: rebalance issues a ``rebalanced-<fp>`` table.
         self._sharding_label = self.sharding
         self._range_table = None
-        #: Protocol position for mid-job worker recovery: the last JOB
-        #: and LEVEL broadcast (local clusters replay them to a
-        #: respawned worker — see :meth:`_recover_worker`).
+        #: The current JOB message — replayed to restored members so a
+        #: spare joining mid-job can answer the in-flight level.
         self._job_message = None
         self._level_message = None
         self._respawn_budget = 0
 
     # -- connection lifecycle -------------------------------------------
+
+    def _connect(self, address):
+        """TCP connect + chaos wrap under the executor's retry policy.
+        Returns a socket with the (short) connect timeout set; raises
+        the last ``OSError`` when every attempt failed."""
+        host, port = address
+        last_exc: "OSError | None" = None
+        for attempt in range(max(1, self.retry.attempts)):
+            if attempt:
+                time.sleep(self.retry.delay(attempt - 1, self._retry_rng))
+            try:
+                sock = socket.create_connection(
+                    (host, port), timeout=self.connect_timeout
+                )
+            except OSError as exc:
+                last_exc = exc
+                continue
+            _disable_nagle(sock)
+            if self.chaos is not None:
+                sock = self.chaos.wrap(sock, "coordinator")
+            # The handshake runs under the (short) connect timeout: a
+            # peer that accepts but never says HELLO — e.g. a busy
+            # single-session server — should fail fast, not tie the
+            # coordinator up for a whole job timeout.
+            sock.settimeout(self.connect_timeout)
+            return sock
+        raise last_exc  # type: ignore[misc]
+
+    def _close_member_grid(self, grid) -> None:
+        for replica_set in grid:
+            for _replica_id, member in replica_set.members():
+                try:
+                    member.sock.close()
+                except OSError:  # pragma: no cover - best effort
+                    pass
 
     def _ensure_pool(self, engine) -> None:
         if engine.index_backend != self.index_backend:
@@ -633,8 +972,8 @@ class NetShardExecutor:
                 f"engine backend {engine.index_backend!r} does not match "
                 f"executor backend {self.index_backend!r}"
             )
-        self._respawn_budget = self.num_shards
-        if self._graph is engine.data and self._socks:
+        self._respawn_budget = self.num_shards * self.num_replicas
+        if self._graph is engine.data and self._members:
             # Reused sessions can have gone stale between jobs (the
             # worker ends sessions idle past its I/O timeout; a worker
             # can die).  A COLLECT round trip is a legitimate protocol
@@ -664,57 +1003,110 @@ class NetShardExecutor:
                 seed=self.seed,
                 start_method=self.start_method,
                 sharding=self.sharding,
+                num_replicas=self.num_replicas,
+                chaos=self.chaos,
             )
             addresses = self._cluster.addresses
         else:
             addresses = self.addresses
-        ordered: "List[socket.socket | None]" = [None] * self.num_shards
-        current: "socket.socket | None" = None
+        grid = [
+            ReplicaSet(shard_id, self.num_replicas)
+            for shard_id in range(self.num_shards)
+        ]
+        failures: "List[str]" = []
         try:
             for host, port in addresses:
                 try:
-                    current = socket.create_connection(
-                        (host, port), timeout=self.connect_timeout
-                    )
+                    sock = self._connect((host, port))
                 except OSError as exc:
-                    raise SchedulerError(
-                        f"could not connect to shard worker at "
-                        f"{host}:{port}: {exc}"
-                    ) from exc
-                _disable_nagle(current)
-                # The handshake runs under the (short) connect timeout: a
-                # peer that accepts but never says HELLO — e.g. a busy
-                # single-session server — should fail fast, not tie the
-                # coordinator up for a whole job timeout.
-                current.settimeout(self.connect_timeout)
-                ordered[
-                    self._handshake(current, engine.data, ordered=ordered)
-                ] = current
-                current.settimeout(self.io_timeout)
-                current = None
-        except BaseException:
-            for sock in ordered + [current]:
-                if sock is not None:
+                    if self.num_replicas == 1:
+                        raise SchedulerError(
+                            f"could not connect to shard worker at "
+                            f"{host}:{port}: {exc}"
+                        ) from exc
+                    # K > 1: losing one replica is survivable — note it
+                    # and let the zero-replica check decide at the end.
+                    failures.append(f"{host}:{port}: {exc}")
+                    logger.warning(
+                        "could not connect to shard worker at %s:%s: %s",
+                        host, port, exc,
+                    )
+                    continue
+                try:
+                    descriptor = self._handshake(sock, engine.data)
+                except (TransportError, OSError) as exc:
                     try:
                         sock.close()
                     except OSError:
                         pass
+                    if self.num_replicas == 1:
+                        raise SchedulerError(
+                            f"shard worker at {host}:{port} failed the "
+                            f"handshake: {exc}"
+                        ) from None
+                    failures.append(f"{host}:{port}: {exc}")
+                    logger.warning(
+                        "shard worker at %s:%s failed the handshake: %s",
+                        host, port, exc,
+                    )
+                    continue
+                sock.settimeout(self.io_timeout)
+                if self.chaos is not None:
+                    sock.bind_endpoint(
+                        descriptor.shard_id, descriptor.replica_id
+                    )
+                member = _Member(
+                    descriptor.shard_id, descriptor.replica_id,
+                    (host, port), sock,
+                )
+                try:
+                    grid[descriptor.shard_id].place(
+                        descriptor.replica_id, member
+                    )
+                except ValueError:
+                    try:
+                        sock.close()
+                    except OSError:
+                        pass
+                    detail = (
+                        f" (replica {descriptor.replica_id})"
+                        if self.num_replicas > 1
+                        else ""
+                    )
+                    raise SchedulerError(
+                        f"two workers both announced shard id "
+                        f"{descriptor.shard_id}{detail}"
+                    ) from None
+        except BaseException:
+            self._close_member_grid(grid)
             raise
-        self._socks = ordered  # type: ignore[assignment]
+        missing = [
+            shard_id for shard_id in range(self.num_shards)
+            if not grid[shard_id]
+        ]
+        if missing:
+            self._close_member_grid(grid)
+            detail = "; ".join(failures) if failures else (
+                "no worker announced them"
+            )
+            raise SchedulerError(
+                f"no live replica for shard(s) {missing}: {detail}"
+            )
+        self._members = grid
         self._graph = engine.data
 
     def _handshake(
         self,
         sock,
         graph,
-        ordered=None,
         expected_shard: "int | None" = None,
+        expected_replica: "int | None" = None,
         expected_sharding: "str | None" = None,
-    ) -> int:
-        """Validate one worker's HELLO; returns its shard id.
+    ) -> ShardDescriptor:
+        """Validate one worker's HELLO; returns its shard descriptor.
 
-        ``ordered`` (pool setup) additionally rejects duplicate shard
-        ids; ``expected_shard`` (worker recovery) pins the id instead.
+        ``expected_shard``/``expected_replica`` (worker recovery and
+        rebalance echoes) pin the announced identity.
         ``expected_sharding`` overrides the placement label to expect —
         a freshly respawned worker announces the spawn mode even while
         the pool runs a rebalanced layout.
@@ -727,7 +1119,7 @@ class NetShardExecutor:
         descriptor_dict, worker_seed = transport.decode_handshake(body)
         try:
             descriptor = ShardDescriptor.from_dict(descriptor_dict)
-        except (KeyError, TypeError) as exc:
+        except (KeyError, TypeError, ValueError) as exc:
             raise SchedulerError(
                 f"malformed handshake descriptor (missing/invalid field "
                 f"{exc}): not a compatible shard server"
@@ -744,14 +1136,17 @@ class NetShardExecutor:
                 f"{descriptor.num_shards} shards, coordinator in "
                 f"{self.num_shards}"
             )
+        if descriptor.num_replicas != self.num_replicas:
+            raise SchedulerError(
+                f"replica arithmetic mismatch: worker shard "
+                f"{descriptor.shard_id} believes in "
+                f"{descriptor.num_replicas} replicas, coordinator in "
+                f"{self.num_replicas}"
+            )
         if not 0 <= descriptor.shard_id < self.num_shards:
             raise SchedulerError(
                 f"worker announced shard id {descriptor.shard_id} outside "
                 f"0..{self.num_shards - 1}"
-            )
-        if ordered is not None and ordered[descriptor.shard_id] is not None:
-            raise SchedulerError(
-                f"two workers both announced shard id {descriptor.shard_id}"
             )
         if (
             expected_shard is not None
@@ -760,6 +1155,14 @@ class NetShardExecutor:
             raise SchedulerError(
                 f"respawned worker announced shard id "
                 f"{descriptor.shard_id}, expected {expected_shard}"
+            )
+        if (
+            expected_replica is not None
+            and descriptor.replica_id != expected_replica
+        ):
+            raise SchedulerError(
+                f"respawned worker announced replica "
+                f"{descriptor.replica_id}, expected {expected_replica}"
             )
         sharding = (
             self._sharding_label
@@ -792,19 +1195,22 @@ class NetShardExecutor:
                 f"coordinator {self.seed} — parallel runs would not be "
                 f"reproducible"
             )
-        return descriptor.shard_id
+        return descriptor
 
     def _close_connections(self) -> None:
-        for sock in self._socks:
-            try:
-                transport.send_frame(sock, transport.MSG_STOP)
-            except TransportError:
-                pass
-            try:
-                sock.close()
-            except OSError:
-                pass
-        self._socks = []
+        for replica_set in self._members:
+            for _replica_id, member in replica_set.members():
+                try:
+                    transport.send_frame(member.sock, transport.MSG_STOP)
+                except (TransportError, OSError):
+                    pass
+                try:
+                    member.sock.close()
+                except OSError:
+                    pass
+        self._members = []
+        self._watchers = {}
+        self._inflight_frame = None
         self._graph = None
 
     def close(self) -> None:
@@ -826,6 +1232,158 @@ class NetShardExecutor:
         except Exception:
             pass
 
+    # -- pool bookkeeping ------------------------------------------------
+
+    def _drop_member(self, member: _Member, cause: str) -> None:
+        """Remove one replica connection from the pool (idempotent)."""
+        if self._members:
+            replica_set = self._members[member.shard_id]
+            if replica_set.get(member.replica_id) is member:
+                replica_set.remove(member.replica_id)
+        watchers = self._watchers.get(member.shard_id)
+        if watchers is not None and member in watchers:
+            watchers.remove(member)
+        try:
+            member.sock.close()
+        except OSError:  # pragma: no cover - best effort
+            pass
+        logger.warning(
+            "shard %d replica %d at %s dropped: %s",
+            member.shard_id, member.replica_id, member.address, cause,
+        )
+
+    def _fail_shard(self, shard_id: int, cause: str) -> None:
+        """Out of replicas for ``shard_id``: tear down and raise."""
+        label = self._sharding_label
+        self.close()
+        raise SchedulerError(
+            f"shard worker {shard_id} disconnected mid-job: {cause}; "
+            f"no live replica remains for shard {shard_id} "
+            f"({label} placement)"
+        )
+
+    def _handle_member_failure(
+        self, member: _Member, cause: str, redispatch: bool = True
+    ) -> None:
+        """Drop a failed replica; re-dispatch its in-flight request to
+        another replica of the range unless one is already working it
+        (a speculative duplicate) or the range already answered."""
+        shard_id = member.shard_id
+        self._drop_member(member, cause)
+        if redispatch and not self._watchers.get(shard_id):
+            self._dispatch(shard_id, cause=cause)
+
+    def _pick_member(self, shard_id: int) -> "_Member | None":
+        """The replica to dispatch to: lowest idle replica id, falling
+        back to the lowest busy one (its queue preserves order) —
+        never one already watching this request."""
+        watching = self._watchers.get(shard_id, ())
+        fallback = None
+        for _replica_id, member in self._members[shard_id].members():
+            if member in watching:
+                continue
+            if not member.inflight:
+                return member
+            if fallback is None:
+                fallback = member
+        return fallback
+
+    def _pick_spare(self, shard_id: int) -> "_Member | None":
+        """A strictly idle replica for speculation (never steals one
+        that still owes replies)."""
+        watching = self._watchers.get(shard_id, ())
+        for _replica_id, member in self._members[shard_id].members():
+            if member not in watching and not member.inflight:
+                return member
+        return None
+
+    def _restore_member(self, shard_id: int) -> "_Member | None":
+        """Restart-with-requeue for a range that lost a replica mid-job.
+
+        Only executors that *own* their workers can restart them, so
+        this applies to local clusters exclusively — with externally
+        managed ``addresses`` the coordinator cannot know how to revive
+        a remote host and relies on the remaining replicas (K=1 keeps
+        the documented clean :class:`SchedulerError`).  The respawned
+        worker rebuilds its shard from the spawn-time placement, is
+        upgraded to the pool's rebalanced layout if one is live, and is
+        then replayed the current JOB — the in-flight LEVEL itself is
+        re-sent by :meth:`_dispatch`, exactly like any other failover
+        target.  The lost process's earlier per-level counter
+        accounting is gone with it (the embedding count is not:
+        embeddings are counted from the coordinator's deduplicated
+        replies).  Returns the fresh member, or None when recovery is
+        impossible (no cluster, budget exhausted, no job in flight,
+        respawn failed).
+        """
+        if self._cluster is None or self._respawn_budget <= 0:
+            return None
+        if self._job_message is None:
+            return None
+        replica_set = self._members[shard_id]
+        replica_id = next(
+            (
+                slot for slot in range(self.num_replicas)
+                if replica_set.get(slot) is None
+            ),
+            None,
+        )
+        if replica_id is None:  # pragma: no cover - full set, nothing lost
+            return None
+        self._respawn_budget -= 1
+        sock = None
+        try:
+            address = self._cluster.respawn(shard_id, replica_id)
+            sock = self._connect(address)
+            self._handshake(
+                sock,
+                self._graph,
+                expected_shard=shard_id,
+                expected_replica=replica_id,
+                expected_sharding=self._cluster.sharding,
+            )
+            if self._sharding_label != self._cluster.sharding:
+                # The pool runs a rebalanced layout; bring the fresh
+                # worker onto it before replaying any work.
+                transport.send_pickle_frame(
+                    sock,
+                    transport.MSG_REBALANCE,
+                    (
+                        self._sharding_label,
+                        range_table_slices(
+                            self._range_table, self.num_shards
+                        )[shard_id],
+                    ),
+                )
+                self._handshake(
+                    sock, self._graph,
+                    expected_shard=shard_id, expected_replica=replica_id,
+                )
+            sock.settimeout(self.io_timeout)
+            if self.chaos is not None:
+                sock.bind_endpoint(shard_id, replica_id)
+            transport.send_frame(
+                sock,
+                transport.MSG_JOB,
+                pickle.dumps(
+                    self._job_message[1:], protocol=pickle.HIGHEST_PROTOCOL
+                ),
+            )
+        except (SchedulerError, TransportError, OSError):
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:  # pragma: no cover - best effort
+                    pass
+            return None
+        member = _Member(shard_id, replica_id, address, sock)
+        replica_set.place(replica_id, member)
+        logger.warning(
+            "shard %d replica %d respawned at %s and replayed the job",
+            shard_id, replica_id, address,
+        )
+        return member
+
     # -- messaging (the level_sync plug-in surface) ---------------------
 
     def _broadcast(self, message) -> None:
@@ -836,8 +1394,9 @@ class NetShardExecutor:
         }
         kind = kind_map[message[0]]
         # Remember the protocol position *before* any byte moves: a
-        # worker recovered mid-gather is replayed the current job and
-        # level, so the cache must already reflect this broadcast.
+        # worker recovered mid-gather is replayed the current job (and
+        # re-dispatched the in-flight request), so the caches must
+        # already reflect this broadcast.
         if kind == transport.MSG_JOB:
             self._job_message = message
             self._level_message = None
@@ -851,22 +1410,77 @@ class NetShardExecutor:
             )
         )
         frame = transport.encode_frame(kind, body)
-        for shard_id, sock in enumerate(self._socks):
-            try:
-                sock.sendall(frame)
-            except OSError:
-                self.close()
-                raise SchedulerError(
-                    f"shard worker {shard_id} is gone; connections torn down"
-                ) from None
+        if kind == transport.MSG_JOB:
+            # The JOB goes to *every* live replica — spares must hold
+            # the plan to be able to answer a re-dispatched LEVEL.
+            for shard_id in range(self.num_shards):
+                replica_set = self._members[shard_id]
+                for _replica_id, member in list(replica_set.members()):
+                    try:
+                        member.sock.sendall(frame)
+                    except OSError as exc:
+                        self._drop_member(member, f"send failed: {exc}")
+                if not replica_set and self._restore_member(shard_id) is None:
+                    self._fail_shard(
+                        shard_id,
+                        "lost every replica while broadcasting the job",
+                    )
+            return
+        # LEVEL / COLLECT: one live replica per shard answers; failover
+        # and speculation may re-send the same frame to others.
+        self._token += 1
+        self._inflight_frame = frame
+        self._watchers = {}
+        for shard_id in range(self.num_shards):
+            self._dispatch(shard_id)
 
-    def _decode_reply(self, shard_id: int, kind: int, body: bytes):
+    def _dispatch(
+        self,
+        shard_id: int,
+        member: "_Member | None" = None,
+        cause: "str | None" = None,
+    ) -> None:
+        """Send the in-flight frame to one replica of ``shard_id``
+        (``member`` pins the target — the speculation path), restoring
+        or failing the shard when no live replica can take it."""
+        if self._inflight_frame is None:  # pragma: no cover - misuse
+            self._fail_shard(
+                shard_id, cause or "no request in flight to dispatch"
+            )
+        while True:
+            target = member or self._pick_member(shard_id)
+            member = None
+            if target is None:
+                target = self._restore_member(shard_id)
+            if target is None:
+                self._fail_shard(
+                    shard_id, cause or "no live replica left to dispatch to"
+                )
+            try:
+                target.sock.sendall(self._inflight_frame)
+            except OSError as exc:
+                self._drop_member(target, f"send failed: {exc}")
+                continue
+            now = time.monotonic()
+            target.inflight.append(self._token)
+            target.dispatched_at = now
+            target.deadline = now + self.io_timeout
+            self._watchers.setdefault(shard_id, []).append(target)
+            return
+
+    def _decode_reply(self, member: _Member, kind: int, body: bytes):
         """Decode one worker reply frame (level reply or accounting)."""
+        shard_id = member.shard_id
         if kind == transport.MSG_ERROR:
+            # Enumeration errors are deterministic in (plan, frontier,
+            # shard) — every replica would fail identically, so this is
+            # not a failover case.
             message = transport.decode_pickle_body(body)
             self.close()
             raise SchedulerError(
-                f"shard worker {shard_id} failed:\n{message}"
+                f"shard worker {shard_id} failed (replica "
+                f"{member.replica_id}, {self._sharding_label} placement):"
+                f"\n{message}"
             )
         try:
             if kind == transport.MSG_LEVEL_REPLY:
@@ -891,138 +1505,144 @@ class NetShardExecutor:
         except (TransportError, ValueError, pickle.PickleError) as exc:
             self.close()
             raise SchedulerError(
-                f"shard worker {shard_id} sent an undecodable reply: "
-                f"{exc}"
+                f"shard worker {shard_id} (replica {member.replica_id}) "
+                f"sent an undecodable reply: {exc}"
             ) from None
         return reply
 
-    def _recover_worker(self, shard_id: int) -> "socket.socket | None":
-        """Restart-with-requeue for a worker lost *mid-job*.
-
-        Only executors that *own* their workers can restart them, so
-        this applies to local clusters exclusively — with externally
-        managed ``addresses`` the coordinator cannot know how to revive
-        a remote host and keeps the documented clean
-        :class:`SchedulerError`.  The respawned worker rebuilds its
-        shard from the spawn-time placement, is upgraded to the pool's
-        rebalanced layout if one is live, and is then replayed the
-        current JOB and the in-flight LEVEL — requeueing exactly the
-        level the dead worker never answered.  Its earlier per-level
-        counter accounting for this job is lost with the process (the
-        embedding count is not: embeddings are only reported on the
-        final level, which the replay re-expands in full).  Returns the
-        fresh socket, or None when recovery is impossible (budget
-        exhausted, respawn failed, replay failed).
-        """
-        if self._cluster is None or self._respawn_budget <= 0:
-            return None
-        if self._job_message is None or self._level_message is None:
-            return None
-        self._respawn_budget -= 1
-        sock: "socket.socket | None" = None
-        try:
-            address = self._cluster.respawn(shard_id)
-            sock = socket.create_connection(
-                address, timeout=self.connect_timeout
-            )
-            _disable_nagle(sock)
-            sock.settimeout(self.connect_timeout)
-            self._handshake(
-                sock,
-                self._graph,
-                expected_shard=shard_id,
-                expected_sharding=self._cluster.sharding,
-            )
-            if self._sharding_label != self._cluster.sharding:
-                # The pool runs a rebalanced layout; bring the fresh
-                # worker onto it before replaying any work.
-                transport.send_pickle_frame(
-                    sock,
-                    transport.MSG_REBALANCE,
-                    (
-                        self._sharding_label,
-                        range_table_slices(
-                            self._range_table, self.num_shards
-                        )[shard_id],
-                    ),
+    def _select_timeout(self, pending, now: float) -> float:
+        """How long the next ``select`` may sleep: until the earliest
+        member deadline or speculation trigger, capped by the I/O
+        timeout (already-due triggers with no spare to fire at are
+        excluded — they must not busy-spin the loop)."""
+        timeout = self.io_timeout
+        for shard_id in pending:
+            watchers = self._watchers.get(shard_id, ())
+            for watcher in watchers:
+                if watcher.deadline is not None:
+                    timeout = min(timeout, watcher.deadline - now)
+            if (
+                self.speculate_after is not None
+                and len(watchers) == 1
+                and watchers[0].dispatched_at is not None
+            ):
+                trigger = (
+                    watchers[0].dispatched_at + self.speculate_after - now
                 )
-                self._handshake(sock, self._graph, expected_shard=shard_id)
-            sock.settimeout(self.io_timeout)
-            for message in (self._job_message, self._level_message):
-                transport.send_frame(
-                    sock,
-                    transport.MSG_JOB
-                    if message[0] == "job"
-                    else transport.MSG_LEVEL,
-                    pickle.dumps(
-                        message[1:], protocol=pickle.HIGHEST_PROTOCOL
-                    ),
-                )
-        except (SchedulerError, TransportError, OSError):
-            if sock is not None:
-                try:
-                    sock.close()
-                except OSError:  # pragma: no cover - best effort
-                    pass
-            return None
-        self._socks[shard_id] = sock
-        return sock
-
-    def _recv_reply(self, shard_id: int, recover: bool = True):
-        """Read and decode one reply from a shard, recovering a lost
-        local-cluster worker once (respawn + requeue the level)."""
-        try:
-            kind, body = transport.recv_frame(self._socks[shard_id])
-        except TransportError as exc:
-            if recover and self._recover_worker(shard_id) is not None:
-                return self._recv_reply(shard_id, recover=False)
-            self.close()
-            raise SchedulerError(
-                f"shard worker {shard_id} disconnected mid-job: {exc}"
-            ) from None
-        return self._decode_reply(shard_id, kind, body)
-
-    def _gather(self) -> list:
-        replies = [None] * self.num_shards
-        for shard_id in range(self.num_shards):
-            try:
-                kind, body = transport.recv_frame(self._socks[shard_id])
-            except TransportError as exc:
-                self.close()
-                raise SchedulerError(
-                    f"shard worker {shard_id} disconnected mid-job: {exc}"
-                ) from None
-            replies[shard_id] = self._decode_reply(shard_id, kind, body)
-        return replies
+                if trigger > 0:
+                    timeout = min(timeout, trigger)
+        return max(0.0, min(timeout, self.io_timeout))
 
     def _gather_iter(self):
         """As-completed level replies: ``(shard_id, reply)`` pairs in
         arrival order (the streaming-compose hook of
-        :func:`repro.parallel.level_sync.run_level_synchronous`).  A
-        local-cluster worker that dies mid-level is respawned and the
-        level requeued to it transparently; external workers keep the
-        clean mid-job failure semantics."""
+        :func:`repro.parallel.level_sync.run_level_synchronous`).
+
+        This loop *is* the failover/speculation engine: it enforces the
+        per-member reply deadline (a wedged replica is dropped and its
+        request re-dispatched), fires speculation for straggling
+        shards, and guarantees **at most one reply per shard per
+        request token** reaches the caller — stale replies (a previous
+        level's late answer) and lost speculation races are drained
+        and discarded here, which is what makes duplicate REPLYs
+        provably harmless to the composition fold above.
+        """
         pending = set(range(self.num_shards))
         while pending:
+            now = time.monotonic()
+            # Deadline enforcement: a watcher past its per-frame
+            # deadline is dropped; failover picks a replacement.
+            for shard_id in sorted(pending):
+                for watcher in list(self._watchers.get(shard_id, ())):
+                    if watcher.deadline is not None and (
+                        watcher.deadline <= now
+                    ):
+                        self._handle_member_failure(
+                            watcher,
+                            f"no reply within {self.io_timeout}s "
+                            f"(worker wedged)",
+                        )
+            # Speculation: a shard still waiting on its only watcher
+            # past the trigger gets a duplicate dispatch to an idle
+            # spare; first reply wins, the loser is discarded below.
+            if self.speculate_after is not None:
+                for shard_id in sorted(pending):
+                    watchers = self._watchers.get(shard_id, ())
+                    if len(watchers) != 1:
+                        continue
+                    started = watchers[0].dispatched_at
+                    if started is None or (
+                        started + self.speculate_after > now
+                    ):
+                        continue
+                    spare = self._pick_spare(shard_id)
+                    if spare is not None:
+                        logger.warning(
+                            "shard %d straggling (> %.3fs); speculating "
+                            "on replica %d",
+                            shard_id, self.speculate_after,
+                            spare.replica_id,
+                        )
+                        self._dispatch(shard_id, member=spare)
+            # Wait on every connection that owes a reply — including
+            # stale/speculative ones, which must be drained.
+            readable: "List[_Member]" = []
+            seen = set()
+            for replica_set in self._members:
+                for _replica_id, candidate in replica_set.members():
+                    if candidate.inflight and id(candidate) not in seen:
+                        seen.add(id(candidate))
+                        readable.append(candidate)
+            if not readable:
+                self._fail_shard(
+                    sorted(pending)[0], "no live replica left to wait on"
+                )
+            timeout = self._select_timeout(pending, now)
             selector = selectors.DefaultSelector()
             try:
-                for shard_id in pending:
+                for candidate in readable:
                     selector.register(
-                        self._socks[shard_id], selectors.EVENT_READ, shard_id
+                        candidate.sock, selectors.EVENT_READ, candidate
                     )
-                events = selector.select(timeout=self.io_timeout)
+                events = selector.select(timeout=timeout)
             finally:
                 selector.close()
-            if not events:
-                self.close()
-                raise SchedulerError(
-                    f"no shard reply within {self.io_timeout}s; "
-                    f"{len(pending)} worker(s) wedged"
-                )
             for key, _mask in events:
-                shard_id = key.data
+                member: _Member = key.data
+                if (
+                    self._members[member.shard_id].get(member.replica_id)
+                    is not member
+                ):
+                    continue  # dropped earlier in this event batch
+                try:
+                    kind, body = transport.recv_frame(member.sock)
+                except TransportError as exc:
+                    self._handle_member_failure(
+                        member, str(exc),
+                        redispatch=member.shard_id in pending,
+                    )
+                    continue
+                token = (
+                    member.inflight.popleft() if member.inflight else -1
+                )
+                if not member.inflight:
+                    member.dispatched_at = None
+                    member.deadline = None
+                if token != self._token:
+                    continue  # a previous request's late reply; drained
+                shard_id = member.shard_id
+                if shard_id not in pending:
+                    continue  # lost the speculation race; duplicate
+                reply = self._decode_reply(member, kind, body)
                 pending.discard(shard_id)
-                yield shard_id, self._recv_reply(shard_id)
+                self._watchers[shard_id] = []
+                yield shard_id, reply
+
+    def _gather(self) -> list:
+        replies = [None] * self.num_shards
+        for shard_id, reply in self._gather_iter():
+            replies[shard_id] = reply
+        return replies
 
     # -- adaptive placement ----------------------------------------------
 
@@ -1032,17 +1652,18 @@ class NetShardExecutor:
         The socket twin of :meth:`repro.parallel.shard_executor.
         ProcessShardExecutor.rebalance` — one shared planner
         (:func:`repro.parallel.level_sync.plan_pool_rebalance`), two
-        transports.  *Every* worker receives its slice of the recut
-        table in a REBALANCE frame (a worker whose ranges didn't move
-        merely adopts the new placement label and keeps its warm
-        indices — the whole pool must agree on one label or the next
-        session handshake would refuse the laggards), and each answers
-        with a fresh HELLO that must echo the new label.  Works against
-        local clusters and remote ``serve-shard`` workers alike (the
-        frame is part of the wire protocol); runs strictly between
-        jobs.  Returns the number of shards whose ranges moved.
+        transports.  *Every* live replica of every shard receives its
+        range's slice of the recut table in a REBALANCE frame (a worker
+        whose ranges didn't move merely adopts the new placement label
+        and keeps its warm indices — the whole pool must agree on one
+        label or the next session handshake would refuse the laggards),
+        and each answers with a fresh HELLO that must echo the new
+        label.  Works against local clusters and remote ``serve-shard``
+        workers alike (the frame is part of the wire protocol); runs
+        strictly between jobs.  Returns the number of shards whose
+        ranges moved.
         """
-        if not self._socks or self._graph is None:
+        if not self._members or self._graph is None:
             raise SchedulerError(
                 "no live pool to rebalance; run a job first"
             )
@@ -1051,34 +1672,38 @@ class NetShardExecutor:
             return 0
         table, label, slices, moved = plan
         for shard_id in range(self.num_shards):
-            try:
-                transport.send_pickle_frame(
-                    self._socks[shard_id],
-                    transport.MSG_REBALANCE,
-                    (label, slices[shard_id]),
-                )
-            except TransportError:
-                self.close()
-                raise SchedulerError(
-                    f"shard worker {shard_id} is gone; connections torn "
-                    f"down"
-                ) from None
+            for _replica_id, member in self._members[shard_id].members():
+                try:
+                    transport.send_pickle_frame(
+                        member.sock,
+                        transport.MSG_REBALANCE,
+                        (label, slices[shard_id]),
+                    )
+                except (TransportError, OSError):
+                    self.close()
+                    raise SchedulerError(
+                        f"shard worker {shard_id} is gone; connections "
+                        f"torn down"
+                    ) from None
         # Update the expected label before validating the echoes: the
         # workers announce the *new* layout.
         self._range_table = table
         self._sharding_label = label
         for shard_id in range(self.num_shards):
-            try:
-                self._handshake(
-                    self._socks[shard_id],
-                    self._graph,
-                    expected_shard=shard_id,
-                )
-            except (SchedulerError, TransportError) as exc:
-                self.close()
-                raise SchedulerError(
-                    f"shard worker {shard_id} failed to rebalance: {exc}"
-                ) from None
+            for replica_id, member in self._members[shard_id].members():
+                try:
+                    self._handshake(
+                        member.sock,
+                        self._graph,
+                        expected_shard=shard_id,
+                        expected_replica=replica_id,
+                    )
+                except (SchedulerError, TransportError) as exc:
+                    self.close()
+                    raise SchedulerError(
+                        f"shard worker {shard_id} failed to rebalance: "
+                        f"{exc}"
+                    ) from None
         return len(moved)
 
     # -- execution ------------------------------------------------------
@@ -1096,7 +1721,9 @@ class NetShardExecutor:
         The identical level-synchronous protocol as the multiprocess
         executor (one shared implementation,
         :func:`repro.parallel.level_sync.run_level_synchronous`), so
-        counts are bit-identical to it and to the sequential engine.
+        counts are bit-identical to it and to the sequential engine —
+        including under failover and speculation, which replace *who*
+        answers a level but never *what* the answer is.
         ``stream=False`` forces the barrier gather (the benchmarks'
         baseline for the streaming-compose comparison).
         """
@@ -1108,9 +1735,11 @@ class NetShardExecutor:
                 stream=stream,
             )
         finally:
-            # The recovery cache only matters while a gather is in
-            # flight; dropping it here releases the last level's
+            # The recovery caches only matter while a gather is in
+            # flight; dropping them here releases the last level's
             # frontier (the job's largest allocation) on executors that
             # stay warm between queries.
             self._job_message = None
             self._level_message = None
+            self._inflight_frame = None
+            self._watchers = {}

@@ -55,7 +55,7 @@ from ..hypergraph.sharding import StoreShard, resolve_sharding
 from ..hypergraph.storage import group_edges_by_signature, resolve_index_backend
 from .executor import ParallelResult
 from .level_sync import MASK_BACKENDS, expand_level, plan_pool_rebalance
-from .tasks import WorkerStats, default_seed
+from .tasks import WorkerStats, default_seed, join_or_kill
 
 
 # ----------------------------------------------------------------------
@@ -255,11 +255,8 @@ class ProcessShardExecutor:
                 conn.close()
             except OSError:
                 pass
-        for process in self._processes:
-            process.join(timeout=2.0)
-            if process.is_alive():  # pragma: no cover - stuck worker
-                process.terminate()
-                process.join(timeout=1.0)
+        for index, process in enumerate(self._processes):
+            join_or_kill(process, timeout=2.0, label=f"shard worker #{index}")
         self._processes = []
         self._conns = []
         self._graph = None

@@ -19,9 +19,12 @@ behaviourally identical and avoids a million tiny allocations.
 
 from __future__ import annotations
 
+import logging
 import os
 from dataclasses import dataclass
 from typing import Tuple
+
+logger = logging.getLogger("repro.parallel")
 
 #: A partial embedding: matched data hyperedge ids for steps 0..k-1.
 PartialEmbedding = Tuple[int, ...]
@@ -50,6 +53,38 @@ def default_seed() -> int:
         raise ValueError(
             f"REPRO_SEED must be an integer, got {value!r}"
         ) from None
+
+
+def join_or_kill(process, timeout: float = 5.0, label: str = "worker") -> bool:
+    """Join ``process``, escalating terminate → kill instead of leaking.
+
+    Every join in the shard runtimes funnels through here so a stuck
+    worker can never silently survive its pool: a process that misses
+    the ``timeout`` join is terminated (SIGTERM) with a logged warning,
+    and one that survives *that* is killed (SIGKILL) — each escalation
+    gets its own ``timeout`` join.  Returns True when the process ended
+    by itself within the first join, False when escalation was needed
+    (the caller's cleanup still completed either way).
+    """
+    process.join(timeout=timeout)
+    if not process.is_alive():
+        return True
+    logger.warning(
+        "%s (pid %s) did not exit within %.1fs; terminating",
+        label, process.pid, timeout,
+    )
+    process.terminate()
+    process.join(timeout=timeout)
+    if not process.is_alive():
+        return False
+    logger.warning(
+        "%s (pid %s) survived terminate; killing",
+        label, process.pid,
+    )
+    kill = getattr(process, "kill", process.terminate)
+    kill()
+    process.join(timeout=timeout)
+    return False
 
 
 def task_kind(task: PartialEmbedding, num_steps: int) -> str:

@@ -1,0 +1,321 @@
+"""Deterministic fault injection: the chaos harness and the failover
+matrix it drives.
+
+The unit half pins the :class:`~repro.parallel.chaos.FaultPlan`
+semantics (frame counting, single-use faults, pickling without
+killers, the version-byte garble).  The integration half is the
+robustness contract of the replicated socket runtime: for every fault
+the plan can express — sever, garble, kill, slow replica, dropped
+reply — a 2-replica pool must finish the job with counts
+**bit-identical** to the unfaulted run, and losing the *last* replica
+of a range must fail fast with a clean :class:`SchedulerError`, never
+a hang.  Faults are pinned to protocol frame positions, so every test
+reproduces the same failure at the same LEVEL on every run.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+
+from repro import HGMatch
+from repro.errors import SchedulerError
+from repro.hypergraph import INDEX_BACKENDS
+from repro.parallel import FaultPlan, NetShardExecutor, spawn_local_cluster
+from repro.parallel.chaos import ChaosSeveredError, ChaosSocket
+from repro.testing import make_random_instance
+
+
+@pytest.fixture(scope="module")
+def chaos_instance():
+    """One deterministic (data, query) pair with its expected counts
+    per backend — computed once; every fault scenario must reproduce
+    these numbers exactly."""
+    rng = random.Random(987)
+    instances = []
+    while len(instances) < 1:
+        instance = make_random_instance(rng)
+        if instance is not None:
+            instances.append(instance)
+    data, query = instances[0]
+    expected = {}
+    for backend in INDEX_BACKENDS:
+        engine = HGMatch(data, index_backend=backend)
+        try:
+            expected[backend] = engine.count(query)
+        finally:
+            engine.close()
+    return data, query, expected
+
+
+# ----------------------------------------------------------------------
+# FaultPlan / ChaosSocket units
+# ----------------------------------------------------------------------
+
+
+class _RecordingSock:
+    """A sendall sink standing in for a real socket."""
+
+    def __init__(self):
+        self.frames = []
+        self.closed = False
+
+    def sendall(self, data):
+        self.frames.append(bytes(data))
+
+    def close(self):
+        self.closed = True
+
+
+def test_fault_plan_validates_and_reprs():
+    plan = FaultPlan(seed=7)
+    plan.sever(0, after_frames=2)
+    plan.drop_reply(1, after_frames=3)
+    assert "faults=2" in repr(plan) and "pending=2" in repr(plan)
+    with pytest.raises(ValueError, match="1-based"):
+        plan.sever(0, after_frames=0)
+    with pytest.raises(ValueError, match="role"):
+        plan.sever(0, after_frames=1, role="bystander")
+    with pytest.raises(ValueError, match="role"):
+        plan.wrap(_RecordingSock(), "bystander")
+    # The seeded rng is reproducible harness state.
+    assert FaultPlan(seed=5).rng.random() == random.Random(5).random()
+
+
+def test_fault_plan_pickles_without_killers():
+    plan = FaultPlan(seed=3)
+    plan.kill_worker(1, 0, after_frames=2)
+    plan.arm_killer(1, 0, lambda: None)
+    clone = pickle.loads(pickle.dumps(plan))
+    assert clone._killers == {}
+    assert [f.kind for f in clone.faults] == ["kill"]
+    assert clone.seed == 3
+
+
+def test_frames_count_per_connection_and_faults_fire_once():
+    plan = FaultPlan()
+    plan.drop_reply(0, 0, after_frames=2)
+    raw_a = _RecordingSock()
+    raw_b = _RecordingSock()
+    sock_a = plan.wrap(raw_a, "worker", 0, 0)
+    sock_b = plan.wrap(raw_b, "worker", 0, 1)  # different replica
+    frame = b"\x01\x00\x00\x00\x01X"
+    for sock in (sock_a, sock_b):
+        sock.sendall(frame)
+        sock.sendall(frame)  # frame 2: dropped only on (0, 0)
+        sock.sendall(frame)
+    assert len(raw_a.frames) == 2  # frame 2 vanished, fault consumed
+    assert len(raw_b.frames) == 3  # wrong replica: untouched
+    assert sock_a.frames_sent == 3
+    assert all(f.consumed for f in plan.faults)
+
+
+def test_garble_flips_exactly_the_version_byte():
+    plan = FaultPlan()
+    plan.garble(0, after_frames=2, role="worker")
+    raw = _RecordingSock()
+    sock = plan.wrap(raw, "worker", 0, 0)
+    frame = b"\x02\x00\x00\x00\x01H"  # u32 len | version | kind
+    sock.sendall(frame)
+    sock.sendall(frame)
+    clean, garbled = raw.frames
+    assert clean == frame
+    assert garbled[4] == frame[4] ^ 0xFF
+    assert garbled[:4] == frame[:4] and garbled[5:] == frame[5:]
+
+
+def test_sever_closes_the_socket_and_raises_oserror():
+    plan = FaultPlan()
+    plan.sever(1, after_frames=1)
+    raw = _RecordingSock()
+    sock = plan.wrap(raw, "coordinator")
+    sock.bind_endpoint(1, 0)  # identity learned post-handshake
+    with pytest.raises(ChaosSeveredError):
+        sock.sendall(b"xxxx")
+    assert raw.closed and raw.frames == []
+
+
+def test_unarmed_kill_degrades_to_sever_after_sending():
+    plan = FaultPlan()
+    plan.kill_worker(0, 0, after_frames=1)
+    raw = _RecordingSock()
+    sock = plan.wrap(raw, "coordinator", 0, 0)
+    with pytest.raises(OSError):
+        sock.sendall(b"frame")
+    assert raw.frames == [b"frame"]  # the frame went out first
+    assert raw.closed
+
+
+def test_unbound_wrapper_passes_frames_through():
+    plan = FaultPlan()
+    plan.sever(0, after_frames=1)
+    raw = _RecordingSock()
+    sock = plan.wrap(raw, "coordinator")  # identity never bound
+    sock.sendall(b"frame")
+    assert raw.frames == [b"frame"]
+    assert isinstance(sock, ChaosSocket)
+    assert not plan.faults[0].consumed
+
+
+# ----------------------------------------------------------------------
+# The failover matrix (2-replica pools, exact counts under faults)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", INDEX_BACKENDS)
+def test_kill_worker_mid_level_fails_over(chaos_instance, backend):
+    """The acceptance scenario: kill a worker process right after the
+    first LEVEL lands on it; the spare replica must finish the job with
+    bit-identical counts on every index backend."""
+    data, query, expected = chaos_instance
+    engine = HGMatch(data, index_backend=backend)
+    plan = FaultPlan(seed=11)
+    plan.kill_worker(0, 0, after_frames=2)  # frame 1=JOB, 2=LEVEL 0
+    cluster = spawn_local_cluster(
+        data, 2, index_backend=backend, num_replicas=2
+    )
+    plan.arm_killer(0, 0, lambda: cluster.kill_member(0, 0))
+    executor = NetShardExecutor(
+        addresses=list(cluster.addresses),
+        num_replicas=2,
+        index_backend=backend,
+        io_timeout=60.0,
+        chaos=plan,
+    )
+    try:
+        result = executor.run(engine, query)
+        assert result.embeddings == expected[backend]
+        assert all(f.consumed for f in plan.faults)
+    finally:
+        executor.close()
+        cluster.close()
+        engine.close()
+
+
+def test_sever_mid_level_fails_over(chaos_instance):
+    """A severed coordinator connection mid-level (worker survives)
+    re-dispatches the in-flight LEVEL to the live replica."""
+    data, query, expected = chaos_instance
+    engine = HGMatch(data, index_backend="bitset")
+    plan = FaultPlan(seed=2)
+    plan.sever(1, 0, after_frames=2)
+    cluster = spawn_local_cluster(
+        data, 2, index_backend="bitset", num_replicas=2
+    )
+    executor = NetShardExecutor(
+        addresses=list(cluster.addresses),
+        num_replicas=2,
+        index_backend="bitset",
+        io_timeout=60.0,
+        chaos=plan,
+    )
+    try:
+        assert executor.run(engine, query).embeddings == expected["bitset"]
+        assert all(f.consumed for f in plan.faults)
+    finally:
+        executor.close()
+        cluster.close()
+        engine.close()
+
+
+def test_garbled_frame_fails_over(chaos_instance):
+    """A corrupted LEVEL frame makes the worker reject the session (it
+    must never guess); the coordinator treats the lost session like any
+    disconnect and fails over."""
+    data, query, expected = chaos_instance
+    engine = HGMatch(data, index_backend="merge")
+    plan = FaultPlan(seed=4)
+    plan.garble(0, 0, after_frames=2)
+    cluster = spawn_local_cluster(
+        data, 2, index_backend="merge", num_replicas=2
+    )
+    executor = NetShardExecutor(
+        addresses=list(cluster.addresses),
+        num_replicas=2,
+        index_backend="merge",
+        io_timeout=60.0,
+        chaos=plan,
+    )
+    try:
+        assert executor.run(engine, query).embeddings == expected["merge"]
+        assert all(f.consumed for f in plan.faults)
+    finally:
+        executor.close()
+        cluster.close()
+        engine.close()
+
+
+def test_dropped_reply_hits_deadline_then_fails_over(chaos_instance):
+    """A swallowed reply (wedged worker: connection up, silence) trips
+    the per-frame deadline; the level is re-dispatched to the spare and
+    counts stay exact."""
+    data, query, expected = chaos_instance
+    engine = HGMatch(data, index_backend="bitset")
+    plan = FaultPlan(seed=6)
+    plan.drop_reply(1, 0, after_frames=2)  # frame 1=HELLO, 2=reply
+    cluster = spawn_local_cluster(
+        data, 2, index_backend="bitset", num_replicas=2, chaos=plan
+    )
+    executor = NetShardExecutor(
+        addresses=list(cluster.addresses),
+        num_replicas=2,
+        index_backend="bitset",
+        io_timeout=1.5,
+        chaos=plan,
+    )
+    try:
+        assert executor.run(engine, query).embeddings == expected["bitset"]
+    finally:
+        executor.close()
+        cluster.close()
+        engine.close()
+
+
+def test_slow_replica_triggers_speculation(chaos_instance):
+    """A straggling replica (delayed reply) makes the coordinator
+    speculatively re-dispatch the level to an idle spare; whichever
+    reply lands first wins and the duplicate is discarded — counts are
+    exact either way."""
+    data, query, expected = chaos_instance
+    plan = FaultPlan(seed=9)
+    plan.slow_reply(0, 0, after_frames=2, seconds=1.0)
+    engine = HGMatch(data, index_backend="bitset")
+    executor = NetShardExecutor(
+        num_shards=2,
+        num_replicas=2,
+        index_backend="bitset",
+        speculate_after=0.2,
+        io_timeout=60.0,
+        chaos=plan,
+    )
+    try:
+        assert executor.run(engine, query).embeddings == expected["bitset"]
+    finally:
+        executor.close()
+        engine.close()
+
+
+def test_zero_replica_loss_fails_fast(chaos_instance):
+    """Killing the only replica of a range mid-level must raise a clean
+    SchedulerError naming the shard — no spare, no hang."""
+    data, query, _ = chaos_instance
+    engine = HGMatch(data, index_backend="bitset")
+    plan = FaultPlan(seed=3)
+    plan.kill_worker(1, 0, after_frames=2)
+    cluster = spawn_local_cluster(data, 2, index_backend="bitset")
+    plan.arm_killer(1, 0, lambda: cluster.kill_member(1, 0))
+    executor = NetShardExecutor(
+        addresses=list(cluster.addresses),
+        index_backend="bitset",
+        io_timeout=30.0,
+        chaos=plan,
+    )
+    try:
+        with pytest.raises(SchedulerError, match="disconnected mid-job"):
+            executor.run(engine, query)
+    finally:
+        executor.close()
+        cluster.close()
+        engine.close()

@@ -361,3 +361,83 @@ class TestMatch:
         code, output = run_cli("match", data_path, bad_path)
         assert code == 1
         assert "error:" in output
+
+
+class TestReplicaFlags:
+    def test_match_replicated_sockets(self, fig1_files):
+        data_path, query_path = fig1_files
+        code, output = run_cli(
+            "match", data_path, query_path,
+            "--executor", "sockets", "--shards", "2", "--replicas", "2",
+        )
+        assert code == 0
+        assert output.startswith("2 embeddings")
+
+    def test_replicas_implies_sockets(self, fig1_files):
+        data_path, query_path = fig1_files
+        code, output = run_cli(
+            "match", data_path, query_path,
+            "--shards", "2", "--replicas", "2",
+        )
+        assert code == 0
+        assert output.startswith("2 embeddings")
+
+    def test_replicas_rejected_for_non_socket_executors(self, fig1_files):
+        data_path, query_path = fig1_files
+        code, output = run_cli(
+            "match", data_path, query_path,
+            "--executor", "threads", "--replicas", "2",
+        )
+        assert code == 1
+        assert "--executor sockets" in output
+
+    def test_replicas_must_be_positive(self, fig1_files):
+        data_path, query_path = fig1_files
+        code, output = run_cli(
+            "match", data_path, query_path, "--replicas", "0"
+        )
+        assert code == 1
+        assert ">= 1" in output
+
+    def test_hosts_replicas_divisibility(self, fig1_files):
+        data_path, query_path = fig1_files
+        code, output = run_cli(
+            "match", data_path, query_path,
+            "--hosts", "h:1,h:2,h:3", "--replicas", "2",
+        )
+        assert code == 1
+        assert "divide" in output
+
+    def test_serve_shard_rejects_bad_replica_arithmetic(self, fig1_files):
+        data_path, _ = fig1_files
+        code, output = run_cli(
+            "serve-shard", data_path, "--shard-id", "0",
+            "--num-shards", "1", "--replica-id", "2",
+            "--num-replicas", "2",
+        )
+        assert code == 1
+        assert "--replica-id 2 out of range" in output
+        code, output = run_cli(
+            "serve-shard", data_path, "--shard-id", "0",
+            "--num-shards", "1", "--num-replicas", "0",
+        )
+        assert code == 1
+        assert "--num-replicas must be >= 1" in output
+
+    def test_serve_shard_banner_names_replica(self, fig1_files):
+        data_path, _ = fig1_files
+        code, output = run_cli(
+            "serve-shard", data_path, "--shard-id", "0",
+            "--num-shards", "2", "--replica-id", "1",
+            "--num-replicas", "2", "--max-sessions", "0",
+        )
+        assert code == 0
+        assert "serving shard 0/2 (replica 1/2)" in output
+        # Unreplicated banners keep the pre-replication wording.
+        code, output = run_cli(
+            "serve-shard", data_path, "--shard-id", "0",
+            "--num-shards", "2", "--max-sessions", "0",
+        )
+        assert code == 0
+        assert "serving shard 0/2 of" in output
+        assert "replica" not in output

@@ -567,3 +567,193 @@ def test_results_are_reproducible_across_runs(workload_instances):
         ]
     finally:
         engine.close()
+
+
+# ----------------------------------------------------------------------
+# Replication (K replicas per shard range)
+# ----------------------------------------------------------------------
+
+
+def test_replicated_local_pool_counts_match(workload_instances):
+    """K=2 local pool: counts and accounting are bit-identical to the
+    unreplicated run (spares receive the JOB but answer no level)."""
+    data, query = workload_instances[0]
+    engine = HGMatch(data, index_backend="bitset", shards=2)
+    executor = NetShardExecutor(
+        num_shards=2, num_replicas=2, index_backend="bitset"
+    )
+    try:
+        expected = engine.count(query)
+        result = executor.run(engine, query)
+        assert result.embeddings == expected
+        assert sorted(s.worker_id for s in result.worker_stats) == [0, 1]
+        # 2 shards x 2 replicas, flat layout.
+        assert len(executor._cluster.processes) == 4
+        assert executor._cluster.num_shards == 2
+        # Warm reuse still works (the COLLECT probe round-trips).
+        assert executor.run(engine, query).embeddings == expected
+    finally:
+        executor.close()
+        engine.close()
+
+
+def test_replicated_addresses_mode_tolerates_dead_replica(
+    workload_instances,
+):
+    """K=2 addresses mode: one dead replica at pool build merely loses
+    that replica; zero live replicas for a shard refuses to compose."""
+    data, query = workload_instances[0]
+    engine = HGMatch(data, index_backend="merge")
+    cluster = spawn_local_cluster(
+        data, 2, index_backend="merge", num_replicas=2
+    )
+    try:
+        expected = engine.count(query)
+        # Kill shard 1's replica 1: the pool still has a live replica
+        # of every range and must compose exact counts.
+        cluster.kill_member(1, 1)
+        executor = NetShardExecutor(
+            addresses=list(cluster.addresses),
+            num_replicas=2,
+            index_backend="merge",
+        )
+        try:
+            assert executor.run(engine, query).embeddings == expected
+        finally:
+            executor.close()
+        # Kill shard 0 entirely: zero live replicas -> clean refusal.
+        cluster.kill_member(0, 0)
+        cluster.kill_member(0, 1)
+        executor = NetShardExecutor(
+            addresses=list(cluster.addresses),
+            num_replicas=2,
+            index_backend="merge",
+        )
+        try:
+            with pytest.raises(SchedulerError, match="no live replica"):
+                executor.run(engine, query)
+        finally:
+            executor.close()
+    finally:
+        cluster.close()
+        engine.close()
+
+
+def test_replica_arithmetic_mismatch(workload_instances):
+    """A worker believing in a different replication factor must be
+    refused at handshake, like any other contract mismatch."""
+    data, query = workload_instances[0]
+    engine = HGMatch(data, index_backend="merge")
+    worker = ShardWorker(
+        data, 0, 1, index_backend="merge", replica_id=0, num_replicas=2
+    )
+    address = worker.bind()
+    thread = threading.Thread(
+        target=worker.serve_forever, kwargs={"max_sessions": 1}, daemon=True
+    )
+    thread.start()
+    executor = NetShardExecutor(addresses=[address], index_backend="merge")
+    try:
+        with pytest.raises(SchedulerError, match="replica arithmetic"):
+            executor.run(engine, query)
+    finally:
+        executor.close()
+        worker.close()
+        engine.close()
+
+
+def test_duplicate_replica_identity_rejected(workload_instances):
+    """Two workers announcing the same (shard, replica) slot: composing
+    them would be ambiguous, so the pool build refuses."""
+    data, query = workload_instances[0]
+    engine = HGMatch(data, index_backend="merge")
+    workers = [
+        ShardWorker(
+            data, 0, 1, index_backend="merge", replica_id=0, num_replicas=2
+        )
+        for _ in range(2)
+    ]
+    threads = []
+    addresses = []
+    for worker in workers:
+        addresses.append(worker.bind())
+        thread = threading.Thread(
+            target=worker.serve_forever,
+            kwargs={"max_sessions": 1},
+            daemon=True,
+        )
+        thread.start()
+        threads.append(thread)
+    executor = NetShardExecutor(
+        addresses=addresses, num_replicas=2, index_backend="merge"
+    )
+    try:
+        with pytest.raises(SchedulerError, match="both announced"):
+            executor.run(engine, query)
+    finally:
+        executor.close()
+        for worker in workers:
+            worker.close()
+        engine.close()
+
+
+def test_io_timeout_is_configurable(monkeypatch):
+    """REPRO_NET_TIMEOUT seeds the default; the kwarg wins over it."""
+    from repro.parallel import default_io_timeout
+    from repro.parallel.net_executor import DEFAULT_IO_TIMEOUT
+
+    monkeypatch.delenv("REPRO_NET_TIMEOUT", raising=False)
+    assert default_io_timeout() == DEFAULT_IO_TIMEOUT
+    monkeypatch.setenv("REPRO_NET_TIMEOUT", "7.5")
+    assert default_io_timeout() == 7.5
+    executor = NetShardExecutor(num_shards=1)
+    assert executor.io_timeout == 7.5
+    executor.close()
+    executor = NetShardExecutor(num_shards=1, io_timeout=1.25)
+    assert executor.io_timeout == 1.25
+    executor.close()
+    monkeypatch.setenv("REPRO_NET_TIMEOUT", "soon")
+    with pytest.raises(SchedulerError, match="REPRO_NET_TIMEOUT"):
+        default_io_timeout()
+    monkeypatch.setenv("REPRO_NET_TIMEOUT", "-3")
+    with pytest.raises(SchedulerError, match="positive"):
+        default_io_timeout()
+
+
+def test_retry_policy_is_bounded_and_reproducible():
+    from repro.parallel import RetryPolicy
+
+    policy = RetryPolicy(
+        attempts=5, base_delay=0.1, max_delay=0.4, jitter=0.5
+    )
+    # Without jitter: pure capped exponential.
+    assert policy.delay(0) == pytest.approx(0.1)
+    assert policy.delay(1) == pytest.approx(0.2)
+    assert policy.delay(10) == pytest.approx(0.4)
+    # With a seeded rng: jittered within [base, base * 1.5], and the
+    # same seed reproduces the same schedule.
+    first = [policy.delay(a, random.Random(3)) for a in range(5)]
+    second = [policy.delay(a, random.Random(3)) for a in range(5)]
+    assert first == second
+    for attempt, delay in enumerate(first):
+        base = min(0.4, 0.1 * 2.0 ** attempt)
+        assert base <= delay <= base * 1.5
+
+
+def test_invalid_replica_configuration():
+    with pytest.raises(SchedulerError):
+        NetShardExecutor(num_shards=2, num_replicas=0)
+    with pytest.raises(SchedulerError, match="divide"):
+        NetShardExecutor(
+            addresses=[("h", 1), ("h", 2), ("h", 3)], num_replicas=2
+        )
+    with pytest.raises(SchedulerError):
+        ShardWorker(
+            Hypergraph(labels=["A", "A"], edges=[{0, 1}]),
+            0, 1, replica_id=2, num_replicas=2,
+        )
+    with pytest.raises(SchedulerError):
+        spawn_local_cluster(
+            Hypergraph(labels=["A", "A"], edges=[{0, 1}]), 1,
+            num_replicas=0,
+        )

@@ -10,6 +10,7 @@ row-disjoint split.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 
 import pytest
@@ -379,3 +380,124 @@ def test_balanced_store_slices_concatenate_in_range_order(
     for shard in sharded:
         assert shard.sharding == "balanced"
         assert shard.describe().sharding == "balanced"
+
+
+@pytest.mark.parametrize("backend", INDEX_BACKENDS)
+def test_duplicated_keyed_streams_fold_exactly_once(backend):
+    """The replication property: a reply stream that is shuffled AND
+    duplicated (a replica's speculative twin answering the same level)
+    folds to results bit-identical to the barrier composition when each
+    contribution carries its shard id as the dedup key.  Without the
+    key, duplicated tuple payloads would double their edges — the test
+    would catch any executor that stops deduplicating."""
+    rng = random.Random(20260807)
+    trials = 0
+    while trials < 8:
+        instance = make_random_instance(rng)
+        if instance is None:
+            continue
+        trials += 1
+        data, query = instance
+        engine = HGMatch(data, index_backend=backend)
+        num_shards = rng.choice((2, 3, 4))
+        sharded = ShardedStore(data, num_shards, index_backend=backend)
+        plan = engine.plan(query)
+        stack = [()]
+        while stack:
+            matched = stack.pop()
+            step_plan = plan.steps[len(matched)]
+            partition = engine.store.partition(step_plan.signature)
+            vmap = vertex_step_map(data, matched)
+            payloads = []
+            for shard in sharded:
+                local = shard.partition(step_plan.signature)
+                if local is None:
+                    continue
+                local_set = generate_candidate_set(
+                    data, local, step_plan, matched, vmap
+                )
+                if not local_set:
+                    continue
+                payloads.append((
+                    shard.shard_id,
+                    local_set.to_bytes(
+                        row_offset=shard.row_base(step_plan.signature)
+                    ),
+                ))
+            index = None if partition is None else partition.index
+            barrier = compose_candidate_sets([
+                candidate_set_from_bytes(payload, index)
+                for _, payload in payloads
+            ])
+            # Duplicate each reply 1-3x (fresh decode per copy — the
+            # replicas' replies are byte-identical, never the same
+            # object), then shuffle the whole stream.
+            stream = []
+            for shard_id, payload in payloads:
+                for _ in range(rng.randint(1, 3)):
+                    stream.append((shard_id, payload))
+            rng.shuffle(stream)
+            accumulator = CandidateAccumulator()
+            for shard_id, payload in stream:
+                accumulator.add(
+                    candidate_set_from_bytes(payload, index), key=shard_id
+                )
+            assert accumulator.result().to_tuple() == barrier.to_tuple()
+            for extended in engine.expand(plan, matched):
+                if len(extended) < plan.num_steps:
+                    stack.append(extended)
+
+
+class TestReplicaIdentity:
+    def test_descriptor_replica_fields_round_trip(self, fig1_data):
+        from repro.hypergraph import ShardedStore
+        from repro.hypergraph.sharding import ShardDescriptor
+
+        sharded = ShardedStore(fig1_data, 2)
+        base = next(iter(sharded)).describe()
+        assert (base.replica_id, base.num_replicas) == (0, 1)
+        stamped = base.with_replica(1, 3)
+        assert (stamped.replica_id, stamped.num_replicas) == (1, 3)
+        # Identity never changes what the shard owns.
+        assert stamped.shard_id == base.shard_id
+        assert stamped.num_rows == base.num_rows
+        parsed = ShardDescriptor.from_dict(dataclasses.asdict(stamped))
+        assert parsed == stamped
+        # Pre-replication peers omit the fields: default to 0 of 1.
+        legacy = dataclasses.asdict(base)
+        legacy.pop("replica_id", None)
+        legacy.pop("num_replicas", None)
+        parsed = ShardDescriptor.from_dict(legacy)
+        assert (parsed.replica_id, parsed.num_replicas) == (0, 1)
+
+    def test_with_replica_validates_arithmetic(self, fig1_data):
+        from repro.hypergraph import ShardedStore
+
+        descriptor = next(iter(ShardedStore(fig1_data, 2))).describe()
+        with pytest.raises(ValueError, match="out of range"):
+            descriptor.with_replica(2, 2)
+        with pytest.raises(ValueError, match=">= 1"):
+            descriptor.with_replica(0, 0)
+
+    def test_replica_set_tracks_live_members(self):
+        from repro.hypergraph import ReplicaSet
+
+        replicas = ReplicaSet(3, 2)
+        assert not replicas and len(replicas) == 0
+        replicas.place(1, "b")
+        replicas.place(0, "a")
+        with pytest.raises(ValueError, match="already placed"):
+            replicas.place(0, "usurper")
+        with pytest.raises(ValueError, match="out of range"):
+            replicas.place(2, "c")
+        # Deterministic ascending order regardless of placement order.
+        assert replicas.members() == [(0, "a"), (1, "b")]
+        assert list(replicas) == ["a", "b"]
+        replicas.remove(0)
+        replicas.remove(0)  # idempotent
+        assert replicas.get(0) is None and replicas.get(1) == "b"
+        assert len(replicas) == 1 and bool(replicas)
+        replicas.remove(1)
+        assert not replicas  # zero live replicas: the fatal state
+        with pytest.raises(ValueError):
+            ReplicaSet(0, 0)
