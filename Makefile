@@ -5,8 +5,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-backends test-processes test-sockets test-chaos \
-	bench-smoke bench-index bench-sharding bench-skew bench-net \
-	bench-chaos docs-check lint-imports
+	test-elastic bench-smoke bench-index bench-sharding bench-skew \
+	bench-net bench-chaos bench-elastic docs-check lint-imports
 
 ## Tier-1 verification: the whole test suite, stop on first failure.
 ## Honours REPRO_INDEX_BACKEND (merge/bitset/adaptive).
@@ -52,6 +52,14 @@ test-sockets:
 test-chaos:
 	$(PYTHON) -m pytest -x -q tests/test_chaos.py tests/test_net_executor.py
 
+## Elastic-runtime smoke: worker discovery (registry + announcer),
+## supervised restart under a retry budget, and live grow/shrink of
+## the replicated pool (admit/drain, shard retirement, registry-fed
+## mid-job failover).
+test-elastic:
+	$(PYTHON) -m pytest -x -q tests/test_registry.py \
+		tests/test_supervisor.py tests/test_elastic.py
+
 ## One fast benchmark as a smoke signal: the three-backend index
 ## comparison (merge/bitset/adaptive + mask-native pipeline; also
 ## regenerates BENCH_index_backends.json).
@@ -88,6 +96,15 @@ bench-net:
 ## gated).
 bench-chaos:
 	$(PYTHON) benchmarks/bench_chaos.py
+
+## Elastic reconfiguration gate: grow a pool K=1 -> K=2 mid-lifetime,
+## lose-and-readmit a replica, restart a supervised worker within the
+## retry budget, and evict a severed worker via missed heartbeats —
+## all with bit-identical counts on every backend (regenerates
+## BENCH_elastic.json; reconfiguration wall-clock recorded, not
+## gated).
+bench-elastic:
+	$(PYTHON) benchmarks/bench_elastic.py
 
 ## Documentation checks: the WIRE_FORMAT.md doctests (the byte-level
 ## spec is executable) and a link check over docs/ + README.

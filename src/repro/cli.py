@@ -15,7 +15,13 @@ Commands
     with any engine from the benchmark line-up.
 ``serve-shard``
     Serve one store shard over TCP — the worker side of
-    ``match --executor sockets`` (see ``docs/ARCHITECTURE.md``).
+    ``match --executor sockets`` (see ``docs/ARCHITECTURE.md``);
+    ``--announce host:port`` registers it with a worker registry.
+``supervise``
+    Boot and babysit a local shard-worker pool: restart crashed
+    workers under a retry budget, optionally run the worker registry
+    the pool announces to (``docs/ARCHITECTURE.md``, "Elastic runtime
+    & operations").
 
 Data and query files use the native ``.hg`` text format
 (:mod:`repro.hypergraph.io`); dataset names refer to the registry in
@@ -222,7 +228,89 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: serve until a peer sends the QUIT frame — "
         "repro.parallel.shutdown_worker((host, port)) — or Ctrl-C)",
     )
+    serve.add_argument(
+        "--announce", default=None, metavar="HOST:PORT",
+        help="register with the worker registry at HOST:PORT (ANNOUNCE "
+        "once, then a HEARTBEAT per interval; see docs/WIRE_FORMAT.md "
+        "§2.4) so coordinators can discover this worker instead of "
+        "being handed its address",
+    )
+    serve.add_argument(
+        "--heartbeat-interval", type=float, default=None,
+        help="seconds between registry heartbeats (default 0.5; must "
+        "match the registry's expectation — it evicts after "
+        "interval x miss-budget of silence)",
+    )
+
+    supervise = commands.add_parser(
+        "supervise",
+        help="boot and babysit a local shard-worker pool: restart "
+        "crashed workers under a jittered-backoff retry budget, "
+        "degrade to reduced K when a slot exhausts it "
+        "(docs/ARCHITECTURE.md, 'Elastic runtime & operations')",
+    )
+    supervise.add_argument("source", help="dataset name or .hg path")
+    supervise.add_argument(
+        "--num-shards", type=int, required=True,
+        help="shard count of the supervised pool",
+    )
+    supervise.add_argument(
+        "--replicas", type=int, default=1,
+        help="replicas per shard range (the pool holds "
+        "num-shards x replicas workers)",
+    )
+    supervise.add_argument(
+        "--index-backend", default=None, choices=INDEX_BACKENDS,
+        help="posting-list representation the workers build",
+    )
+    supervise.add_argument(
+        "--sharding", default=None, choices=SHARDING_MODES,
+        help="shard placement mode the workers cut their ranges with",
+    )
+    supervise.add_argument(
+        "--restart-budget", type=int, default=3,
+        help="restarts granted to each worker slot before it is "
+        "abandoned and the pool degrades (default 3)",
+    )
+    supervise.add_argument(
+        "--registry", action="store_true",
+        help="also run a worker registry and have the supervised "
+        "workers announce to it (its address is printed; hand it to "
+        "NetShardExecutor.from_registry or watch it for evictions)",
+    )
+    supervise.add_argument(
+        "--announce", default=None, metavar="HOST:PORT",
+        help="have the supervised workers announce to an *external* "
+        "registry at HOST:PORT instead of --registry's embedded one",
+    )
+    supervise.add_argument(
+        "--heartbeat-interval", type=float, default=None,
+        help="seconds between worker registry heartbeats (default 0.5)",
+    )
+    supervise.add_argument(
+        "--duration", type=float, default=None,
+        help="supervise for this many seconds, then exit cleanly "
+        "(default: until Ctrl-C; smoke tests use a short duration)",
+    )
+    supervise.add_argument(
+        "--poll-interval", type=float, default=0.2,
+        help="seconds between supervision health checks (default 0.2)",
+    )
     return parser
+
+
+def _parse_host_port(value: str) -> "tuple[str, int]":
+    host, separator, port = value.rpartition(":")
+    if not separator or not host:
+        raise ReproError(
+            f"expected HOST:PORT, got {value!r}"
+        )
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ReproError(
+            f"expected HOST:PORT with a numeric port, got {value!r}"
+        ) from None
 
 
 def _load_graph(source: str) -> Hypergraph:
@@ -505,6 +593,11 @@ def _cmd_serve_shard(args, out) -> int:
             f"{args.num_replicas} replicas\n"
         )
         return 1
+    announce = (
+        _parse_host_port(args.announce)
+        if args.announce is not None
+        else None
+    )
     graph = _load_graph(args.source)
     worker = ShardWorker(
         graph,
@@ -516,6 +609,8 @@ def _cmd_serve_shard(args, out) -> int:
         sharding=args.sharding,
         replica_id=args.replica_id,
         num_replicas=args.num_replicas,
+        announce=announce,
+        heartbeat_interval=args.heartbeat_interval,
     )
     host, port = worker.bind()
     replica_note = (
@@ -523,12 +618,17 @@ def _cmd_serve_shard(args, out) -> int:
         if args.num_replicas > 1
         else ""
     )
+    announce_note = (
+        f", announcing to {announce[0]}:{announce[1]}"
+        if announce is not None
+        else ""
+    )
     out.write(
         f"serving shard {args.shard_id}/{args.num_shards}{replica_note} "
         f"of {args.source} ({worker.index_backend} backend, "
         f"{worker.shard.sharding} placement, "
         f"{worker.shard.index_size_entries()} posting entries) on "
-        f"{host}:{port}\n"
+        f"{host}:{port}{announce_note}\n"
     )
     if hasattr(out, "flush"):
         out.flush()  # wrappers read the port line before connecting
@@ -538,6 +638,78 @@ def _cmd_serve_shard(args, out) -> int:
         pass
     finally:
         worker.close()
+    return 0
+
+
+def _cmd_supervise(args, out) -> int:
+    from .parallel.registry import WorkerRegistry
+    from .parallel.supervisor import WorkerSupervisor
+
+    if args.num_shards < 1:
+        out.write("error: --num-shards must be >= 1\n")
+        return 1
+    if args.replicas < 1:
+        out.write("error: --replicas must be >= 1\n")
+        return 1
+    if args.restart_budget < 0:
+        out.write("error: --restart-budget must be >= 0\n")
+        return 1
+    if args.registry and args.announce is not None:
+        out.write(
+            "error: --registry and --announce are mutually exclusive "
+            "(embedded vs external registry)\n"
+        )
+        return 1
+    graph = _load_graph(args.source)
+    registry = None
+    announce = None
+    if args.registry:
+        registry = WorkerRegistry(
+            heartbeat_interval=args.heartbeat_interval
+        )
+        announce = registry.start()
+    elif args.announce is not None:
+        announce = _parse_host_port(args.announce)
+    try:
+        supervisor = WorkerSupervisor(
+            graph,
+            args.num_shards,
+            index_backend=args.index_backend,
+            num_replicas=args.replicas,
+            sharding=args.sharding,
+            announce=announce,
+            heartbeat_interval=args.heartbeat_interval,
+            restart_budget=args.restart_budget,
+        )
+        with supervisor:
+            if registry is not None:
+                host, port = registry.address
+                out.write(f"registry on {host}:{port}\n")
+            for slot in supervisor.status():
+                host, port = slot.address
+                out.write(
+                    f"shard {slot.shard_id} replica {slot.replica_id} "
+                    f"on {host}:{port} (pid {slot.pid})\n"
+                )
+            out.write(
+                f"supervising {args.num_shards * args.replicas} "
+                f"worker(s); restart budget {args.restart_budget} per "
+                f"slot\n"
+            )
+            if hasattr(out, "flush"):
+                out.flush()  # wrappers read the roster before poking us
+            restarts = supervisor.run_forever(
+                duration=args.duration,
+                poll_interval=args.poll_interval,
+            )
+            live = supervisor.live_count()
+            out.write(
+                f"supervision ended: {restarts} restart(s), "
+                f"{live} worker(s) live\n"
+            )
+    finally:
+        if registry is not None:
+            registry.close()
     return 0
 
 
@@ -561,6 +733,8 @@ def main(argv: "Optional[List[str]]" = None, out=None) -> int:
             return _cmd_match(args, out)
         if args.command == "serve-shard":
             return _cmd_serve_shard(args, out)
+        if args.command == "supervise":
+            return _cmd_supervise(args, out)
     except (ReproError, OSError) as exc:
         out.write(f"error: {exc}\n")
         return 1

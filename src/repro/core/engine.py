@@ -475,6 +475,7 @@ class HGMatch:
         shards: "int | None" = None,
         hosts=None,
         replicas: "int | None" = None,
+        registry=None,
     ):
         """The engine's persistent socket shard executor (lazily built).
 
@@ -485,16 +486,51 @@ class HGMatch:
         asks for K-replicated ranges (``hosts`` must then list
         ``shards × replicas`` addresses; a local cluster spawns the
         extra workers itself) — the coordinator fails over and may
-        speculate across the replicas of each range.  A configured
-        executor persists across queries like :meth:`shard_executor`
-        and is reused when ``shards``/``replicas`` are None or match;
-        asking for a different layout tears it down and rebuilds.
+        speculate across the replicas of each range.  ``registry`` — a
+        started :class:`~repro.parallel.registry.WorkerRegistry` —
+        replaces ``hosts``: the worker addresses are *discovered* (the
+        executor waits for a full announced pool) and registry
+        evictions feed the coordinator's failover mid-job.  A
+        configured executor persists across queries like
+        :meth:`shard_executor` and is reused when
+        ``shards``/``replicas`` are None or match; asking for a
+        different layout tears it down and rebuilds.
         """
         from ..parallel.net_executor import NetShardExecutor  # lazy
 
         if replicas is not None and replicas < 1:
             raise QueryError("replicas must be >= 1")
         current = self._net_executor
+        if registry is not None:
+            if hosts is not None:
+                raise QueryError(
+                    "hosts and registry are mutually exclusive: "
+                    "addresses are either pinned or discovered"
+                )
+            if shards is None:
+                raise QueryError(
+                    "registry discovery needs an explicit shard count"
+                )
+            if current is not None:
+                if (
+                    current.registry is registry
+                    and current.num_shards == shards
+                    and (
+                        replicas is None
+                        or current.num_replicas == replicas
+                    )
+                ):
+                    return current
+                current.close()
+            current = NetShardExecutor.from_registry(
+                registry,
+                shards,
+                num_replicas=1 if replicas is None else replicas,
+                index_backend=self.index_backend,
+                sharding=self.sharding,
+            )
+            self._net_executor = current
+            return current
         if hosts is not None:
             addresses = [tuple(address) for address in hosts]
             num_replicas = 1 if replicas is None else replicas

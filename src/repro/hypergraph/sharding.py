@@ -230,6 +230,23 @@ class ReplicaSet:
             )
         self._members[replica_id] = member
 
+    def grow(self, num_replicas: int) -> None:
+        """Widen the replica arithmetic to ``num_replicas`` slots.
+
+        An elastic pool admitting a newcomer whose announced
+        ``num_replicas`` exceeds the current one grows every range's
+        slot table (replica ids already placed keep their slots).
+        Shrinking is refused: retiring a member is :meth:`remove`; the
+        arithmetic itself never forgets ids, so a later readmit of the
+        same identity stays well-defined.
+        """
+        if num_replicas < self.num_replicas:
+            raise ValueError(
+                f"cannot shrink shard {self.shard_id} from "
+                f"{self.num_replicas} to {num_replicas} replica slots"
+            )
+        self.num_replicas = num_replicas
+
     def remove(self, replica_id: int) -> None:
         """Drop a member (it died or was severed); idempotent."""
         self._members.pop(replica_id, None)
@@ -477,6 +494,47 @@ def rebalance_range_table(
             recut[shard_id] = cuts[position]
         out[signature] = tuple(recut)
     return out
+
+
+def retire_shard_ranges(
+    table: RangeTable, shard_id: int, survivors: "Sequence[int]"
+) -> RangeTable:
+    """Recut a table so ``shard_id`` holds no rows (an elastic shrink).
+
+    Every partition's retired range is handed to its nearest surviving
+    *positional* neighbour — the left one when it exists, else the
+    right one — by extending that neighbour's boundary across the
+    retired interval.  Boundaries only stretch, positions never swap
+    (the same invariant as :func:`rebalance_range_table`), so shards
+    away from the retired one keep their exact ranges and need no
+    rebuild.  The retired shard's entries become empty ranges, which
+    keeps the table's positional arithmetic intact for later recuts of
+    the surviving shards.
+    """
+    if shard_id in survivors:
+        raise ValueError(
+            f"shard {shard_id} cannot survive its own retirement"
+        )
+    if not survivors:
+        raise ValueError("cannot retire the only shard of a table")
+    left = max((s for s in survivors if s < shard_id), default=None)
+    right = min((s for s in survivors if s > shard_id), default=None)
+    if left is None and right is None:
+        raise ValueError(
+            f"no surviving neighbour for retired shard {shard_id}"
+        )
+    recut: RangeTable = {}
+    for signature, ranges in table.items():
+        new_ranges = list(ranges)
+        low, high = new_ranges[shard_id]
+        if left is not None:
+            new_ranges[left] = (new_ranges[left][0], high)
+            new_ranges[shard_id] = (high, high)
+        else:
+            new_ranges[right] = (low, new_ranges[right][1])
+            new_ranges[shard_id] = (low, low)
+        recut[signature] = tuple(new_ranges)
+    return recut
 
 
 def range_table_slices(

@@ -27,13 +27,15 @@ from .executor import ParallelResult, ThreadedExecutor
 from .net_executor import (
     LocalCluster,
     NetShardExecutor,
-    RetryPolicy,
     ShardWorker,
     default_io_timeout,
+    default_retry_policy,
     shutdown_worker,
     spawn_local_cluster,
 )
+from .registry import Announcer, WorkerRecord, WorkerRegistry
 from .shard_executor import ProcessShardExecutor
+from .supervisor import SlotStatus, WorkerSupervisor
 from .memory import (
     MemoryMeasurement,
     entry_units_per_partial,
@@ -49,6 +51,7 @@ from .simulation import (
 from .tasks import (
     ROOT_TASK,
     PartialEmbedding,
+    RetryPolicy,
     WorkerStats,
     default_seed,
     join_or_kill,
@@ -68,6 +71,12 @@ __all__ = [
     "shutdown_worker",
     "RetryPolicy",
     "default_io_timeout",
+    "default_retry_policy",
+    "WorkerRegistry",
+    "WorkerRecord",
+    "Announcer",
+    "WorkerSupervisor",
+    "SlotStatus",
     "FaultPlan",
     "ChaosSocket",
     "join_or_kill",

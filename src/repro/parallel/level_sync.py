@@ -402,7 +402,13 @@ def run_level_synchronous(
         collected = executor._gather()
     merged = MatchCounters()
     worker_stats: List[WorkerStats] = []
-    for counters, stats in collected:
+    for entry in collected:
+        if entry is None:
+            # A retired shard (elastically drained; its rows were recut
+            # onto the survivors) never answers — the survivors' rows
+            # cover its range, so skipping the slot loses nothing.
+            continue
+        counters, stats = entry
         merged.merge(counters)
         worker_stats.append(stats)
     # Logical task/embedding accounting lives coordinator-side: each

@@ -86,14 +86,17 @@ from ..hypergraph.sharding import (
     ReplicaSet,
     ShardDescriptor,
     StoreShard,
+    build_range_table,
+    range_table_label,
     range_table_slices,
     resolve_sharding,
+    retire_shard_ranges,
 )
 from ..hypergraph.storage import group_edges_by_signature, resolve_index_backend
 from . import transport
 from .executor import ParallelResult
 from .level_sync import MASK_BACKENDS, expand_level, plan_pool_rebalance
-from .tasks import WorkerStats, default_seed, join_or_kill
+from .tasks import RetryPolicy, WorkerStats, default_seed, join_or_kill
 
 logger = logging.getLogger("repro.parallel")
 
@@ -133,33 +136,55 @@ def default_io_timeout() -> float:
     return timeout
 
 
-@dataclass(frozen=True)
-class RetryPolicy:
-    """Bounded retries with jittered exponential backoff.
+def default_retry_policy() -> RetryPolicy:
+    """The coordinator's connect/restart policy, from the environment.
 
-    ``delay(attempt)`` for attempts ``0, 1, 2, ...`` grows
-    ``base_delay · 2^attempt`` capped at ``max_delay``, stretched by a
-    uniform ``[0, jitter]`` fraction so a pool of coordinators (or one
-    coordinator's many workers) never retries in lockstep.  The jitter
-    draws from a caller-supplied :class:`random.Random` — seeded, so
-    retry schedules are as reproducible as everything else here.
+    ``REPRO_NET_RETRIES`` (a positive integer) overrides the attempt
+    budget and ``REPRO_NET_BACKOFF`` (a positive number of seconds)
+    overrides the base backoff delay; unset, both fall back to
+    :class:`~repro.parallel.tasks.RetryPolicy`'s defaults (4 attempts,
+    0.05 s base).  Resolved at call time, like ``REPRO_NET_TIMEOUT`` in
+    :func:`default_io_timeout`, so a deployment can harden or tighten
+    retry behaviour without touching call sites.
     """
+    kwargs = {}
+    value = os.environ.get("REPRO_NET_RETRIES")
+    if value:
+        try:
+            attempts = int(value)
+        except ValueError:
+            raise SchedulerError(
+                f"REPRO_NET_RETRIES must be an integer attempt count, "
+                f"got {value!r}"
+            ) from None
+        if attempts < 1:
+            raise SchedulerError(
+                f"REPRO_NET_RETRIES must be >= 1, got {value!r}"
+            )
+        kwargs["attempts"] = attempts
+    value = os.environ.get("REPRO_NET_BACKOFF")
+    if value:
+        try:
+            base_delay = float(value)
+        except ValueError:
+            raise SchedulerError(
+                f"REPRO_NET_BACKOFF must be a number of seconds, "
+                f"got {value!r}"
+            ) from None
+        if base_delay <= 0:
+            raise SchedulerError(
+                f"REPRO_NET_BACKOFF must be positive, got {value!r}"
+            )
+        kwargs["base_delay"] = base_delay
+        kwargs["max_delay"] = max(
+            base_delay, RetryPolicy.max_delay
+        )
+    return RetryPolicy(**kwargs)
 
-    attempts: int = 4
-    base_delay: float = 0.05
-    max_delay: float = 2.0
-    jitter: float = 0.5
 
-    def delay(
-        self, attempt: int, rng: "random.Random | None" = None
-    ) -> float:
-        base = min(self.max_delay, self.base_delay * (2.0 ** attempt))
-        if rng is None or self.jitter <= 0:
-            return base
-        return base * (1.0 + self.jitter * rng.random())
-
-
-#: Default policy for coordinator → worker TCP connects.
+#: Default policy for coordinator → worker TCP connects (the static
+#: fallback; executors resolve :func:`default_retry_policy` at
+#: construction so the environment knobs are honoured).
 CONNECT_RETRY = RetryPolicy()
 
 #: Default policy for polling a spawned worker's ready report (short
@@ -223,6 +248,8 @@ class ShardWorker:
         num_replicas: int = 1,
         io_timeout: "float | None" = None,
         chaos=None,
+        announce: "Tuple[str, int] | None" = None,
+        heartbeat_interval: "float | None" = None,
     ) -> None:
         if num_replicas < 1:
             raise SchedulerError("num_replicas must be >= 1")
@@ -248,6 +275,9 @@ class ShardWorker:
         self._listener: "socket.socket | None" = None
         self._host = host
         self._port = port
+        self._announce = None if announce is None else tuple(announce)
+        self._heartbeat_interval = heartbeat_interval
+        self._announcer = None
 
     # -- lifecycle ------------------------------------------------------
 
@@ -261,13 +291,42 @@ class ShardWorker:
             listener.listen(1)
             self._listener = listener
             self._host, self._port = listener.getsockname()[:2]
+            self._start_announcer()
         return self._host, self._port
+
+    def _announce_hello(self):
+        """What the announcer registers: the serving address plus the
+        same descriptor/seed a HELLO would carry — re-evaluated at each
+        (re)connect so a REBALANCE relabel re-announces truthfully."""
+        descriptor = self.shard.describe().with_replica(
+            self.replica_id, self.num_replicas
+        )
+        return (self.address, descriptor.as_dict(), self.seed)
+
+    def _start_announcer(self) -> None:
+        if self._announce is None or self._announcer is not None:
+            return
+        from .registry import Announcer  # here to avoid an import cycle
+
+        self._announcer = Announcer(
+            self._announce,
+            self._announce_hello,
+            interval=self._heartbeat_interval,
+            chaos=self.chaos,
+            rng=random.Random(
+                (self.shard.shard_id << 16) ^ self.replica_id ^ self.seed
+            ),
+        )
+        self._announcer.start()
 
     @property
     def address(self) -> Tuple[str, int]:
         return self._host, self._port
 
     def close(self) -> None:
+        if self._announcer is not None:
+            self._announcer.stop()
+            self._announcer = None
         if self._listener is not None:
             try:
                 self._listener.close()
@@ -457,6 +516,8 @@ def _cluster_worker_main(
     replica_id: int = 0,
     num_replicas: int = 1,
     chaos=None,
+    announce=None,
+    heartbeat_interval=None,
 ) -> None:
     """Subprocess entry point: build the shard server, report its port
     through the pipe, then serve until SHUTDOWN."""
@@ -464,7 +525,8 @@ def _cluster_worker_main(
         worker = ShardWorker(
             graph, shard_id, num_shards, index_backend, seed=seed,
             sharding=sharding, replica_id=replica_id,
-            num_replicas=num_replicas, chaos=chaos,
+            num_replicas=num_replicas, chaos=chaos, announce=announce,
+            heartbeat_interval=heartbeat_interval,
         )
         host, port = worker.bind()
         conn.send(("ready", host, port))
@@ -508,6 +570,8 @@ def _start_cluster_worker(
     replica_id: int = 0,
     num_replicas: int = 1,
     chaos=None,
+    announce=None,
+    heartbeat_interval=None,
 ):
     """Start one loopback shard-worker subprocess; returns
     ``(process, parent_conn)`` — await its port with
@@ -517,7 +581,8 @@ def _start_cluster_worker(
         target=_cluster_worker_main,
         args=(
             child_conn, graph, shard_id, num_shards, index_backend, seed,
-            sharding, replica_id, num_replicas, chaos,
+            sharding, replica_id, num_replicas, chaos, announce,
+            heartbeat_interval,
         ),
         daemon=True,
     )
@@ -592,6 +657,8 @@ class LocalCluster:
         num_replicas: int = 1,
         chaos=None,
         shutdown_timeout: float = 5.0,
+        announce=None,
+        heartbeat_interval=None,
     ) -> None:
         self.processes = processes
         self.addresses: "List[Tuple[str, int]]" = addresses
@@ -601,6 +668,8 @@ class LocalCluster:
         self.num_replicas = num_replicas
         self.chaos = chaos
         self.shutdown_timeout = shutdown_timeout
+        self.announce = announce
+        self.heartbeat_interval = heartbeat_interval
         self._graph = graph
         self._start_method = start_method
         self._ready_timeout = ready_timeout
@@ -664,6 +733,7 @@ class LocalCluster:
             context, self._graph, shard_id, self.num_shards,
             self.index_backend, self.seed, self.sharding,
             replica_id, self.num_replicas, self.chaos,
+            self.announce, self.heartbeat_interval,
         )
         try:
             address = _await_worker_ready(
@@ -712,6 +782,8 @@ def spawn_local_cluster(
     sharding: "str | None" = None,
     num_replicas: int = 1,
     chaos=None,
+    announce: "Tuple[str, int] | None" = None,
+    heartbeat_interval: "float | None" = None,
 ) -> LocalCluster:
     """Boot ``num_shards × num_replicas`` shard workers on loopback.
 
@@ -746,7 +818,8 @@ def spawn_local_cluster(
         for replica_id in range(num_replicas):
             process, parent_conn = _start_cluster_worker(
                 context, graph, shard_id, num_shards, index_backend, seed,
-                sharding, replica_id, num_replicas, chaos,
+                sharding, replica_id, num_replicas, chaos, announce,
+                heartbeat_interval,
             )
             processes.append(process)
             parent_conns.append(parent_conn)
@@ -774,7 +847,8 @@ def spawn_local_cluster(
         processes, addresses, index_backend, seed,
         graph=graph, sharding=sharding, start_method=start_method,
         ready_timeout=ready_timeout, num_replicas=num_replicas,
-        chaos=chaos,
+        chaos=chaos, announce=announce,
+        heartbeat_interval=heartbeat_interval,
     )
 
 
@@ -869,6 +943,7 @@ class NetShardExecutor:
         retry: "RetryPolicy | None" = None,
         speculate_after: "float | None" = None,
         chaos=None,
+        registry=None,
     ) -> None:
         if num_replicas < 1:
             raise SchedulerError("num_replicas must be >= 1")
@@ -903,7 +978,7 @@ class NetShardExecutor:
         self.io_timeout = (
             default_io_timeout() if io_timeout is None else io_timeout
         )
-        self.retry = CONNECT_RETRY if retry is None else retry
+        self.retry = default_retry_policy() if retry is None else retry
         self.speculate_after = speculate_after
         self.chaos = chaos
         self._retry_rng = random.Random(self.seed ^ 0x5EED)
@@ -928,6 +1003,43 @@ class NetShardExecutor:
         self._job_message = None
         self._level_message = None
         self._respawn_budget = 0
+        #: Optional :class:`~repro.parallel.registry.WorkerRegistry`
+        #: whose heartbeat evictions proactively fail over members —
+        #: a wedged worker is dropped at the registry's (short)
+        #: eviction deadline instead of this executor's (long) per-frame
+        #: I/O deadline.
+        self.registry = registry
+        self._evict_cursor = 0
+        #: Shard ids retired by :meth:`drain` — their rows were recut
+        #: onto the surviving shards; broadcasts and gathers skip them.
+        self._retired: set = set()
+
+    @classmethod
+    def from_registry(
+        cls,
+        registry,
+        num_shards: int,
+        num_replicas: int = 1,
+        wait_timeout: float = 30.0,
+        **kwargs,
+    ) -> "NetShardExecutor":
+        """Build an executor from discovered workers.
+
+        Blocks until the registry has a live worker for every
+        ``(shard, replica)`` slot (or ``wait_timeout`` elapses), then
+        connects to the announced addresses; the registry stays
+        attached, so its missed-heartbeat evictions keep feeding the
+        pool's liveness mid-job.
+        """
+        addresses = registry.wait_for(
+            num_shards, num_replicas, timeout=wait_timeout
+        )
+        return cls(
+            addresses=addresses,
+            num_replicas=num_replicas,
+            registry=registry,
+            **kwargs,
+        )
 
     # -- connection lifecycle -------------------------------------------
 
@@ -1094,6 +1206,11 @@ class NetShardExecutor:
             )
         self._members = grid
         self._graph = engine.data
+        # A rebuilt pool covers every shard again; forget retirements
+        # and skip registry evictions that predate this membership.
+        self._retired = set()
+        if self.registry is not None:
+            self._evict_cursor = len(self.registry.evictions)
 
     def _handshake(
         self,
@@ -1102,6 +1219,8 @@ class NetShardExecutor:
         expected_shard: "int | None" = None,
         expected_replica: "int | None" = None,
         expected_sharding: "str | None" = None,
+        allow_replica_growth: bool = False,
+        any_sharding: bool = False,
     ) -> ShardDescriptor:
         """Validate one worker's HELLO; returns its shard descriptor.
 
@@ -1109,7 +1228,12 @@ class NetShardExecutor:
         rebalance echoes) pin the announced identity.
         ``expected_sharding`` overrides the placement label to expect —
         a freshly respawned worker announces the spawn mode even while
-        the pool runs a rebalanced layout.
+        the pool runs a rebalanced layout.  The admission path relaxes
+        two checks: ``allow_replica_growth`` accepts a *wider* replica
+        arithmetic than the pool's (an elastic K-growth — never a
+        narrower one), and ``any_sharding`` defers the placement-label
+        check to the caller (which REBALANCE-upgrades label mismatches
+        instead of refusing them).
         """
         kind, body = transport.recv_frame(sock)
         if kind != transport.MSG_HELLO:
@@ -1136,7 +1260,10 @@ class NetShardExecutor:
                 f"{descriptor.num_shards} shards, coordinator in "
                 f"{self.num_shards}"
             )
-        if descriptor.num_replicas != self.num_replicas:
+        if descriptor.num_replicas != self.num_replicas and not (
+            allow_replica_growth
+            and descriptor.num_replicas > self.num_replicas
+        ):
             raise SchedulerError(
                 f"replica arithmetic mismatch: worker shard "
                 f"{descriptor.shard_id} believes in "
@@ -1169,7 +1296,7 @@ class NetShardExecutor:
             if expected_sharding is None
             else expected_sharding
         )
-        if descriptor.sharding != sharding:
+        if not any_sharding and descriptor.sharding != sharding:
             raise SchedulerError(
                 f"shard placement mismatch: worker shard "
                 f"{descriptor.shard_id} was cut under "
@@ -1233,6 +1360,50 @@ class NetShardExecutor:
             pass
 
     # -- pool bookkeeping ------------------------------------------------
+
+    def _active_shards(self) -> "List[int]":
+        """Shard ids still carrying rows (everything not retired by
+        :meth:`drain`); broadcasts, gathers and failover run over
+        exactly this set."""
+        return [
+            shard_id for shard_id in range(self.num_shards)
+            if shard_id not in self._retired
+        ]
+
+    def _sync_registry(self, pending=None) -> None:
+        """Fold fresh registry evictions into pool liveness.
+
+        A member whose ``(shard, replica)`` identity was evicted for
+        missed heartbeats (or a lost registry link) is failed over
+        immediately — the whole point of heartbeating is to beat the
+        per-frame I/O deadline to the diagnosis.  A member whose
+        identity has *re-announced at the member's own address* since
+        the eviction is left alone (the eviction described a previous
+        incarnation, e.g. an already-readmitted worker).
+        """
+        if self.registry is None or not self._members:
+            return
+        self._evict_cursor, evicted = self.registry.evictions_since(
+            self._evict_cursor
+        )
+        for record in evicted:
+            if not 0 <= record.shard_id < len(self._members):
+                continue
+            member = self._members[record.shard_id].get(record.replica_id)
+            if member is None:
+                continue
+            live = self.registry.record(record.shard_id, record.replica_id)
+            if live is not None and tuple(live.address) == tuple(
+                member.address
+            ):
+                continue
+            self._handle_member_failure(
+                member,
+                f"registry evicted it ({record.reason})",
+                redispatch=(
+                    pending is not None and record.shard_id in pending
+                ),
+            )
 
     def _drop_member(self, member: _Member, cause: str) -> None:
         """Remove one replica connection from the pool (idempotent)."""
@@ -1413,7 +1584,7 @@ class NetShardExecutor:
         if kind == transport.MSG_JOB:
             # The JOB goes to *every* live replica — spares must hold
             # the plan to be able to answer a re-dispatched LEVEL.
-            for shard_id in range(self.num_shards):
+            for shard_id in self._active_shards():
                 replica_set = self._members[shard_id]
                 for _replica_id, member in list(replica_set.members()):
                     try:
@@ -1431,7 +1602,7 @@ class NetShardExecutor:
         self._token += 1
         self._inflight_frame = frame
         self._watchers = {}
-        for shard_id in range(self.num_shards):
+        for shard_id in self._active_shards():
             self._dispatch(shard_id)
 
     def _dispatch(
@@ -1531,6 +1702,12 @@ class NetShardExecutor:
                 )
                 if trigger > 0:
                     timeout = min(timeout, trigger)
+        if self.registry is not None:
+            # Wake at heartbeat granularity so registry evictions fail
+            # members over long before the per-frame deadline.
+            timeout = min(
+                timeout, max(self.registry.heartbeat_interval, 0.05)
+            )
         return max(0.0, min(timeout, self.io_timeout))
 
     def _gather_iter(self):
@@ -1547,8 +1724,12 @@ class NetShardExecutor:
         and discarded here, which is what makes duplicate REPLYs
         provably harmless to the composition fold above.
         """
-        pending = set(range(self.num_shards))
+        pending = set(self._active_shards())
         while pending:
+            self._sync_registry(pending)
+            pending &= set(self._active_shards())
+            if not pending:
+                return
             now = time.monotonic()
             # Deadline enforcement: a watcher past its per-frame
             # deadline is dropped; failover picks a replacement.
@@ -1671,26 +1852,66 @@ class NetShardExecutor:
         if plan is None:
             return 0
         table, label, slices, moved = plan
-        for shard_id in range(self.num_shards):
-            for _replica_id, member in self._members[shard_id].members():
+        self._apply_rebalance(table, label, slices)
+        return len(moved)
+
+    def _degrade_or_fail(self, member: _Member, cause: str) -> None:
+        """A replica lost mid-rebalance: drop it when the shard keeps
+        other live replicas (the pool degrades to reduced K but every
+        range stays covered under one label), tear down and raise when
+        it was the range's last."""
+        shard_id = member.shard_id
+        if len(self._members[shard_id]) > 1:
+            self._drop_member(member, cause)
+            return
+        self.close()
+        raise SchedulerError(
+            f"shard worker {shard_id} is gone ({cause}); no live "
+            f"replica remains for shard {shard_id}; connections torn "
+            f"down"
+        ) from None
+
+    def _apply_rebalance(self, table, label, slices, skip=()) -> None:
+        """Ship a recut table to every live member and validate the
+        HELLO echoes.
+
+        *Every* live replica of every active shard receives its range's
+        slice (a worker whose ranges didn't move merely adopts the new
+        label — the whole pool must agree on one label or the next
+        session handshake would refuse the laggards) and answers with a
+        fresh HELLO echoing the new label.  A *liveness* failure on the
+        way (peer gone, stream severed or garbled) degrades that
+        replica — exactly like mid-job failover — as long as its range
+        keeps another live replica; a *contract* failure (a worker that
+        echoes the wrong label) always tears the pool down: composing
+        mixed placements would double- or under-count rows.
+        """
+        for shard_id in self._active_shards():
+            for _replica_id, member in list(
+                self._members[shard_id].members()
+            ):
+                if member in skip:
+                    continue
                 try:
                     transport.send_pickle_frame(
                         member.sock,
                         transport.MSG_REBALANCE,
                         (label, slices[shard_id]),
                     )
-                except (TransportError, OSError):
-                    self.close()
-                    raise SchedulerError(
-                        f"shard worker {shard_id} is gone; connections "
-                        f"torn down"
-                    ) from None
+                except (TransportError, OSError) as exc:
+                    self._degrade_or_fail(
+                        member, f"rebalance send failed: {exc}"
+                    )
         # Update the expected label before validating the echoes: the
         # workers announce the *new* layout.
         self._range_table = table
         self._sharding_label = label
-        for shard_id in range(self.num_shards):
-            for replica_id, member in self._members[shard_id].members():
+        for shard_id in self._active_shards():
+            for replica_id, member in list(
+                self._members[shard_id].members()
+            ):
+                if member in skip:
+                    continue
                 try:
                     self._handshake(
                         member.sock,
@@ -1698,13 +1919,227 @@ class NetShardExecutor:
                         expected_shard=shard_id,
                         expected_replica=replica_id,
                     )
-                except (SchedulerError, TransportError) as exc:
+                except TransportError as exc:
+                    self._degrade_or_fail(
+                        member, f"rebalance echo failed: {exc}"
+                    )
+                except SchedulerError as exc:
                     self.close()
                     raise SchedulerError(
                         f"shard worker {shard_id} failed to rebalance: "
                         f"{exc}"
                     ) from None
-        return len(moved)
+
+    # -- elastic membership ----------------------------------------------
+
+    def admit(self, address: Tuple[str, int]) -> ShardDescriptor:
+        """Fold a newcomer worker into the live pool mid-lifetime.
+
+        Connects to ``address``, validates the full handshake contract
+        (backend, shard arithmetic, fingerprint, seed), upgrades the
+        newcomer to the pool's rebalanced layout when its build label
+        differs (via a REBALANCE frame), replays the current JOB if one
+        is in flight, and places it in the member grid — from where the
+        very next LEVEL (or failover) can dispatch to it.  A newcomer
+        announcing a *wider* replica arithmetic than the pool's grows
+        every range's slot table to match (K-growth: a K=1 pool becomes
+        a K=2 pool the moment the first second-replica worker is
+        admitted); a narrower one is refused.  Admission failures leave
+        the pool exactly as it was.
+
+        Returns the admitted worker's descriptor.
+        """
+        if not self._members or self._graph is None:
+            raise SchedulerError(
+                "no live pool to admit into; run a job first"
+            )
+        address = tuple(address)
+        try:
+            sock = self._connect(address)
+        except OSError as exc:
+            raise SchedulerError(
+                f"could not connect to shard worker at "
+                f"{address[0]}:{address[1]}: {exc}"
+            ) from exc
+        try:
+            try:
+                descriptor = self._handshake(
+                    sock, self._graph,
+                    allow_replica_growth=True, any_sharding=True,
+                )
+            except (TransportError, OSError) as exc:
+                raise SchedulerError(
+                    f"worker at {address[0]}:{address[1]} failed the "
+                    f"admission handshake: {exc}"
+                ) from None
+            shard_id = descriptor.shard_id
+            replica_id = descriptor.replica_id
+            if shard_id in self._retired:
+                raise SchedulerError(
+                    f"cannot admit a worker for retired shard "
+                    f"{shard_id}: its rows were recut onto the "
+                    f"surviving shards"
+                )
+            if self._members[shard_id].get(replica_id) is not None:
+                raise SchedulerError(
+                    f"two workers both announced shard id {shard_id} "
+                    f"(replica {replica_id}); refusing to admit the "
+                    f"newcomer at {address[0]}:{address[1]}"
+                )
+            if descriptor.sharding != self._sharding_label:
+                if self._range_table is None:
+                    raise SchedulerError(
+                        f"shard placement mismatch: newcomer for shard "
+                        f"{shard_id} was cut under "
+                        f"{descriptor.sharding!r}, the pool runs "
+                        f"{self._sharding_label!r} and no range table "
+                        f"is live to upgrade it with"
+                    )
+                try:
+                    transport.send_pickle_frame(
+                        sock,
+                        transport.MSG_REBALANCE,
+                        (
+                            self._sharding_label,
+                            range_table_slices(
+                                self._range_table, self.num_shards
+                            )[shard_id],
+                        ),
+                    )
+                    descriptor = self._handshake(
+                        sock, self._graph,
+                        expected_shard=shard_id,
+                        expected_replica=replica_id,
+                        allow_replica_growth=True,
+                    )
+                except (TransportError, OSError) as exc:
+                    raise SchedulerError(
+                        f"newcomer for shard {shard_id} failed the "
+                        f"rebalance upgrade: {exc}"
+                    ) from None
+            sock.settimeout(self.io_timeout)
+            if self.chaos is not None:
+                sock.bind_endpoint(shard_id, replica_id)
+            if self._job_message is not None:
+                # Mid-job admission: replay the JOB so the newcomer can
+                # answer a re-dispatched (or speculative) LEVEL.
+                try:
+                    transport.send_frame(
+                        sock,
+                        transport.MSG_JOB,
+                        pickle.dumps(
+                            self._job_message[1:],
+                            protocol=pickle.HIGHEST_PROTOCOL,
+                        ),
+                    )
+                except (TransportError, OSError) as exc:
+                    raise SchedulerError(
+                        f"newcomer for shard {shard_id} lost the JOB "
+                        f"replay: {exc}"
+                    ) from None
+            if descriptor.num_replicas > self.num_replicas:
+                for replica_set in self._members:
+                    replica_set.grow(descriptor.num_replicas)
+                self.num_replicas = descriptor.num_replicas
+            member = _Member(shard_id, replica_id, address, sock)
+            self._members[shard_id].place(replica_id, member)
+        except BaseException:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - best effort
+                pass
+            raise
+        logger.info(
+            "admitted shard %d replica %d at %s:%s into the pool "
+            "(K=%d)",
+            shard_id, replica_id, address[0], address[1],
+            self.num_replicas,
+        )
+        return descriptor
+
+    def drain(self, shard_id: int, replica_id: int = 0) -> "str | None":
+        """Gracefully decommission one member of the live pool.
+
+        Finishes whatever the member still owes (in-flight level
+        replies are read out and discarded — never abandoned mid-frame),
+        then removes it.  When other replicas of the range remain live,
+        that is the whole story: the range stays covered at reduced K.
+        When the member was its range's *last* live replica, the shard
+        itself is retired: the pool's range table is recut so the
+        retired shard's rows move to its nearest surviving positional
+        neighbour, every surviving worker receives the recut via the
+        REBALANCE frame (validated by HELLO echoes, exactly like a
+        load rebalance), and subsequent jobs broadcast and gather over
+        the surviving shards only.  Draining the last live member of
+        the whole pool is refused.
+
+        Runs strictly between jobs.  Returns the new placement label
+        when a retire-recut happened, None for a plain replica drain.
+        """
+        if not self._members or self._graph is None:
+            raise SchedulerError("no live pool to drain; run a job first")
+        if not 0 <= shard_id < self.num_shards:
+            raise SchedulerError(
+                f"shard id {shard_id} outside 0..{self.num_shards - 1}"
+            )
+        member = self._members[shard_id].get(replica_id)
+        if member is None:
+            raise SchedulerError(
+                f"shard {shard_id} replica {replica_id} is not a live "
+                f"member of the pool"
+            )
+        # Finish in-flight work: drain every reply this connection
+        # still owes (stale or speculative levels included).
+        try:
+            member.sock.settimeout(self.io_timeout)
+            while member.inflight:
+                transport.recv_frame(member.sock)
+                member.inflight.popleft()
+        except (TransportError, OSError):
+            member.inflight.clear()  # it died mid-drain; treat as gone
+        label: "str | None" = None
+        if len(self._members[shard_id]) == 1:
+            # Last replica of the range: retire the shard by recutting
+            # its rows onto the surviving shards.
+            survivors = [
+                other for other in self._active_shards()
+                if other != shard_id and self._members[other]
+            ]
+            if not survivors:
+                raise SchedulerError(
+                    f"refusing to drain shard {shard_id} replica "
+                    f"{replica_id}: it is the pool's last live member"
+                )
+            grouped = group_edges_by_signature(self._graph)
+            table = self._range_table
+            if table is None:
+                table = build_range_table(
+                    grouped, self.num_shards, self.sharding
+                )
+            table = retire_shard_ranges(table, shard_id, survivors)
+            new_label = range_table_label(table, grouped)
+            slices = range_table_slices(table, self.num_shards)
+            self._retired.add(shard_id)
+            self._apply_rebalance(table, label=new_label, slices=slices)
+            label = new_label
+            logger.info(
+                "retired shard %d: rows recut onto shards %s (%s)",
+                shard_id, survivors, new_label,
+            )
+        try:
+            transport.send_frame(member.sock, transport.MSG_STOP)
+        except (TransportError, OSError):
+            pass
+        try:
+            member.sock.close()
+        except OSError:  # pragma: no cover - best effort
+            pass
+        self._members[shard_id].remove(replica_id)
+        logger.info(
+            "drained shard %d replica %d at %s",
+            shard_id, replica_id, member.address,
+        )
+        return label
 
     # -- execution ------------------------------------------------------
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import logging
 import os
+import random
 from dataclasses import dataclass
 from typing import Tuple
 
@@ -85,6 +86,38 @@ def join_or_kill(process, timeout: float = 5.0, label: str = "worker") -> bool:
     kill()
     process.join(timeout=timeout)
     return False
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with jittered exponential backoff.
+
+    ``delay(attempt)`` for attempts ``0, 1, 2, ...`` grows
+    ``base_delay · 2^attempt`` capped at ``max_delay``, stretched by a
+    uniform ``[0, jitter]`` fraction so a pool of coordinators (or one
+    coordinator's many workers) never retries in lockstep.  The jitter
+    draws from a caller-supplied :class:`random.Random` — seeded, so
+    retry schedules are as reproducible as everything else here.
+
+    Shared by every retry loop in the shard runtimes: coordinator →
+    worker TCP connects, spawned-worker ready polling, the supervisor's
+    restart backoff and the announcer's registry reconnects.  Lives
+    here (next to :func:`join_or_kill`) because it is scheduling
+    policy, not socket code.
+    """
+
+    attempts: int = 4
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.5
+
+    def delay(
+        self, attempt: int, rng: "random.Random | None" = None
+    ) -> float:
+        base = min(self.max_delay, self.base_delay * (2.0 ** attempt))
+        if rng is None or self.jitter <= 0:
+            return base
+        return base * (1.0 + self.jitter * rng.random())
 
 
 def task_kind(task: PartialEmbedding, num_steps: int) -> str:

@@ -48,6 +48,10 @@ byte    name     body
 ``S``   STOP     empty — end this session (connection), keep serving
 ``Q``   QUIT     empty — shut the worker server down
 ``E``   ERROR    pickled traceback string (worker-side failure)
+``A``   ANNOUNCE pickled registration dict (worker -> registry: the
+        worker's serving address plus its handshake descriptor/seed)
+``h``   HEARTBEAT empty — worker -> registry liveness tick; identity is
+        the connection's preceding ANNOUNCE
 ======  =======  ===========================================================
 
 Control messages carry pickles — the coordinator and its workers are
@@ -92,10 +96,13 @@ MSG_REBALANCE = 0x42  # b"B"
 MSG_STOP = 0x53  # b"S"
 MSG_SHUTDOWN = 0x51  # b"Q"
 MSG_ERROR = 0x45  # b"E"
+MSG_ANNOUNCE = 0x41  # b"A"
+MSG_HEARTBEAT = 0x68  # b"h"
 
 _KNOWN_KINDS = frozenset({
     MSG_HELLO, MSG_JOB, MSG_LEVEL, MSG_LEVEL_REPLY, MSG_COLLECT,
     MSG_ACCOUNTING, MSG_REBALANCE, MSG_STOP, MSG_SHUTDOWN, MSG_ERROR,
+    MSG_ANNOUNCE, MSG_HEARTBEAT,
 })
 
 _HEADER = struct.Struct("<IBB")
@@ -115,6 +122,26 @@ def encode_frame(kind: int, body: bytes = b"") -> bytes:
             f"frame body of {len(body)} bytes exceeds MAX_FRAME_BYTES"
         )
     return _HEADER.pack(len(body) + 2, PROTOCOL_VERSION, kind) + body
+
+
+def _validate_header(length: int, version: int, kind: int) -> None:
+    """Reject an untrustworthy frame header.
+
+    The single source of truth for header legality: both the byte-level
+    :func:`decode_frame` and the socket-level :func:`recv_frame` call
+    this on the 6 header bytes, so a garbled length, version or kind is
+    rejected with the *same* error on either path — and on the socket
+    path it is rejected before any body bytes are read.
+    """
+    if length < 2 or length > MAX_FRAME_BYTES:
+        raise TransportError(f"implausible frame length {length}")
+    if version != PROTOCOL_VERSION:
+        raise TransportError(
+            f"unsupported protocol version {version}; this build speaks "
+            f"version {PROTOCOL_VERSION}"
+        )
+    if kind not in _KNOWN_KINDS:
+        raise TransportError(f"unknown frame kind {kind:#x}")
 
 
 def decode_frame(data: bytes) -> Tuple[int, bytes]:
@@ -137,13 +164,7 @@ def decode_frame(data: bytes) -> Tuple[int, bytes]:
             f"frame length {length} does not match buffer of "
             f"{len(data)} bytes"
         )
-    if version != PROTOCOL_VERSION:
-        raise TransportError(
-            f"unsupported protocol version {version}; this build speaks "
-            f"version {PROTOCOL_VERSION}"
-        )
-    if kind not in _KNOWN_KINDS:
-        raise TransportError(f"unknown frame kind {kind:#x}")
+    _validate_header(length, version, kind)
     return kind, data[_HEADER.size:]
 
 
@@ -193,15 +214,19 @@ def send_frame(sock: socket.socket, kind: int, body: bytes = b"") -> None:
 
 
 def recv_frame(sock: socket.socket) -> Tuple[int, bytes]:
-    """Read one frame from ``sock``; returns ``(kind, body)``."""
+    """Read one frame from ``sock``; returns ``(kind, body)``.
+
+    The header is validated through the same :func:`_validate_header`
+    as :func:`decode_frame` *before* the body is read: a garbled
+    version or kind byte is rejected identically on both paths, and on
+    this one without first pulling (up to a gigabyte of) body bytes
+    off a stream that is already known to be untrustworthy.
+    """
     header = _recv_exact(sock, _HEADER.size)
     length, version, kind = _HEADER.unpack(header)
-    if length < 2 or length > MAX_FRAME_BYTES:
-        raise TransportError(f"implausible frame length {length}")
+    _validate_header(length, version, kind)
     rest = _recv_exact(sock, length - 2)
-    # Re-assemble and validate through the one decoder so socket reads
-    # and byte-level tests can never disagree about what is legal.
-    return decode_frame(header + rest)
+    return kind, rest
 
 
 def send_pickle_frame(sock: socket.socket, kind: int, payload) -> None:
@@ -339,6 +364,59 @@ def decode_handshake(body: bytes) -> Tuple[dict, int]:
             f"speaks version {PROTOCOL_VERSION}"
         )
     return message["descriptor"], message.get("seed", 0)
+
+
+def encode_announce(
+    address: Tuple[str, int], descriptor_dict: dict, seed: int
+) -> bytes:
+    """ANNOUNCE body: where the worker serves, plus its handshake.
+
+    The descriptor/seed are the same fields a HELLO would carry, so a
+    registry can pre-validate identity and placement without opening a
+    second connection to the worker.
+    """
+    host, port = address
+    return pickle.dumps(
+        {
+            "protocol": PROTOCOL_VERSION,
+            "seed": seed,
+            "descriptor": dict(descriptor_dict),
+            "address": (str(host), int(port)),
+        },
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+
+
+def decode_announce(body: bytes) -> Tuple[Tuple[str, int], dict, int]:
+    """Inverse of :func:`encode_announce`.
+
+    Returns ``(address, descriptor_dict, seed)`` and validates the
+    embedded ``protocol`` field exactly like :func:`decode_handshake`.
+    """
+    message = decode_pickle_body(body)
+    if (
+        not isinstance(message, dict)
+        or "descriptor" not in message
+        or "address" not in message
+    ):
+        raise TransportError("malformed announce body")
+    protocol = message.get("protocol")
+    if protocol != PROTOCOL_VERSION:
+        raise TransportError(
+            f"announce declares protocol {protocol!r}; this build "
+            f"speaks version {PROTOCOL_VERSION}"
+        )
+    address = message["address"]
+    if (
+        not isinstance(address, tuple)
+        or len(address) != 2
+        or not isinstance(address[0], str)
+        or not isinstance(address[1], int)
+    ):
+        raise TransportError(
+            f"announce carries malformed address {address!r}"
+        )
+    return address, message["descriptor"], message.get("seed", 0)
 
 
 def parse_address(text: str) -> Tuple[str, int]:

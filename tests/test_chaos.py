@@ -319,3 +319,131 @@ def test_zero_replica_loss_fails_fast(chaos_instance):
         executor.close()
         cluster.close()
         engine.close()
+
+
+# ----------------------------------------------------------------------
+# Faults pinned on the REBALANCE path (elastic runtime satellite)
+# ----------------------------------------------------------------------
+#
+# On a 2-replica pool an idle spare (replica 1) receives exactly one
+# coordinator frame during a job — the JOB broadcast — so coordinator
+# frame 2 on (shard, 1) is deterministically the REBALANCE, regardless
+# of how many levels the query runs.  Worker-side, the spare's frame 1
+# is its HELLO and frame 2 the rebalance echo.  Every scenario must
+# end in a complete recut or a clean degrade (the spare dropped, the
+# primary carrying the shard) — and always bit-identical counts.
+
+
+def _skewed_stats(result):
+    stats = sorted(result.worker_stats, key=lambda s: s.worker_id)
+    stats[0].cpu_time = 4.0
+    for other in stats[1:]:
+        other.cpu_time = 1.0
+    return stats
+
+
+@pytest.mark.parametrize("fault", ["sever", "garble"])
+def test_rebalance_frame_lost_degrades_cleanly(chaos_instance, fault):
+    """Severing (or garbling) the REBALANCE frame to one replica mid-
+    recut drops that replica — the pool degrades to K=1 for its shard
+    and finishes the recut; counts stay exact."""
+    data, query, expected = chaos_instance
+    engine = HGMatch(data, index_backend="bitset")
+    plan = FaultPlan(seed=13)
+    getattr(plan, fault)(0, 1, after_frames=2)  # frame 1=JOB, 2=REBALANCE
+    cluster = spawn_local_cluster(
+        data, 2, index_backend="bitset", num_replicas=2
+    )
+    executor = NetShardExecutor(
+        addresses=list(cluster.addresses),
+        num_replicas=2,
+        index_backend="bitset",
+        io_timeout=60.0,
+        chaos=plan,
+    )
+    try:
+        first = executor.run(engine, query)
+        assert first.embeddings == expected["bitset"]
+        if executor.rebalance(_skewed_stats(first)) == 0:
+            pytest.skip("synthetic skew did not move any shard")
+        assert all(f.consumed for f in plan.faults)
+        # The faulted spare is out of the grid; its primary survives.
+        assert executor._members[0].get(1) is None
+        assert executor._members[0].get(0) is not None
+        assert executor._sharding_label.startswith("rebalanced-")
+        assert executor.run(engine, query).embeddings == expected["bitset"]
+    finally:
+        executor.close()
+        cluster.close()
+        engine.close()
+
+
+def test_rebalance_echo_delay_completes_recut(chaos_instance):
+    """A straggling rebalance echo (the spare's fresh HELLO delayed a
+    second) stalls but never corrupts the recut: the coordinator waits
+    it out under the I/O timeout and the full pool keeps both
+    replicas."""
+    data, query, expected = chaos_instance
+    engine = HGMatch(data, index_backend="bitset")
+    plan = FaultPlan(seed=17)
+    plan.slow_reply(1, 1, after_frames=2, seconds=1.0)  # echo HELLO
+    cluster = spawn_local_cluster(
+        data, 2, index_backend="bitset", num_replicas=2, chaos=plan
+    )
+    executor = NetShardExecutor(
+        addresses=list(cluster.addresses),
+        num_replicas=2,
+        index_backend="bitset",
+        io_timeout=60.0,
+        chaos=plan,
+    )
+    try:
+        first = executor.run(engine, query)
+        assert first.embeddings == expected["bitset"]
+        if executor.rebalance(_skewed_stats(first)) == 0:
+            pytest.skip("synthetic skew did not move any shard")
+        # Nothing degraded: the delay was absorbed, both replicas of
+        # every shard still serve under the new label.
+        assert executor._members[1].get(1) is not None
+        assert executor.run(engine, query).embeddings == expected["bitset"]
+    finally:
+        executor.close()
+        cluster.close()
+        engine.close()
+
+
+def test_rebalance_frame_lost_on_last_replica_fails_clean(chaos_instance):
+    """On a K=1 pool the severed REBALANCE frame has no spare to
+    degrade to: the pool must tear down with a clean SchedulerError —
+    never a hang, never a half-applied layout."""
+    data, query, _expected = chaos_instance
+    engine = HGMatch(data, index_backend="bitset")
+    # A K=1 primary's frames are 1=JOB then one per LEVEL, so the
+    # REBALANCE lands at frame num_steps + 2 — computable up front.
+    num_steps = engine.plan(query).num_steps
+    plan = FaultPlan(seed=19)
+    plan.sever(0, 0, after_frames=num_steps + 2)
+    cluster = spawn_local_cluster(data, 2, index_backend="bitset")
+    executor = NetShardExecutor(
+        addresses=list(cluster.addresses),
+        index_backend="bitset",
+        io_timeout=30.0,
+        chaos=plan,
+    )
+    try:
+        first = executor.run(engine, query)
+        stats = _skewed_stats(first)
+        try:
+            moved = executor.rebalance(stats)
+        except SchedulerError as exc:
+            assert "no live replica" in str(exc)
+            assert not executor._members  # torn down, not wedged
+        else:
+            pytest.skip(
+                f"synthetic skew moved {moved} shard(s) without "
+                f"touching the faulted frame"
+            )
+    finally:
+        executor.close()
+        cluster.close()
+        engine.close()

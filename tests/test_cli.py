@@ -441,3 +441,98 @@ class TestReplicaFlags:
         assert code == 0
         assert "serving shard 0/2 of" in output
         assert "replica" not in output
+
+
+class TestSupervise:
+    def test_validates_arguments(self, fig1_files):
+        data_path, _ = fig1_files
+        code, output = run_cli(
+            "supervise", data_path, "--num-shards", "0"
+        )
+        assert code == 1 and "--num-shards" in output
+        code, output = run_cli(
+            "supervise", data_path, "--num-shards", "1",
+            "--restart-budget", "-1",
+        )
+        assert code == 1 and "--restart-budget" in output
+        code, output = run_cli(
+            "supervise", data_path, "--num-shards", "1",
+            "--registry", "--announce", "h:1",
+        )
+        assert code == 1 and "mutually exclusive" in output
+        code, output = run_cli(
+            "supervise", data_path, "--num-shards", "1",
+            "--announce", "no-port",
+        )
+        assert code == 1 and "HOST:PORT" in output
+
+    def test_supervises_for_duration(self, fig1_files):
+        data_path, _ = fig1_files
+        code, output = run_cli(
+            "supervise", data_path, "--num-shards", "2",
+            "--registry", "--duration", "0.5",
+            "--heartbeat-interval", "0.1",
+        )
+        assert code == 0
+        assert "registry on 127.0.0.1:" in output
+        assert "shard 0 replica 0 on 127.0.0.1:" in output
+        assert "shard 1 replica 0 on 127.0.0.1:" in output
+        assert "supervising 2 worker(s)" in output
+        assert "supervision ended: 0 restart(s), 2 worker(s) live" in output
+
+    def test_serve_shard_announce_registers(self, fig1_files, fig1_data):
+        import threading
+
+        from repro.cli import main as cli_main
+        from repro.parallel import WorkerRegistry
+
+        data_path, _ = fig1_files
+        with WorkerRegistry(heartbeat_interval=0.1) as registry:
+            host, port = registry.address
+            ready = threading.Event()
+
+            class SignallingOut(io.StringIO):
+                def flush(self):
+                    ready.set()
+
+            out = SignallingOut()
+            result = {}
+
+            def serve():
+                result["code"] = cli_main(
+                    [
+                        "serve-shard", data_path, "--shard-id", "0",
+                        "--num-shards", "1", "--max-sessions", "1",
+                        "--announce", f"{host}:{port}",
+                        "--heartbeat-interval", "0.1",
+                    ],
+                    out=out,
+                )
+
+            thread = threading.Thread(target=serve, daemon=True)
+            thread.start()
+            assert ready.wait(timeout=10.0)
+            assert "announcing to" in out.getvalue()
+            addresses = registry.wait_for(1, 1, timeout=10.0)
+            # The announced address is the served one from the banner.
+            banner_address = (
+                out.getvalue().split(" on ", 1)[1].split(",")[0].strip()
+            )
+            bh, bp = banner_address.rsplit(":", 1)
+            assert addresses == [(bh, int(bp))]
+            # One session, served by a throwaway coordinator, ends it.
+            from repro import HGMatch
+            from repro.parallel import NetShardExecutor
+
+            engine = HGMatch(fig1_data)
+            executor = NetShardExecutor(addresses=[(bh, int(bp))])
+            try:
+                assert (
+                    executor.run(engine, fig1_data).embeddings
+                    == engine.count(fig1_data)
+                )
+            finally:
+                executor.close()
+                engine.close()
+            thread.join(timeout=10.0)
+            assert result["code"] == 0

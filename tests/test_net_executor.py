@@ -757,3 +757,51 @@ def test_invalid_replica_configuration():
             Hypergraph(labels=["A", "A"], edges=[{0, 1}]), 1,
             num_replicas=0,
         )
+
+
+def test_retry_knobs_are_configurable(monkeypatch):
+    """REPRO_NET_RETRIES / REPRO_NET_BACKOFF seed the default retry
+    policy — the env twins of REPRO_NET_TIMEOUT, with the same
+    refuse-garbage-loudly contract."""
+    from repro.parallel import default_retry_policy
+    from repro.parallel.tasks import RetryPolicy
+
+    monkeypatch.delenv("REPRO_NET_RETRIES", raising=False)
+    monkeypatch.delenv("REPRO_NET_BACKOFF", raising=False)
+    assert default_retry_policy() == RetryPolicy()
+    monkeypatch.setenv("REPRO_NET_RETRIES", "7")
+    monkeypatch.setenv("REPRO_NET_BACKOFF", "0.25")
+    policy = default_retry_policy()
+    assert policy.attempts == 7
+    assert policy.base_delay == 0.25
+    # A configured executor adopts the env policy; the kwarg wins.
+    executor = NetShardExecutor(num_shards=1)
+    assert executor.retry.attempts == 7
+    executor.close()
+    pinned = NetShardExecutor(num_shards=1, retry=RetryPolicy(attempts=2))
+    assert pinned.retry.attempts == 2
+    pinned.close()
+    # A backoff larger than the default ceiling raises the ceiling too
+    # (delays must stay >= base_delay).
+    monkeypatch.setenv("REPRO_NET_BACKOFF", "5.0")
+    wide = default_retry_policy()
+    assert wide.base_delay == 5.0
+    assert wide.max_delay >= 5.0
+
+
+def test_retry_knob_garbage_is_refused(monkeypatch):
+    from repro.parallel import default_retry_policy
+
+    monkeypatch.setenv("REPRO_NET_RETRIES", "several")
+    with pytest.raises(SchedulerError, match="REPRO_NET_RETRIES"):
+        default_retry_policy()
+    monkeypatch.setenv("REPRO_NET_RETRIES", "0")
+    with pytest.raises(SchedulerError, match="REPRO_NET_RETRIES"):
+        default_retry_policy()
+    monkeypatch.delenv("REPRO_NET_RETRIES", raising=False)
+    monkeypatch.setenv("REPRO_NET_BACKOFF", "soon")
+    with pytest.raises(SchedulerError, match="REPRO_NET_BACKOFF"):
+        default_retry_policy()
+    monkeypatch.setenv("REPRO_NET_BACKOFF", "-1")
+    with pytest.raises(SchedulerError, match="REPRO_NET_BACKOFF"):
+        default_retry_policy()

@@ -213,3 +213,122 @@ class TestStreamHelpers:
         finally:
             left.close()
             right.close()
+
+
+class TestUnifiedHeaderValidation:
+    """Both frame paths — buffered ``decode_frame`` and streaming
+    ``recv_frame`` — must apply the *same* header checks and reject a
+    corrupt header with the *same* error, and ``recv_frame`` must do so
+    before reading the body (a garbled kind byte must not make it wait
+    for a body that may never come)."""
+
+    CASES = [
+        # (frame bytes, error pattern) — each corrupt in the header.
+        (
+            struct.pack(
+                "<IBB", 4, transport.PROTOCOL_VERSION ^ 0xFF,
+                transport.MSG_STOP,
+            ) + b"xy",
+            "unsupported protocol version",
+        ),
+        (
+            struct.pack("<IBB", 4, transport.PROTOCOL_VERSION, 0x00)
+            + b"xy",
+            "unknown frame kind",
+        ),
+        (
+            struct.pack("<IBB", 4, transport.PROTOCOL_VERSION, 0x7A)
+            + b"xy",
+            "unknown frame kind",
+        ),
+        (
+            struct.pack(
+                "<IBB", 1, transport.PROTOCOL_VERSION, transport.MSG_STOP
+            ),
+            "implausible frame length",
+        ),
+    ]
+
+    @pytest.mark.parametrize("frame,pattern", CASES)
+    def test_rejected_identically_on_both_paths(self, frame, pattern):
+        with pytest.raises(TransportError, match=pattern) as decoded:
+            transport.decode_frame(frame)
+        left, right = socket.socketpair()
+        try:
+            left.sendall(frame)
+            with pytest.raises(TransportError, match=pattern) as received:
+                transport.recv_frame(right)
+        finally:
+            left.close()
+            right.close()
+        assert str(decoded.value) == str(received.value)
+
+    def test_recv_rejects_header_before_body_arrives(self):
+        """A valid-length header with a garbled kind is refused without
+        the body: the sender never provides one, yet recv_frame returns
+        immediately instead of blocking for it."""
+        left, right = socket.socketpair()
+        try:
+            right.settimeout(5.0)
+            left.sendall(
+                struct.pack(
+                    "<IBB", 1000, transport.PROTOCOL_VERSION, 0x7A
+                )
+            )  # promises a 998-byte body that will never come
+            with pytest.raises(TransportError, match="unknown frame kind"):
+                transport.recv_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+
+class TestAnnounceCodec:
+    DESCRIPTOR = {
+        "shard_id": 1, "num_shards": 2, "index_backend": "bitset",
+        "num_partitions": 3, "num_rows": 11, "graph_edges": 20,
+        "graph_vertices": 12, "sharding": "uniform",
+        "replica_id": 0, "num_replicas": 2,
+    }
+
+    def test_round_trip(self):
+        body = transport.encode_announce(
+            ("node-3", 7441), self.DESCRIPTOR, seed=99
+        )
+        address, descriptor, seed = transport.decode_announce(body)
+        assert address == ("node-3", 7441)
+        assert descriptor == self.DESCRIPTOR
+        assert seed == 99
+
+    def test_frame_round_trip_as_announce_kind(self):
+        body = transport.encode_announce(
+            ("h", 1), self.DESCRIPTOR, seed=0
+        )
+        kind, decoded = transport.decode_frame(
+            transport.encode_frame(transport.MSG_ANNOUNCE, body)
+        )
+        assert kind == transport.MSG_ANNOUNCE
+        assert transport.decode_announce(decoded)[2] == 0
+
+    def test_protocol_field_is_checked(self):
+        import pickle
+
+        body = pickle.dumps({
+            "protocol": "smoke-signals", "seed": 0,
+            "descriptor": self.DESCRIPTOR, "address": ("h", 1),
+        })
+        with pytest.raises(TransportError, match="declares protocol"):
+            transport.decode_announce(body)
+
+    def test_malformed_address_is_refused(self):
+        import pickle
+
+        body = pickle.dumps({
+            "protocol": transport.PROTOCOL_VERSION, "seed": 0,
+            "descriptor": self.DESCRIPTOR, "address": "not-a-pair",
+        })
+        with pytest.raises(TransportError, match="malformed address"):
+            transport.decode_announce(body)
+
+    def test_undecodable_body_is_refused(self):
+        with pytest.raises(TransportError):
+            transport.decode_announce(b"\x80garbage")
