@@ -5,8 +5,9 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-backends test-processes test-sockets test-chaos \
-	test-elastic bench-smoke bench-index bench-sharding bench-skew \
-	bench-net bench-chaos bench-elastic docs-check lint-imports
+	test-elastic test-service bench-smoke bench-index bench-sharding \
+	bench-skew bench-net bench-chaos bench-elastic bench-service \
+	docs-check lint-imports
 
 ## Tier-1 verification: the whole test suite, stop on first failure.
 ## Honours REPRO_INDEX_BACKEND (merge/bitset/adaptive).
@@ -60,6 +61,12 @@ test-elastic:
 	$(PYTHON) -m pytest -x -q tests/test_registry.py \
 		tests/test_supervisor.py tests/test_elastic.py
 
+## Match-service smoke: the multiplexed wire kinds, the always-on
+## service (admission BUSY, deadlines, cancellation, cache, drain,
+## query-pinned chaos isolation) and the line-JSON daemon/client.
+test-service:
+	$(PYTHON) -m pytest -x -q tests/test_service.py tests/test_transport.py
+
 ## One fast benchmark as a smoke signal: the three-backend index
 ## comparison (merge/bitset/adaptive + mask-native pipeline; also
 ## regenerates BENCH_index_backends.json).
@@ -106,8 +113,17 @@ bench-chaos:
 bench-elastic:
 	$(PYTHON) benchmarks/bench_elastic.py
 
+## Match-service gate: N concurrent multiplexed queries bit-identical
+## to solo runs on all three backends, BUSY refusal at the depth
+## limit, cache hits answered without touching the pool, and isolation
+## of a query-pinned chaos fault (regenerates BENCH_service.json;
+## concurrent throughput and cache-hit latency recorded, not gated).
+bench-service:
+	$(PYTHON) benchmarks/bench_service.py
+
 ## Documentation checks: the WIRE_FORMAT.md doctests (the byte-level
-## spec is executable) and a link check over docs/ + README.
+## spec is executable), the §2.1 message-kind table cross-check
+## against transport.MSG_*, and a link check over docs/ + README.
 docs-check:
 	$(PYTHON) tools/docs_check.py
 

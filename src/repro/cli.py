@@ -17,6 +17,12 @@ Commands
     Serve one store shard over TCP — the worker side of
     ``match --executor sockets`` (see ``docs/ARCHITECTURE.md``);
     ``--announce host:port`` registers it with a worker registry.
+``serve-match``
+    Run the always-on match service: a multiplexed shard pool behind
+    a line-JSON TCP front end with admission control, per-query
+    deadlines, cancellation and a result cache.
+``query``
+    Send one query to a running ``serve-match`` daemon.
 ``supervise``
     Boot and babysit a local shard-worker pool: restart crashed
     workers under a retry budget, optionally run the worker registry
@@ -240,6 +246,85 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds between registry heartbeats (default 0.5; must "
         "match the registry's expectation — it evicts after "
         "interval x miss-budget of silence)",
+    )
+
+    serve_match = commands.add_parser(
+        "serve-match",
+        help="run the always-on match service: a multiplexed shard "
+        "pool behind a line-JSON TCP front end with admission "
+        "control, deadlines, cancellation and a result cache "
+        "(docs/ARCHITECTURE.md, 'Match service')",
+    )
+    serve_match.add_argument("source", help="dataset name or .hg path")
+    serve_match.add_argument(
+        "--shards", type=int, default=2,
+        help="shard count of the service's worker pool (default 2)",
+    )
+    serve_match.add_argument(
+        "--index-backend", default=None, choices=INDEX_BACKENDS,
+        help="posting-list representation of the pooled shards",
+    )
+    serve_match.add_argument(
+        "--sharding", default=None, choices=SHARDING_MODES,
+        help="shard placement mode of the pooled shards",
+    )
+    serve_match.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface the service listens on (the protocol trusts "
+        "its peers — bind publicly only inside a private network)",
+    )
+    serve_match.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port to bind (0 = OS-assigned; the bound address is "
+        "printed before serving)",
+    )
+    serve_match.add_argument(
+        "--max-concurrent", type=int, default=4,
+        help="queries executing at once over the shared pool (default 4)",
+    )
+    serve_match.add_argument(
+        "--queue-depth", type=int, default=8,
+        help="admitted queries (running + backlog) before new ones "
+        "are refused with BUSY (default 8)",
+    )
+    serve_match.add_argument(
+        "--deadline", type=float, default=None,
+        help="default per-query deadline in seconds (requests may "
+        "override; default: none)",
+    )
+    serve_match.add_argument(
+        "--cache-capacity", type=int, default=128,
+        help="entries in the LRU result cache (default 128)",
+    )
+    serve_match.add_argument(
+        "--duration", type=float, default=None,
+        help="serve for this many seconds then drain and exit "
+        "(default: until SIGTERM/Ctrl-C; smoke tests use a short "
+        "duration)",
+    )
+    serve_match.add_argument(
+        "--drain-timeout", type=float, default=10.0,
+        help="seconds granted to in-flight queries at shutdown before "
+        "they are cancelled (default 10)",
+    )
+
+    query_cmd = commands.add_parser(
+        "query",
+        help="send one query to a running serve-match daemon and "
+        "print the embedding count",
+    )
+    query_cmd.add_argument("query", help="query .hg path")
+    query_cmd.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="address of the serve-match daemon",
+    )
+    query_cmd.add_argument(
+        "--deadline", type=float, default=None,
+        help="per-query deadline in seconds",
+    )
+    query_cmd.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="client-side socket timeout in seconds (default 30)",
     )
 
     supervise = commands.add_parser(
@@ -641,6 +726,82 @@ def _cmd_serve_shard(args, out) -> int:
     return 0
 
 
+def _cmd_serve_match(args, out) -> int:
+    from .service import MatchService
+    from .service.daemon import run_daemon
+
+    if args.shards < 1:
+        out.write("error: --shards must be >= 1\n")
+        return 1
+    if args.max_concurrent < 1:
+        out.write("error: --max-concurrent must be >= 1\n")
+        return 1
+    if args.queue_depth < 1:
+        out.write("error: --queue-depth must be >= 1\n")
+        return 1
+    graph = _load_graph(args.source)
+    engine = HGMatch(
+        graph,
+        index_backend=args.index_backend,
+        sharding=args.sharding,
+    )
+    service = MatchService(
+        engine,
+        shards=args.shards,
+        max_concurrent=args.max_concurrent,
+        queue_depth=args.queue_depth,
+        cache_capacity=args.cache_capacity,
+        default_deadline=args.deadline,
+    )
+
+    def ready(address) -> None:
+        host, port = address
+        out.write(
+            f"match service for {args.source} "
+            f"({engine.index_backend} backend, {args.shards} shards, "
+            f"depth {args.queue_depth}) on {host}:{port}\n"
+        )
+        if hasattr(out, "flush"):
+            out.flush()  # wrappers read the address line first
+
+    try:
+        daemon = run_daemon(
+            service,
+            host=args.host,
+            port=args.port,
+            duration=args.duration,
+            drain_timeout=args.drain_timeout,
+            ready=ready,
+        )
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        service.drain(args.drain_timeout)
+        daemon = None
+    finally:
+        engine.close()
+    if daemon is not None:
+        out.write(f"drained after {daemon.queries_served} query(ies)\n")
+    return 0
+
+
+def _cmd_query(args, out) -> int:
+    from .service.client import MatchClient
+
+    host, port = _parse_host_port(args.connect)
+    query = load_native(args.query)
+    client = MatchClient(host, port, timeout=args.timeout)
+    try:
+        outcome = client.query(query, deadline=args.deadline)
+    except TimeoutExceeded as exc:
+        out.write(f"deadline exceeded: {exc}\n")
+        return 1
+    cached_note = " (cached)" if outcome.cached else ""
+    out.write(
+        f"{outcome.embeddings} embeddings in "
+        f"{outcome.elapsed:.3f}s{cached_note}\n"
+    )
+    return 0
+
+
 def _cmd_supervise(args, out) -> int:
     from .parallel.registry import WorkerRegistry
     from .parallel.supervisor import WorkerSupervisor
@@ -733,6 +894,10 @@ def main(argv: "Optional[List[str]]" = None, out=None) -> int:
             return _cmd_match(args, out)
         if args.command == "serve-shard":
             return _cmd_serve_shard(args, out)
+        if args.command == "serve-match":
+            return _cmd_serve_match(args, out)
+        if args.command == "query":
+            return _cmd_query(args, out)
         if args.command == "supervise":
             return _cmd_supervise(args, out)
     except (ReproError, OSError) as exc:

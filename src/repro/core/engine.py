@@ -160,6 +160,9 @@ class HGMatch:
         # Likewise one socket coordinator per engine for "sockets" runs
         # (it owns a local worker cluster unless given addresses).
         self._net_executor = None
+        # And one always-on match service (multiplexed pool + admission
+        # control), built lazily by match_service().
+        self._match_service = None
 
     @property
     def index_backend(self) -> str:
@@ -600,14 +603,74 @@ class HGMatch:
             self._net_executor = current
         return current
 
+    def match_service(
+        self,
+        shards: "int | None" = None,
+        hosts=None,
+        max_concurrent: int = 4,
+        queue_depth: int = 8,
+        cache_capacity: int = 128,
+        default_deadline: "float | None" = None,
+        chaos=None,
+    ):
+        """The engine's persistent always-on match service (lazily built).
+
+        Wraps this engine and one multiplexed shard pool in a
+        :class:`~repro.service.service.MatchService`: bounded admission
+        (BUSY past ``queue_depth``), per-query deadlines, cancellation
+        with remote CANCEL, and an LRU result cache.  Reused across
+        calls like :meth:`net_executor`; asking for a different shard
+        layout tears it down and rebuilds.
+        """
+        from ..service import MatchService  # lazy
+
+        shards = self.shards if shards is None else shards
+        if hosts is None and shards < 1:
+            raise QueryError("shards must be >= 1")
+        current = self._match_service
+        want_shards = len(hosts) if hosts is not None else shards
+        if current is not None and current.num_shards != want_shards:
+            current.close()
+            current = None
+        if current is None:
+            current = MatchService(
+                self,
+                shards=shards,
+                addresses=(
+                    None if hosts is None
+                    else [tuple(address) for address in hosts]
+                ),
+                max_concurrent=max_concurrent,
+                queue_depth=queue_depth,
+                cache_capacity=cache_capacity,
+                default_deadline=default_deadline,
+                chaos=chaos,
+            )
+            self._match_service = current
+        return current
+
     def close(self) -> None:
-        """Release the shard pools (process and socket), if started."""
-        if self._shard_executor is not None:
-            self._shard_executor.close()
-            self._shard_executor = None
-        if self._net_executor is not None:
-            self._net_executor.close()
-            self._net_executor = None
+        """Release the shard pools and match service, if started.
+
+        Tear-down is exception-safe: a pool whose close raises cannot
+        leave the later pools (or the service) running — each stage is
+        chained through ``finally`` and its reference dropped first, so
+        a repeated ``close()`` after a partial failure is a no-op for
+        the stages that did shut down.
+        """
+        service, self._match_service = self._match_service, None
+        executor, self._shard_executor = self._shard_executor, None
+        net, self._net_executor = self._net_executor, None
+        try:
+            if service is not None:
+                service.close()
+        finally:
+            try:
+                if executor is not None:
+                    executor.close()
+            finally:
+                if net is not None:
+                    net.close()
 
     def count_vertex_embeddings(
         self, query: Hypergraph, order: "Sequence[int] | None" = None

@@ -43,6 +43,34 @@ class TransportError(SchedulerError):
     """
 
 
+class ServiceBusy(ReproError):
+    """Raised when the match service refuses a query at admission.
+
+    The explicit overload signal of the always-on service: the bounded
+    admission queue is at its depth limit, so the query is *refused* —
+    never silently queued into an unbounded backlog or left to hang.
+    ``retry_after`` is the service's backoff hint in seconds.
+    """
+
+    def __init__(self, depth: int, retry_after: float) -> None:
+        super().__init__(
+            f"match service is at its admission depth limit ({depth} "
+            f"queries in flight); retry after {retry_after:.3f}s"
+        )
+        self.depth = depth
+        self.retry_after = retry_after
+
+
+class QueryCancelled(ReproError):
+    """Raised when an in-flight query is cancelled.
+
+    Covers both explicit cancellation (``ticket.cancel()``, a client
+    disconnecting mid-query) and service drain: the coordinator sends
+    CANCEL frames so every worker drops the query's session state, then
+    surfaces this to the waiter.
+    """
+
+
 class TimeoutExceeded(ReproError):
     """Raised internally when a matching job exceeds its time budget.
 

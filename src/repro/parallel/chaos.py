@@ -52,8 +52,11 @@ from __future__ import annotations
 
 import random
 import time
+import struct
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
+
+from .transport import QUERY_KINDS
 
 #: Endpoint roles a fault can bind to.  ``announcer`` is the worker's
 #: registry connection (frame 1 is the ANNOUNCE, frames 2+ are
@@ -70,6 +73,27 @@ _ROLES = (ROLE_COORDINATOR, ROLE_WORKER, ROLE_ANNOUNCER)
 #: else in the frame.
 _VERSION_BYTE_OFFSET = 4
 
+#: Offsets of the kind byte and (for §2.8 multiplexed kinds) the u64
+#: query-id tag inside an encoded frame — how a query-pinned fault
+#: recognises which query a frame belongs to without decoding it.
+_KIND_BYTE_OFFSET = 5
+_QUERY_ID_OFFSET = 6
+_QUERY_ID_END = _QUERY_ID_OFFSET + 8
+
+
+def _frame_query_id(data) -> Optional[int]:
+    """The query id a wire frame is tagged with, or None.
+
+    Reads the §2.8 tag straight out of the encoded bytes (kind byte at
+    offset 5, little-endian u64 at offsets 6..14) so the chaos layer
+    stays a pure byte-stream observer — no transport decode, no state.
+    """
+    if len(data) < _QUERY_ID_END:
+        return None
+    if data[_KIND_BYTE_OFFSET] not in QUERY_KINDS:
+        return None
+    return struct.unpack_from("<Q", data, _QUERY_ID_OFFSET)[0]
+
 
 @dataclass
 class Fault:
@@ -80,6 +104,12 @@ class Fault:
     about to send its ``after_frames``-th frame.  For a coordinator
     connection frame 1 is the JOB (the handshake is received, not
     sent); for a worker session frame 1 is the HELLO.
+
+    ``query_id`` pins the fault to one multiplexed query's frames:
+    ``after_frames`` then counts only the frames tagged with that
+    query id (§2.8 kinds), so a fault disturbs exactly one query of a
+    multiplexed session no matter how its frames interleave with
+    other queries' — the determinism the isolation tests rely on.
     """
 
     kind: str  # "sever" | "garble" | "kill" | "delay" | "drop"
@@ -88,18 +118,30 @@ class Fault:
     replica_id: int
     after_frames: int
     seconds: float = 0.0
+    query_id: Optional[int] = None
     consumed: bool = field(default=False, compare=False)
 
     def matches(
-        self, role: str, shard_id: int, replica_id: int, frame: int
+        self,
+        role: str,
+        shard_id: int,
+        replica_id: int,
+        frame: int,
+        query_id: Optional[int] = None,
+        query_frame: int = 0,
     ) -> bool:
-        return (
-            not self.consumed
-            and self.role == role
-            and self.shard_id == shard_id
-            and self.replica_id == replica_id
-            and self.after_frames == frame
-        )
+        if (
+            self.consumed
+            or self.role != role
+            or self.shard_id != shard_id
+            or self.replica_id != replica_id
+        ):
+            return False
+        if self.query_id is not None:
+            return query_id == self.query_id and (
+                self.after_frames == query_frame
+            )
+        return self.after_frames == frame
 
 
 class ChaosSeveredError(OSError):
@@ -150,11 +192,16 @@ class FaultPlan:
         *,
         after_frames: int,
         role: str = ROLE_COORDINATOR,
+        query_id: Optional[int] = None,
     ) -> Fault:
         """Close the connection instead of sending frame ``N`` — the
-        mid-level disconnect (the worker process survives)."""
+        mid-level disconnect (the worker process survives).  With
+        ``query_id``, ``N`` counts that query's frames alone."""
         return self._add(
-            Fault("sever", role, shard_id, replica_id, after_frames)
+            Fault(
+                "sever", role, shard_id, replica_id, after_frames,
+                query_id=query_id,
+            )
         )
 
     def garble(
@@ -164,11 +211,16 @@ class FaultPlan:
         *,
         after_frames: int,
         role: str = ROLE_COORDINATOR,
+        query_id: Optional[int] = None,
     ) -> Fault:
         """Corrupt frame ``N``'s version byte before sending — the peer
-        must reject it and end the session (never guess)."""
+        must reject it and end the session (never guess).  With
+        ``query_id``, ``N`` counts that query's frames alone."""
         return self._add(
-            Fault("garble", role, shard_id, replica_id, after_frames)
+            Fault(
+                "garble", role, shard_id, replica_id, after_frames,
+                query_id=query_id,
+            )
         )
 
     def kill_worker(
@@ -190,23 +242,34 @@ class FaultPlan:
         *,
         after_frames: int,
         seconds: float,
+        query_id: Optional[int] = None,
     ) -> Fault:
         """Delay the worker's frame ``N`` by ``seconds`` — a straggling
-        replica (the speculation trigger)."""
+        replica (the speculation trigger).  With ``query_id``, ``N``
+        counts that query's frames alone."""
         return self._add(
             Fault(
                 "delay", ROLE_WORKER, shard_id, replica_id, after_frames,
-                seconds=seconds,
+                seconds=seconds, query_id=query_id,
             )
         )
 
     def drop_reply(
-        self, shard_id: int, replica_id: int = 0, *, after_frames: int
+        self,
+        shard_id: int,
+        replica_id: int = 0,
+        *,
+        after_frames: int,
+        query_id: Optional[int] = None,
     ) -> Fault:
         """Swallow the worker's frame ``N`` — a reply that never
-        arrives (the coordinator's per-frame deadline must notice)."""
+        arrives (the coordinator's per-frame deadline must notice).
+        With ``query_id``, ``N`` counts that query's frames alone."""
         return self._add(
-            Fault("drop", ROLE_WORKER, shard_id, replica_id, after_frames)
+            Fault(
+                "drop", ROLE_WORKER, shard_id, replica_id, after_frames,
+                query_id=query_id,
+            )
         )
 
     def drop_heartbeats(
@@ -303,7 +366,7 @@ class ChaosSocket:
     """
 
     __slots__ = ("_sock", "_plan", "_role", "_shard_id", "_replica_id",
-                 "_sent")
+                 "_sent", "_query_sent")
 
     def __init__(self, sock, plan, role, shard_id, replica_id) -> None:
         self._sock = sock
@@ -312,6 +375,10 @@ class ChaosSocket:
         self._shard_id = shard_id
         self._replica_id = replica_id
         self._sent = 0
+        # Per-query frame counters for §2.8 multiplexed frames, so a
+        # query-pinned fault keeps its protocol position no matter how
+        # the session interleaves queries.
+        self._query_sent: Dict[int, int] = {}
 
     def bind_endpoint(self, shard_id: int, replica_id: int) -> None:
         """Attach the worker identity this connection talks to (or as);
@@ -324,12 +391,15 @@ class ChaosSocket:
     def frames_sent(self) -> int:
         return self._sent
 
-    def _next_fault(self) -> "Optional[Fault]":
+    def _next_fault(
+        self, query_id: Optional[int], query_frame: int
+    ) -> "Optional[Fault]":
         if self._shard_id is None or self._replica_id is None:
             return None
         for fault in self._plan.faults:
             if fault.matches(
-                self._role, self._shard_id, self._replica_id, self._sent
+                self._role, self._shard_id, self._replica_id, self._sent,
+                query_id, query_frame,
             ):
                 fault.consumed = True
                 return fault
@@ -337,7 +407,12 @@ class ChaosSocket:
 
     def sendall(self, data) -> None:
         self._sent += 1
-        fault = self._next_fault()
+        query_id = _frame_query_id(data)
+        query_frame = 0
+        if query_id is not None:
+            query_frame = self._query_sent.get(query_id, 0) + 1
+            self._query_sent[query_id] = query_frame
+        fault = self._next_fault(query_id, query_frame)
         if fault is None:
             self._sock.sendall(data)
             return

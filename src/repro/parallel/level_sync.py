@@ -70,7 +70,7 @@ from ..core.candidates import (
 )
 from ..core.counters import MatchCounters
 from ..core.validation import is_valid_expansion
-from ..errors import SchedulerError, TimeoutExceeded
+from ..errors import QueryCancelled, SchedulerError, TimeoutExceeded
 from ..hypergraph import Hypergraph
 from ..hypergraph.index import chunks_from_rows
 from ..hypergraph.sharding import (
@@ -318,6 +318,7 @@ def run_level_synchronous(
     order=None,
     time_budget: "float | None" = None,
     stream: bool = True,
+    cancelled=None,
 ) -> ParallelResult:
     """Execute one matching job over ``executor``'s shard peers.
 
@@ -332,7 +333,12 @@ def run_level_synchronous(
     slowest shard's compute instead of waiting behind the full barrier
     — the union is commutative, so arrival order cannot change the
     composed frontier.  ``time_budget`` is enforced at level
-    granularity (levels are the protocol's natural barriers).
+    granularity (levels are the protocol's natural barriers), and so is
+    ``cancelled`` — a zero-argument callable polled at the same
+    barriers; when it reports True the loop raises
+    :class:`~repro.errors.QueryCancelled` instead of dispatching the
+    next level (the match service's cancel path; the executor's own
+    gather may additionally interrupt a level in flight).
     """
     plan = engine.plan(query, order)
     executor._ensure_pool(engine)
@@ -346,6 +352,10 @@ def run_level_synchronous(
     peak_retained = 0
     collected = None
     for step in range(num_steps):
+        if cancelled is not None and cancelled():
+            raise QueryCancelled(
+                f"query cancelled before level {step} dispatch"
+            )
         if deadline is not None and time.monotonic() > deadline:
             raise TimeoutExceeded(
                 time.monotonic() - (deadline - time_budget), time_budget

@@ -126,11 +126,11 @@ def default_io_timeout() -> float:
     try:
         timeout = float(value)
     except ValueError:
-        raise SchedulerError(
+        raise TransportError(
             f"REPRO_NET_TIMEOUT must be a number of seconds, got {value!r}"
         ) from None
     if timeout <= 0:
-        raise SchedulerError(
+        raise TransportError(
             f"REPRO_NET_TIMEOUT must be positive, got {value!r}"
         )
     return timeout
@@ -153,12 +153,12 @@ def default_retry_policy() -> RetryPolicy:
         try:
             attempts = int(value)
         except ValueError:
-            raise SchedulerError(
+            raise TransportError(
                 f"REPRO_NET_RETRIES must be an integer attempt count, "
                 f"got {value!r}"
             ) from None
         if attempts < 1:
-            raise SchedulerError(
+            raise TransportError(
                 f"REPRO_NET_RETRIES must be >= 1, got {value!r}"
             )
         kwargs["attempts"] = attempts
@@ -167,12 +167,12 @@ def default_retry_policy() -> RetryPolicy:
         try:
             base_delay = float(value)
         except ValueError:
-            raise SchedulerError(
+            raise TransportError(
                 f"REPRO_NET_BACKOFF must be a number of seconds, "
                 f"got {value!r}"
             ) from None
         if base_delay <= 0:
-            raise SchedulerError(
+            raise TransportError(
                 f"REPRO_NET_BACKOFF must be positive, got {value!r}"
             )
         kwargs["base_delay"] = base_delay
@@ -205,6 +205,21 @@ def _disable_nagle(sock) -> None:
 # ----------------------------------------------------------------------
 # Worker side: the shard server
 # ----------------------------------------------------------------------
+
+
+@dataclass
+class _QuerySession:
+    """One multiplexed query's worker-side state (WIRE_FORMAT.md §2.8).
+
+    Exactly the quadruple a legacy session keeps for its single job —
+    held per query id so one connection can interleave many jobs, and
+    droppable as a unit on CANCEL / completion / per-query error.
+    """
+
+    plan: object
+    state: object
+    counters: MatchCounters
+    stats: WorkerStats
 
 
 class ShardWorker:
@@ -386,6 +401,11 @@ class ShardWorker:
         state: "VertexStepState | None" = None
         counters = MatchCounters()
         stats = WorkerStats(worker_id=self.shard.shard_id)
+        # Multiplexed (§2.8) jobs, keyed by query id.  Session state is
+        # per *connection*: when the coordinator reconnects after a
+        # failure it replays every registered QJOB, so dropping the dict
+        # with the connection never strands a query.
+        sessions: "Dict[int, _QuerySession]" = {}
         while True:
             try:
                 kind, body = transport.recv_frame(conn)
@@ -472,6 +492,8 @@ class ShardWorker:
                     transport.send_frame(
                         conn, transport.MSG_HELLO, self._hello_body()
                     )
+                elif kind in transport.QUERY_KINDS:
+                    self._serve_query_frame(conn, kind, body, sessions)
                 elif kind == transport.MSG_STOP:
                     return True
                 elif kind == transport.MSG_SHUTDOWN:
@@ -498,6 +520,138 @@ class ShardWorker:
                 except (TransportError, OSError):  # pragma: no cover
                     pass
                 return True
+
+    def _serve_query_frame(
+        self, conn, kind: int, body: bytes,
+        sessions: "Dict[int, _QuerySession]",
+    ) -> None:
+        """Serve one multiplexed (§2.8) frame of a session.
+
+        The isolation seam of the match service: a failure inside one
+        query's work goes back as a QERROR tagged with that query id
+        and drops only that query's session — the connection, and every
+        other query multiplexed on it, keeps serving.  Only transport
+        failures propagate (the peer is gone for everyone).
+        """
+        query_id, rest = transport.split_query_body(body)
+        if kind == transport.MSG_CANCEL:
+            # Fire-and-forget: drop the query's state, answer nothing —
+            # the coordinator stopped listening for this id already, and
+            # an unknown id (already completed, or never started here)
+            # is exactly as cancelled as a live one.
+            sessions.pop(query_id, None)
+            return
+        try:
+            if kind == transport.MSG_QJOB:
+                query, order = transport.decode_pickle_body(rest)
+                plan = build_execution_plan(
+                    query, order, index_backend=self.index_backend
+                )
+                counters = MatchCounters()
+                counters.note_work_model(
+                    WORK_UNIT_MODELS.get(self.index_backend, "")
+                )
+                # A QJOB for an already-registered id is a coordinator
+                # replay (reconnect after a failure): start the query
+                # over, exactly like a legacy JOB replay.
+                sessions[query_id] = _QuerySession(
+                    plan,
+                    VertexStepState(self._graph),
+                    counters,
+                    WorkerStats(worker_id=self.shard.shard_id),
+                )
+            elif kind == transport.MSG_QLEVEL:
+                session = sessions.get(query_id)
+                if session is None:
+                    raise SchedulerError(
+                        f"no open session for query {query_id}: QLEVEL "
+                        f"before QJOB (or after cancel/completion)"
+                    )
+                step, frontier = transport.decode_pickle_body(rest)
+                reply = expand_level(
+                    self._graph, self.shard, session.plan, step, frontier,
+                    session.state, session.counters, session.stats,
+                    self._memo, self._mask_validation,
+                )
+                _, payloads, embeddings = reply
+                versioned: "List[Optional[bytes]] | None" = None
+                if payloads is not None:
+                    versioned = []
+                    for payload in payloads:
+                        if payload is None:
+                            versioned.append(None)
+                        else:
+                            versioned.append(encode_versioned(payload))
+                            session.stats.payload_bytes += 1
+                final = step == session.plan.num_steps - 1
+                accounting = None
+                if final:
+                    accounting = pickle.dumps(
+                        (session.counters, session.stats),
+                        protocol=pickle.HIGHEST_PROTOCOL,
+                    )
+                transport.send_frame(
+                    conn,
+                    transport.MSG_QREPLY,
+                    transport.encode_query_body(
+                        query_id,
+                        transport.encode_level_reply(
+                            versioned, embeddings, accounting
+                        ),
+                    ),
+                )
+                if final:
+                    # Answered in full; the state has no further reader.
+                    sessions.pop(query_id, None)
+            elif kind == transport.MSG_QCOLLECT:
+                session = sessions.pop(query_id, None)
+                if session is None:
+                    raise SchedulerError(
+                        f"no open session for query {query_id}: QCOLLECT "
+                        f"before QJOB (or after cancel/completion)"
+                    )
+                # Early-drain termination: a payload-free QREPLY whose
+                # accounting tail closes out the query.
+                transport.send_frame(
+                    conn,
+                    transport.MSG_QREPLY,
+                    transport.encode_query_body(
+                        query_id,
+                        transport.encode_level_reply(
+                            None,
+                            0,
+                            pickle.dumps(
+                                (session.counters, session.stats),
+                                protocol=pickle.HIGHEST_PROTOCOL,
+                            ),
+                        ),
+                    ),
+                )
+            else:  # QREPLY/QERROR are coordinator-bound, never served
+                raise TransportError(
+                    f"unexpected query frame kind {kind:#x} in session"
+                )
+        except (TransportError, OSError):
+            raise
+        except Exception:
+            import traceback
+
+            sessions.pop(query_id, None)
+            context = (
+                f"shard {self.shard.shard_id} replica "
+                f"{self.replica_id} ({self.shard.sharding} placement)"
+            )
+            transport.send_frame(
+                conn,
+                transport.MSG_QERROR,
+                transport.encode_query_body(
+                    query_id,
+                    pickle.dumps(
+                        f"[{context}] " + traceback.format_exc(),
+                        protocol=pickle.HIGHEST_PROTOCOL,
+                    ),
+                ),
+            )
 
 
 # ----------------------------------------------------------------------
@@ -855,6 +1009,125 @@ def spawn_local_cluster(
 # ----------------------------------------------------------------------
 # Coordinator side
 # ----------------------------------------------------------------------
+
+
+def validate_handshake(
+    sock,
+    graph,
+    *,
+    index_backend: str,
+    num_shards: int,
+    num_replicas: int,
+    seed: int,
+    sharding_label: str,
+    expected_shard: "int | None" = None,
+    expected_replica: "int | None" = None,
+    expected_sharding: "str | None" = None,
+    allow_replica_growth: bool = False,
+    any_sharding: bool = False,
+) -> ShardDescriptor:
+    """Receive and validate one worker's HELLO against a pool's view.
+
+    The single handshake gate shared by every coordinator-side pool —
+    :class:`NetShardExecutor` and the match service's multiplexing pool
+    both call it, so a worker that one would refuse the other refuses
+    identically.  ``expected_shard``/``expected_replica`` (worker
+    recovery and rebalance echoes) pin the announced identity.
+    ``expected_sharding`` overrides the placement label to expect — a
+    freshly respawned worker announces the spawn mode even while the
+    pool runs a rebalanced layout.  The admission path relaxes two
+    checks: ``allow_replica_growth`` accepts a *wider* replica
+    arithmetic than the pool's (an elastic K-growth — never a narrower
+    one), and ``any_sharding`` defers the placement-label check to the
+    caller (which REBALANCE-upgrades label mismatches instead of
+    refusing them).
+    """
+    kind, body = transport.recv_frame(sock)
+    if kind != transport.MSG_HELLO:
+        raise SchedulerError(
+            f"worker spoke {kind:#x} before HELLO; not a shard server?"
+        )
+    descriptor_dict, worker_seed = transport.decode_handshake(body)
+    try:
+        descriptor = ShardDescriptor.from_dict(descriptor_dict)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SchedulerError(
+            f"malformed handshake descriptor (missing/invalid field "
+            f"{exc}): not a compatible shard server"
+        ) from None
+    if descriptor.index_backend != index_backend:
+        raise SchedulerError(
+            f"handshake backend mismatch: worker shard "
+            f"{descriptor.shard_id} built {descriptor.index_backend!r}, "
+            f"coordinator expects {index_backend!r}"
+        )
+    if descriptor.num_shards != num_shards:
+        raise SchedulerError(
+            f"shard arithmetic mismatch: worker believes in "
+            f"{descriptor.num_shards} shards, coordinator in "
+            f"{num_shards}"
+        )
+    if descriptor.num_replicas != num_replicas and not (
+        allow_replica_growth
+        and descriptor.num_replicas > num_replicas
+    ):
+        raise SchedulerError(
+            f"replica arithmetic mismatch: worker shard "
+            f"{descriptor.shard_id} believes in "
+            f"{descriptor.num_replicas} replicas, coordinator in "
+            f"{num_replicas}"
+        )
+    if not 0 <= descriptor.shard_id < num_shards:
+        raise SchedulerError(
+            f"worker announced shard id {descriptor.shard_id} outside "
+            f"0..{num_shards - 1}"
+        )
+    if (
+        expected_shard is not None
+        and descriptor.shard_id != expected_shard
+    ):
+        raise SchedulerError(
+            f"respawned worker announced shard id "
+            f"{descriptor.shard_id}, expected {expected_shard}"
+        )
+    if (
+        expected_replica is not None
+        and descriptor.replica_id != expected_replica
+    ):
+        raise SchedulerError(
+            f"respawned worker announced replica "
+            f"{descriptor.replica_id}, expected {expected_replica}"
+        )
+    sharding = (
+        sharding_label if expected_sharding is None else expected_sharding
+    )
+    if not any_sharding and descriptor.sharding != sharding:
+        raise SchedulerError(
+            f"shard placement mismatch: worker shard "
+            f"{descriptor.shard_id} was cut under "
+            f"{descriptor.sharding!r}, coordinator expects "
+            f"{sharding!r} — composing different placements would "
+            f"double- or under-count rows"
+        )
+    if (
+        descriptor.graph_edges != graph.num_edges
+        or descriptor.graph_vertices != graph.num_vertices
+    ):
+        raise SchedulerError(
+            f"data graph mismatch: worker shard {descriptor.shard_id} "
+            f"was built from a graph with {descriptor.graph_edges} "
+            f"edges / {descriptor.graph_vertices} vertices, the engine "
+            f"holds {graph.num_edges} / "
+            f"{graph.num_vertices}"
+        )
+    if worker_seed != seed:
+        raise SchedulerError(
+            f"scheduler seed mismatch: worker shard "
+            f"{descriptor.shard_id} runs REPRO_SEED={worker_seed}, "
+            f"coordinator {seed} — parallel runs would not be "
+            f"reproducible"
+        )
+    return descriptor
 
 
 class _Member:
@@ -1224,105 +1497,24 @@ class NetShardExecutor:
     ) -> ShardDescriptor:
         """Validate one worker's HELLO; returns its shard descriptor.
 
-        ``expected_shard``/``expected_replica`` (worker recovery and
-        rebalance echoes) pin the announced identity.
-        ``expected_sharding`` overrides the placement label to expect —
-        a freshly respawned worker announces the spawn mode even while
-        the pool runs a rebalanced layout.  The admission path relaxes
-        two checks: ``allow_replica_growth`` accepts a *wider* replica
-        arithmetic than the pool's (an elastic K-growth — never a
-        narrower one), and ``any_sharding`` defers the placement-label
-        check to the caller (which REBALANCE-upgrades label mismatches
-        instead of refusing them).
+        A thin binding of the shared :func:`validate_handshake` gate to
+        this executor's view (backend, arithmetic, seed, placement
+        label) — see that function for the check-by-check contract.
         """
-        kind, body = transport.recv_frame(sock)
-        if kind != transport.MSG_HELLO:
-            raise SchedulerError(
-                f"worker spoke {kind:#x} before HELLO; not a shard server?"
-            )
-        descriptor_dict, worker_seed = transport.decode_handshake(body)
-        try:
-            descriptor = ShardDescriptor.from_dict(descriptor_dict)
-        except (KeyError, TypeError, ValueError) as exc:
-            raise SchedulerError(
-                f"malformed handshake descriptor (missing/invalid field "
-                f"{exc}): not a compatible shard server"
-            ) from None
-        if descriptor.index_backend != self.index_backend:
-            raise SchedulerError(
-                f"handshake backend mismatch: worker shard "
-                f"{descriptor.shard_id} built {descriptor.index_backend!r}, "
-                f"coordinator expects {self.index_backend!r}"
-            )
-        if descriptor.num_shards != self.num_shards:
-            raise SchedulerError(
-                f"shard arithmetic mismatch: worker believes in "
-                f"{descriptor.num_shards} shards, coordinator in "
-                f"{self.num_shards}"
-            )
-        if descriptor.num_replicas != self.num_replicas and not (
-            allow_replica_growth
-            and descriptor.num_replicas > self.num_replicas
-        ):
-            raise SchedulerError(
-                f"replica arithmetic mismatch: worker shard "
-                f"{descriptor.shard_id} believes in "
-                f"{descriptor.num_replicas} replicas, coordinator in "
-                f"{self.num_replicas}"
-            )
-        if not 0 <= descriptor.shard_id < self.num_shards:
-            raise SchedulerError(
-                f"worker announced shard id {descriptor.shard_id} outside "
-                f"0..{self.num_shards - 1}"
-            )
-        if (
-            expected_shard is not None
-            and descriptor.shard_id != expected_shard
-        ):
-            raise SchedulerError(
-                f"respawned worker announced shard id "
-                f"{descriptor.shard_id}, expected {expected_shard}"
-            )
-        if (
-            expected_replica is not None
-            and descriptor.replica_id != expected_replica
-        ):
-            raise SchedulerError(
-                f"respawned worker announced replica "
-                f"{descriptor.replica_id}, expected {expected_replica}"
-            )
-        sharding = (
-            self._sharding_label
-            if expected_sharding is None
-            else expected_sharding
+        return validate_handshake(
+            sock,
+            graph,
+            index_backend=self.index_backend,
+            num_shards=self.num_shards,
+            num_replicas=self.num_replicas,
+            seed=self.seed,
+            sharding_label=self._sharding_label,
+            expected_shard=expected_shard,
+            expected_replica=expected_replica,
+            expected_sharding=expected_sharding,
+            allow_replica_growth=allow_replica_growth,
+            any_sharding=any_sharding,
         )
-        if not any_sharding and descriptor.sharding != sharding:
-            raise SchedulerError(
-                f"shard placement mismatch: worker shard "
-                f"{descriptor.shard_id} was cut under "
-                f"{descriptor.sharding!r}, coordinator expects "
-                f"{sharding!r} — composing different placements would "
-                f"double- or under-count rows"
-            )
-        if (
-            descriptor.graph_edges != graph.num_edges
-            or descriptor.graph_vertices != graph.num_vertices
-        ):
-            raise SchedulerError(
-                f"data graph mismatch: worker shard {descriptor.shard_id} "
-                f"was built from a graph with {descriptor.graph_edges} "
-                f"edges / {descriptor.graph_vertices} vertices, the engine "
-                f"holds {graph.num_edges} / "
-                f"{graph.num_vertices}"
-            )
-        if worker_seed != self.seed:
-            raise SchedulerError(
-                f"scheduler seed mismatch: worker shard "
-                f"{descriptor.shard_id} runs REPRO_SEED={worker_seed}, "
-                f"coordinator {self.seed} — parallel runs would not be "
-                f"reproducible"
-            )
-        return descriptor
 
     def _close_connections(self) -> None:
         for replica_set in self._members:
@@ -1341,11 +1533,21 @@ class NetShardExecutor:
         self._graph = None
 
     def close(self) -> None:
-        """End the sessions; stop the owned local cluster, if any."""
-        self._close_connections()
-        if self._cluster is not None:
-            self._cluster.close()
-            self._cluster = None
+        """End the sessions; stop the owned local cluster, if any.
+
+        Idempotent and safe at any lifecycle point: after a refused or
+        partial handshake, after a previous close, or on an executor
+        that never opened a pool.  The owned cluster is released before
+        it is stopped, so even an exception out of the session teardown
+        can neither leak worker processes nor make a second close
+        re-stop them.
+        """
+        try:
+            self._close_connections()
+        finally:
+            cluster, self._cluster = self._cluster, None
+            if cluster is not None:
+                cluster.close()
 
     def __enter__(self) -> "NetShardExecutor":
         return self

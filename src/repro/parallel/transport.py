@@ -52,6 +52,16 @@ byte    name     body
         worker's serving address plus its handshake descriptor/seed)
 ``h``   HEARTBEAT empty — worker -> registry liveness tick; identity is
         the connection's preceding ANNOUNCE
+``j``   QJOB     ``u64 query_id`` + pickled ``(query, order)`` — the
+        multiplexed JOB: the worker opens a per-query session
+``l``   QLEVEL   ``u64 query_id`` + pickled ``(step, frontier)``
+``r``   QREPLY   ``u64 query_id`` + binary level reply
+``q``   QCOLLECT ``u64 query_id`` only — request the query's
+        accounting; answered with a payload-free QREPLY
+``e``   QERROR   ``u64 query_id`` + pickled traceback string — fails
+        that query alone; the session keeps serving other queries
+``X``   CANCEL   ``u64 query_id`` only — drop the query's session
+        state; fire-and-forget (no reply)
 ======  =======  ===========================================================
 
 Control messages carry pickles — the coordinator and its workers are
@@ -99,11 +109,31 @@ MSG_ERROR = 0x45  # b"E"
 MSG_ANNOUNCE = 0x41  # b"A"
 MSG_HEARTBEAT = 0x68  # b"h"
 
+# Multiplexed-query revisions (WIRE_FORMAT.md §2.8): the lowercase
+# letter of the legacy kind it revises, carrying a u64 query_id prefix
+# so one worker session can hold many in-flight jobs.  CANCEL is new.
+MSG_QJOB = 0x6A  # b"j"
+MSG_QLEVEL = 0x6C  # b"l"
+MSG_QREPLY = 0x72  # b"r"
+MSG_QCOLLECT = 0x71  # b"q"
+MSG_QERROR = 0x65  # b"e"
+MSG_CANCEL = 0x58  # b"X"
+
 _KNOWN_KINDS = frozenset({
     MSG_HELLO, MSG_JOB, MSG_LEVEL, MSG_LEVEL_REPLY, MSG_COLLECT,
     MSG_ACCOUNTING, MSG_REBALANCE, MSG_STOP, MSG_SHUTDOWN, MSG_ERROR,
     MSG_ANNOUNCE, MSG_HEARTBEAT,
+    MSG_QJOB, MSG_QLEVEL, MSG_QREPLY, MSG_QCOLLECT, MSG_QERROR,
+    MSG_CANCEL,
 })
+
+#: The kinds whose body starts with a ``u64 query_id`` tag (§2.8).
+QUERY_KINDS = frozenset({
+    MSG_QJOB, MSG_QLEVEL, MSG_QREPLY, MSG_QCOLLECT, MSG_QERROR,
+    MSG_CANCEL,
+})
+
+_QUERY_ID = struct.Struct("<Q")
 
 _HEADER = struct.Struct("<IBB")
 
@@ -166,6 +196,35 @@ def decode_frame(data: bytes) -> Tuple[int, bytes]:
         )
     _validate_header(length, version, kind)
     return kind, data[_HEADER.size:]
+
+
+# ----------------------------------------------------------------------
+# Multiplexed-query bodies (WIRE_FORMAT.md §2.8)
+# ----------------------------------------------------------------------
+
+
+def encode_query_body(query_id: int, body: bytes = b"") -> bytes:
+    """Prefix ``body`` with the ``u64 query_id`` tag of a §2.8 frame.
+
+    Each multiplexed kind (QJOB/QLEVEL/QREPLY/QCOLLECT/QERROR/CANCEL)
+    carries the tag followed by the *unchanged* legacy body of the kind
+    it revises, so the payload encoders are reused verbatim; CANCEL and
+    QCOLLECT carry the tag alone.
+    """
+    if not isinstance(query_id, int) or query_id < 0 or query_id > (1 << 64) - 1:
+        raise TransportError(f"query id {query_id!r} does not fit u64")
+    return _QUERY_ID.pack(query_id) + body
+
+
+def split_query_body(body: bytes) -> Tuple[int, bytes]:
+    """Inverse of :func:`encode_query_body`: ``(query_id, rest)``."""
+    if len(body) < _QUERY_ID.size:
+        raise TransportError(
+            f"query frame body of {len(body)} bytes is shorter than its "
+            f"{_QUERY_ID.size}-byte query id tag"
+        )
+    (query_id,) = _QUERY_ID.unpack_from(body)
+    return query_id, body[_QUERY_ID.size:]
 
 
 # ----------------------------------------------------------------------

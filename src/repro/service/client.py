@@ -1,0 +1,116 @@
+"""The match service's client half (``repro query``).
+
+:class:`MatchClient` speaks the daemon's one-line-JSON protocol
+synchronously: one socket per request, the query graph shipped as
+native text, the reply decoded back into either a
+:class:`QueryOutcome` or the matching typed error —
+:class:`~repro.errors.ServiceBusy` for an admission refusal,
+:class:`~repro.errors.QueryCancelled`,
+:class:`~repro.errors.TimeoutExceeded` for a blown deadline, and
+:class:`~repro.errors.ReproError` for everything else.  The client
+holds no long-lived state, so it is safe to share across threads and
+to retry after a BUSY refusal.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import socket
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..errors import (
+    QueryCancelled,
+    ReproError,
+    ServiceBusy,
+    TimeoutExceeded,
+)
+from ..hypergraph.io import dump_native
+
+
+@dataclass
+class QueryOutcome:
+    """One successful answer from the match service."""
+
+    embeddings: int
+    elapsed: float
+    cached: bool
+
+
+class MatchClient:
+    """Line-JSON client for a running ``serve-match`` daemon."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 timeout: "float | None" = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def query(
+        self,
+        query,
+        order: "Sequence[int] | None" = None,
+        deadline: "float | None" = None,
+    ) -> QueryOutcome:
+        """Run one query remotely; raises the typed service errors."""
+        buffer = io.StringIO()
+        dump_native(query, buffer)
+        request = {
+            "query": buffer.getvalue(),
+            "order": None if order is None else list(order),
+            "deadline": deadline,
+        }
+        try:
+            with socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            ) as sock:
+                sock.sendall((json.dumps(request) + "\n").encode("utf-8"))
+                reply = self._read_line(sock)
+        except OSError as exc:
+            raise ReproError(
+                f"match service at {self.host}:{self.port} "
+                f"unreachable: {exc}"
+            ) from exc
+        return self._decode(reply)
+
+    def _read_line(self, sock) -> bytes:
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            if chunk.endswith(b"\n"):
+                break
+        return b"".join(chunks)
+
+    def _decode(self, reply: bytes) -> QueryOutcome:
+        if not reply.strip():
+            raise ReproError(
+                f"match service at {self.host}:{self.port} closed the "
+                "connection without answering (draining or crashed?)"
+            )
+        try:
+            payload = json.loads(reply)
+        except ValueError as exc:
+            raise ReproError(
+                f"undecodable reply from match service: {exc}"
+            ) from exc
+        if payload.get("ok"):
+            return QueryOutcome(
+                embeddings=payload["embeddings"],
+                elapsed=payload["elapsed"],
+                cached=bool(payload.get("cached")),
+            )
+        if payload.get("busy"):
+            raise ServiceBusy(
+                payload.get("depth", 0), payload.get("retry_after", 0.0)
+            )
+        if payload.get("cancelled"):
+            raise QueryCancelled(payload.get("error", "query cancelled"))
+        if payload.get("deadline_exceeded"):
+            exc = TimeoutExceeded(0.0, 0.0)
+            exc.args = (payload.get("error", "query deadline exceeded"),)
+            raise exc
+        raise ReproError(payload.get("error", "match service error"))

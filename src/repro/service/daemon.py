@@ -1,0 +1,214 @@
+"""The asyncio front end of the match service (``repro serve-match``).
+
+:class:`MatchDaemon` listens on a TCP port and speaks a one-line-JSON
+protocol: each connection carries exactly one query —
+
+.. code-block:: text
+
+    C: {"query": "<native hypergraph text>", "deadline": 2.5, "order": null}
+    S: {"ok": true, "embeddings": 42, "elapsed": 0.103, "cached": false}
+
+Refusals and failures are equally explicit, never a hang or a silent
+drop:
+
+.. code-block:: text
+
+    S: {"ok": false, "busy": true, "retry_after": 0.25, "depth": 8}
+    S: {"ok": false, "deadline_exceeded": true, "error": "..."}
+    S: {"ok": false, "cancelled": true, "error": "..."}
+    S: {"ok": false, "error": "..."}
+
+The daemon owns a :class:`~repro.service.service.MatchService` and
+bridges its blocking tickets onto the event loop with
+``run_in_executor``; an EOF watchdog per connection turns a client
+disconnect into :meth:`MatchTicket.cancel`, so an abandoned query is
+CANCELled on the workers instead of running to completion for nobody.
+SIGTERM/SIGINT trigger a graceful drain: the listener closes, in-flight
+queries finish (or are cancelled at the drain timeout), and the pool
+shuts down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+import signal
+import time
+
+from ..errors import (
+    QueryCancelled,
+    ReproError,
+    ServiceBusy,
+    TimeoutExceeded,
+)
+from ..hypergraph.io import parse_native
+from .service import MatchService
+
+#: Refuse request lines longer than this many bytes (a query graph in
+#: native text form is tiny; anything bigger is a protocol error).
+MAX_REQUEST_BYTES = 8 * 1024 * 1024
+
+
+class MatchDaemon:
+    """Serve a :class:`MatchService` over line-JSON TCP."""
+
+    def __init__(self, service: MatchService, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self.address = None
+        self._server = None
+        self._stop = None
+        self._loop = None
+        self.queries_served = 0
+
+    # -- per-connection protocol ----------------------------------------
+
+    async def _handle(self, reader, writer) -> None:
+        try:
+            response = await self._respond(reader)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            response = None
+        if response is not None:
+            try:
+                writer.write((json.dumps(response) + "\n").encode("utf-8"))
+                await writer.drain()
+            except ConnectionError:
+                pass
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+
+    async def _respond(self, reader):
+        try:
+            line = await reader.readline()
+        except ValueError:
+            return {"ok": False,
+                    "error": f"request exceeds {MAX_REQUEST_BYTES} bytes"}
+        if not line.strip():
+            return None  # client connected and hung up without asking
+        try:
+            request = json.loads(line)
+            query = parse_native(io.StringIO(request["query"]))
+            order = request.get("order")
+            deadline = request.get("deadline")
+        except (KeyError, TypeError, ValueError, ReproError) as exc:
+            return {"ok": False, "error": f"bad request: {exc}"}
+
+        try:
+            ticket = self.service.submit(
+                query, order=order, deadline=deadline
+            )
+        except ServiceBusy as exc:
+            return {"ok": False, "busy": True,
+                    "retry_after": exc.retry_after, "depth": exc.depth}
+        except ReproError as exc:
+            return {"ok": False, "error": str(exc)}
+
+        # A disconnecting client cancels its query: read() resolving to
+        # b"" (EOF) before the result lands means nobody is listening.
+        loop = asyncio.get_running_loop()
+        eof = asyncio.ensure_future(reader.read())
+        waiter = loop.run_in_executor(None, ticket.result)
+        done, _ = await asyncio.wait(
+            {eof, waiter}, return_when=asyncio.FIRST_COMPLETED
+        )
+        if waiter not in done:
+            ticket.cancel()
+        eof.cancel()
+        try:
+            result = await waiter
+        except TimeoutExceeded as exc:
+            return {"ok": False, "deadline_exceeded": True,
+                    "error": str(exc)}
+        except QueryCancelled as exc:
+            return {"ok": False, "cancelled": True, "error": str(exc)}
+        except Exception as exc:
+            return {"ok": False, "error": str(exc)}
+        self.queries_served += 1
+        return {
+            "ok": True,
+            "embeddings": result.embeddings,
+            "elapsed": result.elapsed,
+            "cached": ticket.cached,
+        }
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port, limit=MAX_REQUEST_BYTES
+        )
+        self.address = self._server.sockets[0].getsockname()[:2]
+
+    def request_stop(self) -> None:
+        """Ask the serve loop to drain and exit.  Thread-safe: callable
+        from signal handlers, the event loop, or any other thread."""
+        if self._stop is None or self._loop is None:
+            return
+        try:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        except RuntimeError:
+            pass  # loop already closed: the daemon is down
+
+    async def serve(self, duration: "float | None" = None,
+                    drain_timeout: float = 10.0) -> None:
+        """Run until SIGTERM/SIGINT (or ``duration`` elapses), then drain."""
+        if self._server is None:
+            await self.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self.request_stop)
+            except (NotImplementedError, ValueError, RuntimeError):
+                # Non-main thread or unsupported platform; asyncio
+                # wraps the set_wakeup_fd ValueError in RuntimeError.
+                pass
+        try:
+            if duration is None:
+                await self._stop.wait()
+            else:
+                try:
+                    await asyncio.wait_for(self._stop.wait(), duration)
+                except asyncio.TimeoutError:
+                    pass
+        finally:
+            await self.stop(drain_timeout=drain_timeout)
+
+    async def stop(self, drain_timeout: float = 10.0) -> None:
+        """Close the listener, drain the service. Idempotent."""
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(
+            None, lambda: self.service.drain(drain_timeout)
+        )
+
+
+def run_daemon(service: MatchService, host: str = "127.0.0.1",
+               port: int = 0, duration: "float | None" = None,
+               drain_timeout: float = 10.0, ready=None) -> MatchDaemon:
+    """Blocking entry point used by the CLI: serve until stopped.
+
+    ``ready`` is called with the bound ``(host, port)`` once listening
+    — the CLI prints it so scripts (and CI) can discover an ephemeral
+    port, mirroring ``serve-shard``.
+    """
+    daemon = MatchDaemon(service, host=host, port=port)
+
+    async def _main() -> None:
+        await daemon.start()
+        if ready is not None:
+            ready(daemon.address)
+        await daemon.serve(duration=duration, drain_timeout=drain_timeout)
+
+    asyncio.run(_main())
+    return daemon

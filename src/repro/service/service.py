@@ -1,0 +1,307 @@
+"""The match service: admission, deadlines, cancellation, caching.
+
+:class:`MatchService` is the always-on front half of the system: it
+owns one engine and one :class:`~repro.service.mux.MuxShardPool` and
+turns "run this query" into a governed operation:
+
+* **Admission control** — at most ``queue_depth`` queries are admitted
+  at once; the ``queue_depth + 1``-th is *refused* with an explicit
+  :class:`~repro.errors.ServiceBusy` (retry-after hint included), never
+  silently queued without bound or left to hang.  Of the admitted
+  queries, ``max_concurrent`` execute at a time; the rest wait their
+  turn in the bounded backlog.
+* **Deadlines** — a per-query deadline is enforced coordinator-side at
+  every barrier *and* mid-gather, and its expiry broadcasts CANCEL so
+  the workers drop the query's session state remotely: a timed-out
+  query never leaves orphaned worker state.
+* **Cancellation** — :meth:`MatchTicket.cancel` (and a daemon client
+  disconnecting) sets the query's cancel flag; the same remote CANCEL
+  guarantee applies.
+* **Result cache** — an LRU keyed by ``(graph fingerprint, query
+  fingerprint)``; hits return the finished
+  :class:`~repro.parallel.executor.ParallelResult` without touching
+  the pool at all (the pool's dispatch counter is the proof).
+* **Drain** — stop admitting, let in-flight queries finish inside a
+  timeout, cancel the stragglers, close the pool.  This is what the
+  daemon runs on SIGTERM.
+"""
+
+from __future__ import annotations
+
+import io
+import threading
+import time
+import zlib
+from collections import OrderedDict
+from concurrent.futures import CancelledError, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import Optional, Sequence, Tuple
+
+from ..errors import QueryCancelled, SchedulerError, ServiceBusy
+from ..hypergraph.io import dump_native
+from ..parallel.level_sync import run_level_synchronous
+from .mux import MuxShardPool, QueryChannel
+
+
+def graph_fingerprint(graph) -> Tuple[int, int, int]:
+    """A stable fingerprint of a data graph's exact content.
+
+    Extends the identity fields the ``ShardDescriptor`` handshake
+    already pins (edge/vertex counts) with a CRC over the canonical
+    native serialisation, the same checksum family
+    ``range_table_label`` uses for placement fingerprints — equal
+    graphs fingerprint equal across processes and sessions.
+    """
+    buffer = io.StringIO()
+    dump_native(graph, buffer)
+    return (
+        zlib.crc32(buffer.getvalue().encode("utf-8")),
+        graph.num_edges,
+        graph.num_vertices,
+    )
+
+
+def query_fingerprint(
+    query, order: "Sequence[int] | None" = None
+) -> Tuple[int, int, int, "Tuple[int, ...] | None"]:
+    """Fingerprint of a query (and any pinned matching order)."""
+    crc, edges, vertices = graph_fingerprint(query)
+    return (crc, edges, vertices, None if order is None else tuple(order))
+
+
+class MatchTicket:
+    """A handle on one submitted query.
+
+    ``cached`` tickets are born finished (the result came straight out
+    of the service's LRU); live tickets resolve when their worker
+    thread completes, and :meth:`cancel` aborts them — before they
+    start (the slot is returned immediately) or mid-flight (the query
+    raises :class:`~repro.errors.QueryCancelled` at its next barrier or
+    gather poll, and the workers are CANCELled remotely).
+    """
+
+    def __init__(self, future=None, cancel_event=None, result=None,
+                 on_abandoned=None) -> None:
+        self._future = future
+        self._cancel_event = cancel_event
+        self._result = result
+        self._on_abandoned = on_abandoned
+        self.cached = future is None
+
+    def result(self, timeout: "float | None" = None):
+        """The query's :class:`~repro.parallel.executor.ParallelResult`.
+
+        Re-raises whatever ended the query: ``QueryCancelled``,
+        ``TimeoutExceeded``, or the shard failure that killed it.
+        """
+        if self._future is None:
+            return self._result
+        try:
+            return self._future.result(timeout)
+        except CancelledError:
+            raise QueryCancelled(
+                "query cancelled before it started"
+            ) from None
+
+    def done(self) -> bool:
+        return self._future is None or self._future.done()
+
+    def cancel(self) -> None:
+        if self._cancel_event is not None:
+            self._cancel_event.set()
+        if self._future is not None and self._future.cancel():
+            # Never started: no worker ever saw it, but the admission
+            # slot must be returned here (the run body won't run).
+            if self._on_abandoned is not None:
+                callback, self._on_abandoned = self._on_abandoned, None
+                callback()
+
+
+class MatchService:
+    """An always-on, multiplexing match service over one shared pool."""
+
+    def __init__(
+        self,
+        engine,
+        shards: int = 2,
+        addresses=None,
+        max_concurrent: int = 4,
+        queue_depth: int = 8,
+        cache_capacity: int = 128,
+        default_deadline: "float | None" = None,
+        retry_after: float = 0.25,
+        io_timeout: "float | None" = None,
+        start_method: "str | None" = None,
+        chaos=None,
+    ) -> None:
+        if queue_depth < 1:
+            raise SchedulerError("queue_depth must be >= 1")
+        if max_concurrent < 1:
+            raise SchedulerError("max_concurrent must be >= 1")
+        self._engine = engine
+        self.num_shards = shards if addresses is None else len(addresses)
+        self.queue_depth = queue_depth
+        self.max_concurrent = max_concurrent
+        self.default_deadline = default_deadline
+        self.retry_after = retry_after
+        self.pool = MuxShardPool(
+            num_shards=shards,
+            addresses=addresses,
+            index_backend=engine.index_backend,
+            sharding=engine.sharding,
+            io_timeout=io_timeout,
+            start_method=start_method,
+            chaos=chaos,
+        )
+        self._lock = threading.Lock()
+        self._admitted = 0
+        self._draining = False
+        self._closed = False
+        self._workers = ThreadPoolExecutor(
+            max_workers=max_concurrent, thread_name_prefix="match-service"
+        )
+        self._tickets: "list" = []
+        self._cache: "OrderedDict" = OrderedDict()
+        self._cache_capacity = cache_capacity
+        self._graph_fp = None
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- submission ------------------------------------------------------
+
+    def _graph_key(self):
+        if self._graph_fp is None:
+            self._graph_fp = graph_fingerprint(self._engine.data)
+        return self._graph_fp
+
+    def submit(
+        self,
+        query,
+        order: "Sequence[int] | None" = None,
+        deadline: "float | None" = None,
+    ) -> MatchTicket:
+        """Admit one query; returns a :class:`MatchTicket`.
+
+        Raises :class:`~repro.errors.ServiceBusy` when the admission
+        backlog is at ``queue_depth`` (or the service is draining) —
+        the caller retries after ``retry_after`` seconds, nothing ever
+        queues unboundedly or hangs.  Cache hits bypass admission *and*
+        the pool entirely.
+        """
+        key = (self._graph_key(), query_fingerprint(query, order))
+        with self._lock:
+            if self._closed:
+                raise SchedulerError("match service is closed")
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                self.cache_hits += 1
+                return MatchTicket(result=cached)
+            if self._draining:
+                raise ServiceBusy(self.queue_depth, self.retry_after)
+            if self._admitted >= self.queue_depth:
+                raise ServiceBusy(self.queue_depth, self.retry_after)
+            self._admitted += 1
+            self.cache_misses += 1
+        budget = self.default_deadline if deadline is None else deadline
+        cancel_event = threading.Event()
+        future = self._workers.submit(
+            self._run, query, order, budget, cancel_event, key
+        )
+        ticket = MatchTicket(
+            future, cancel_event, on_abandoned=self._release_slot
+        )
+        with self._lock:
+            self._tickets = [
+                live for live in self._tickets if not live.done()
+            ]
+            self._tickets.append(ticket)
+        return ticket
+
+    def match(
+        self,
+        query,
+        order: "Sequence[int] | None" = None,
+        deadline: "float | None" = None,
+    ):
+        """Submit and wait: the blocking convenience wrapper."""
+        return self.submit(query, order=order, deadline=deadline).result()
+
+    def _release_slot(self) -> None:
+        with self._lock:
+            self._admitted -= 1
+
+    def _run(self, query, order, budget, cancel_event, key):
+        channel = QueryChannel(
+            self.pool, budget=budget, cancel_event=cancel_event
+        )
+        completed = False
+        try:
+            result = run_level_synchronous(
+                channel,
+                self._engine,
+                query,
+                order,
+                time_budget=budget,
+                cancelled=cancel_event.is_set,
+            )
+            completed = True
+            with self._lock:
+                self._cache[key] = result
+                self._cache.move_to_end(key)
+                while len(self._cache) > self._cache_capacity:
+                    self._cache.popitem(last=False)
+            return result
+        finally:
+            # Completed queries already dropped their worker sessions
+            # with the final reply; every other exit broadcasts CANCEL
+            # here so nothing is orphaned.  release() is idempotent —
+            # the channel's own failure paths may have run it already.
+            self.pool.release(channel.query_id, completed=completed)
+            self._release_slot()
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._admitted
+
+    def drain(self, timeout: float = 10.0) -> None:
+        """Stop admitting, finish (or cancel) in-flight work, close.
+
+        The SIGTERM path: new submissions get BUSY immediately,
+        in-flight queries get ``timeout`` seconds to finish, stragglers
+        are cancelled (remote CANCEL included), then the pool and its
+        cluster shut down.  Idempotent.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._draining = True
+            pending = list(self._tickets)
+        deadline = time.monotonic() + timeout
+        for ticket in pending:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                ticket.cancel()
+                continue
+            try:
+                ticket.result(timeout=remaining)
+            except FutureTimeoutError:
+                ticket.cancel()
+            except Exception:
+                pass  # the query's own failure; drain marches on
+        self._workers.shutdown(wait=True)
+        with self._lock:
+            self._closed = True
+        self.pool.close()
+
+    def close(self, timeout: float = 10.0) -> None:
+        self.drain(timeout=timeout)
+
+    def __enter__(self) -> "MatchService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

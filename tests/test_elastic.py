@@ -377,3 +377,94 @@ def test_registry_eviction_unwedges_a_silent_worker(elastic_instance):
             wedged.close()
             real.close()
             engine.close()
+
+
+# ----------------------------------------------------------------------
+# Discovery vs drain: re-ANNOUNCE while the shard is being drained
+# ----------------------------------------------------------------------
+
+
+def test_reannounce_during_drain_supersedes_and_readmits(elastic_instance):
+    """A worker re-ANNOUNCing while its shard is being drained must not
+    confuse either side: the registry's latest-wins record survives the
+    drain untouched (discovery is a separate one-way channel), the
+    drained pool keeps answering exactly, and the re-announced address
+    is admittable right back into the pool."""
+    data, query, expected = elastic_instance
+    backend = "bitset"
+    engine = HGMatch(data, index_backend=backend)
+    cluster = spawn_local_cluster(
+        data, 2, index_backend=backend, num_replicas=2
+    )
+    executor = NetShardExecutor(
+        addresses=list(cluster.addresses),
+        num_replicas=2,
+        index_backend=backend,
+    )
+    spare = None
+    announcer = None
+    with WorkerRegistry(heartbeat_interval=0.05) as registry:
+        try:
+            assert (
+                executor.run(engine, query).embeddings == expected[backend]
+            )
+            # The replacement for shard 0 replica 1 announces itself (a
+            # supervised restart at a fresh port) and keeps announcing
+            # while the coordinator drains the old member of the same
+            # identity.
+            spare, spare_address = _spare_worker(data, 0, 2, backend)
+            announcer = Announcer(
+                registry.address, spare._announce_hello, interval=0.05,
+                rng=random.Random(5),
+            )
+            announcer.start()
+            assert announcer.announced.wait(5.0)
+            executor.drain(0, replica_id=1)
+            assert executor.run(engine, query).embeddings == expected[backend]
+            # The registry record was superseded by the re-announce and
+            # the drain never touched it: latest wins, and it points at
+            # the spare, not the drained member.
+            record = registry.record(0, replica_id=1)
+            assert record is not None
+            assert tuple(record.address) == tuple(spare_address)
+            # The discovered address folds straight back into the pool.
+            descriptor = executor.admit(spare_address)
+            assert (descriptor.shard_id, descriptor.replica_id) == (0, 1)
+            assert executor.run(engine, query).embeddings == expected[backend]
+        finally:
+            if announcer is not None:
+                announcer.stop()
+            executor.close()
+            if spare is not None:
+                spare.close()
+            cluster.close()
+            engine.close()
+
+
+def test_retired_shard_ids_are_refused_readmission(elastic_instance):
+    """The exact refusal for a retired identity is pinned: retirement
+    recuts the shard's rows onto the survivors, so readmitting its id
+    would double-own rows — the error must say so."""
+    data, query, expected = elastic_instance
+    backend = "bitset"
+    engine = HGMatch(data, index_backend=backend)
+    executor = NetShardExecutor(num_shards=2, index_backend=backend)
+    spare = None
+    try:
+        assert executor.run(engine, query).embeddings == expected[backend]
+        assert executor.drain(1) is not None  # last replica: retires it
+        assert executor.run(engine, query).embeddings == expected[backend]
+        spare, spare_address = _spare_worker(
+            data, 1, 2, backend, num_replicas=1, replica_id=0
+        )
+        with pytest.raises(
+            SchedulerError,
+            match=r"cannot admit a worker for retired shard 1: its "
+                  r"rows were recut onto the surviving shards",
+        ):
+            executor.admit(spare_address)
+    finally:
+        executor.close()
+        if spare is not None:
+            spare.close()
+        engine.close()

@@ -22,7 +22,7 @@ import pytest
 
 from repro import HGMatch, Hypergraph
 from repro.core.counters import MatchCounters
-from repro.errors import QueryError, SchedulerError
+from repro.errors import QueryError, SchedulerError, TransportError
 from repro.hypergraph import INDEX_BACKENDS
 from repro.parallel import (
     NetShardExecutor,
@@ -712,11 +712,14 @@ def test_io_timeout_is_configurable(monkeypatch):
     executor = NetShardExecutor(num_shards=1, io_timeout=1.25)
     assert executor.io_timeout == 1.25
     executor.close()
+    # Garbage is refused at parse time with a *TransportError* naming
+    # the knob — never deferred to a confusing failure mid-job (it
+    # still satisfies ``except SchedulerError`` by subclassing).
     monkeypatch.setenv("REPRO_NET_TIMEOUT", "soon")
-    with pytest.raises(SchedulerError, match="REPRO_NET_TIMEOUT"):
+    with pytest.raises(TransportError, match="REPRO_NET_TIMEOUT"):
         default_io_timeout()
     monkeypatch.setenv("REPRO_NET_TIMEOUT", "-3")
-    with pytest.raises(SchedulerError, match="positive"):
+    with pytest.raises(TransportError, match="positive"):
         default_io_timeout()
 
 
@@ -793,15 +796,73 @@ def test_retry_knob_garbage_is_refused(monkeypatch):
     from repro.parallel import default_retry_policy
 
     monkeypatch.setenv("REPRO_NET_RETRIES", "several")
-    with pytest.raises(SchedulerError, match="REPRO_NET_RETRIES"):
+    with pytest.raises(TransportError, match="REPRO_NET_RETRIES"):
         default_retry_policy()
     monkeypatch.setenv("REPRO_NET_RETRIES", "0")
-    with pytest.raises(SchedulerError, match="REPRO_NET_RETRIES"):
+    with pytest.raises(TransportError, match="REPRO_NET_RETRIES"):
         default_retry_policy()
     monkeypatch.delenv("REPRO_NET_RETRIES", raising=False)
     monkeypatch.setenv("REPRO_NET_BACKOFF", "soon")
-    with pytest.raises(SchedulerError, match="REPRO_NET_BACKOFF"):
+    with pytest.raises(TransportError, match="REPRO_NET_BACKOFF"):
         default_retry_policy()
     monkeypatch.setenv("REPRO_NET_BACKOFF", "-1")
-    with pytest.raises(SchedulerError, match="REPRO_NET_BACKOFF"):
+    with pytest.raises(TransportError, match="REPRO_NET_BACKOFF"):
         default_retry_policy()
+
+
+def test_close_is_idempotent_in_every_lifecycle_state(workload_instances):
+    """``close()`` must be safe to call twice at any point in the
+    executor's life: never used, mid-life after a job, and again after
+    the first close — no exception, no leaked cluster."""
+    data, query = workload_instances[0]
+    # Never used: no pool, no cluster.
+    executor = NetShardExecutor(num_shards=2)
+    executor.close()
+    executor.close()
+    # After a job: the second close finds everything already released.
+    engine = HGMatch(data, index_backend="bitset")
+    executor = NetShardExecutor(num_shards=2, index_backend="bitset")
+    try:
+        executor.run(engine, query)
+    finally:
+        executor.close()
+        assert executor._cluster is None
+        assert not executor._members
+        executor.close()
+        engine.close()
+        engine.close()  # HGMatch.close is idempotent too
+
+
+def test_close_after_refused_handshake_releases_everything(
+    workload_instances,
+):
+    """A pool refused at handshake (backend mismatch discovered on the
+    first worker) must be closable — twice — without raising, and the
+    failed ``run`` itself must already have released its sockets, so
+    the workers accept a later, correctly-configured coordinator."""
+    data, query = workload_instances[0]
+    cluster = spawn_local_cluster(data, 2, index_backend="merge")
+    mismatched = HGMatch(data, index_backend="bitset")
+    engine = HGMatch(data, index_backend="merge")
+    executor = NetShardExecutor(
+        addresses=list(cluster.addresses), index_backend="bitset"
+    )
+    try:
+        with pytest.raises(SchedulerError, match="backend"):
+            executor.run(mismatched, query)
+        assert not executor._members  # nothing half-open survived
+        executor.close()
+        executor.close()
+        # The refused workers are intact: a matching coordinator works.
+        good = NetShardExecutor(
+            addresses=list(cluster.addresses), index_backend="merge"
+        )
+        try:
+            assert good.run(engine, query).embeddings == engine.count(query)
+        finally:
+            good.close()
+    finally:
+        executor.close()
+        cluster.close()
+        mismatched.close()
+        engine.close()

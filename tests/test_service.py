@@ -1,0 +1,570 @@
+"""The always-on match service: multiplexing, admission, isolation.
+
+The acceptance bar (ROADMAP "always-on match service"): N concurrent
+queries multiplexed over one shared pool must return counts
+**bit-identical** to solo runs on every index backend — including
+under chaos faults pinned to one query's frames, which must fail over
+or fail *that query* fast while its neighbours stay exact; a blown
+deadline or a cancellation (explicit, or a daemon client
+disconnecting) must leave no orphaned worker session state; admission
+past the depth limit must be an explicit, immediate BUSY — never a
+hang; and cache hits must bypass the pool entirely.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+import random
+import socket
+import threading
+import time
+
+import pytest
+
+from repro import HGMatch
+from repro.errors import (
+    QueryCancelled,
+    ReproError,
+    SchedulerError,
+    ServiceBusy,
+    TimeoutExceeded,
+)
+from repro.hypergraph import INDEX_BACKENDS
+from repro.hypergraph.io import dump_native, parse_native
+from repro.hypergraph.sampling import QuerySetting, sample_query
+from repro.parallel.chaos import FaultPlan
+from repro.parallel.level_sync import run_level_synchronous
+from repro.service import (
+    MatchClient,
+    MatchDaemon,
+    MatchService,
+    MuxShardPool,
+    QueryChannel,
+    graph_fingerprint,
+    query_fingerprint,
+)
+from repro.testing import make_random_instance
+
+
+def _wire_form(graph):
+    """Round-trip through the native text format, the daemon client's
+    wire encoding (labels come back as strings there)."""
+    buffer = io.StringIO()
+    dump_native(graph, buffer)
+    return parse_native(io.StringIO(buffer.getvalue()))
+
+
+@pytest.fixture(scope="module")
+def service_instance():
+    """One deterministic data graph, three distinct queries against
+    it, and the solo (sequential) counts every multiplexed run must
+    reproduce per backend.  Both sides are normalised to their native
+    text form so in-process submissions and daemon-wire submissions
+    see byte-identical labels."""
+    rng = random.Random(987)
+    instance = None
+    while instance is None:
+        instance = make_random_instance(rng)
+    data, base_query = instance
+    data, base_query = _wire_form(data), _wire_form(base_query)
+    queries = [base_query]
+    sample_rng = random.Random(11)
+    # The t-family setting mirrors make_random_instance: random-walk
+    # sub-hypergraphs of *this* data graph, so every query has at
+    # least one embedding and the graph never re-rolls.
+    for num_edges in (2, 3, 2, 3, 2, 3):
+        if len(queries) >= 3:
+            break
+        try:
+            candidate = sample_query(
+                data, QuerySetting("t", num_edges, 2, 12), sample_rng,
+                max_attempts=200,
+            )
+        except ReproError:  # pragma: no cover - tiny-graph sampling miss
+            continue
+        if all(
+            query_fingerprint(candidate) != query_fingerprint(existing)
+            for existing in queries
+        ):
+            queries.append(candidate)
+    assert len(queries) == 3, "could not sample three distinct queries"
+    expected = {}
+    for backend in INDEX_BACKENDS:
+        engine = HGMatch(data, index_backend=backend)
+        try:
+            expected[backend] = [engine.count(query) for query in queries]
+        finally:
+            engine.close()
+    return data, queries, expected
+
+
+def _await_registration(service, query_id, ticket=None, timeout=10.0):
+    """Block until ``query_id`` is registered with the pool — pins
+    pool query-id assignment for query-targeted chaos faults (ids are
+    handed out when the worker thread opens its channel, so two
+    back-to-back submissions could otherwise race for id 1).  A fast
+    query can register *and* finish between two polls, so a finished
+    ``ticket`` also counts: it was the only submission, so the id was
+    necessarily its."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if query_id in service.pool._queries:
+            return
+        if ticket is not None and ticket.done():
+            return
+        time.sleep(0.01)
+    raise AssertionError(f"query {query_id} never registered")
+
+
+# ----------------------------------------------------------------------
+# Multiplexed parity: concurrent queries == solo runs, every backend
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", INDEX_BACKENDS)
+def test_multiplexed_queries_match_solo_counts(service_instance, backend):
+    """The headline gate: three distinct queries, each submitted twice,
+    all in flight together over one 2-shard pool — every count equals
+    its solo run, on every index backend."""
+    data, queries, expected = service_instance
+    engine = HGMatch(data, index_backend=backend)
+    service = MatchService(
+        engine, shards=2, max_concurrent=6, queue_depth=12,
+        cache_capacity=0,  # no cache: every run exercises the pool
+    )
+    try:
+        tickets = [
+            service.submit(query)
+            for query in queries + list(queries)
+        ]
+        for index, ticket in enumerate(tickets):
+            result = ticket.result(timeout=60)
+            assert (
+                result.embeddings == expected[backend][index % len(queries)]
+            )
+    finally:
+        service.close()
+        engine.close()
+
+
+def test_channel_plugs_into_the_executor_surface(service_instance):
+    """A bare ``QueryChannel`` satisfies the level-synchronous executor
+    contract on its own (no service on top)."""
+    data, queries, expected = service_instance
+    engine = HGMatch(data, index_backend="bitset")
+    pool = MuxShardPool(num_shards=2, index_backend="bitset")
+    try:
+        result = run_level_synchronous(
+            QueryChannel(pool), engine, queries[0]
+        )
+        assert result.embeddings == expected["bitset"][0]
+        assert sorted(s.worker_id for s in result.worker_stats) == [0, 1]
+    finally:
+        pool.close()
+        engine.close()
+
+
+# ----------------------------------------------------------------------
+# Admission control: explicit BUSY, never a hang
+# ----------------------------------------------------------------------
+
+
+def test_overload_is_refused_with_explicit_busy(service_instance):
+    """The queue_depth+1-th query gets ServiceBusy with a retry-after
+    hint *immediately* — while the admitted query is still running."""
+    data, queries, _expected = service_instance
+    engine = HGMatch(data, index_backend="bitset")
+    service = MatchService(
+        engine, shards=1, max_concurrent=1, queue_depth=1,
+        retry_after=0.125,
+    )
+    gate = threading.Event()
+    real_ensure = service.pool.ensure_open
+
+    def gated_ensure(target):
+        assert gate.wait(30.0)
+        real_ensure(target)
+
+    service.pool.ensure_open = gated_ensure
+    try:
+        held = service.submit(queries[0])
+        deadline = time.monotonic() + 5.0
+        while service.in_flight != 1 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        started = time.monotonic()
+        with pytest.raises(
+            ServiceBusy,
+            match=r"admission depth limit \(1 queries in flight\); "
+                  r"retry after 0\.125s",
+        ) as refusal:
+            service.submit(queries[1])
+        assert time.monotonic() - started < 2.0  # refused, not queued
+        assert refusal.value.depth == 1
+        assert refusal.value.retry_after == 0.125
+        gate.set()
+        held.result(timeout=60)
+        # The slot is free again: the refused query now goes through.
+        assert service.submit(queries[1]).result(timeout=60) is not None
+    finally:
+        gate.set()
+        service.close()
+        engine.close()
+
+
+def test_cancel_before_start_returns_the_slot(service_instance):
+    """Cancelling a never-started ticket frees its admission slot even
+    though the run body (whose finally normally does it) never ran."""
+    data, queries, _expected = service_instance
+    engine = HGMatch(data, index_backend="bitset")
+    service = MatchService(
+        engine, shards=1, max_concurrent=1, queue_depth=2
+    )
+    gate = threading.Event()
+    real_ensure = service.pool.ensure_open
+
+    def gated_ensure(target):
+        assert gate.wait(30.0)
+        real_ensure(target)
+
+    service.pool.ensure_open = gated_ensure
+    try:
+        running = service.submit(queries[0])   # occupies the one worker
+        queued = service.submit(queries[1])    # backlogged, not started
+        assert service.in_flight == 2
+        queued.cancel()
+        deadline = time.monotonic() + 5.0
+        while service.in_flight != 1 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert service.in_flight == 1          # slot returned
+        with pytest.raises(QueryCancelled, match="before it started"):
+            queued.result(timeout=5)
+        gate.set()
+        running.result(timeout=60)
+    finally:
+        gate.set()
+        service.close()
+        engine.close()
+
+
+# ----------------------------------------------------------------------
+# Result cache: hits bypass the pool entirely
+# ----------------------------------------------------------------------
+
+
+def test_cache_hits_bypass_the_pool(service_instance):
+    data, queries, expected = service_instance
+    engine = HGMatch(data, index_backend="bitset")
+    service = MatchService(engine, shards=2)
+    try:
+        first = service.match(queries[0])
+        assert first.embeddings == expected["bitset"][0]
+        frames_after_miss = service.pool.dispatched_frames
+        assert frames_after_miss > 0
+        hit = service.submit(queries[0])
+        assert hit.cached and hit.done()
+        assert hit.result() is first  # the very result object, no rerun
+        # Not one frame crossed the wire for the hit.
+        assert service.pool.dispatched_frames == frames_after_miss
+        assert service.cache_hits == 1 and service.cache_misses == 1
+        # A *different* query is a miss, not a false hit.
+        other = service.match(queries[1])
+        assert other.embeddings == expected["bitset"][1]
+        assert service.pool.dispatched_frames > frames_after_miss
+    finally:
+        service.close()
+        engine.close()
+
+
+def test_fingerprints_key_on_content_and_order(service_instance):
+    data, queries, _expected = service_instance
+    assert graph_fingerprint(data) == graph_fingerprint(data)
+    assert graph_fingerprint(data) != graph_fingerprint(queries[0])
+    assert query_fingerprint(queries[0]) == query_fingerprint(queries[0])
+    assert query_fingerprint(queries[0]) != query_fingerprint(queries[1])
+    # A pinned matching order is part of the key: same query text,
+    # different plan — never served from the other's cache entry.
+    order = list(range(queries[0].num_edges))
+    assert (
+        query_fingerprint(queries[0], order)
+        != query_fingerprint(queries[0])
+    )
+
+
+# ----------------------------------------------------------------------
+# Deadlines & cancellation: no orphaned worker state, exact afterwards
+# ----------------------------------------------------------------------
+
+
+def test_deadline_exceeded_cancels_remotely(service_instance):
+    """A blown deadline raises TimeoutExceeded, releases the query's
+    pool state (CANCEL broadcast included), and the very next query —
+    same pool, same workers — is exact."""
+    data, queries, expected = service_instance
+    plan = FaultPlan()
+    # The worker's first QREPLY (its frame 2, after HELLO) is delayed
+    # past the deadline, so the query times out mid-gather.
+    plan.slow_reply(0, 0, after_frames=2, seconds=1.5)
+    engine = HGMatch(data, index_backend="bitset")
+    service = MatchService(engine, shards=2, chaos=plan, cache_capacity=0)
+    try:
+        with pytest.raises(TimeoutExceeded, match="time budget"):
+            service.match(queries[0], deadline=0.3)
+        assert service.pool._queries == {}  # nothing left registered
+        assert (
+            service.match(queries[0]).embeddings == expected["bitset"][0]
+        )
+        assert service.pool._queries == {}
+    finally:
+        service.close()
+        engine.close()
+
+
+def test_client_cancel_mid_flight(service_instance):
+    data, queries, expected = service_instance
+    plan = FaultPlan()
+    plan.slow_reply(0, 0, after_frames=2, seconds=1.5)
+    engine = HGMatch(data, index_backend="bitset")
+    service = MatchService(engine, shards=2, chaos=plan, cache_capacity=0)
+    try:
+        ticket = service.submit(queries[0])
+        _await_registration(service, 1)  # it is in the slow gather now
+        ticket.cancel()
+        with pytest.raises(QueryCancelled):
+            ticket.result(timeout=10)
+        deadline = time.monotonic() + 10.0
+        while service.pool._queries and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert service.pool._queries == {}
+        assert (
+            service.match(queries[0]).embeddings == expected["bitset"][0]
+        )
+    finally:
+        service.close()
+        engine.close()
+
+
+# ----------------------------------------------------------------------
+# Chaos isolation: a fault pinned to one query hurts only that query
+# ----------------------------------------------------------------------
+
+
+def test_query_pinned_drop_fails_fast_for_that_query_alone(
+    service_instance,
+):
+    """A dropped reply pinned to query id 1's frames: that query alone
+    fails fast at its I/O deadline; the concurrent query — same
+    connections, same barrier traffic — returns its exact count."""
+    data, queries, expected = service_instance
+    plan = FaultPlan()
+    # Worker 0 swallows its first reply *for query 1 only*.
+    plan.drop_reply(0, 0, after_frames=1, query_id=1)
+    engine = HGMatch(data, index_backend="bitset")
+    service = MatchService(
+        engine, shards=2, chaos=plan, cache_capacity=0, io_timeout=0.75,
+    )
+    try:
+        victim = service.submit(queries[0])
+        _await_registration(service, 1, victim)  # victim owns query id 1
+        healthy = service.submit(queries[1])
+        assert (
+            healthy.result(timeout=60).embeddings == expected["bitset"][1]
+        )
+        with pytest.raises(
+            SchedulerError, match=r"did not answer query 1"
+        ):
+            victim.result(timeout=60)
+        # Fail-fast, not collateral: the pool (and its connections)
+        # kept serving — a fresh run of the victim's query is exact.
+        assert (
+            service.match(queries[0]).embeddings == expected["bitset"][0]
+        )
+    finally:
+        service.close()
+        engine.close()
+
+
+@pytest.mark.parametrize("fault", ["sever", "garble"])
+def test_query_pinned_connection_fault_fails_over(service_instance, fault):
+    """A severed/garbled frame pinned to one query's traffic kills the
+    shared connection — recovery reconnects and replays every open
+    query, so *all* of them (victim included) finish exact."""
+    data, queries, expected = service_instance
+    plan = FaultPlan()
+    # Query 1's second coordinator frame (its first QLEVEL) is the
+    # trigger; query 2 shares the connection and must not care.
+    getattr(plan, fault)(0, 0, after_frames=2, query_id=1)
+    engine = HGMatch(data, index_backend="bitset")
+    service = MatchService(engine, shards=2, chaos=plan, cache_capacity=0)
+    try:
+        victim = service.submit(queries[0])
+        _await_registration(service, 1, victim)
+        healthy = service.submit(queries[1])
+        assert (
+            victim.result(timeout=60).embeddings == expected["bitset"][0]
+        )
+        assert (
+            healthy.result(timeout=60).embeddings == expected["bitset"][1]
+        )
+    finally:
+        service.close()
+        engine.close()
+
+
+# ----------------------------------------------------------------------
+# Engine integration & lifecycle
+# ----------------------------------------------------------------------
+
+
+def test_engine_owns_a_persistent_match_service(service_instance):
+    data, queries, expected = service_instance
+    engine = HGMatch(data, index_backend="adaptive")
+    try:
+        service = engine.match_service(shards=2)
+        assert engine.match_service(shards=2) is service  # warm reuse
+        assert (
+            service.match(queries[0]).embeddings == expected["adaptive"][0]
+        )
+        rebuilt = engine.match_service(shards=1)  # new layout: rebuilt
+        assert rebuilt is not service
+        assert (
+            rebuilt.match(queries[0]).embeddings == expected["adaptive"][0]
+        )
+    finally:
+        engine.close()
+        engine.close()  # idempotent, service included
+    with pytest.raises(SchedulerError, match="closed"):
+        rebuilt.submit(queries[0])
+
+
+def test_drain_refuses_new_work_and_shuts_down(service_instance):
+    data, queries, expected = service_instance
+    engine = HGMatch(data, index_backend="bitset")
+    service = MatchService(engine, shards=1)
+    try:
+        assert (
+            service.match(queries[0]).embeddings == expected["bitset"][0]
+        )
+        service.drain(timeout=10.0)
+        service.drain(timeout=10.0)  # idempotent
+        with pytest.raises(SchedulerError, match="closed"):
+            service.submit(queries[1])
+    finally:
+        service.close()
+        engine.close()
+
+
+# ----------------------------------------------------------------------
+# The daemon front end: line JSON, disconnect-cancel, graceful stop
+# ----------------------------------------------------------------------
+
+
+def _start_daemon(service):
+    """Serve ``service`` from a MatchDaemon on a background event-loop
+    thread; returns ``(daemon, (host, port), thread)`` once listening.
+    ``daemon.request_stop()`` (the SIGTERM handler's exact body) is the
+    way back out — it is thread-safe by contract."""
+    daemon = MatchDaemon(service, port=0)
+    ready = threading.Event()
+
+    def runner():
+        async def _main():
+            await daemon.start()
+            ready.set()
+            await daemon.serve()
+
+        asyncio.run(_main())
+
+    thread = threading.Thread(target=runner, daemon=True)
+    thread.start()
+    assert ready.wait(30.0), "daemon never came up"
+    return daemon, daemon.address, thread
+
+
+def _stop_daemon(daemon, thread):
+    daemon.request_stop()
+    thread.join(timeout=60.0)
+    assert not thread.is_alive()
+
+
+def test_daemon_round_trip_cache_and_graceful_stop(service_instance):
+    data, queries, expected = service_instance
+    engine = HGMatch(data, index_backend="bitset")
+    service = MatchService(engine, shards=2)
+    daemon, (host, port), thread = _start_daemon(service)
+    try:
+        client = MatchClient(host, port, timeout=30.0)
+        outcome = client.query(queries[0])
+        assert outcome.embeddings == expected["bitset"][0]
+        assert not outcome.cached
+        repeat = client.query(queries[0])
+        assert repeat.embeddings == expected["bitset"][0]
+        assert repeat.cached
+        with pytest.raises(TimeoutExceeded):
+            # An already-blown deadline comes back *typed*, not as a
+            # generic error string.
+            client.query(queries[1], deadline=1e-9)
+    finally:
+        _stop_daemon(daemon, thread)
+        engine.close()
+    assert daemon.queries_served == 2  # the typed failure is not "served"
+    # request_stop drained the service: the listener is gone and the
+    # service refuses new work.
+    with pytest.raises(SchedulerError, match="closed"):
+        service.submit(queries[0])
+    with pytest.raises(ReproError, match="unreachable"):
+        MatchClient(host, port, timeout=2.0).query(queries[0])
+
+
+def test_daemon_refuses_garbage_without_dying(service_instance):
+    data, queries, expected = service_instance
+    engine = HGMatch(data, index_backend="bitset")
+    service = MatchService(engine, shards=1)
+    daemon, (host, port), thread = _start_daemon(service)
+    try:
+        with socket.create_connection((host, port), timeout=10.0) as sock:
+            sock.sendall(b"this is not json\n")
+            raw = sock.makefile("r").readline()
+        payload = json.loads(raw)
+        assert payload["ok"] is False
+        assert "bad request" in payload["error"]
+        # The daemon survived: real work still goes through.
+        outcome = MatchClient(host, port, timeout=30.0).query(queries[0])
+        assert outcome.embeddings == expected["bitset"][0]
+    finally:
+        _stop_daemon(daemon, thread)
+        engine.close()
+
+
+def test_daemon_client_disconnect_cancels_the_query(service_instance):
+    data, queries, expected = service_instance
+    plan = FaultPlan()
+    plan.slow_reply(0, 0, after_frames=2, seconds=1.5)
+    engine = HGMatch(data, index_backend="bitset")
+    service = MatchService(engine, shards=2, chaos=plan, cache_capacity=0)
+    daemon, (host, port), thread = _start_daemon(service)
+    try:
+        # Submit over a raw socket and hang up without reading: the
+        # EOF watchdog must cancel the in-flight query.
+        buffer = io.StringIO()
+        dump_native(queries[0], buffer)
+        request = json.dumps({"query": buffer.getvalue()}) + "\n"
+        with socket.create_connection((host, port), timeout=10.0) as sock:
+            sock.sendall(request.encode("utf-8"))
+        # Abandoned mid-gather (the slow reply is still ~1s away): the
+        # pool must come back empty — cancelled, not orphaned.
+        deadline = time.monotonic() + 15.0
+        while time.monotonic() < deadline:
+            if service.in_flight == 0 and not service.pool._queries:
+                break
+            time.sleep(0.05)
+        assert service.in_flight == 0
+        assert service.pool._queries == {}
+        # The pool survived the abandonment: a client who *does* listen
+        # gets the exact count.
+        outcome = MatchClient(host, port, timeout=30.0).query(queries[0])
+        assert outcome.embeddings == expected["bitset"][0]
+    finally:
+        _stop_daemon(daemon, thread)
+        engine.close()

@@ -332,3 +332,64 @@ class TestAnnounceCodec:
     def test_undecodable_body_is_refused(self):
         with pytest.raises(TransportError):
             transport.decode_announce(b"\x80garbage")
+
+
+class TestQueryTaggedFrames:
+    """The §2.8 multiplexed-query kinds: an 8-byte little-endian query
+    id ahead of the unchanged legacy body."""
+
+    def test_round_trip_every_query_kind(self):
+        for kind in sorted(transport.QUERY_KINDS | {transport.MSG_CANCEL}):
+            body = transport.encode_query_body(42, b"payload")
+            assert transport.decode_frame(
+                transport.encode_frame(kind, body)
+            ) == (kind, body)
+
+    def test_query_kinds_is_the_tagged_set(self):
+        # Everything in QUERY_KINDS — and nothing else — leads with the
+        # u64 tag; the chaos sniffer and the worker dispatch both key
+        # off this set.
+        assert transport.QUERY_KINDS == frozenset({
+            transport.MSG_QJOB, transport.MSG_QLEVEL,
+            transport.MSG_QREPLY, transport.MSG_QCOLLECT,
+            transport.MSG_QERROR, transport.MSG_CANCEL,
+        })
+
+    def test_tag_layout_is_the_documented_one(self):
+        # docs/WIRE_FORMAT.md §2.8: u64 LE query id, then the body.
+        assert transport.encode_query_body(7, b"payload").hex() == (
+            "0700000000000000" + b"payload".hex()
+        )
+        assert transport.encode_frame(
+            transport.MSG_CANCEL, transport.encode_query_body(7)
+        ).hex() == "0a00000001580700000000000000"
+
+    def test_split_round_trip(self):
+        for query_id in (0, 1, 7, 2**32, 2**64 - 1):
+            for payload in (b"", b"x", b"payload" * 100):
+                tagged = transport.encode_query_body(query_id, payload)
+                assert transport.split_query_body(tagged) == (
+                    query_id, payload
+                )
+
+    def test_query_id_must_fit_u64(self):
+        with pytest.raises(TransportError, match="fit u64"):
+            transport.encode_query_body(-1)
+        with pytest.raises(TransportError, match="fit u64"):
+            transport.encode_query_body(2**64)
+        with pytest.raises(TransportError, match="fit u64"):
+            transport.encode_query_body("7")
+
+    def test_short_body_is_refused(self):
+        with pytest.raises(
+            TransportError,
+            match="3 bytes is shorter than its 8-byte query id tag",
+        ):
+            transport.split_query_body(b"\x01\x02\x03")
+        with pytest.raises(TransportError, match="shorter"):
+            transport.split_query_body(b"")
+        # Exactly the tag is legal: an empty legacy body (QCOLLECT,
+        # CANCEL).
+        assert transport.split_query_body(
+            transport.encode_query_body(9)
+        ) == (9, b"")

@@ -86,8 +86,81 @@ def check_links() -> int:
     return failures
 
 
+#: ``| `0x48` | `H` | HELLO | ... |`` — one §2.1 table row.
+_KIND_ROW = re.compile(
+    r"^\|\s*`0x([0-9A-Fa-f]{2})`\s*\|\s*`(.+?)`\s*\|\s*([A-Z]+)\s*\|"
+)
+
+
+def check_message_kinds() -> int:
+    """Cross-check WIRE_FORMAT.md §2.1 against ``transport.MSG_*``.
+
+    The doctests pin individual byte sequences; this pins the *table*:
+    every ``MSG_*`` constant must appear in §2.1 with its exact byte
+    value and ASCII mnemonic, and every table row must name a constant
+    that exists — so adding a kind without spec'ing it (or spec'ing one
+    that was never implemented) fails the docs job.
+    """
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    from repro.parallel import transport
+
+    path = os.path.join(REPO_ROOT, "docs", "WIRE_FORMAT.md")
+    with open(path, encoding="utf-8") as stream:
+        text = stream.read()
+    match = re.search(
+        r"### 2\.1 Message kinds\n(.*?)\n### ", text, re.DOTALL
+    )
+    if match is None:
+        print("MESSAGE KINDS: section 2.1 not found in WIRE_FORMAT.md")
+        return 1
+    # Keyed by byte value: the table's "name" column is the protocol
+    # name (REPLY, QUIT), which legitimately differs from the constant
+    # suffix (MSG_LEVEL_REPLY, MSG_SHUTDOWN) — the byte and its ASCII
+    # mnemonic are what must not drift.
+    documented = {}
+    for line in match.group(1).splitlines():
+        row = _KIND_ROW.match(line.strip())
+        if row is not None:
+            documented[int(row.group(1), 16)] = (row.group(2), row.group(3))
+    implemented = {
+        getattr(transport, name): name
+        for name in dir(transport)
+        if name.startswith("MSG_")
+    }
+    failures = 0
+    for value, constant in sorted(implemented.items()):
+        if value not in documented:
+            failures += 1
+            print(
+                f"MESSAGE KINDS: transport.{constant} (0x{value:02X} "
+                f"`{chr(value)}`) is not documented in WIRE_FORMAT.md "
+                f"section 2.1"
+            )
+            continue
+        ascii_char, doc_name = documented[value]
+        if ascii_char != chr(value):
+            failures += 1
+            print(
+                f"MESSAGE KINDS: {doc_name} (0x{value:02X}) documented "
+                f"with mnemonic `{ascii_char}` but that byte is "
+                f"`{chr(value)}`"
+            )
+    for value in sorted(set(documented) - set(implemented)):
+        failures += 1
+        print(
+            f"MESSAGE KINDS: section 2.1 documents "
+            f"{documented[value][1]} (0x{value:02X}) but transport has "
+            f"no MSG_* constant with that value"
+        )
+    print(
+        f"message kinds: {len(documented)} documented, "
+        f"{len(implemented)} implemented, {failures} mismatches"
+    )
+    return failures
+
+
 def main() -> int:
-    failures = run_doctests() + check_links()
+    failures = run_doctests() + check_links() + check_message_kinds()
     if failures:
         print(f"docs check FAILED ({failures} problems)")
         return 1
