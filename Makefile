@@ -5,9 +5,9 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-backends test-processes test-sockets test-chaos \
-	test-elastic test-service bench-smoke bench-index bench-sharding \
-	bench-skew bench-net bench-chaos bench-elastic bench-service \
-	docs-check lint-imports
+	test-elastic test-service test-mutation bench-smoke bench-index \
+	bench-sharding bench-skew bench-net bench-chaos bench-elastic \
+	bench-service bench-mutation docs-check lint-imports
 
 ## Tier-1 verification: the whole test suite, stop on first failure.
 ## Honours REPRO_INDEX_BACKEND (merge/bitset/adaptive).
@@ -67,6 +67,16 @@ test-elastic:
 test-service:
 	$(PYTHON) -m pytest -x -q tests/test_service.py tests/test_transport.py
 
+## Dynamic-graph smoke: mutation semantics (tombstoned layouts,
+## atomic batches, incremental store maintenance), the differential
+## mutation oracle across backends x executors (honours
+## REPRO_MUTATION_SCHEDULES), codec fuzzing (REPRO_FUZZ_CASES) and
+## the service-level cache-invalidation / standing-query contract.
+test-mutation:
+	$(PYTHON) -m pytest -x -q tests/test_dynamic.py \
+		tests/test_mutation_oracle.py tests/test_codec_fuzz.py \
+		tests/test_mutation_service.py
+
 ## One fast benchmark as a smoke signal: the three-backend index
 ## comparison (merge/bitset/adaptive + mask-native pipeline; also
 ## regenerates BENCH_index_backends.json).
@@ -120,6 +130,13 @@ bench-elastic:
 ## concurrent throughput and cache-hit latency recorded, not gated).
 bench-service:
 	$(PYTHON) benchmarks/bench_service.py
+
+## Dynamic-graph gate: a stream of small mutation batches against a
+## 9k-edge graph — incremental index maintenance must agree with a
+## from-scratch rebuild after every batch and land >= 3x faster in
+## total, per backend (regenerates BENCH_mutation.json).
+bench-mutation:
+	$(PYTHON) benchmarks/bench_mutation.py
 
 ## Documentation checks: the WIRE_FORMAT.md doctests (the byte-level
 ## spec is executable), the §2.1 message-kind table cross-check

@@ -1,0 +1,204 @@
+"""Benchmark: incremental index maintenance vs full rebuild.
+
+The dynamic-graph gate.  A synthetic data graph large enough that
+rebuilding its partitioned store is real work takes a stream of small
+mutation batches — the *touched-container* workload: each batch lands
+on a handful of (vertex, chunk) containers, which is exactly the case
+incremental maintenance exists for.  After every batch the store is
+also rebuilt from scratch, and both paths are cross-checked
+structurally (same live edge ids, same posting-entry totals).
+
+Gates:
+
+* **exactness** — the incrementally maintained store must agree with
+  the rebuild after every batch, on every index backend;
+* **speedup** — total incremental maintenance time must be at least
+  ``MIN_SPEEDUP``× faster than the total of the from-scratch rebuilds,
+  per backend (the localisation claim: only touched containers
+  re-choose their representation, everything else is untouched).
+
+Results land in ``BENCH_mutation.json`` at the repo root.  Run
+standalone (``python benchmarks/bench_mutation.py``) or via pytest;
+the pytest entry points are the gates.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from typing import List
+
+from repro.hypergraph import DynamicHypergraph, PartitionedStore
+from repro.hypergraph.generators import generate_hypergraph
+from repro.testing import random_mutation_schedule
+
+BACKENDS = ("merge", "bitset", "adaptive")
+NUM_VERTICES = 1200
+NUM_EDGES = 9000
+NUM_LABELS = 4
+NUM_BATCHES = 6
+MIN_SPEEDUP = 3.0
+SEED = 0xD1FF
+
+RESULT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_mutation.json",
+)
+
+
+def _workload():
+    """One data graph and a schedule of small, localised batches."""
+    rng = random.Random(SEED)
+    base = generate_hypergraph(
+        num_vertices=NUM_VERTICES,
+        num_edges=NUM_EDGES,
+        num_labels=NUM_LABELS,
+        mean_arity=3.0,
+        max_arity=5,
+        rng=rng,
+    )
+    schedule = random_mutation_schedule(
+        rng, base, steps=NUM_BATCHES, max_inserts=4, max_deletes=4
+    )
+    return base, schedule
+
+
+def _cross_check(backend, step, store, rebuilt, failures):
+    """Structural agreement: live ids, row layouts, entry totals."""
+    if store.index_size_entries() != rebuilt.index_size_entries():
+        failures.append(
+            f"{backend}: posting-entry totals diverged at batch {step} "
+            f"({store.index_size_entries()} incremental vs "
+            f"{rebuilt.index_size_entries()} rebuilt)"
+        )
+    mine = {
+        signature: (partition.edge_ids, partition.row_ids)
+        for signature, partition in store.partitions.items()
+        if partition.row_ids
+    }
+    theirs = {
+        signature: (partition.edge_ids, partition.row_ids)
+        for signature, partition in rebuilt.partitions.items()
+        if partition.row_ids
+    }
+    if mine != theirs:
+        failures.append(
+            f"{backend}: partition layouts diverged at batch {step}"
+        )
+
+
+def run_benchmark() -> dict:
+    base, schedule = _workload()
+    failures: List[str] = []
+    rows = []
+    for backend in BACKENDS:
+        graph = DynamicHypergraph.from_hypergraph(base)
+        started = time.perf_counter()
+        store = PartitionedStore(graph, index_backend=backend)
+        initial_build_s = time.perf_counter() - started
+
+        incremental_s = 0.0
+        rebuild_s = 0.0
+        touched = 0
+        for step, batch in enumerate(schedule):
+            result = graph.apply(batch)
+            touched += len(result.inserted) + len(result.deleted)
+
+            started = time.perf_counter()
+            store.apply_mutation_result(result)
+            incremental_s += time.perf_counter() - started
+
+            started = time.perf_counter()
+            rebuilt = PartitionedStore(graph, index_backend=backend)
+            rebuild_s += time.perf_counter() - started
+
+            _cross_check(backend, step, store, rebuilt, failures)
+
+        speedup = rebuild_s / max(incremental_s, 1e-12)
+        if speedup < MIN_SPEEDUP:
+            failures.append(
+                f"{backend}: incremental maintenance only {speedup:.1f}x "
+                f"faster than rebuild (gate: {MIN_SPEEDUP}x)"
+            )
+        rows.append(
+            {
+                "backend": backend,
+                "initial_build_seconds": round(initial_build_s, 6),
+                "incremental_seconds": round(incremental_s, 6),
+                "rebuild_seconds": round(rebuild_s, 6),
+                "speedup": round(speedup, 2),
+                "batches": len(schedule),
+                "edges_touched": touched,
+            }
+        )
+
+    return {
+        "benchmark": "mutation",
+        "workload": {
+            "num_vertices": NUM_VERTICES,
+            "num_edges": NUM_EDGES,
+            "num_labels": NUM_LABELS,
+            "batches": NUM_BATCHES,
+            "seed": SEED,
+        },
+        "min_speedup": MIN_SPEEDUP,
+        "failures": failures,
+        "rows": rows,
+    }
+
+
+def write_summary(summary: dict) -> str:
+    with open(RESULT_PATH, "w", encoding="utf-8") as stream:
+        json.dump(summary, stream, indent=2)
+        stream.write("\n")
+    return RESULT_PATH
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (the gates)
+# ----------------------------------------------------------------------
+import pytest
+
+
+@pytest.fixture(scope="module")
+def summary():
+    result = run_benchmark()
+    write_summary(result)
+    return result
+
+
+def test_incremental_maintenance_is_exact(summary):
+    """The incrementally maintained store must match the rebuild after
+    every batch, and clear the speedup gate, on every backend."""
+    assert summary["failures"] == []
+
+
+def test_every_backend_cleared_the_gate(summary):
+    assert [row["backend"] for row in summary["rows"]] == list(BACKENDS)
+    for row in summary["rows"]:
+        assert row["speedup"] >= MIN_SPEEDUP
+        assert row["edges_touched"] > 0
+
+
+def main() -> int:
+    result = run_benchmark()
+    path = write_summary(result)
+    for row in result["rows"]:
+        print(
+            f"{row['backend']}: build={row['initial_build_seconds']:.4f}s "
+            f"incremental={row['incremental_seconds'] * 1e3:.2f}ms "
+            f"rebuild={row['rebuild_seconds'] * 1e3:.2f}ms "
+            f"(x{row['speedup']:.0f}, {row['edges_touched']} edges "
+            f"across {row['batches']} batches)"
+        )
+    status = "OK" if not result["failures"] else "FAIL"
+    print(f"gate>={result['min_speedup']}x {status} -> {path}")
+    for failure in result["failures"]:
+        print(f"  {failure}")
+    return 0 if not result["failures"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

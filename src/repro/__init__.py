@@ -34,8 +34,11 @@ from .errors import (
     TimeoutExceeded,
 )
 from .hypergraph import (
+    DynamicHypergraph,
     Hypergraph,
     HypergraphBuilder,
+    MutationBatch,
+    MutationResult,
     PartitionedStore,
     ShardedStore,
     dataset_statistics,
@@ -48,6 +51,9 @@ __version__ = "1.0.0"
 __all__ = [
     "Hypergraph",
     "HypergraphBuilder",
+    "DynamicHypergraph",
+    "MutationBatch",
+    "MutationResult",
     "PartitionedStore",
     "ShardedStore",
     "HGMatch",

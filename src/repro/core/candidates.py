@@ -444,6 +444,19 @@ _WIRE_CHUNKS = 0x43  # b"C"
 _ARRAY_KIND = 0
 _BITS_KIND = 1
 
+#: Row-coordinate ceiling for payloads decoded against an index with no
+#: row space of its own (the merge backend).  Mask and chunk payloads
+#: carry row *positions* that the decoder turns into bit shifts; a
+#: garbled u32 offset or chunk id would otherwise demand a mask of up
+#: to 2**47 bits — a MemoryError, not a ValueError.  Indexes that
+#: expose ``row_to_edge`` are bounded by their actual row count instead.
+_MAX_WIRE_ROW = 1 << 28
+
+
+def _row_space_limit(index) -> int:
+    rows = getattr(index, "row_to_edge", None)
+    return _MAX_WIRE_ROW if rows is None else len(rows)
+
 #: Version byte prefixed to candidate payloads that cross a machine
 #: boundary.  Bump on any incompatible change to the ``T``/``M``/``C``
 #: encodings below; decoders reject unknown versions.
@@ -514,8 +527,26 @@ def candidate_set_from_bytes(payload: bytes, index=None) -> CandidateSet:
     Mask and chunk payloads are normalised to the index's native
     representation (``bitset`` readers get a :class:`MaskCandidates`,
     ``adaptive`` readers a :class:`ChunkCandidates`); tuple payloads
-    never need the index at all.
+    never need the index at all.  Malformed input of any shape —
+    truncation, bit flips, wild length prefixes — raises
+    :class:`ValueError`, never an ``IndexError`` or ``struct.error``:
+    the decoder is fed bytes straight off the network, and callers
+    treat ``ValueError`` as "kill this connection", not "crash".
     """
+    try:
+        return _candidate_set_from_bytes(payload, index)
+    except struct.error as exc:
+        raise ValueError(f"malformed candidate payload: {exc}") from None
+    except (MemoryError, OverflowError):
+        # Belt and braces behind the explicit row-space bounds below: a
+        # decoder must never let hostile coordinates turn into an
+        # allocation failure.
+        raise ValueError(
+            "malformed candidate payload: implausible row coordinates"
+        ) from None
+
+
+def _candidate_set_from_bytes(payload: bytes, index=None) -> CandidateSet:
     if not payload:
         raise ValueError("empty candidate payload")
     tag = payload[0]
@@ -528,6 +559,12 @@ def candidate_set_from_bytes(payload: bytes, index=None) -> CandidateSet:
         if index is None:
             raise ValueError("mask payloads require the owning index")
         (row_offset,) = struct.unpack_from("<I", payload, 1)
+        limit = _row_space_limit(index)
+        if row_offset > limit:
+            raise ValueError(
+                f"mask row offset {row_offset} exceeds the index's row "
+                f"space ({limit} rows)"
+            )
         mask = int.from_bytes(payload[5:], "little")
         if backend == "adaptive":
             # Re-chunk from explicit rows: O(survivors), regardless of
@@ -544,9 +581,16 @@ def candidate_set_from_bytes(payload: bytes, index=None) -> CandidateSet:
         (count,) = struct.unpack_from("<I", payload, 1)
         offset = 5
         chunks = {}
+        limit = _row_space_limit(index)
+        wire_chunk_bits = getattr(index, "chunk_bits", CHUNK_BITS)
         for _ in range(count):
             chunk, kind = struct.unpack_from("<IB", payload, offset)
             offset += 5
+            if (chunk << wire_chunk_bits) > limit:
+                raise ValueError(
+                    f"chunk {chunk} lies outside the index's row space "
+                    f"({limit} rows)"
+                )
             if kind == _BITS_KIND:
                 (length,) = struct.unpack_from("<I", payload, offset)
                 offset += 4

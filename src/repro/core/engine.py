@@ -304,6 +304,7 @@ class HGMatch:
         counters: "MatchCounters | None" = None,
         time_budget: "float | None" = None,
         strict: bool = False,
+        first_edges=None,
     ) -> Iterator[Embedding]:
         """Lazily enumerate all embeddings of ``query`` (single-threaded).
 
@@ -314,6 +315,11 @@ class HGMatch:
         ``strict=True`` additionally certifies every complete embedding
         with an explicit injective vertex-mapping search — a belt-and-
         braces mode the test suite uses to cross-check Theorem V.2.
+
+        ``first_edges`` (a set of data edge ids) restricts the data edge
+        bound at step 0 of the matching order.  Standing-query delta
+        enumeration uses it to explore only the subtree rooted at newly
+        inserted edges instead of re-enumerating from scratch.
         """
         plan = self.plan(query, order)
         deadline = None if time_budget is None else time.monotonic() + time_budget
@@ -339,6 +345,12 @@ class HGMatch:
                 plan, matched, counters, vmap=vmap, step_tuples=step_tuples,
                 step_masks=step_masks,
             ):
+                if (
+                    first_edges is not None
+                    and not matched
+                    and extended[0] not in first_edges
+                ):
+                    continue
                 if len(extended) == num_steps:
                     if strict and not certify_embedding(
                         self.data, query, plan.order, extended
@@ -648,6 +660,60 @@ class HGMatch:
             )
             self._match_service = current
         return current
+
+    # ------------------------------------------------------------------
+    # Mutation (dynamic graphs)
+    # ------------------------------------------------------------------
+    def _apply_local(self, batch):
+        """Commit one mutation batch to the engine's own graph + store.
+
+        Promotes an immutable data graph to a
+        :class:`~repro.hypergraph.dynamic.DynamicHypergraph` on first
+        use (edge ids and row layouts are preserved, so the existing
+        store adopts the promoted graph without rebuilding), applies
+        the batch, and incrementally maintains every touched partition.
+        The anchor-union memo caches posting unions of the old rows;
+        clearing it is mandatory, not an optimisation.
+
+        Internal: callers go through :meth:`apply_mutations`, which
+        also propagates to live pools and the match service.
+        """
+        from ..hypergraph.dynamic import DynamicHypergraph  # lazy: cheap
+
+        data = self.data
+        if not isinstance(data, DynamicHypergraph):
+            data = DynamicHypergraph.from_hypergraph(data)
+            self.data = data
+            self.store.adopt_graph(data)
+        result = data.apply(batch)
+        self.store.apply_mutation_result(result)
+        self._anchor_memo.clear()
+        return result
+
+    def apply_mutations(self, batch):
+        """Commit a mutation batch engine-wide and return its
+        :class:`~repro.hypergraph.dynamic.MutationResult`.
+
+        The local graph and store update incrementally, and every
+        *live* pool — the process executor, the socket executor, the
+        match service's multiplexed pool — receives the same batch via
+        a MUTATE broadcast so its workers maintain their shards in
+        lock-step (pools not yet started simply build from the mutated
+        graph on first use).  When a match service wraps this engine,
+        the commit goes through
+        :meth:`~repro.service.service.MatchService.apply_mutations`
+        instead, which additionally fences in-flight queries,
+        invalidates the result cache and emits standing-query deltas.
+        """
+        service = self._match_service
+        if service is not None:
+            return service.apply_mutations(batch)
+        result = self._apply_local(batch)
+        if self._shard_executor is not None:
+            self._shard_executor.mutate(self, batch, result)
+        if self._net_executor is not None:
+            self._net_executor.mutate(self, batch, result)
+        return result
 
     def close(self) -> None:
         """Release the shard pools and match service, if started.

@@ -8,6 +8,14 @@ serialisation, synthetic generators and the paper's random-walk query
 sampler (Section VII-A).
 """
 
+from .dynamic import (
+    DynamicHypergraph,
+    EdgeMutation,
+    MutationBatch,
+    MutationResult,
+    group_live_edges_by_signature,
+    group_rows_by_signature,
+)
 from .hypergraph import Hypergraph, HypergraphBuilder
 from .index import (
     ARRAY_CONTAINER_MAX,
@@ -37,10 +45,12 @@ from .sharding import (
     StoreShard,
     balanced_range_table,
     build_range_table,
+    mutate_range_table,
     range_table_label,
     range_table_slices,
     rebalance_range_table,
     resolve_sharding,
+    shard_grouping,
     shard_ranges,
     uniform_range_table,
     weighted_shard_ranges,
@@ -69,6 +79,14 @@ from .storage import (
 )
 
 __all__ = [
+    "DynamicHypergraph",
+    "EdgeMutation",
+    "MutationBatch",
+    "MutationResult",
+    "group_live_edges_by_signature",
+    "group_rows_by_signature",
+    "mutate_range_table",
+    "shard_grouping",
     "Hypergraph",
     "HypergraphBuilder",
     "InvertedHyperedgeIndex",

@@ -1,0 +1,690 @@
+"""Mutable hypergraphs: edge insert/delete with stable row layouts.
+
+:class:`DynamicHypergraph` duck-types the full read interface of the
+immutable :class:`~repro.hypergraph.hypergraph.Hypergraph` — every
+consumer of a data graph (stores, shards, engines, executors) works on
+either without change — and adds a transactional mutation interface:
+
+* :meth:`DynamicHypergraph.apply` commits one :class:`MutationBatch`
+  (edge deletes, vertex adds, edge inserts — in that order), bumps the
+  graph :attr:`~DynamicHypergraph.version` and returns a
+  :class:`MutationResult` describing exactly which edge slots changed
+  and *where they live in the row layout*;
+* deleted edges become **tombstones**: the edge id and its row stay
+  allocated (so rows of later edges never shift), the slot merely stops
+  contributing postings, incidence, lookups or counts;
+* inserted edges always receive a fresh, strictly increasing edge id —
+  ids are never reused — so new rows *append at the tail* of their
+  signature's row layout and every sorted structure (posting tuples,
+  ascending incidence lists, row tables) extends without re-sorting.
+
+The row-layout invariant this module guarantees is what makes
+incremental index maintenance exact across process boundaries:
+
+    the global row coordinates of a signature are ALL of its edge
+    slots — live and tombstoned — in ascending edge-id order.
+
+A store built *from scratch* over a mutated :class:`DynamicHypergraph`
+therefore produces bit-identical row coordinates to a store maintained
+*incrementally* through the same mutations (the differential mutation
+oracle in :mod:`repro.testing` pins this), and a shard pool whose
+workers hold independently-mutated graph copies keeps exchanging row
+masks that mean the same rows everywhere.
+
+``num_edges``, ``edges``, iteration, equality and the fingerprint all
+reflect only the **live** edges — a mutated graph is indistinguishable,
+to every read-side consumer, from a fresh graph holding its live
+content (plus the tombstone rows that only the index layer ever sees
+through :meth:`rows_by_signature` / :meth:`is_live`).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from ..errors import HypergraphError
+from .hypergraph import Hypergraph
+from .signature import Label, Signature, signature_of_labels
+
+
+class MutationBatch:
+    """One atomic group of graph mutations.
+
+    Parameters
+    ----------
+    inserts:
+        Edge inserts: each item is either an iterable of vertex ids or
+        a ``(vertices, edge_label)`` pair (the latter is required on
+        edge-labelled graphs, rejected on unlabelled ones).  Vertices
+        are normalised to a sorted duplicate-free tuple.
+    deletes:
+        Edge ids to tombstone.  Every id must name a live edge.
+    add_vertices:
+        Labels of new vertices, appended in order; inserts may
+        reference the new ids.
+
+    Application order within a batch is fixed — vertex adds, then
+    deletes, then inserts — so a batch can delete an edge and re-insert
+    a superset referencing a fresh vertex.  Instances are immutable and
+    picklable: the same batch object is applied by the coordinator and
+    broadcast verbatim to every shard worker (MUTATE frames), which is
+    what keeps independently-held graph copies in lockstep.
+    """
+
+    __slots__ = ("inserts", "deletes", "add_vertices")
+
+    def __init__(
+        self,
+        inserts: Iterable[object] = (),
+        deletes: Iterable[int] = (),
+        add_vertices: Iterable[Label] = (),
+    ) -> None:
+        normalised: List[Tuple[Tuple[int, ...], "Label | None"]] = []
+        for item in inserts:
+            if (
+                isinstance(item, tuple)
+                and len(item) == 2
+                and not isinstance(item[0], int)
+            ):
+                vertices, label = item
+            else:
+                vertices, label = item, None
+            normalised.append((tuple(sorted(set(vertices))), label))
+        self.inserts: Tuple[Tuple[Tuple[int, ...], "Label | None"], ...] = (
+            tuple(normalised)
+        )
+        self.deletes: Tuple[int, ...] = tuple(deletes)
+        self.add_vertices: Tuple[Label, ...] = tuple(add_vertices)
+
+    def __bool__(self) -> bool:
+        return bool(self.inserts or self.deletes or self.add_vertices)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MutationBatch):
+            return NotImplemented
+        return (
+            self.inserts == other.inserts
+            and self.deletes == other.deletes
+            and self.add_vertices == other.add_vertices
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.inserts, self.deletes, self.add_vertices))
+
+    def __repr__(self) -> str:
+        return (
+            f"MutationBatch(+{len(self.inserts)}e/-{len(self.deletes)}e/"
+            f"+{len(self.add_vertices)}v)"
+        )
+
+    # -- daemon protocol (line-JSON) -----------------------------------
+
+    def to_json(self) -> dict:
+        """JSON-safe dict for the daemon's ``mutate`` request."""
+        return {
+            "inserts": [
+                {"vertices": list(vertices), "label": label}
+                for vertices, label in self.inserts
+            ],
+            "deletes": list(self.deletes),
+            "add_vertices": list(self.add_vertices),
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "MutationBatch":
+        """Inverse of :meth:`to_json` (tolerates missing keys)."""
+        if not isinstance(payload, dict):
+            raise HypergraphError(
+                f"mutation payload must be an object, got {type(payload).__name__}"
+            )
+        inserts = []
+        for item in payload.get("inserts", ()):
+            if isinstance(item, dict):
+                inserts.append((item["vertices"], item.get("label")))
+            else:
+                inserts.append(item)
+        return cls(
+            inserts=inserts,
+            deletes=payload.get("deletes", ()),
+            add_vertices=payload.get("add_vertices", ()),
+        )
+
+
+class EdgeMutation:
+    """One applied edge insert or delete, located in the row layout.
+
+    ``row`` is the edge's position among *all* slots (live + tombstoned)
+    of its signature, in ascending edge-id order — the same coordinate
+    every index backend and every shard range speaks.
+    """
+
+    __slots__ = ("edge_id", "signature", "vertices", "row")
+
+    def __init__(
+        self,
+        edge_id: int,
+        signature: Signature,
+        vertices: FrozenSet[int],
+        row: int,
+    ) -> None:
+        self.edge_id = edge_id
+        self.signature = signature
+        self.vertices = vertices
+        self.row = row
+
+    def __repr__(self) -> str:
+        return (
+            f"EdgeMutation(e{self.edge_id}, S={self.signature}, "
+            f"row={self.row})"
+        )
+
+
+class MutationResult:
+    """What :meth:`DynamicHypergraph.apply` actually did.
+
+    ``inserted``/``deleted`` hold :class:`EdgeMutation` records in
+    application order; ``skipped`` holds the insert specs that
+    duplicated an existing live edge (the graph stays simple, mirroring
+    construction-time dedup).  ``version`` is the graph version after
+    the commit.
+    """
+
+    __slots__ = ("version", "inserted", "deleted", "skipped")
+
+    def __init__(
+        self,
+        version: int,
+        inserted: Sequence[EdgeMutation],
+        deleted: Sequence[EdgeMutation],
+        skipped: Sequence[Tuple[Tuple[int, ...], "Label | None"]],
+    ) -> None:
+        self.version = version
+        self.inserted = tuple(inserted)
+        self.deleted = tuple(deleted)
+        self.skipped = tuple(skipped)
+
+    def __repr__(self) -> str:
+        return (
+            f"MutationResult(v{self.version}, +{len(self.inserted)}, "
+            f"-{len(self.deleted)}, ~{len(self.skipped)})"
+        )
+
+
+class DynamicHypergraph:
+    """A mutable labelled hypergraph with the immutable read interface.
+
+    Build one with :meth:`from_hypergraph` (preserving edge ids) or the
+    :class:`~repro.hypergraph.hypergraph.Hypergraph` constructor
+    signature.  All read accessors report **live** state only; the
+    dynamic extras — :attr:`version`, :meth:`is_live`,
+    :meth:`live_edge_ids`, :meth:`rows_by_signature`, :attr:`num_slots`
+    — expose the tombstone-aware layout the index layer maintains
+    against.  Instances are picklable (workers receive a copy at spawn
+    and replay MUTATE batches to stay in lockstep).
+    """
+
+    def __init__(
+        self,
+        labels: Sequence[Label],
+        edges: Iterable[Iterable[int]] = (),
+        edge_labels: "Sequence[Label] | None" = None,
+    ) -> None:
+        base = Hypergraph(labels, edges, edge_labels=edge_labels)
+        self._init_from(base)
+
+    def _init_from(self, base: Hypergraph) -> None:
+        self._labels: List[Label] = list(base.labels)
+        self._slots: List["FrozenSet[int] | None"] = list(base.edges)
+        self._slot_signatures: List[Signature] = list(base.edge_signatures())
+        self._edge_labelled = base.is_edge_labelled
+        self._slot_labels: List["Label | None"] = [
+            base.edge_label(edge_id) for edge_id in range(base.num_edges)
+        ]
+        self._incidence: List[List[int]] = [
+            list(base.incident_edges(v)) for v in range(base.num_vertices)
+        ]
+        self._edge_lookup: Dict[object, int] = {
+            self._lookup_key(edge, self._slot_labels[edge_id]): edge_id
+            for edge_id, edge in enumerate(self._slots)
+        }
+        self._rows: Dict[Signature, List[int]] = {}
+        for edge_id, signature in enumerate(self._slot_signatures):
+            self._rows.setdefault(signature, []).append(edge_id)
+        self._live = len(self._slots)
+        self.version = 0
+
+    @classmethod
+    def from_hypergraph(cls, graph: "Hypergraph | DynamicHypergraph") -> "DynamicHypergraph":
+        """Promote ``graph`` to a dynamic one, preserving edge ids.
+
+        A :class:`DynamicHypergraph` argument is deep-copied with its
+        tombstones and version intact — the row layout is part of the
+        graph's identity (indexes, shard ranges and wire masks all
+        speak it), so a copy must stay coordinate-compatible with the
+        original.  Use :meth:`to_hypergraph` for a dense, tombstone-free
+        snapshot instead.
+        """
+        if isinstance(graph, DynamicHypergraph):
+            clone = cls.__new__(cls)
+            clone._labels = list(graph._labels)
+            clone._slots = list(graph._slots)
+            clone._slot_signatures = list(graph._slot_signatures)
+            clone._edge_labelled = graph._edge_labelled
+            clone._slot_labels = list(graph._slot_labels)
+            clone._incidence = [list(ids) for ids in graph._incidence]
+            clone._edge_lookup = dict(graph._edge_lookup)
+            clone._rows = {
+                signature: list(rows)
+                for signature, rows in graph._rows.items()
+            }
+            clone._live = graph._live
+            clone.version = graph.version
+            return clone
+        instance = cls.__new__(cls)
+        instance._init_from(graph)
+        return instance
+
+    # ------------------------------------------------------------------
+    # Dynamic extras (the tombstone-aware layout)
+    # ------------------------------------------------------------------
+
+    @property
+    def num_slots(self) -> int:
+        """Allocated edge slots, live + tombstoned (= next edge id)."""
+        return len(self._slots)
+
+    def is_live(self, edge_id: int) -> bool:
+        """True when ``edge_id`` names a live (non-tombstoned) edge."""
+        return (
+            0 <= edge_id < len(self._slots)
+            and self._slots[edge_id] is not None
+        )
+
+    def live_edge_ids(self) -> Iterator[int]:
+        """Live edge ids in ascending order."""
+        return (
+            edge_id
+            for edge_id, edge in enumerate(self._slots)
+            if edge is not None
+        )
+
+    def rows_by_signature(self) -> Dict[Signature, List[int]]:
+        """The row layout: ALL slot ids per signature, ascending.
+
+        Tombstoned slots are included — this is the coordinate system
+        indexes, shards and wire masks agree on.  Returns fresh lists.
+        """
+        return {
+            signature: list(rows) for signature, rows in self._rows.items()
+        }
+
+    def slot_vertices(self, edge_id: int) -> "FrozenSet[int] | None":
+        """The slot's vertex set, or None for a tombstone."""
+        return self._slots[edge_id]
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def _lookup_key(self, vertices: FrozenSet[int], label: "Label | None"):
+        return vertices if not self._edge_labelled else (vertices, label)
+
+    def apply(self, batch: MutationBatch) -> MutationResult:
+        """Commit ``batch`` atomically; returns the located changes.
+
+        Validation happens before any state changes, so a rejected
+        batch leaves the graph untouched.  Raises
+        :class:`~repro.errors.HypergraphError` on a delete of an
+        unknown/dead/duplicated edge id, an insert referencing an
+        unknown vertex, an empty insert, or an edge-label mismatch with
+        the graph's labelled-ness.
+        """
+        # -- validate everything up front --------------------------------
+        seen_deletes: Set[int] = set()
+        for edge_id in batch.deletes:
+            if not self.is_live(edge_id):
+                raise HypergraphError(
+                    f"cannot delete edge {edge_id}: not a live edge"
+                )
+            if edge_id in seen_deletes:
+                raise HypergraphError(
+                    f"edge {edge_id} deleted twice in one batch"
+                )
+            seen_deletes.add(edge_id)
+        new_num_vertices = len(self._labels) + len(batch.add_vertices)
+        for vertices, label in batch.inserts:
+            if not vertices:
+                raise HypergraphError("hyperedges must be non-empty")
+            for vertex in vertices:
+                if not 0 <= vertex < new_num_vertices:
+                    raise HypergraphError(
+                        f"edge {list(vertices)} references unknown vertex "
+                        f"{vertex}"
+                    )
+            if self._edge_labelled and label is None:
+                raise HypergraphError(
+                    "inserts into an edge-labelled hypergraph require an "
+                    "edge label"
+                )
+            if not self._edge_labelled and label is not None:
+                raise HypergraphError(
+                    "edge labels are not allowed on an unlabelled hypergraph"
+                )
+
+        # -- vertices ----------------------------------------------------
+        for label in batch.add_vertices:
+            self._labels.append(label)
+            self._incidence.append([])
+
+        # -- deletes (tombstone in place: rows never shift) --------------
+        deleted: List[EdgeMutation] = []
+        for edge_id in batch.deletes:
+            vertices = self._slots[edge_id]
+            signature = self._slot_signatures[edge_id]
+            rows = self._rows[signature]
+            row = bisect_left(rows, edge_id)
+            deleted.append(EdgeMutation(edge_id, signature, vertices, row))
+            for vertex in vertices:
+                incidence = self._incidence[vertex]
+                del incidence[bisect_left(incidence, edge_id)]
+            del self._edge_lookup[
+                self._lookup_key(vertices, self._slot_labels[edge_id])
+            ]
+            self._slots[edge_id] = None
+            self._live -= 1
+
+        # -- inserts (fresh max ids: every structure appends) ------------
+        inserted: List[EdgeMutation] = []
+        skipped: List[Tuple[Tuple[int, ...], "Label | None"]] = []
+        for vertices, label in batch.inserts:
+            edge = frozenset(vertices)
+            key = self._lookup_key(edge, label)
+            if key in self._edge_lookup:
+                skipped.append((vertices, label))
+                continue
+            edge_id = len(self._slots)
+            if self._edge_labelled:
+                signature = (label,) + signature_of_labels(
+                    self._labels[v] for v in edge
+                )
+            else:
+                signature = signature_of_labels(
+                    self._labels[v] for v in edge
+                )
+            self._slots.append(edge)
+            self._slot_signatures.append(signature)
+            self._slot_labels.append(label)
+            for vertex in edge:
+                self._incidence[vertex].append(edge_id)
+            self._edge_lookup[key] = edge_id
+            rows = self._rows.setdefault(signature, [])
+            inserted.append(
+                EdgeMutation(edge_id, signature, edge, len(rows))
+            )
+            rows.append(edge_id)
+            self._live += 1
+
+        self.version += 1
+        return MutationResult(self.version, inserted, deleted, skipped)
+
+    # ------------------------------------------------------------------
+    # Hypergraph read interface (live state only)
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._labels)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of *live* hyperedges."""
+        return self._live
+
+    @property
+    def labels(self) -> Tuple[Label, ...]:
+        return tuple(self._labels)
+
+    @property
+    def edges(self) -> Tuple[FrozenSet[int], ...]:
+        """Live hyperedges in ascending edge-id order.
+
+        Positions here are *not* edge ids once anything was deleted;
+        use :meth:`edge` for id-addressed access.
+        """
+        return tuple(edge for edge in self._slots if edge is not None)
+
+    def label(self, vertex: int) -> Label:
+        return self._labels[vertex]
+
+    def _live_slot(self, edge_id: int) -> FrozenSet[int]:
+        try:
+            edge = self._slots[edge_id]
+        except IndexError:
+            raise HypergraphError(f"unknown edge id {edge_id}") from None
+        if edge is None:
+            raise HypergraphError(f"edge {edge_id} has been deleted")
+        return edge
+
+    def edge(self, edge_id: int) -> FrozenSet[int]:
+        return self._live_slot(edge_id)
+
+    def edge_signature(self, edge_id: int) -> Signature:
+        self._live_slot(edge_id)
+        return self._slot_signatures[edge_id]
+
+    def edge_signatures(self) -> Tuple[Signature, ...]:
+        """Signatures of live edges, ascending edge-id order."""
+        return tuple(
+            self._slot_signatures[edge_id]
+            for edge_id, edge in enumerate(self._slots)
+            if edge is not None
+        )
+
+    @property
+    def is_edge_labelled(self) -> bool:
+        return self._edge_labelled
+
+    def edge_label(self, edge_id: int) -> "Label | None":
+        self._live_slot(edge_id)
+        return self._slot_labels[edge_id]
+
+    def edge_id(
+        self, vertices: Iterable[int], label: "Label | None" = None
+    ) -> int:
+        edge = frozenset(vertices)
+        if self._edge_labelled and label is None:
+            raise HypergraphError(
+                "edge lookups on an edge-labelled hypergraph require the "
+                "edge label"
+            )
+        return self._edge_lookup[self._lookup_key(edge, label)]
+
+    def has_edge(
+        self, vertices: Iterable[int], label: "Label | None" = None
+    ) -> bool:
+        edge = frozenset(vertices)
+        if self._edge_labelled and label is None:
+            raise HypergraphError(
+                "edge lookups on an edge-labelled hypergraph require the "
+                "edge label"
+            )
+        return self._lookup_key(edge, label) in self._edge_lookup
+
+    def incident_edges(self, vertex: int) -> Tuple[int, ...]:
+        return tuple(self._incidence[vertex])
+
+    def degree(self, vertex: int) -> int:
+        return len(self._incidence[vertex])
+
+    def arity(self, edge_id: int) -> int:
+        return len(self._live_slot(edge_id))
+
+    def incident_edges_with_arity(
+        self, vertex: int, arity: int
+    ) -> Tuple[int, ...]:
+        return tuple(
+            edge_id
+            for edge_id in self._incidence[vertex]
+            if len(self._slots[edge_id]) == arity
+        )
+
+    def adjacent_vertices(self, vertex: int) -> FrozenSet[int]:
+        neighbours: Set[int] = set()
+        for edge_id in self._incidence[vertex]:
+            neighbours.update(self._slots[edge_id])
+        neighbours.discard(vertex)
+        return frozenset(neighbours)
+
+    def adjacent_edges(self, edge_id: int) -> FrozenSet[int]:
+        neighbours: Set[int] = set()
+        for vertex in self._live_slot(edge_id):
+            neighbours.update(self._incidence[vertex])
+        neighbours.discard(edge_id)
+        return frozenset(neighbours)
+
+    def average_arity(self) -> float:
+        if not self._live:
+            return 0.0
+        return (
+            sum(len(edge) for edge in self._slots if edge is not None)
+            / self._live
+        )
+
+    def max_arity(self) -> int:
+        if not self._live:
+            return 0
+        return max(
+            len(edge) for edge in self._slots if edge is not None
+        )
+
+    def label_alphabet(self) -> FrozenSet[Label]:
+        return frozenset(self._labels)
+
+    def is_connected(self) -> bool:
+        if self.num_vertices == 0:
+            return True
+        visited = {0}
+        frontier = [0]
+        while frontier:
+            vertex = frontier.pop()
+            for edge_id in self._incidence[vertex]:
+                for other in self._slots[edge_id]:
+                    if other not in visited:
+                        visited.add(other)
+                        frontier.append(other)
+        return len(visited) == self.num_vertices
+
+    def induced_by_edges(self, edge_ids: Iterable[int]) -> Hypergraph:
+        edge_ids = list(edge_ids)
+        slots = [self._live_slot(edge_id) for edge_id in edge_ids]
+        vertices = sorted({v for edge in slots for v in edge})
+        renumber = {old: new for new, old in enumerate(vertices)}
+        labels = [self._labels[old] for old in vertices]
+        edges = [[renumber[v] for v in edge] for edge in slots]
+        edge_labels = (
+            [self._slot_labels[edge_id] for edge_id in edge_ids]
+            if self._edge_labelled
+            else None
+        )
+        return Hypergraph(labels, edges, edge_labels=edge_labels)
+
+    def to_hypergraph(self) -> Hypergraph:
+        """Freeze the live content into an immutable graph.
+
+        Edge ids are *renumbered dense* — this is the from-scratch
+        rebuild the differential oracle compares against, equivalent to
+        re-loading the graph's native-text dump.
+        """
+        live_labels = (
+            [
+                self._slot_labels[edge_id]
+                for edge_id, edge in enumerate(self._slots)
+                if edge is not None
+            ]
+            if self._edge_labelled
+            else None
+        )
+        return Hypergraph(
+            self._labels,
+            [edge for edge in self._slots if edge is not None],
+            edge_labels=live_labels,
+        )
+
+    # ------------------------------------------------------------------
+    # Dunder methods
+    # ------------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[FrozenSet[int]]:
+        return (edge for edge in self._slots if edge is not None)
+
+    def __len__(self) -> int:
+        return self._live
+
+    def _edge_identity(self) -> FrozenSet[object]:
+        if not self._edge_labelled:
+            return frozenset(
+                edge for edge in self._slots if edge is not None
+            )
+        return frozenset(
+            (edge, self._slot_labels[edge_id])
+            for edge_id, edge in enumerate(self._slots)
+            if edge is not None
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, (Hypergraph, DynamicHypergraph)):
+            return NotImplemented
+        return (
+            tuple(self._labels) == other.labels
+            and self._edge_identity() == other._edge_identity()
+        )
+
+    def __hash__(self) -> int:
+        return hash((tuple(self._labels), self._edge_identity()))
+
+    def __repr__(self) -> str:
+        return (
+            f"DynamicHypergraph(|V|={self.num_vertices}, "
+            f"|E|={self.num_edges}, slots={self.num_slots}, "
+            f"v{self.version})"
+        )
+
+
+def group_live_edges_by_signature(graph) -> Dict[Signature, List[int]]:
+    """Live edge ids grouped by signature, ascending within each group.
+
+    Identical to :func:`repro.hypergraph.storage.group_edges_by_signature`
+    for immutable graphs; on a :class:`DynamicHypergraph` it skips
+    tombstones.  (Kept here to avoid an import cycle; the storage module
+    re-exports the canonical entry point.)
+    """
+    live = getattr(graph, "live_edge_ids", None)
+    edge_ids = live() if live is not None else range(graph.num_edges)
+    grouped: Dict[Signature, List[int]] = {}
+    for edge_id in edge_ids:
+        grouped.setdefault(graph.edge_signature(edge_id), []).append(edge_id)
+    return grouped
+
+
+def group_rows_by_signature(graph) -> Dict[Signature, List[int]]:
+    """The row layout: all edge slots per signature, ascending.
+
+    For an immutable :class:`Hypergraph` this equals the live grouping
+    (there are no tombstones); for a :class:`DynamicHypergraph` it
+    includes tombstoned slots, which hold their row so that later rows
+    never shift.  Shards cut ranges over THESE rows.
+    """
+    rows = getattr(graph, "rows_by_signature", None)
+    if rows is not None:
+        return rows()
+    return group_live_edges_by_signature(graph)

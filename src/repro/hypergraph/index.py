@@ -72,6 +72,21 @@ ARRAY_CONTAINER_MAX = 4
 ChunkMap = Dict[int, object]
 
 
+def _slot_vertices(graph, edge_id: int):
+    """Vertex set of an edge slot, or None for a tombstoned slot.
+
+    The build paths iterate *row layouts* (all slots of a signature,
+    live + tombstoned — see :func:`repro.hypergraph.dynamic.
+    group_rows_by_signature`), so a dead slot must keep its row
+    allocated while contributing no postings.  Immutable graphs have no
+    tombstones and take the plain ``edge()`` path.
+    """
+    getter = getattr(graph, "slot_vertices", None)
+    if getter is not None:
+        return getter(edge_id)
+    return graph.edge(edge_id)
+
+
 class InvertedHyperedgeIndex:
     """Vertex → sorted posting list of incident edge ids, for one partition."""
 
@@ -90,9 +105,40 @@ class InvertedHyperedgeIndex:
         """Build the index over ``edge_ids`` (must be ascending)."""
         postings: Dict[int, List[int]] = {}
         for edge_id in edge_ids:
-            for vertex in graph.edge(edge_id):
+            vertices = _slot_vertices(graph, edge_id)
+            if vertices is None:  # tombstoned slot: no postings
+                continue
+            for vertex in vertices:
                 postings.setdefault(vertex, []).append(edge_id)
         return cls({vertex: tuple(plist) for vertex, plist in postings.items()})
+
+    def append_edge(self, edge_id: int, vertices) -> None:
+        """Incremental insert: ``edge_id`` must exceed every indexed id
+        (fresh dynamic ids always do), so appending keeps every posting
+        tuple ascending.  Tuples are replaced, never mutated — existing
+        references (memoised unions, in-flight candidate sets) keep
+        seeing the pre-mutation list."""
+        postings = self._postings
+        for vertex in vertices:
+            existing = postings.get(vertex)
+            postings[vertex] = (
+                (edge_id,) if existing is None else existing + (edge_id,)
+            )
+
+    def remove_edge(self, row: int, edge_id: int, vertices) -> None:
+        """Incremental delete: drop ``edge_id`` from its vertices'
+        posting tuples (``row`` is unused — the merge backend has no row
+        space).  Emptied posting lists are dropped entirely, matching a
+        from-scratch rebuild."""
+        postings = self._postings
+        for vertex in vertices:
+            remaining = tuple(
+                other for other in postings[vertex] if other != edge_id
+            )
+            if remaining:
+                postings[vertex] = remaining
+            else:
+                del postings[vertex]
 
     def postings(self, vertex: int) -> Tuple[int, ...]:
         """Posting list for ``vertex`` (empty tuple if absent)."""
@@ -147,10 +193,35 @@ class BitsetHyperedgeIndex:
         row_to_edge = tuple(edge_ids)
         masks: Dict[int, int] = {}
         for row, edge_id in enumerate(row_to_edge):
+            vertices = _slot_vertices(graph, edge_id)
+            if vertices is None:  # tombstone: row allocated, bits clear
+                continue
             bit = 1 << row
-            for vertex in graph.edge(edge_id):
+            for vertex in vertices:
                 masks[vertex] = masks.get(vertex, 0) | bit
         return cls(row_to_edge, masks)
+
+    def append_edge(self, edge_id: int, vertices) -> None:
+        """Incremental insert: allocate the next row, set its bits."""
+        bit = 1 << len(self._row_to_edge)
+        self._row_to_edge = self._row_to_edge + (edge_id,)
+        masks = self._masks
+        for vertex in vertices:
+            masks[vertex] = masks.get(vertex, 0) | bit
+        return None
+
+    def remove_edge(self, row: int, edge_id: int, vertices) -> None:
+        """Incremental delete: clear the row's bits, keep the row
+        allocated (tombstone) so later rows never shift.  Vertices whose
+        mask empties are dropped, matching a from-scratch rebuild."""
+        clear = ~(1 << row)
+        masks = self._masks
+        for vertex in vertices:
+            mask = masks.get(vertex, 0) & clear
+            if mask:
+                masks[vertex] = mask
+            else:
+                masks.pop(vertex, None)
 
     @classmethod
     def from_postings(
@@ -502,8 +573,11 @@ class AdaptiveHyperedgeIndex:
         offset_mask = (1 << chunk_bits) - 1
         raw: Dict[int, Dict[int, List[int]]] = {}
         for row, edge_id in enumerate(row_to_edge):
+            vertices = _slot_vertices(graph, edge_id)
+            if vertices is None:  # tombstone: row allocated, no postings
+                continue
             chunk, offset = row >> chunk_bits, row & offset_mask
-            for vertex in graph.edge(edge_id):
+            for vertex in vertices:
                 raw.setdefault(vertex, {}).setdefault(chunk, []).append(offset)
         # Offsets were appended in ascending row order, hence sorted.
         chunk_maps = {
@@ -538,6 +612,90 @@ class AdaptiveHyperedgeIndex:
                 for chunk, offsets in raw.items()
             }
         return cls(row_to_edge, chunk_maps, chunk_bits, array_max)
+
+    # -- incremental maintenance ---------------------------------------
+    # Containers and per-vertex chunk-map dicts are REPLACED, never
+    # mutated in place: the whole container algebra (and the anchor-
+    # union memo) treats them as immutable values, so an in-flight
+    # reference must keep seeing the pre-mutation object.  Only the
+    # touched (vertex, chunk) containers re-choose their representation
+    # (array vs bitmask, via _normalise_container) — exactly the
+    # decision a from-scratch rebuild would make at the new
+    # cardinality, which is what keeps incremental and rebuilt indices
+    # structurally identical (pinned by the mutation oracle).
+
+    def append_edge(self, edge_id: int, vertices) -> None:
+        """Incremental insert: allocate the next row, post its vertices."""
+        row = len(self._row_to_edge)
+        self._row_to_edge = self._row_to_edge + (edge_id,)
+        if self._flat is not None and len(self._row_to_edge) > (
+            1 << self.chunk_bits
+        ):
+            # The partition outgrew the single-chunk fast path; a
+            # rebuild at this size would not have it either.
+            self._flat = None
+        chunk = row >> self.chunk_bits
+        offset = row & ((1 << self.chunk_bits) - 1)
+        bit = 1 << offset
+        array_max = self.array_max
+        for vertex in vertices:
+            chunks = self._chunk_maps.get(vertex)
+            container = None if chunks is None else chunks.get(chunk)
+            if container is None:
+                updated: object = (offset,)
+            elif isinstance(container, int):
+                updated = container | bit
+            else:
+                # New rows are the partition maximum: appending keeps
+                # the offset tuple sorted; re-choose the representation
+                # at the new cardinality.
+                updated = _normalise_container(
+                    container + (offset,), array_max
+                )
+            new_chunks = dict(chunks) if chunks else {}
+            new_chunks[chunk] = updated
+            self._chunk_maps[vertex] = new_chunks
+            if self._flat is not None:
+                self._flat[vertex] = updated
+
+    def remove_edge(self, row: int, edge_id: int, vertices) -> None:
+        """Incremental delete: clear the row from its vertices' chunk
+        containers; the row stays allocated (tombstone).  Touched
+        containers re-choose array vs bitmask at the shrunken
+        cardinality; emptied containers/vertices are dropped, matching
+        a from-scratch rebuild."""
+        chunk = row >> self.chunk_bits
+        offset = row & ((1 << self.chunk_bits) - 1)
+        array_max = self.array_max
+        for vertex in vertices:
+            chunks = self._chunk_maps.get(vertex)
+            container = None if chunks is None else chunks.get(chunk)
+            if container is None:
+                continue
+            if isinstance(container, int):
+                bits = container & ~(1 << offset)
+                updated = (
+                    _normalise_container(bits_to_array(bits), array_max)
+                    if bits
+                    else None
+                )
+            else:
+                remaining = tuple(o for o in container if o != offset)
+                updated = remaining if remaining else None
+            new_chunks = dict(chunks)
+            if updated is None:
+                new_chunks.pop(chunk, None)
+            else:
+                new_chunks[chunk] = updated
+            if new_chunks:
+                self._chunk_maps[vertex] = new_chunks
+            else:
+                del self._chunk_maps[vertex]
+            if self._flat is not None:
+                if updated is None:
+                    self._flat.pop(vertex, None)
+                else:
+                    self._flat[vertex] = updated
 
     _EMPTY: ChunkMap = {}
 

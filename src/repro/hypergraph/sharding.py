@@ -52,14 +52,29 @@ from bisect import bisect_left
 from dataclasses import dataclass, replace
 from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
 
+from .dynamic import MutationResult, group_rows_by_signature
 from .hypergraph import Hypergraph
 from .index import build_index
 from .signature import Signature
 from .storage import (
     HyperedgePartition,
-    group_edges_by_signature,
     resolve_index_backend,
 )
+
+
+def shard_grouping(graph) -> "Dict[Signature, List[int]]":
+    """The grouping shards are cut and built from: each signature's
+    *row layout* (all slots, tombstones included, ascending edge id).
+
+    On an immutable :class:`Hypergraph` this is exactly
+    :func:`~repro.hypergraph.storage.group_edges_by_signature`; on a
+    mutated :class:`~repro.hypergraph.dynamic.DynamicHypergraph` the
+    layouts additionally keep tombstoned slots so global row
+    coordinates never shift under deletion.  Every range cut, worker
+    build and coordinator validation must use this one grouping —
+    mixing it with the live grouping silently misaligns row spans.
+    """
+    return group_rows_by_signature(graph)
 
 #: Build-time shard placement policies.  ``"uniform"`` cuts near-equal
 #: row counts per partition; ``"balanced"`` cuts posting-mass-weighted
@@ -138,6 +153,12 @@ class ShardDescriptor:
     #: only distinguishes workers; it never changes what rows they own.
     replica_id: int = 0
     num_replicas: int = 1
+    #: Mutation version of the data graph the shard reflects: 0 for an
+    #: immutable graph, ``DynamicHypergraph.version`` otherwise.  A
+    #: worker that missed a MUTATE broadcast (it was restarting) holds
+    #: an older version, and composing its rows with current ones would
+    #: silently mis-count — the handshake refuses instead.
+    graph_version: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -151,6 +172,7 @@ class ShardDescriptor:
             "sharding": self.sharding,
             "replica_id": self.replica_id,
             "num_replicas": self.num_replicas,
+            "graph_version": self.graph_version,
         }
 
     @classmethod
@@ -161,10 +183,15 @@ class ShardDescriptor:
         )})
         # Replica fields default (0 of 1) when absent so descriptors
         # from pre-replication peers keep parsing — an un-replicated
-        # worker *is* replica 0 of 1.
-        return descriptor.with_replica(
+        # worker *is* replica 0 of 1.  graph_version likewise defaults
+        # to 0: a pre-mutation peer is at version 0 by definition.
+        descriptor = descriptor.with_replica(
             int(payload.get("replica_id", 0)),
             int(payload.get("num_replicas", 1)),
+        )
+        return replace(
+            descriptor,
+            graph_version=int(payload.get("graph_version", 0)),
         )
 
     def with_replica(
@@ -537,6 +564,54 @@ def retire_shard_ranges(
     return recut
 
 
+def mutate_range_table(
+    table: RangeTable, result: MutationResult, num_shards: int
+) -> RangeTable:
+    """Row-span maintenance of a placement under one committed batch.
+
+    The coordinator-side mirror of
+    :meth:`StoreShard.apply_mutation_result`: deletes tombstone in
+    place (no boundary moves), and each insert extends the owning range
+    — the non-empty range whose ``high`` equals the insert row — by one
+    row, opening a new all-but-last-empty entry for an unseen
+    signature.  Empty ranges parked exactly at the extended boundary
+    shift past it, keeping them positionally *after* the owner so later
+    load-based recuts (which sort ranges positionally) stay
+    well-defined.  Returns a new table; the input is not modified.
+    """
+    out = {
+        signature: list(ranges) for signature, ranges in table.items()
+    }
+    for mutation in result.inserted:
+        ranges = out.get(mutation.signature)
+        if ranges is None:
+            if mutation.row != 0:
+                raise ValueError(
+                    f"insert at row {mutation.row} of a signature the "
+                    f"table has never seen"
+                )
+            out[mutation.signature] = (
+                [(0, 0)] * (num_shards - 1) + [(0, 1)]
+            )
+            continue
+        owner = None
+        for shard_id, (low, high) in enumerate(ranges):
+            if low < high and high == mutation.row:
+                owner = shard_id
+        if owner is None:
+            raise ValueError(
+                f"no range of {ranges} ends at insert row {mutation.row}"
+            )
+        for shard_id, (low, high) in enumerate(ranges):
+            if shard_id == owner:
+                ranges[shard_id] = (low, high + 1)
+            elif low == high == mutation.row:
+                ranges[shard_id] = (high + 1, high + 1)
+    return {
+        signature: tuple(ranges) for signature, ranges in out.items()
+    }
+
+
 def range_table_slices(
     table: RangeTable, num_shards: int
 ) -> "List[Dict[Signature, Tuple[int, int]]]":
@@ -625,7 +700,8 @@ class StoreShard:
     """
 
     __slots__ = ("shard_id", "num_shards", "index_backend", "_partitions",
-                 "_row_bases", "graph_edges", "graph_vertices", "sharding")
+                 "_row_bases", "graph_edges", "graph_vertices", "sharding",
+                 "graph_version")
 
     def __init__(
         self,
@@ -637,6 +713,7 @@ class StoreShard:
         graph_edges: int = 0,
         graph_vertices: int = 0,
         sharding: str = "uniform",
+        graph_version: int = 0,
     ) -> None:
         self.shard_id = shard_id
         self.num_shards = num_shards
@@ -646,6 +723,7 @@ class StoreShard:
         self.graph_edges = graph_edges
         self.graph_vertices = graph_vertices
         self.sharding = sharding
+        self.graph_version = graph_version
 
     @classmethod
     def build(
@@ -659,7 +737,7 @@ class StoreShard:
         """Build shard ``shard_id`` of ``num_shards`` directly from the
         graph — the worker-side entry point (no global store required)."""
         return cls.from_grouped(
-            graph, group_edges_by_signature(graph), shard_id, num_shards,
+            graph, shard_grouping(graph), shard_id, num_shards,
             index_backend, sharding,
         )
 
@@ -713,6 +791,7 @@ class StoreShard:
                 f"shard_id {shard_id} out of range for {num_shards} shards"
             )
         index_backend = resolve_index_backend(index_backend)
+        alive = getattr(graph, "is_live", None)
         partitions: Dict[Signature, HyperedgePartition] = {}
         row_bases: Dict[Signature, int] = {}
         for signature, edge_ids in grouped.items():
@@ -724,14 +803,22 @@ class StoreShard:
                 )
             if low == high:
                 continue  # this shard owns no rows of the partition
-            ids = tuple(edge_ids[low:high])
-            index = build_index(index_backend, graph, ids)
-            partitions[signature] = HyperedgePartition(signature, ids, index)
+            row_ids = tuple(edge_ids[low:high])
+            ids = (
+                row_ids
+                if alive is None
+                else tuple(e for e in row_ids if alive(e))
+            )
+            index = build_index(index_backend, graph, row_ids)
+            partitions[signature] = HyperedgePartition(
+                signature, ids, index, row_ids
+            )
             row_bases[signature] = low
         return cls(
             shard_id, num_shards, index_backend, partitions, row_bases,
             graph_edges=graph.num_edges, graph_vertices=graph.num_vertices,
             sharding=sharding,
+            graph_version=getattr(graph, "version", 0),
         )
 
     @property
@@ -752,11 +839,65 @@ class StoreShard:
     def ranges(self) -> Dict[Signature, Tuple[int, int]]:
         """The shard's non-empty row ranges — its slice of the range
         table, in the exact shape a REBALANCE message carries, so a
-        worker can tell a relabel-only rebalance from a real rebuild."""
+        worker can tell a relabel-only rebalance from a real rebuild.
+        Spans count *rows* (tombstones included), never live edges:
+        range arithmetic lives in the row layout."""
         return {
-            signature: (base, base + self._partitions[signature].cardinality)
+            signature: (base, base + self._partitions[signature].num_rows)
             for signature, base in self._row_bases.items()
         }
+
+    def apply_mutation_result(
+        self, graph, result: MutationResult
+    ) -> None:
+        """Incrementally maintain the shard under one committed batch.
+
+        ``result`` must come from applying the batch to (a copy of) the
+        same data graph every shard of the pool was built from, and
+        every shard of the pool must apply the same results in order —
+        that is what keeps independently maintained shards composable.
+
+        Deletes tombstone in place: a delete lands on whichever shard's
+        range contains its global row, all other shards ignore it, and
+        no range boundary moves.  Inserts append at the global row
+        layout's tail, so exactly one shard *owns* each append — the
+        shard whose range for the signature is non-empty with
+        ``high == insert row`` (appends extend the positionally last
+        range), falling back to the highest shard id when the insert
+        opens a brand-new partition (row 0 of an unseen signature).
+        Both rules are computable from shard-local state, so workers
+        never coordinate beyond receiving the same batch.
+        """
+        for mutation in result.deleted:
+            partition = self._partitions.get(mutation.signature)
+            if partition is None:
+                continue
+            base = self._row_bases[mutation.signature]
+            if base <= mutation.row < base + partition.num_rows:
+                partition.remove_edge(
+                    mutation.row - base, mutation.edge_id, mutation.vertices
+                )
+        for mutation in result.inserted:
+            partition = self._partitions.get(mutation.signature)
+            if partition is None:
+                # Either an unseen signature (row 0: highest shard takes
+                # it) or an empty range of an existing one (some other
+                # shard's high matches the insert row).
+                if mutation.row == 0 and self.shard_id == self.num_shards - 1:
+                    index = build_index(self.index_backend, graph, ())
+                    partition = HyperedgePartition(
+                        mutation.signature, (), index, ()
+                    )
+                    self._partitions[mutation.signature] = partition
+                    self._row_bases[mutation.signature] = 0
+                    partition.append_edge(mutation.edge_id, mutation.vertices)
+                continue
+            base = self._row_bases[mutation.signature]
+            if base + partition.num_rows == mutation.row:
+                partition.append_edge(mutation.edge_id, mutation.vertices)
+        self.graph_edges = graph.num_edges
+        self.graph_vertices = graph.num_vertices
+        self.graph_version = result.version
 
     def cardinality(self, signature: Signature) -> int:
         """Shard-local row count for the signature."""
@@ -779,12 +920,13 @@ class StoreShard:
             index_backend=self.index_backend,
             num_partitions=len(self._partitions),
             num_rows=sum(
-                partition.cardinality
+                partition.num_rows
                 for partition in self._partitions.values()
             ),
             graph_edges=self.graph_edges,
             graph_vertices=self.graph_vertices,
             sharding=self.sharding,
+            graph_version=self.graph_version,
         )
 
     def __repr__(self) -> str:
@@ -826,7 +968,7 @@ class ShardedStore:
         self.num_shards = num_shards
         self.index_backend = resolve_index_backend(index_backend)
         self.sharding = resolve_sharding(sharding)
-        grouped = group_edges_by_signature(graph)
+        grouped = shard_grouping(graph)
         table = build_range_table(grouped, num_shards, self.sharding)
         self.range_table: RangeTable = table
         self._shards = tuple(
@@ -848,6 +990,16 @@ class ShardedStore:
     @property
     def graph(self) -> Hypergraph:
         return self._graph
+
+    def apply_mutation_result(self, result: MutationResult) -> None:
+        """Incrementally maintain every shard plus the range table —
+        the in-process mirror of a pool-wide MUTATE broadcast (the
+        graph itself must already carry the batch)."""
+        for shard in self._shards:
+            shard.apply_mutation_result(self._graph, result)
+        self.range_table = mutate_range_table(
+            self.range_table, result, self.num_shards
+        )
 
     @property
     def shards(self) -> Tuple[StoreShard, ...]:

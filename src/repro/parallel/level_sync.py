@@ -77,8 +77,8 @@ from ..hypergraph.sharding import (
     StoreShard,
     build_range_table,
     plan_rebalance,
+    shard_grouping,
 )
-from ..hypergraph.storage import group_edges_by_signature
 from .executor import ParallelResult
 from .tasks import ROOT_TASK, PartialEmbedding, WorkerStats, worker_loads
 
@@ -168,7 +168,10 @@ def expand_level(
     backend = shard.index_backend
     index = partition.index
     row_base = shard.row_base(step_plan.signature)
-    edge_ids = partition.edge_ids
+    # Row coordinates are positions in the partition's *row layout*
+    # (all slots, tombstones included) — under mutation this diverges
+    # from the live edge-id table, so masks must bisect row_ids.
+    row_ids = partition.row_ids
     step_tuples = state.step_tuples
     step_masks = state.step_masks if mask_validation else None
     payloads: "List[Optional[bytes]] | None" = None if final else []
@@ -235,7 +238,7 @@ def expand_level(
             # Tuple candidates: the merge backend's native output, or a
             # mask backend's no-anchor scan / tiny array-container
             # result.  Rows (needed only for mask payloads) come from a
-            # bisect into the ascending edge-id table.
+            # bisect into the ascending row layout.
             need_rows = not final and backend != "merge"
             for edge in candidates:
                 if is_valid_expansion(
@@ -246,7 +249,7 @@ def expand_level(
                     accepted += 1
                     if not final:
                         if need_rows:
-                            rows.append(bisect_left(edge_ids, edge))
+                            rows.append(bisect_left(row_ids, edge))
                         else:
                             edges.append(edge)
         stats.tasks_executed += 1
@@ -285,7 +288,7 @@ def plan_pool_rebalance(executor, worker_stats):
             f"{len(worker_stats)} worker stats for "
             f"{executor.num_shards} shards"
         )
-    grouped = group_edges_by_signature(executor._graph)
+    grouped = shard_grouping(executor._graph)
     current = executor._range_table
     if current is None:
         current = build_range_table(

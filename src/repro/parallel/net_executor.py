@@ -82,17 +82,20 @@ from ..core.counters import WORK_UNIT_MODELS, MatchCounters
 from ..core.plan import build_execution_plan
 from ..errors import SchedulerError, TransportError
 from ..hypergraph import Hypergraph
+from ..hypergraph.dynamic import DynamicHypergraph
 from ..hypergraph.sharding import (
     ReplicaSet,
     ShardDescriptor,
     StoreShard,
     build_range_table,
+    mutate_range_table,
     range_table_label,
     range_table_slices,
     resolve_sharding,
     retire_shard_ranges,
+    shard_grouping,
 )
-from ..hypergraph.storage import group_edges_by_signature, resolve_index_backend
+from ..hypergraph.storage import resolve_index_backend
 from . import transport
 from .executor import ParallelResult
 from .level_sync import MASK_BACKENDS, expand_level, plan_pool_rebalance
@@ -476,7 +479,7 @@ class ShardWorker:
                     else:
                         self.shard = StoreShard.from_ranges(
                             self._graph,
-                            group_edges_by_signature(self._graph),
+                            shard_grouping(self._graph),
                             self.shard.shard_id,
                             self.shard.num_shards,
                             self.index_backend,
@@ -491,6 +494,35 @@ class ShardWorker:
                     # the peer verifies the rebuild took effect.
                     transport.send_frame(
                         conn, transport.MSG_HELLO, self._hello_body()
+                    )
+                elif kind == transport.MSG_MUTATE:
+                    batch = transport.decode_pickle_body(body)
+                    graph = self._graph
+                    if not isinstance(graph, DynamicHypergraph):
+                        # First mutation promotes the worker's graph
+                        # copy in place; edge ids and row layouts are
+                        # preserved, so the shard needs no rebuild.
+                        graph = DynamicHypergraph.from_hypergraph(graph)
+                        self._graph = graph
+                    result = graph.apply(batch)
+                    self.shard.apply_mutation_result(graph, result)
+                    # Cached anchor unions cover pre-mutation rows —
+                    # clearing is mandatory — and every open query
+                    # session is pre-mutation state: drop them all (the
+                    # coordinator fences queries before mutating, so
+                    # nothing live is stranded).
+                    self._memo.clear()
+                    plan = None
+                    state = None
+                    sessions.clear()
+                    transport.send_pickle_frame(
+                        conn,
+                        transport.MSG_DELTA,
+                        {
+                            "graph_version": result.version,
+                            "graph_edges": graph.num_edges,
+                            "graph_vertices": graph.num_vertices,
+                        },
                     )
                 elif kind in transport.QUERY_KINDS:
                     self._serve_query_frame(conn, kind, body, sessions)
@@ -543,7 +575,21 @@ class ShardWorker:
             return
         try:
             if kind == transport.MSG_QJOB:
-                query, order = transport.decode_pickle_body(rest)
+                job = transport.decode_pickle_body(rest)
+                if len(job) == 3:
+                    # Versioned QJOB (§2.9): the coordinator stamps the
+                    # graph version its candidate algebra assumes;
+                    # composing rows across versions would silently
+                    # mis-count, so a stale worker fails the query.
+                    query, order, job_version = job
+                    have = getattr(self._graph, "version", 0)
+                    if job_version != have:
+                        raise SchedulerError(
+                            f"query assumes graph version {job_version}, "
+                            f"worker holds {have} (missed MUTATE?)"
+                        )
+                else:  # legacy pre-mutation 2-tuple
+                    query, order = job
                 plan = build_execution_plan(
                     query, order, index_backend=self.index_backend
                 )
@@ -1119,6 +1165,15 @@ def validate_handshake(
             f"edges / {descriptor.graph_vertices} vertices, the engine "
             f"holds {graph.num_edges} / "
             f"{graph.num_vertices}"
+        )
+    graph_version = getattr(graph, "version", 0)
+    if descriptor.graph_version != graph_version:
+        raise SchedulerError(
+            f"graph version mismatch: worker shard "
+            f"{descriptor.shard_id} reflects mutation version "
+            f"{descriptor.graph_version}, the engine holds "
+            f"{graph_version} — the worker missed a MUTATE broadcast "
+            f"(restarted workers rebuild from their spawn-time graph)"
         )
     if worker_seed != seed:
         raise SchedulerError(
@@ -2057,6 +2112,97 @@ class NetShardExecutor:
         self._apply_rebalance(table, label, slices)
         return len(moved)
 
+    # -- mutation --------------------------------------------------------
+
+    def mutate(self, engine, batch, result) -> int:
+        """Propagate one committed mutation batch to the live pool.
+
+        The socket twin of :meth:`repro.parallel.shard_executor.
+        ProcessShardExecutor.mutate`: *every* live replica of every
+        active shard receives the batch in a MUTATE frame (§2.9),
+        applies it to its own graph copy and shard, and acks with a
+        DELTA frame carrying its post-mutation graph state.
+        Determinism of :meth:`~repro.hypergraph.dynamic.
+        DynamicHypergraph.apply` makes each worker's state identical to
+        the engine's (``result``), which the ack check enforces: a
+        diverging or garbled ack is a *contract* failure and tears the
+        pool down, while a liveness failure degrades that replica —
+        like mid-job failover — as long as its range keeps another
+        live member (the degraded worker's next handshake fails the
+        graph-version gate, so it can never silently rejoin stale).
+        Runs strictly between jobs.  Returns the number of workers
+        that acked the batch.  A pool that is not running needs
+        nothing: its next ``_ensure_pool`` spawns workers from the
+        already-mutated graph.
+        """
+        if not self._members:
+            return 0
+        expected = {
+            "graph_version": result.version,
+            "graph_edges": engine.data.num_edges,
+            "graph_vertices": engine.data.num_vertices,
+        }
+        body = pickle.dumps(batch, protocol=pickle.HIGHEST_PROTOCOL)
+        targets: "List[_Member]" = []
+        for shard_id in self._active_shards():
+            for _replica_id, member in list(
+                self._members[shard_id].members()
+            ):
+                try:
+                    transport.send_frame(
+                        member.sock, transport.MSG_MUTATE, body
+                    )
+                except (TransportError, OSError) as exc:
+                    self._degrade_or_fail(
+                        member, f"mutate send failed: {exc}"
+                    )
+                    continue
+                targets.append(member)
+        applied = 0
+        for member in targets:
+            if (
+                self._members[member.shard_id].get(member.replica_id)
+                is not member
+            ):
+                continue  # degraded while later sends were in flight
+            try:
+                kind, ack_body = transport.recv_frame(member.sock)
+            except TransportError as exc:
+                self._degrade_or_fail(member, f"mutate ack failed: {exc}")
+                continue
+            if kind == transport.MSG_ERROR:
+                message = transport.decode_pickle_body(ack_body)
+                self.close()
+                raise SchedulerError(
+                    f"shard worker {member.shard_id} (replica "
+                    f"{member.replica_id}) failed to mutate:\n{message}"
+                )
+            if kind != transport.MSG_DELTA:
+                self.close()
+                raise SchedulerError(
+                    f"shard worker {member.shard_id} answered MUTATE "
+                    f"with frame kind {kind:#x}, expected DELTA"
+                )
+            ack = transport.decode_pickle_body(ack_body)
+            if ack != expected:
+                self.close()
+                raise SchedulerError(
+                    f"shard worker {member.shard_id} (replica "
+                    f"{member.replica_id}) diverged on mutate: acked "
+                    f"{ack!r}, engine holds {expected!r}"
+                )
+            applied += 1
+        if self._range_table is not None:
+            self._range_table = mutate_range_table(
+                self._range_table, result, self.num_shards
+            )
+        # Pre-mutation job state (replays target the old rows) and the
+        # graph identity both roll forward with the commit.
+        self._job_message = None
+        self._level_message = None
+        self._graph = engine.data
+        return applied
+
     def _degrade_or_fail(self, member: _Member, cause: str) -> None:
         """A replica lost mid-rebalance: drop it when the shard keeps
         other live replicas (the pool degrades to reduced K but every
@@ -2312,7 +2458,7 @@ class NetShardExecutor:
                     f"refusing to drain shard {shard_id} replica "
                     f"{replica_id}: it is the pool's last live member"
                 )
-            grouped = group_edges_by_signature(self._graph)
+            grouped = shard_grouping(self._graph)
             table = self._range_table
             if table is None:
                 table = build_range_table(

@@ -51,8 +51,14 @@ from ..core.counters import WORK_UNIT_MODELS, MatchCounters
 from ..core.plan import build_execution_plan
 from ..errors import SchedulerError
 from ..hypergraph import Hypergraph
-from ..hypergraph.sharding import StoreShard, resolve_sharding
-from ..hypergraph.storage import group_edges_by_signature, resolve_index_backend
+from ..hypergraph.dynamic import DynamicHypergraph
+from ..hypergraph.sharding import (
+    StoreShard,
+    mutate_range_table,
+    resolve_sharding,
+    shard_grouping,
+)
+from ..hypergraph.storage import resolve_index_backend
 from .executor import ParallelResult
 from .level_sync import MASK_BACKENDS, expand_level, plan_pool_rebalance
 from .tasks import WorkerStats, default_seed, join_or_kill
@@ -78,9 +84,12 @@ def _shard_worker_main(
     frontier)`` answers with the level reply; ``("collect",)`` returns
     ``(counters, stats)``; ``("rebalance", label, ranges)`` rebuilds
     the shard from an explicit range slice (between jobs) and answers
-    ``("rebalanced", label)``; ``("stop",)`` exits.  Any worker-side
-    exception is reported as ``("error", traceback)`` — the parent
-    raises it as a :class:`SchedulerError`.
+    ``("rebalanced", label)``; ``("mutate", batch)`` applies one
+    committed mutation batch to the worker's own graph copy and shard
+    (between jobs) and answers ``("mutated", version, edges,
+    vertices)``; ``("stop",)`` exits.  Any worker-side exception is
+    reported as ``("error", traceback)`` — the parent raises it as a
+    :class:`SchedulerError`.
     """
     try:
         shard = StoreShard.build(
@@ -127,7 +136,7 @@ def _shard_worker_main(
                     shard.sharding = label
                 else:
                     shard = StoreShard.from_ranges(
-                        graph, group_edges_by_signature(graph), shard_id,
+                        graph, shard_grouping(graph), shard_id,
                         num_shards, index_backend, ranges, sharding=label,
                     )
                     # Cached anchor unions are masks over the *old*
@@ -135,6 +144,26 @@ def _shard_worker_main(
                     # optimisation.
                     memo.clear()
                 conn.send(("rebalanced", label))
+            elif kind == "mutate":
+                _, batch = message
+                if not isinstance(graph, DynamicHypergraph):
+                    # First mutation promotes the worker's pickled copy;
+                    # edge ids and row layouts are preserved, so the
+                    # shard needs no rebuild.
+                    graph = DynamicHypergraph.from_hypergraph(graph)
+                result = graph.apply(batch)
+                shard.apply_mutation_result(graph, result)
+                # Cached anchor unions cover the pre-mutation rows;
+                # clearing is mandatory, not an optimisation.  Job
+                # state is likewise pre-mutation — drop it so a stray
+                # "level" cannot run against the new rows.
+                memo.clear()
+                plan = None
+                state = None
+                conn.send((
+                    "mutated", result.version,
+                    graph.num_edges, graph.num_vertices,
+                ))
             elif kind == "stop":
                 return
             else:  # pragma: no cover - protocol misuse
@@ -383,6 +412,55 @@ class ProcessShardExecutor:
         self._range_table = table
         self._sharding_label = label
         return len(moved)
+
+    # -- mutation --------------------------------------------------------
+
+    def mutate(self, engine, batch, result) -> int:
+        """Propagate one committed mutation batch to the live pool.
+
+        The engine has already applied ``batch`` locally (``result`` is
+        its :class:`~repro.hypergraph.dynamic.MutationResult`); each
+        worker applies the same batch to its own graph copy and
+        incrementally maintains its shard, then acks with its new graph
+        version — determinism of
+        :meth:`~repro.hypergraph.dynamic.DynamicHypergraph.apply` makes
+        every worker's result identical to the engine's, which the ack
+        check enforces.  Runs strictly between jobs.  A pool that is
+        not running needs nothing: its next ``_ensure_pool`` builds
+        workers from the already-mutated graph.  Returns the number of
+        workers that applied the batch.
+        """
+        if not self._processes:
+            return 0
+        expected = (
+            "mutated", result.version,
+            engine.data.num_edges, engine.data.num_vertices,
+        )
+        self._broadcast(("mutate", batch))
+        for shard_id in range(self.num_shards):
+            try:
+                ack = self._conns[shard_id].recv()
+            except EOFError:
+                self.close()
+                raise SchedulerError(
+                    f"shard worker {shard_id} died during mutate"
+                ) from None
+            if ack != expected:
+                message = ack[1] if ack and ack[0] == "error" else ack
+                self.close()
+                raise SchedulerError(
+                    f"shard worker {shard_id} diverged on mutate "
+                    f"(expected {expected!r}):\n{message}"
+                )
+        if self._range_table is not None:
+            self._range_table = mutate_range_table(
+                self._range_table, result, self.num_shards
+            )
+        # The first mutation promotes engine.data to a dynamic graph (a
+        # new object); re-point the identity check so the warm pool —
+        # which just applied the same batch — is reused, not rebuilt.
+        self._graph = engine.data
+        return self.num_shards
 
     # -- execution ------------------------------------------------------
 

@@ -62,6 +62,11 @@ byte    name     body
         that query alone; the session keeps serving other queries
 ``X``   CANCEL   ``u64 query_id`` only — drop the query's session
         state; fire-and-forget (no reply)
+``M``   MUTATE   pickled ``MutationBatch`` — apply one committed edge
+        insert/delete batch to the worker's graph and shard, in place
+``D``   DELTA    pickled mutation ack dict (``graph_version``,
+        ``graph_edges``, ``graph_vertices``) — the worker's state
+        after applying a MUTATE
 ======  =======  ===========================================================
 
 Control messages carry pickles — the coordinator and its workers are
@@ -119,12 +124,20 @@ MSG_QCOLLECT = 0x71  # b"q"
 MSG_QERROR = 0x65  # b"e"
 MSG_CANCEL = 0x58  # b"X"
 
+# Dynamic-graph revisions (WIRE_FORMAT.md §2.9): a coordinator commits
+# an edge insert/delete batch pool-wide with MUTATE; each worker
+# applies it incrementally and acks with DELTA so the coordinator can
+# verify the whole pool agrees on the new graph version before
+# admitting further queries.
+MSG_MUTATE = 0x4D  # b"M"
+MSG_DELTA = 0x44  # b"D"
+
 _KNOWN_KINDS = frozenset({
     MSG_HELLO, MSG_JOB, MSG_LEVEL, MSG_LEVEL_REPLY, MSG_COLLECT,
     MSG_ACCOUNTING, MSG_REBALANCE, MSG_STOP, MSG_SHUTDOWN, MSG_ERROR,
     MSG_ANNOUNCE, MSG_HEARTBEAT,
     MSG_QJOB, MSG_QLEVEL, MSG_QREPLY, MSG_QCOLLECT, MSG_QERROR,
-    MSG_CANCEL,
+    MSG_CANCEL, MSG_MUTATE, MSG_DELTA,
 })
 
 #: The kinds whose body starts with a ``u64 query_id`` tag (§2.8).

@@ -13,12 +13,16 @@ coordinator into a long-lived service:
   (bounded depth, explicit BUSY), per-query deadlines, cancellation,
   an LRU result cache keyed by (query, graph) fingerprints, and
   graceful drain;
+* :class:`~repro.service.standing.StandingQuery` /
+  :class:`~repro.service.standing.MatchDelta` — registered queries
+  whose match sets stay current across mutations, emitting exact
+  added/removed deltas when a batch commits (§2.9 MUTATE/DELTA);
 * :class:`~repro.service.daemon.MatchDaemon` /
   :class:`~repro.service.client.MatchClient` — the asyncio
   ``serve-match`` front end and its line-JSON client (``repro query``).
 """
 
-from .client import MatchClient
+from .client import MatchClient, MutationOutcome, StandingSubscription
 from .daemon import MatchDaemon
 from .mux import MuxShardPool, QueryChannel
 from .service import (
@@ -27,14 +31,19 @@ from .service import (
     graph_fingerprint,
     query_fingerprint,
 )
+from .standing import MatchDelta, StandingQuery
 
 __all__ = [
     "MatchClient",
     "MatchDaemon",
+    "MatchDelta",
     "MatchService",
     "MatchTicket",
+    "MutationOutcome",
     "MuxShardPool",
     "QueryChannel",
+    "StandingQuery",
+    "StandingSubscription",
     "graph_fingerprint",
     "query_fingerprint",
 ]

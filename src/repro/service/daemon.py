@@ -1,15 +1,30 @@
 """The asyncio front end of the match service (``repro serve-match``).
 
 :class:`MatchDaemon` listens on a TCP port and speaks a one-line-JSON
-protocol: each connection carries exactly one query —
+protocol: each connection carries exactly one request, selected by its
+``op`` field (absent = ``"query"``) —
 
 .. code-block:: text
 
     C: {"query": "<native hypergraph text>", "deadline": 2.5, "order": null}
     S: {"ok": true, "embeddings": 42, "elapsed": 0.103, "cached": false}
 
-Refusals and failures are equally explicit, never a hang or a silent
-drop:
+    C: {"op": "mutate", "batch": {"inserts": [...], "deletes": [...],
+        "add_vertices": [...]}}
+    S: {"ok": true, "version": 3, "inserted": 2, "deleted": 1,
+        "skipped": [], "edges": 61, "vertices": 24}
+
+    C: {"op": "standing", "query": "<native hypergraph text>"}
+    S: {"ok": true, "standing": true, "query_id": 1, "version": 3,
+        "matches": 42}
+    S: {"ok": true, "delta": {"query_id": 1, "version": 4,
+        "added": [[7, 9]], "removed": []}}        (one line per commit)
+
+A ``standing`` connection stays open and streams one line per
+committed mutation batch until the client hangs up (which unregisters
+the query) or the service drains (a final ``{"ok": true, "closed":
+true}`` line).  Refusals and failures are equally explicit, never a
+hang or a silent drop:
 
 .. code-block:: text
 
@@ -42,6 +57,7 @@ from ..errors import (
     ServiceBusy,
     TimeoutExceeded,
 )
+from ..hypergraph.dynamic import MutationBatch
 from ..hypergraph.io import parse_native
 from .service import MatchService
 
@@ -68,9 +84,16 @@ class MatchDaemon:
 
     async def _handle(self, reader, writer) -> None:
         try:
-            response = await self._respond(reader)
+            response = await self._respond(reader, writer)
         except (ConnectionError, asyncio.IncompleteReadError):
             response = None
+        except asyncio.CancelledError:
+            # Loop teardown cancelled a live connection (e.g. a standing
+            # stream mid-poll).  Close the transport without awaiting —
+            # the loop is going away — and finish quietly rather than
+            # letting the cancellation surface as a logged traceback.
+            writer.transport.close()
+            return
         if response is not None:
             try:
                 writer.write((json.dumps(response) + "\n").encode("utf-8"))
@@ -83,7 +106,7 @@ class MatchDaemon:
         except ConnectionError:
             pass
 
-    async def _respond(self, reader):
+    async def _respond(self, reader, writer):
         try:
             line = await reader.readline()
         except ValueError:
@@ -93,6 +116,18 @@ class MatchDaemon:
             return None  # client connected and hung up without asking
         try:
             request = json.loads(line)
+            if not isinstance(request, dict):
+                raise TypeError("request must be a JSON object")
+            op = request.get("op", "query")
+        except (TypeError, ValueError) as exc:
+            return {"ok": False, "error": f"bad request: {exc}"}
+        if op == "mutate":
+            return await self._respond_mutate(request)
+        if op == "standing":
+            return await self._serve_standing(request, reader, writer)
+        if op != "query":
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        try:
             query = parse_native(io.StringIO(request["query"]))
             order = request.get("order")
             deadline = request.get("deadline")
@@ -136,6 +171,94 @@ class MatchDaemon:
             "elapsed": result.elapsed,
             "cached": ticket.cached,
         }
+
+    # -- mutation / standing ops ----------------------------------------
+
+    async def _respond_mutate(self, request):
+        """The ``mutate`` op: commit one batch under the service barrier."""
+        try:
+            batch = MutationBatch.from_json(request.get("batch"))
+        except (KeyError, TypeError, ValueError, ReproError) as exc:
+            return {"ok": False, "error": f"bad request: {exc}"}
+        loop = asyncio.get_running_loop()
+        try:
+            result = await loop.run_in_executor(
+                None, self.service.apply_mutations, batch
+            )
+        except ServiceBusy as exc:
+            return {"ok": False, "busy": True,
+                    "retry_after": exc.retry_after, "depth": exc.depth}
+        except Exception as exc:
+            return {"ok": False, "error": str(exc)}
+        engine = self.service._engine
+        return {
+            "ok": True,
+            "version": result.version,
+            "inserted": len(result.inserted),
+            "deleted": len(result.deleted),
+            "skipped": list(result.skipped),
+            "edges": engine.data.num_edges,
+            "vertices": engine.data.num_vertices,
+        }
+
+    async def _serve_standing(self, request, reader, writer):
+        """The ``standing`` op: register, then stream one line per delta.
+
+        The connection *is* the subscription: EOF from the client
+        unregisters the query, a service drain ends the stream with a
+        ``closed`` line.  Returns the error response when registration
+        fails, else None (everything was streamed already).
+        """
+        try:
+            query = parse_native(io.StringIO(request["query"]))
+            order = request.get("order")
+        except (KeyError, TypeError, ValueError, ReproError) as exc:
+            return {"ok": False, "error": f"bad request: {exc}"}
+        try:
+            handle = self.service.register_standing(query, order=order)
+        except ServiceBusy as exc:
+            return {"ok": False, "busy": True,
+                    "retry_after": exc.retry_after, "depth": exc.depth}
+        except ReproError as exc:
+            return {"ok": False, "error": str(exc)}
+        loop = asyncio.get_running_loop()
+        eof = asyncio.ensure_future(reader.read())
+        try:
+            writer.write((json.dumps({
+                "ok": True,
+                "standing": True,
+                "query_id": handle.query_id,
+                "version": handle.version,
+                "matches": len(handle.matches),
+            }) + "\n").encode("utf-8"))
+            await writer.drain()
+            while True:
+                try:
+                    waiter = loop.run_in_executor(None, handle.poll, 0.25)
+                except RuntimeError:
+                    return None  # loop shutting down mid-subscription
+                done, _ = await asyncio.wait(
+                    {eof, waiter}, return_when=asyncio.FIRST_COMPLETED
+                )
+                delta = await waiter  # resolves within the poll timeout
+                if eof in done:
+                    return None  # client hung up: subscription over
+                if delta is not None:
+                    writer.write((json.dumps(
+                        {"ok": True, "delta": delta.to_json()}
+                    ) + "\n").encode("utf-8"))
+                    await writer.drain()
+                elif handle.closed:
+                    writer.write((json.dumps(
+                        {"ok": True, "closed": True}
+                    ) + "\n").encode("utf-8"))
+                    await writer.drain()
+                    return None
+        except ConnectionError:
+            return None
+        finally:
+            eof.cancel()
+            self.service.unregister_standing(handle)
 
     # -- lifecycle -------------------------------------------------------
 

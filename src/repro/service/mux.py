@@ -177,6 +177,10 @@ class MuxShardPool:
         self._lock = threading.RLock()
         self._members: "List[_MuxMember]" = []
         self._queries: "Dict[int, _QueryState]" = {}
+        #: DELTA acks from a MUTATE broadcast, delivered by the pump
+        #: thread.  Pool-level, not per-query: mutation is a barrier
+        #: over the whole pool (no queries in flight).
+        self._mutation_acks: "queue.Queue" = queue.Queue()
         self._graph = None
         self._cluster = None
         self._pump: "threading.Thread | None" = None
@@ -386,6 +390,111 @@ class MuxShardPool:
                     ).append(state.token)
                 self.dispatched_frames += 1
 
+    # -- mutation --------------------------------------------------------
+
+    def mutate(self, engine, batch, result) -> int:
+        """Broadcast a committed mutation to every pooled worker.
+
+        Called *after* the coordinator applied ``batch`` locally
+        (``result`` is the :class:`~repro.hypergraph.dynamic
+        .MutationResult`), and only with zero queries in flight — the
+        service drains admissions first, so a mutation is a whole-pool
+        barrier rather than something interleaved with levels.  Each
+        worker replays the batch against its own shard and answers a
+        DELTA ack echoing the new graph version and totals; any dead
+        member, wrong ack, or timeout closes the pool and raises —
+        there is no replica to degrade onto, and a reconnected worker
+        rebuilds from its spawn-time graph, which the handshake's
+        version gate would reject anyway.
+
+        Returns the number of workers that acknowledged (0 when the
+        pool was never opened — nothing to keep in sync).
+        """
+        failure: "str | None" = None
+        with self._lock:
+            if not self._members or self._graph is None:
+                return 0
+            if self._queries:
+                raise SchedulerError(
+                    f"cannot mutate with {len(self._queries)} queries "
+                    "in flight"
+                )
+            while True:  # drop stale acks from an aborted mutation
+                try:
+                    self._mutation_acks.get_nowait()
+                except queue.Empty:
+                    break
+            frame = transport.encode_frame(
+                transport.MSG_MUTATE,
+                pickle.dumps(batch, protocol=pickle.HIGHEST_PROTOCOL),
+            )
+            for member in self._members:
+                if member.sock is None:
+                    failure = (
+                        f"shard worker {member.shard_id} is down; a "
+                        "reconnected worker would rebuild from its "
+                        "spawn-time graph and miss this mutation"
+                    )
+                    break
+                try:
+                    member.sock.sendall(frame)
+                except (TransportError, OSError) as exc:
+                    failure = (
+                        f"MUTATE send to shard {member.shard_id} "
+                        f"failed: {exc}"
+                    )
+                    break
+                self.dispatched_frames += 1
+        if failure is not None:
+            # Close outside the lock so the pump thread can drain and
+            # join promptly instead of timing out against our lock.
+            self.close()
+            raise SchedulerError(failure)
+        # Wait for acks without the lock: the pump thread delivers them.
+        expected = {
+            "graph_version": result.version,
+            "graph_edges": engine.data.num_edges,
+            "graph_vertices": engine.data.num_vertices,
+        }
+        deadline = time.monotonic() + self.io_timeout
+        acked: set = set()
+        while len(acked) < self.num_shards:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                missing = sorted(set(range(self.num_shards)) - acked)
+                self.close()
+                raise SchedulerError(
+                    f"shard worker(s) {missing} did not acknowledge the "
+                    f"mutation within the {self.io_timeout}s I/O timeout"
+                )
+            try:
+                shard_id, body = self._mutation_acks.get(
+                    timeout=min(_CANCEL_POLL, remaining)
+                )
+            except queue.Empty:
+                continue
+            try:
+                ack = pickle.loads(body)
+            except Exception as exc:
+                self.close()
+                raise SchedulerError(
+                    f"shard worker {shard_id} sent an undecodable "
+                    f"mutation ack: {exc}"
+                ) from None
+            if ack != expected:
+                self.close()
+                raise SchedulerError(
+                    f"shard worker {shard_id} diverged after mutation: "
+                    f"acked {ack!r}, expected {expected!r}"
+                )
+            acked.add(shard_id)
+        with self._lock:
+            # Identity refresh: promotion swapped engine.data for the
+            # DynamicHypergraph; the workers mirror it now, so the next
+            # ensure_open must not rebuild the pool.
+            self._graph = engine.data
+        return self.num_shards
+
     # -- receive pump ----------------------------------------------------
 
     def _pump_loop(self) -> None:
@@ -422,6 +531,11 @@ class MuxShardPool:
     def _route(self, member: _MuxMember, sock, kind: int,
                body: bytes) -> None:
         """Deliver one inbound frame to its query's queue."""
+        if kind == transport.MSG_DELTA:
+            # A mutation ack: pool-level, untagged (mutations are a
+            # whole-pool barrier, never interleaved with queries).
+            self._mutation_acks.put((member.shard_id, body))
+            return
         if kind not in (transport.MSG_QREPLY, transport.MSG_QERROR):
             with self._lock:
                 self._recover_locked(
@@ -548,8 +662,14 @@ class QueryChannel:
         state = self._state
         tag = message[0]
         if tag == "job":
+            # The version stamp lets the worker refuse a query that
+            # assumes a graph it has not been mutated to yet (§2.9).
             payload = pickle.dumps(
-                (message[1], message[2]),
+                (
+                    message[1],
+                    message[2],
+                    getattr(self._pool._graph, "version", 0),
+                ),
                 protocol=pickle.HIGHEST_PROTOCOL,
             )
             state.job_body = transport.encode_query_body(

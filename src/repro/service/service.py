@@ -41,6 +41,7 @@ from ..errors import QueryCancelled, SchedulerError, ServiceBusy
 from ..hypergraph.io import dump_native
 from ..parallel.level_sync import run_level_synchronous
 from .mux import MuxShardPool, QueryChannel
+from .standing import StandingQuery
 
 
 def graph_fingerprint(graph) -> Tuple[int, int, int]:
@@ -166,6 +167,18 @@ class MatchService:
         self._graph_fp = None
         self.cache_hits = 0
         self.cache_misses = 0
+        #: True while a mutation barrier holds the service: submissions
+        #: get BUSY, the barrier waits for in-flight queries to drain.
+        self._mutating = False
+        self._standing: "dict" = {}
+        self._standing_ids = 0
+        # Adopt the engine: ``engine.apply_mutations`` must route every
+        # commit through this service's barrier, or the result cache
+        # and standing queries silently go stale.  First service wins
+        # (``engine.match_service()`` sets the slot itself); drain()
+        # releases it.
+        if getattr(engine, "_match_service", None) is None:
+            engine._match_service = self
 
     # -- submission ------------------------------------------------------
 
@@ -188,10 +201,15 @@ class MatchService:
         queues unboundedly or hangs.  Cache hits bypass admission *and*
         the pool entirely.
         """
-        key = (self._graph_key(), query_fingerprint(query, order))
         with self._lock:
             if self._closed:
                 raise SchedulerError("match service is closed")
+            if self._mutating:
+                raise ServiceBusy(self.queue_depth, self.retry_after)
+            # Key inside the lock, after the mutation gate: a mutation
+            # barrier between the fingerprint and the lookup must not
+            # serve a result cached for a graph that no longer exists.
+            key = (self._graph_key(), query_fingerprint(query, order))
             cached = self._cache.get(key)
             if cached is not None:
                 self._cache.move_to_end(key)
@@ -260,6 +278,114 @@ class MatchService:
             self.pool.release(channel.query_id, completed=completed)
             self._release_slot()
 
+    # -- mutation --------------------------------------------------------
+
+    def apply_mutations(self, batch, drain_timeout: float = 30.0):
+        """Commit one mutation batch under a whole-service barrier.
+
+        The sequence is: flag the barrier (new submissions get BUSY),
+        wait for admitted queries to drain, apply the batch to the
+        engine's graph and store, propagate the same batch to every
+        live executor pool — the engine's own process/socket pools and
+        this service's multiplexing pool — invalidate the result-cache
+        fingerprint, then commit every standing query and emit its
+        delta.  Returns the :class:`~repro.hypergraph.dynamic
+        .MutationResult`.
+
+        Cached results for the old graph are *not* purged: the cache is
+        keyed by graph fingerprint, so they can never be served again —
+        they simply age out of the LRU.
+        """
+        with self._lock:
+            if self._closed:
+                raise SchedulerError("match service is closed")
+            if self._draining:
+                raise ServiceBusy(self.queue_depth, self.retry_after)
+            if self._mutating:
+                raise SchedulerError(
+                    "a mutation batch is already being committed"
+                )
+            self._mutating = True
+        try:
+            deadline = time.monotonic() + drain_timeout
+            while True:
+                with self._lock:
+                    if self._admitted == 0:
+                        break
+                    admitted = self._admitted
+                if time.monotonic() >= deadline:
+                    raise SchedulerError(
+                        f"{admitted} queries still in flight after "
+                        f"{drain_timeout}s; mutation barrier abandoned"
+                    )
+                time.sleep(0.01)
+            engine = self._engine
+            result = engine._apply_local(batch)
+            if engine._shard_executor is not None:
+                engine._shard_executor.mutate(engine, batch, result)
+            if engine._net_executor is not None:
+                engine._net_executor.mutate(engine, batch, result)
+            self.pool.mutate(engine, batch, result)
+            with self._lock:
+                self._graph_fp = None
+                standing = list(self._standing.values())
+            for query in standing:
+                query.commit(engine, result)
+            return result
+        finally:
+            with self._lock:
+                self._mutating = False
+
+    # -- standing queries ------------------------------------------------
+
+    def register_standing(
+        self,
+        query,
+        order: "Sequence[int] | None" = None,
+        callback=None,
+    ) -> StandingQuery:
+        """Register ``query`` as a standing query; returns its handle.
+
+        Seeds the handle's match set with a full (sequential)
+        enumeration of the current graph, then every committed mutation
+        batch updates it and emits a :class:`~repro.service.standing
+        .MatchDelta`.  Refused while a mutation barrier is active (the
+        seed would race the commit).
+        """
+        with self._lock:
+            if self._closed:
+                raise SchedulerError("match service is closed")
+            if self._mutating:
+                raise ServiceBusy(self.queue_depth, self.retry_after)
+            self._standing_ids += 1
+            handle = StandingQuery(
+                self._standing_ids, query, order=order, callback=callback
+            )
+            engine = self._engine
+            version = getattr(engine.data, "version", 0)
+        handle.seed(engine, version)
+        with self._lock:
+            if self._mutating:
+                # A barrier slipped in while we enumerated: the seed
+                # may straddle the commit.  Refuse rather than guess.
+                raise ServiceBusy(self.queue_depth, self.retry_after)
+            self._standing[handle.query_id] = handle
+        return handle
+
+    def unregister_standing(self, handle) -> None:
+        """Remove a standing query; its event stream ends after a final
+        drain (idempotent)."""
+        query_id = getattr(handle, "query_id", handle)
+        with self._lock:
+            registered = self._standing.pop(query_id, None)
+        if registered is not None:
+            registered.close()
+
+    @property
+    def standing_queries(self) -> int:
+        with self._lock:
+            return len(self._standing)
+
     # -- lifecycle -------------------------------------------------------
 
     @property
@@ -295,6 +421,14 @@ class MatchService:
         self._workers.shutdown(wait=True)
         with self._lock:
             self._closed = True
+            standing = list(self._standing.values())
+            self._standing.clear()
+        for handle in standing:
+            handle.close()
+        # Release the engine: later mutations fall back to the
+        # engine-local path instead of hitting a closed service.
+        if getattr(self._engine, "_match_service", None) is self:
+            self._engine._match_service = None
         self.pool.close()
 
     def close(self, timeout: float = 10.0) -> None:

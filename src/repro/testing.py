@@ -10,6 +10,7 @@ first and breaks collection under some rootdirs.
 from __future__ import annotations
 
 import random
+from typing import List, Optional, Sequence, Tuple
 
 
 def make_random_instance(rng: random.Random, max_vertices: int = 16):
@@ -38,3 +39,165 @@ def make_random_instance(rng: random.Random, max_vertices: int = 16):
     except Exception:
         return None
     return data, query
+
+
+# ---------------------------------------------------------------------------
+# Dynamic graphs: the differential mutation oracle
+# ---------------------------------------------------------------------------
+
+def make_mutable_instance(rng: random.Random, max_vertices: int = 16):
+    """A (data, query, edges) triple for mutation schedules.
+
+    Deliberately a *separate* function from :func:`make_random_instance`
+    (whose RNG consumption is pinned by seeded tests): same recipe, but
+    the generated graph's edge list rides along as ``(sorted vertex
+    tuple, edge label)`` pairs, so schedules can delete real rows and
+    re-insert exact duplicates without re-deriving them from the graph.
+    Returns None when sampling fails, like the immutable variant.
+    """
+    instance = make_random_instance(rng, max_vertices=max_vertices)
+    if instance is None:
+        return None
+    data, query = instance
+    edges = [
+        (tuple(sorted(data.edge(edge_id))), data.edge_label(edge_id))
+        for edge_id in range(data.num_edges)
+    ]
+    return data, query, edges
+
+
+def random_mutation_schedule(
+    rng: random.Random,
+    graph,
+    steps: int = 5,
+    max_inserts: int = 3,
+    max_deletes: int = 2,
+):
+    """A random, guaranteed-valid interleaving of inserts and deletes.
+
+    Simulates the schedule against a scratch
+    :class:`~repro.hypergraph.dynamic.DynamicHypergraph` while
+    generating it, so every delete names an edge that is live *at that
+    point of the schedule* and inserted edges may themselves be deleted
+    later.  Inserts draw random vertex subsets (occasionally over
+    freshly added vertices); duplicates of live edges are fine — the
+    apply path skips them, and the oracle must agree on the skip.
+    Returns a list of ``steps`` MutationBatch objects.
+    """
+    from .hypergraph.dynamic import DynamicHypergraph, MutationBatch
+
+    simulated = DynamicHypergraph.from_hypergraph(graph)
+    labelled = simulated.is_edge_labelled
+    vertex_labels = sorted(set(simulated.labels))
+    edge_labels = sorted(
+        {
+            simulated.edge_label(edge_id)
+            for edge_id in simulated.live_edge_ids()
+        },
+        key=repr,
+    ) if labelled else [None]
+    schedule = []
+    for _ in range(steps):
+        live = list(simulated.live_edge_ids())
+        num_deletes = rng.randint(0, min(max_deletes, len(live)))
+        deletes = sorted(rng.sample(live, num_deletes))
+        add_vertices = (
+            [rng.choice(vertex_labels) for _ in range(rng.randint(1, 2))]
+            if rng.random() < 0.25
+            else []
+        )
+        total_vertices = simulated.num_vertices + len(add_vertices)
+        inserts = []
+        for _ in range(rng.randint(0, max_inserts)):
+            arity = rng.randint(2, min(4, total_vertices))
+            vertices = tuple(sorted(rng.sample(range(total_vertices), arity)))
+            label = rng.choice(edge_labels)
+            inserts.append(vertices if label is None else (vertices, label))
+        batch = MutationBatch(
+            inserts=inserts, deletes=deletes, add_vertices=add_vertices
+        )
+        simulated.apply(batch)
+        schedule.append(batch)
+    return schedule
+
+
+def run_mutation_differential(
+    data,
+    query,
+    schedule,
+    index_backend: str = "merge",
+    executor: "str | None" = None,
+    shards: int = 2,
+):
+    """Drive ``schedule`` incrementally and diff against full rebuilds.
+
+    After every batch the incrementally maintained engine's count is
+    compared with a from-scratch engine rebuilt from the mutated
+    graph's frozen snapshot (:meth:`DynamicHypergraph.to_hypergraph`) —
+    the rebuild *is* the oracle, and "bit-identical" means the counts
+    agree at every step, on every backend, under every executor.
+
+    Returns None when the whole schedule agrees, else a ``(step,
+    incremental, oracle)`` triple locating the first divergence — the
+    shape :func:`shrink_mutation_schedule` bisects on.
+    """
+    from .core.engine import HGMatch
+
+    engine = HGMatch(data, index_backend=index_backend, shards=shards)
+    try:
+        for step, batch in enumerate(schedule):
+            engine.apply_mutations(batch)
+            if executor is None:
+                incremental = engine.count(query)
+            else:
+                incremental = engine.count(
+                    query, executor=executor, shards=shards
+                )
+            oracle_engine = HGMatch(
+                engine.data.to_hypergraph(), index_backend=index_backend
+            )
+            oracle = oracle_engine.count(query)
+            if incremental != oracle:
+                return (step, incremental, oracle)
+        return None
+    finally:
+        engine.close()
+
+
+def shrink_mutation_schedule(
+    data,
+    query,
+    schedule,
+    index_backend: str = "merge",
+    executor: "str | None" = None,
+    shards: int = 2,
+):
+    """The failure shrinker: shortest failing prefix, by bisection.
+
+    Given a schedule that :func:`run_mutation_differential` fails,
+    binary-search the shortest prefix that still diverges (divergence
+    is monotone in the prefix: the runner checks after *every* step, so
+    a failing run at step ``k`` fails for any prefix of length > ``k``).
+    Returns ``(prefix, divergence)`` — the minimal reproducer to log
+    alongside the seed.
+    """
+    def fails(prefix):
+        return run_mutation_differential(
+            data, query, prefix,
+            index_backend=index_backend, executor=executor, shards=shards,
+        )
+
+    divergence = fails(schedule)
+    if divergence is None:
+        raise ValueError("schedule does not fail; nothing to shrink")
+    low, high = 1, divergence[0] + 1
+    best = (list(schedule[:high]), divergence)
+    while low < high:
+        mid = (low + high) // 2
+        result = fails(schedule[:mid])
+        if result is None:
+            low = mid + 1
+        else:
+            best = (list(schedule[:mid]), result)
+            high = mid
+    return best

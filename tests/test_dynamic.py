@@ -1,0 +1,335 @@
+"""Dynamic hypergraphs: mutation batches, row layout, incremental stores.
+
+Pins the contracts the whole dynamic stack leans on:
+
+* :class:`MutationBatch` normalisation, identity and JSON round-trip
+  (the daemon's ``mutate`` op sends batches as line-JSON);
+* :meth:`DynamicHypergraph.apply` up-front validation — a rejected
+  batch leaves the graph byte-for-byte untouched;
+* the ROW-LAYOUT INVARIANT: tombstones keep their slots, inserts
+  append fresh max ids, so global rows never shift;
+* incremental store maintenance being *structurally identical* to a
+  from-scratch rebuild, on every index backend — not just equal query
+  answers but equal postings/masks/containers.
+"""
+
+import random
+
+import pytest
+
+from repro import Hypergraph
+from repro.errors import HypergraphError
+from repro.hypergraph import (
+    INDEX_BACKENDS,
+    DynamicHypergraph,
+    MutationBatch,
+    PartitionedStore,
+    ShardedStore,
+)
+from repro.testing import make_mutable_instance, random_mutation_schedule
+
+
+def small_graph():
+    return Hypergraph(
+        labels=["A", "C", "A", "A", "B", "C", "A"],
+        edges=[{2, 4}, {4, 6}, {0, 1, 2}, {3, 5, 6},
+               {0, 1, 4, 6}, {2, 3, 4, 5}],
+    )
+
+
+def labelled_graph():
+    return Hypergraph(
+        labels=["A", "B", "A", "B"],
+        edges=[{0, 1}, {1, 2}, {2, 3}],
+        edge_labels=["x", "y", "x"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# MutationBatch
+# ---------------------------------------------------------------------------
+
+class TestMutationBatch:
+    def test_vertices_normalised_sorted_deduped(self):
+        batch = MutationBatch(inserts=[(3, 1, 3, 2)])
+        assert batch.inserts == (((1, 2, 3), None),)
+
+    def test_labelled_insert_pair_form(self):
+        batch = MutationBatch(inserts=[((2, 0), "x")])
+        assert batch.inserts == (((0, 2), "x"),)
+
+    def test_bool(self):
+        assert not MutationBatch()
+        assert MutationBatch(deletes=[0])
+        assert MutationBatch(add_vertices=["A"])
+
+    def test_eq_hash_ignore_input_order_of_vertices(self):
+        first = MutationBatch(inserts=[(1, 2)], deletes=[0])
+        second = MutationBatch(inserts=[(2, 1)], deletes=[0])
+        assert first == second
+        assert hash(first) == hash(second)
+        assert first != MutationBatch(inserts=[(1, 2)])
+
+    def test_json_round_trip(self):
+        batch = MutationBatch(
+            inserts=[(0, 2), ((1, 3), "x")],
+            deletes=[4, 1],
+            add_vertices=["B", "A"],
+        )
+        assert MutationBatch.from_json(batch.to_json()) == batch
+
+    def test_from_json_tolerates_missing_keys(self):
+        assert MutationBatch.from_json({}) == MutationBatch()
+
+    def test_from_json_rejects_non_dict(self):
+        with pytest.raises(HypergraphError):
+            MutationBatch.from_json([1, 2, 3])
+
+
+# ---------------------------------------------------------------------------
+# DynamicHypergraph.apply — validation and atomicity
+# ---------------------------------------------------------------------------
+
+class TestApplyValidation:
+    def snapshot(self, graph):
+        return (
+            graph.version,
+            graph.num_vertices,
+            graph.num_edges,
+            graph.num_slots,
+            graph.rows_by_signature(),
+        )
+
+    def check_rejected(self, graph, batch):
+        before = self.snapshot(graph)
+        with pytest.raises(HypergraphError):
+            graph.apply(batch)
+        assert self.snapshot(graph) == before
+
+    def test_delete_unknown_edge(self):
+        graph = DynamicHypergraph.from_hypergraph(small_graph())
+        self.check_rejected(graph, MutationBatch(deletes=[99]))
+
+    def test_delete_dead_edge(self):
+        graph = DynamicHypergraph.from_hypergraph(small_graph())
+        graph.apply(MutationBatch(deletes=[1]))
+        self.check_rejected(graph, MutationBatch(deletes=[1]))
+
+    def test_double_delete_in_one_batch(self):
+        graph = DynamicHypergraph.from_hypergraph(small_graph())
+        self.check_rejected(graph, MutationBatch(deletes=[2, 2]))
+
+    def test_insert_unknown_vertex(self):
+        graph = DynamicHypergraph.from_hypergraph(small_graph())
+        self.check_rejected(graph, MutationBatch(inserts=[(0, 99)]))
+
+    def test_insert_empty_edge(self):
+        graph = DynamicHypergraph.from_hypergraph(small_graph())
+        self.check_rejected(graph, MutationBatch(inserts=[()]))
+
+    def test_labelled_graph_requires_edge_label(self):
+        graph = DynamicHypergraph.from_hypergraph(labelled_graph())
+        self.check_rejected(graph, MutationBatch(inserts=[(0, 3)]))
+
+    def test_unlabelled_graph_rejects_edge_label(self):
+        graph = DynamicHypergraph.from_hypergraph(small_graph())
+        self.check_rejected(graph, MutationBatch(inserts=[((0, 3), "x")]))
+
+    def test_rejected_batch_is_atomic(self):
+        # A batch with a valid delete AND an invalid insert must apply
+        # neither half.
+        graph = DynamicHypergraph.from_hypergraph(small_graph())
+        self.check_rejected(
+            graph, MutationBatch(deletes=[0], inserts=[(0, 99)])
+        )
+        assert graph.is_live(0)
+
+    def test_insert_may_reference_fresh_vertices(self):
+        graph = DynamicHypergraph.from_hypergraph(small_graph())
+        result = graph.apply(
+            MutationBatch(inserts=[(0, 7)], add_vertices=["B"])
+        )
+        assert len(result.inserted) == 1
+        assert graph.num_vertices == 8
+        assert graph.edge(result.inserted[0].edge_id) == frozenset({0, 7})
+
+
+class TestApplySemantics:
+    def test_version_bumps_on_every_apply(self):
+        graph = DynamicHypergraph.from_hypergraph(small_graph())
+        assert graph.version == 0
+        graph.apply(MutationBatch())
+        assert graph.version == 1
+        graph.apply(MutationBatch(deletes=[0]))
+        assert graph.version == 2
+
+    def test_duplicate_insert_is_skipped_not_an_error(self):
+        graph = DynamicHypergraph.from_hypergraph(small_graph())
+        result = graph.apply(MutationBatch(inserts=[(2, 4)]))
+        assert result.inserted == ()
+        assert result.skipped == (((2, 4), None),)
+        assert graph.num_edges == 6
+
+    def test_delete_then_reinsert_gets_fresh_id(self):
+        graph = DynamicHypergraph.from_hypergraph(small_graph())
+        result = graph.apply(
+            MutationBatch(deletes=[0], inserts=[(2, 4)])
+        )
+        (mutation,) = result.inserted
+        assert mutation.edge_id == 6  # never reuses slot 0
+        assert not graph.is_live(0)
+        assert graph.num_slots == 7
+
+    def test_tombstones_keep_row_coordinates(self):
+        graph = DynamicHypergraph.from_hypergraph(small_graph())
+        rows_before = graph.rows_by_signature()
+        graph.apply(MutationBatch(deletes=[0]))
+        # The tombstoned slot stays in the row layout...
+        assert graph.rows_by_signature() == rows_before
+        # ...but leaves the live read interface.
+        assert graph.num_edges == 5
+        assert frozenset({2, 4}) not in graph.edges
+        with pytest.raises(HypergraphError):
+            graph.edge(0)
+
+    def test_deleted_mutations_carry_stable_rows(self):
+        graph = DynamicHypergraph.from_hypergraph(small_graph())
+        rows = graph.rows_by_signature()
+        result = graph.apply(MutationBatch(deletes=[3]))
+        (mutation,) = result.deleted
+        assert rows[mutation.signature][mutation.row] == 3
+
+    def test_to_hypergraph_is_dense_and_tombstone_free(self):
+        graph = DynamicHypergraph.from_hypergraph(small_graph())
+        graph.apply(MutationBatch(deletes=[1, 4], inserts=[(0, 3)]))
+        snapshot = graph.to_hypergraph()
+        assert isinstance(snapshot, Hypergraph)
+        assert snapshot.num_edges == graph.num_edges == 5
+        assert sorted(map(sorted, snapshot.edges)) == sorted(
+            map(sorted, graph.edges)
+        )
+
+    def test_from_hypergraph_clone_preserves_tombstones_and_version(self):
+        graph = DynamicHypergraph.from_hypergraph(small_graph())
+        graph.apply(MutationBatch(deletes=[2], inserts=[(1, 5)]))
+        clone = DynamicHypergraph.from_hypergraph(graph)
+        assert clone.version == graph.version
+        assert clone.num_slots == graph.num_slots
+        assert clone.rows_by_signature() == graph.rows_by_signature()
+        assert not clone.is_live(2)
+        # The clone is independent: mutating it leaves the original alone.
+        clone.apply(MutationBatch(deletes=[0]))
+        assert graph.is_live(0)
+
+    def test_labelled_inserts_and_deletes(self):
+        graph = DynamicHypergraph.from_hypergraph(labelled_graph())
+        result = graph.apply(
+            MutationBatch(deletes=[0], inserts=[((0, 3), "y")])
+        )
+        (mutation,) = result.inserted
+        assert graph.edge_label(mutation.edge_id) == "y"
+        # Same vertices, different edge label: a distinct edge, not a dup.
+        result = graph.apply(MutationBatch(inserts=[((0, 3), "x")]))
+        assert len(result.inserted) == 1
+
+
+# ---------------------------------------------------------------------------
+# Incremental store maintenance ≡ from-scratch rebuild (structurally)
+# ---------------------------------------------------------------------------
+
+def index_state(index):
+    """The backend's complete internal posting state, comparable."""
+    if index.backend == "merge":
+        return dict(index._postings)
+    if index.backend == "bitset":
+        return (tuple(index._row_to_edge), dict(index._masks))
+    assert index.backend == "adaptive"
+    return (
+        tuple(index._row_to_edge),
+        {v: dict(chunks) for v, chunks in index._chunk_maps.items()},
+        None if index._flat is None else dict(index._flat),
+    )
+
+
+def store_state(store):
+    return {
+        signature: (
+            partition.edge_ids,
+            partition.row_ids,
+            index_state(partition.index),
+        )
+        for signature, partition in store._partitions.items()
+        if partition.row_ids  # rebuilds never materialise empty layouts
+    }
+
+
+@pytest.mark.parametrize("backend", INDEX_BACKENDS)
+def test_partitioned_store_incremental_equals_rebuild(backend):
+    rng = random.Random(0xD15C0)
+    checked = 0
+    for attempt in range(30):
+        instance = make_mutable_instance(rng)
+        if instance is None:
+            continue
+        data, _, _ = instance
+        graph = DynamicHypergraph.from_hypergraph(data)
+        store = PartitionedStore(graph, index_backend=backend)
+        for batch in random_mutation_schedule(rng, data, steps=6):
+            result = graph.apply(batch)
+            store.apply_mutation_result(result)
+            rebuilt = PartitionedStore(graph, index_backend=backend)
+            assert store_state(store) == store_state(rebuilt), (
+                f"incremental {backend} store diverged from rebuild at "
+                f"version {graph.version} (attempt {attempt})"
+            )
+        checked += 1
+        if checked >= 8:
+            break
+    assert checked >= 8
+
+
+@pytest.mark.parametrize("backend", INDEX_BACKENDS)
+def test_sharded_store_incremental_covers_mutated_graph(backend):
+    """Every shard maintains its slice; concatenated in range order the
+    shards reproduce the mutated graph's global row layout exactly."""
+    rng = random.Random(0x5A4D)
+    checked = 0
+    for _ in range(30):
+        instance = make_mutable_instance(rng)
+        if instance is None:
+            continue
+        data, _, _ = instance
+        graph = DynamicHypergraph.from_hypergraph(data)
+        store = ShardedStore(graph, num_shards=3, index_backend=backend)
+        for batch in random_mutation_schedule(rng, data, steps=6):
+            result = graph.apply(batch)
+            store.apply_mutation_result(result)
+            live = {
+                signature: [e for e in rows if graph.is_live(e)]
+                for signature, rows in graph.rows_by_signature().items()
+            }
+            for signature, rows in graph.rows_by_signature().items():
+                ordered = sorted(
+                    (
+                        (shard.row_base(signature), shard)
+                        for shard in store.shards
+                        if shard.partition(signature) is not None
+                    ),
+                    key=lambda pair: pair[0],
+                )
+                concat_rows = []
+                concat_edges = []
+                for _, shard in ordered:
+                    partition = shard.partition(signature)
+                    concat_rows.extend(partition.row_ids)
+                    concat_edges.extend(partition.edge_ids)
+                assert concat_rows == rows
+                assert concat_edges == live[signature]
+            for shard in store.shards:
+                descriptor = shard.describe()
+                assert descriptor.graph_version == graph.version
+                assert descriptor.graph_edges == graph.num_edges
+        checked += 1
+        if checked >= 5:
+            break
+    assert checked >= 5
