@@ -5,9 +5,10 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-backends test-processes test-sockets test-chaos \
-	test-elastic test-service test-mutation bench-smoke bench-index \
-	bench-sharding bench-skew bench-net bench-chaos bench-elastic \
-	bench-service bench-mutation docs-check lint-imports
+	test-elastic test-service test-mutation test-durability \
+	bench-smoke bench-index bench-sharding bench-skew bench-net \
+	bench-chaos bench-elastic bench-service bench-mutation \
+	bench-durability docs-check lint-imports
 
 ## Tier-1 verification: the whole test suite, stop on first failure.
 ## Honours REPRO_INDEX_BACKEND (merge/bitset/adaptive).
@@ -77,6 +78,16 @@ test-mutation:
 		tests/test_mutation_oracle.py tests/test_codec_fuzz.py \
 		tests/test_mutation_service.py
 
+## Durability smoke: the journal codec (torn tails vs mid-log
+## corruption), snapshots, the crash-point recovery oracle, the
+## service/daemon journal seam (drain persists, restart recovers and
+## resumes standing streams) and the CATCHUP rejoin paths of the
+## replicated and multiplexed pools.
+test-durability:
+	$(PYTHON) -m pytest -x -q tests/test_journal.py \
+		tests/test_mutation_service.py tests/test_elastic.py \
+		tests/test_chaos.py
+
 ## One fast benchmark as a smoke signal: the three-backend index
 ## comparison (merge/bitset/adaptive + mask-native pipeline; also
 ## regenerates BENCH_index_backends.json).
@@ -137,6 +148,16 @@ bench-service:
 ## total, per backend (regenerates BENCH_mutation.json).
 bench-mutation:
 	$(PYTHON) benchmarks/bench_mutation.py
+
+## Durability gate: SIGKILL a journalling serve-match daemon
+## mid-schedule (idle *and* mid-commit), recover from the journal
+## alone — fingerprint and query counts bit-identical to the longest
+## committed prefix on all three backends — restart, finish the
+## schedule; plus the catch-up rejoin parity gate for a stale
+## respawned worker (regenerates BENCH_durability.json; recovery and
+## catch-up wall-clock recorded, not gated).
+bench-durability:
+	$(PYTHON) benchmarks/bench_durability.py
 
 ## Documentation checks: the WIRE_FORMAT.md doctests (the byte-level
 ## spec is executable), the §2.1 message-kind table cross-check

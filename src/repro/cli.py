@@ -307,6 +307,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds granted to in-flight queries at shutdown before "
         "they are cancelled (default 10)",
     )
+    serve_match.add_argument(
+        "--journal-dir", default=None,
+        help="directory for the durable mutation journal: committed "
+        "batches are logged inside the commit barrier and the service "
+        "recovers graph + standing queries from it on restart "
+        "(default: $REPRO_JOURNAL_DIR, else no journal)",
+    )
+    serve_match.add_argument(
+        "--journal-fsync", default=None, choices=("always", "never"),
+        help="fsync policy of the journal: 'always' fsyncs every "
+        "commit (crash-safe), 'never' leaves flushing to the OS "
+        "(default: $REPRO_JOURNAL_FSYNC, else 'always')",
+    )
+    serve_match.add_argument(
+        "--snapshot-interval", type=int, default=None,
+        help="journalled batches between snapshots (recovery replays "
+        "at most this many; default: "
+        "$REPRO_JOURNAL_SNAPSHOT_INTERVAL, else 64)",
+    )
 
     query_cmd = commands.add_parser(
         "query",
@@ -727,6 +746,7 @@ def _cmd_serve_shard(args, out) -> int:
 
 
 def _cmd_serve_match(args, out) -> int:
+    from .hypergraph.journal import MutationJournal, default_journal_dir
     from .service import MatchService
     from .service.daemon import run_daemon
 
@@ -739,7 +759,22 @@ def _cmd_serve_match(args, out) -> int:
     if args.queue_depth < 1:
         out.write("error: --queue-depth must be >= 1\n")
         return 1
-    graph = _load_graph(args.source)
+    journal = None
+    recovered = None
+    journal_dir = args.journal_dir
+    if journal_dir is None:
+        journal_dir = default_journal_dir()
+    if journal_dir is not None:
+        journal = MutationJournal(
+            journal_dir,
+            fsync=args.journal_fsync,
+            snapshot_interval=args.snapshot_interval,
+        )
+        recovered = journal.recover()
+    if recovered is not None:
+        graph = recovered.graph
+    else:
+        graph = _load_graph(args.source)
     engine = HGMatch(
         graph,
         index_backend=args.index_backend,
@@ -752,7 +787,16 @@ def _cmd_serve_match(args, out) -> int:
         queue_depth=args.queue_depth,
         cache_capacity=args.cache_capacity,
         default_deadline=args.deadline,
+        journal=journal,
     )
+    restored = service.restore_standing()
+    if recovered is not None:
+        out.write(
+            f"recovered graph at version {recovered.version} "
+            f"(snapshot {recovered.snapshot_version} + "
+            f"{recovered.replayed} replayed batch(es), "
+            f"{restored} standing quer(ies)) from {journal_dir}\n"
+        )
 
     def ready(address) -> None:
         host, port = address

@@ -43,6 +43,28 @@ class TransportError(SchedulerError):
     """
 
 
+class JournalError(ReproError):
+    """Raised on an invalid journal configuration or journal I/O failure.
+
+    Covers the durability seam: an unusable ``REPRO_JOURNAL_DIR``, a
+    malformed fsync/snapshot knob, a journal directory that cannot be
+    created, or an append/fsync that fails mid-commit.
+    """
+
+
+class JournalCorruption(JournalError):
+    """Raised when the mutation journal is corrupt beyond a torn tail.
+
+    A *torn* write — a partial record at the end of the log, the
+    expected residue of a crash mid-append — is silently truncated on
+    open.  This error is the other case: a checksum or structural
+    failure in the *middle* of the log (valid records follow the bad
+    one), a record whose version breaks the committed sequence, or a
+    snapshot that fails its own integrity checks.  Recovery must stop:
+    replaying past the corruption would fabricate state.
+    """
+
+
 class ServiceBusy(ReproError):
     """Raised when the match service refuses a query at admission.
 

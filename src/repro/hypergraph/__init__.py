@@ -69,6 +69,7 @@ from .signature import (
     signature_label_counts,
     signature_of_labels,
 )
+from .journal import MutationJournal, RecoveredState
 from .persistence import load_store, save_store, stores_equal
 from .statistics import DatasetStatistics, dataset_statistics, format_bytes
 from .storage import (
@@ -87,6 +88,8 @@ __all__ = [
     "group_rows_by_signature",
     "mutate_range_table",
     "shard_grouping",
+    "MutationJournal",
+    "RecoveredState",
     "Hypergraph",
     "HypergraphBuilder",
     "InvertedHyperedgeIndex",

@@ -262,6 +262,7 @@ class DynamicHypergraph:
             self._rows.setdefault(signature, []).append(edge_id)
         self._live = len(self._slots)
         self.version = 0
+        self._history: List[Tuple[int, MutationBatch]] = []
 
     @classmethod
     def from_hypergraph(cls, graph: "Hypergraph | DynamicHypergraph") -> "DynamicHypergraph":
@@ -289,9 +290,85 @@ class DynamicHypergraph:
             }
             clone._live = graph._live
             clone.version = graph.version
+            clone._history = list(graph._history)
             return clone
         instance = cls.__new__(cls)
         instance._init_from(graph)
+        return instance
+
+    @classmethod
+    def from_slot_state(
+        cls,
+        graph: Hypergraph,
+        *,
+        num_slots: int,
+        dead: "Dict[int, Signature]",
+        version: int,
+    ) -> "DynamicHypergraph":
+        """Rebuild a dynamic graph from its frozen live content plus
+        the tombstone layout — the snapshot-recovery constructor.
+
+        ``graph`` is the dense live snapshot (what
+        :meth:`to_hypergraph` froze: live edges renumbered 0..n-1 in
+        ascending original-id order), ``dead`` maps each tombstoned
+        slot id to the signature it still occupies in the row layout,
+        and ``num_slots`` / ``version`` restore the id allocator and
+        the mutation counter.  The result is coordinate-identical to
+        the graph the snapshot was taken from: same slots, same rows
+        per signature, same next edge id — so replayed
+        :class:`MutationBatch` es land on the same coordinates.
+
+        Raises :class:`~repro.errors.HypergraphError` when the pieces
+        are inconsistent (slot arithmetic, dead ids out of range or
+        colliding with live positions).
+        """
+        if num_slots != graph.num_edges + len(dead):
+            raise HypergraphError(
+                f"slot arithmetic mismatch: {num_slots} slots cannot "
+                f"hold {graph.num_edges} live edges + {len(dead)} "
+                f"tombstones"
+            )
+        if any(not 0 <= slot < num_slots for slot in dead):
+            raise HypergraphError(
+                f"tombstoned slot id outside 0..{num_slots - 1}"
+            )
+        instance = cls.__new__(cls)
+        instance._labels = list(graph.labels)
+        instance._edge_labelled = graph.is_edge_labelled
+        live_ids = [
+            slot for slot in range(num_slots) if slot not in dead
+        ]
+        instance._slots = [None] * num_slots
+        instance._slot_signatures = [None] * num_slots
+        instance._slot_labels = [None] * num_slots
+        for dense_id, slot in enumerate(live_ids):
+            instance._slots[slot] = graph.edges[dense_id]
+            instance._slot_signatures[slot] = graph.edge_signature(dense_id)
+            instance._slot_labels[slot] = graph.edge_label(dense_id)
+        for slot, signature in dead.items():
+            instance._slot_signatures[slot] = signature
+            if instance._edge_labelled:
+                # The first signature component of an edge-labelled
+                # graph *is* the edge label (see :meth:`apply`).
+                instance._slot_labels[slot] = signature[0]
+        instance._incidence = [[] for _ in instance._labels]
+        for slot in live_ids:
+            for vertex in instance._slots[slot]:
+                instance._incidence[vertex].append(slot)
+        instance._edge_lookup = {
+            instance._lookup_key(
+                instance._slots[slot], instance._slot_labels[slot]
+            ): slot
+            for slot in live_ids
+        }
+        instance._rows = {}
+        for slot in range(num_slots):
+            instance._rows.setdefault(
+                instance._slot_signatures[slot], []
+            ).append(slot)
+        instance._live = len(live_ids)
+        instance.version = version
+        instance._history = []
         return instance
 
     # ------------------------------------------------------------------
@@ -435,7 +512,38 @@ class DynamicHypergraph:
             self._live += 1
 
         self.version += 1
+        self._history.append((self.version, batch))
+        if len(self._history) > self.HISTORY_LIMIT:
+            del self._history[: len(self._history) - self.HISTORY_LIMIT]
         return MutationResult(self.version, inserted, deleted, skipped)
+
+    #: Committed batches retained in memory for worker catch-up
+    #: (:meth:`batches_since`).  Bounded so a long-lived coordinator
+    #: cannot grow without limit; a worker staler than the retained
+    #: window is caught up with a full snapshot instead.
+    HISTORY_LIMIT = 512
+
+    def batches_since(self, version: int) -> "List[Tuple[int, MutationBatch]] | None":
+        """The committed ``(version, batch)`` suffix after ``version``.
+
+        Returns every batch needed to roll a copy of this graph forward
+        from ``version`` to :attr:`version`, in commit order — the
+        coordinator side of the CATCHUP protocol.  Returns an empty
+        list when ``version`` is already current, and None when the
+        suffix is not fully retained (the history window rolled past
+        it, or ``version`` is ahead of this graph) — the caller falls
+        back to shipping a snapshot.
+        """
+        if version == self.version:
+            return []
+        if version > self.version:
+            return None
+        suffix = [
+            entry for entry in self._history if entry[0] > version
+        ]
+        if not suffix or suffix[0][0] != version + 1:
+            return None
+        return suffix
 
     # ------------------------------------------------------------------
     # Hypergraph read interface (live state only)
@@ -651,6 +759,23 @@ class DynamicHypergraph:
 
     def __hash__(self) -> int:
         return hash((tuple(self._labels), self._edge_identity()))
+
+    def __getstate__(self):
+        """Pickle without the catch-up history.
+
+        Shipped copies (worker spawns, CATCHUP snapshots) only need the
+        graph state itself: the receiving side is the *target* of
+        catch-up, never a source, and the history can be the biggest
+        part of a long-lived graph's footprint.
+        """
+        state = dict(self.__dict__)
+        state["_history"] = []
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        if "_history" not in state:  # pragma: no cover - older pickles
+            self._history = []
 
     def __repr__(self) -> str:
         return (

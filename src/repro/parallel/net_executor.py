@@ -85,6 +85,7 @@ from ..hypergraph import Hypergraph
 from ..hypergraph.dynamic import DynamicHypergraph
 from ..hypergraph.sharding import (
     ReplicaSet,
+    SHARDING_MODES,
     ShardDescriptor,
     StoreShard,
     build_range_table,
@@ -523,6 +524,62 @@ class ShardWorker:
                             "graph_edges": graph.num_edges,
                             "graph_vertices": graph.num_vertices,
                         },
+                    )
+                elif kind == transport.MSG_CATCHUP:
+                    payload = transport.decode_pickle_body(body)
+                    if "snapshot" in payload:
+                        # The batch suffix aged out: adopt the shipped
+                        # graph wholesale and re-cut this shard from it
+                        # under the coordinator-named placement mode.
+                        graph = payload["snapshot"]
+                        self._graph = graph
+                        self.shard = StoreShard.build(
+                            graph,
+                            self.shard.shard_id,
+                            self.shard.num_shards,
+                            self.index_backend,
+                            resolve_sharding(payload["sharding"]),
+                        )
+                    else:
+                        graph = self._graph
+                        if not isinstance(graph, DynamicHypergraph):
+                            graph = DynamicHypergraph.from_hypergraph(
+                                graph
+                            )
+                            self._graph = graph
+                        for version, batch in payload["batches"]:
+                            if version != graph.version + 1:
+                                raise SchedulerError(
+                                    f"catch-up replay gap: batch for "
+                                    f"version {version} but the shard "
+                                    f"holds {graph.version}"
+                                )
+                            result = graph.apply(batch)
+                            self.shard.apply_mutation_result(
+                                graph, result
+                            )
+                    if (
+                        getattr(self._graph, "version", 0)
+                        != payload["to_version"]
+                    ):
+                        raise SchedulerError(
+                            f"catch-up fell short: replayed to version "
+                            f"{getattr(self._graph, 'version', 0)}, "
+                            f"coordinator expects "
+                            f"{payload['to_version']}"
+                        )
+                    # Same invalidation as MUTATE: memoised anchor
+                    # unions and open sessions cover pre-catch-up rows.
+                    self._memo.clear()
+                    plan = None
+                    state = None
+                    sessions.clear()
+                    # Answer with a fresh handshake body: the gate
+                    # re-validates the post-replay descriptor in full.
+                    transport.send_frame(
+                        conn,
+                        transport.MSG_CATCHUP_REPLY,
+                        self._hello_body(),
                     )
                 elif kind in transport.QUERY_KINDS:
                     self._serve_query_frame(conn, kind, body, sessions)
@@ -1057,6 +1114,44 @@ def spawn_local_cluster(
 # ----------------------------------------------------------------------
 
 
+def _catchup_body(graph, stale_version: int, sharding: "str | None"):
+    """Build the CATCHUP payload for a worker stuck at ``stale_version``.
+
+    Prefers the cheap path — the contiguous suffix of committed
+    :class:`MutationBatch`es the :class:`DynamicHypergraph` retains in
+    its in-memory history — and falls back to shipping a snapshot of the
+    whole graph when the suffix has aged out.  The snapshot path needs a
+    *resolvable* sharding mode label (the worker re-cuts its shard from
+    the snapshot; a ``rebalanced-*`` label carries no recipe), so when
+    ``sharding`` is ``None`` and no suffix exists the caller must fall
+    back to refusal.  Returns the pickled payload bytes, or ``None``
+    when no catch-up route exists.
+    """
+    to_version = getattr(graph, "version", 0)
+    batches = None
+    if isinstance(graph, DynamicHypergraph):
+        batches = graph.batches_since(stale_version)
+    if batches is not None:
+        return pickle.dumps(
+            {"batches": batches, "to_version": to_version},
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+    if sharding is None or not isinstance(graph, DynamicHypergraph):
+        return None
+    return pickle.dumps(
+        {"snapshot": graph, "to_version": to_version, "sharding": sharding},
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+
+
+def _resolvable_sharding(*labels) -> "str | None":
+    """First label that names a plain sharding mode, or ``None``."""
+    for label in labels:
+        if label in SHARDING_MODES:
+            return label
+    return None
+
+
 def validate_handshake(
     sock,
     graph,
@@ -1071,6 +1166,7 @@ def validate_handshake(
     expected_sharding: "str | None" = None,
     allow_replica_growth: bool = False,
     any_sharding: bool = False,
+    allow_catchup: bool = True,
 ) -> ShardDescriptor:
     """Receive and validate one worker's HELLO against a pool's view.
 
@@ -1087,73 +1183,136 @@ def validate_handshake(
     one), and ``any_sharding`` defers the placement-label check to the
     caller (which REBALANCE-upgrades label mismatches instead of
     refusing them).
+
+    A worker announcing a *stale* ``graph_version`` (it was restarting
+    while MUTATE broadcasts went out, or was spawned from the seed
+    graph) is no longer refused outright: when ``allow_catchup`` is on
+    the gate sends a CATCHUP frame carrying the missing mutation
+    batches — or a graph snapshot when the retained suffix has aged
+    out — waits for the worker's CATCHUP-REPLY (a fresh handshake body
+    reflecting the post-replay state), and re-validates that in full.
+    Only when no catch-up route exists, or the reply is still stale,
+    does the version mismatch surface as a refusal.
     """
+
+    def _decode(body) -> "tuple[ShardDescriptor, int]":
+        descriptor_dict, worker_seed = transport.decode_handshake(body)
+        try:
+            descriptor = ShardDescriptor.from_dict(descriptor_dict)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SchedulerError(
+                f"malformed handshake descriptor (missing/invalid field "
+                f"{exc}): not a compatible shard server"
+            ) from None
+        return descriptor, worker_seed
+
+    sharding = (
+        sharding_label if expected_sharding is None else expected_sharding
+    )
+
+    def _check_contract(descriptor: ShardDescriptor, worker_seed: int):
+        # Everything except graph identity: these mismatches are
+        # configuration errors a catch-up replay cannot repair.
+        if descriptor.index_backend != index_backend:
+            raise SchedulerError(
+                f"handshake backend mismatch: worker shard "
+                f"{descriptor.shard_id} built {descriptor.index_backend!r}, "
+                f"coordinator expects {index_backend!r}"
+            )
+        if descriptor.num_shards != num_shards:
+            raise SchedulerError(
+                f"shard arithmetic mismatch: worker believes in "
+                f"{descriptor.num_shards} shards, coordinator in "
+                f"{num_shards}"
+            )
+        if descriptor.num_replicas != num_replicas and not (
+            allow_replica_growth
+            and descriptor.num_replicas > num_replicas
+        ):
+            raise SchedulerError(
+                f"replica arithmetic mismatch: worker shard "
+                f"{descriptor.shard_id} believes in "
+                f"{descriptor.num_replicas} replicas, coordinator in "
+                f"{num_replicas}"
+            )
+        if not 0 <= descriptor.shard_id < num_shards:
+            raise SchedulerError(
+                f"worker announced shard id {descriptor.shard_id} outside "
+                f"0..{num_shards - 1}"
+            )
+        if (
+            expected_shard is not None
+            and descriptor.shard_id != expected_shard
+        ):
+            raise SchedulerError(
+                f"respawned worker announced shard id "
+                f"{descriptor.shard_id}, expected {expected_shard}"
+            )
+        if (
+            expected_replica is not None
+            and descriptor.replica_id != expected_replica
+        ):
+            raise SchedulerError(
+                f"respawned worker announced replica "
+                f"{descriptor.replica_id}, expected {expected_replica}"
+            )
+        if not any_sharding and descriptor.sharding != sharding:
+            raise SchedulerError(
+                f"shard placement mismatch: worker shard "
+                f"{descriptor.shard_id} was cut under "
+                f"{descriptor.sharding!r}, coordinator expects "
+                f"{sharding!r} — composing different placements would "
+                f"double- or under-count rows"
+            )
+        if worker_seed != seed:
+            raise SchedulerError(
+                f"scheduler seed mismatch: worker shard "
+                f"{descriptor.shard_id} runs REPRO_SEED={worker_seed}, "
+                f"coordinator {seed} — parallel runs would not be "
+                f"reproducible"
+            )
+
     kind, body = transport.recv_frame(sock)
     if kind != transport.MSG_HELLO:
         raise SchedulerError(
             f"worker spoke {kind:#x} before HELLO; not a shard server?"
         )
-    descriptor_dict, worker_seed = transport.decode_handshake(body)
-    try:
-        descriptor = ShardDescriptor.from_dict(descriptor_dict)
-    except (KeyError, TypeError, ValueError) as exc:
-        raise SchedulerError(
-            f"malformed handshake descriptor (missing/invalid field "
-            f"{exc}): not a compatible shard server"
-        ) from None
-    if descriptor.index_backend != index_backend:
-        raise SchedulerError(
-            f"handshake backend mismatch: worker shard "
-            f"{descriptor.shard_id} built {descriptor.index_backend!r}, "
-            f"coordinator expects {index_backend!r}"
+    descriptor, worker_seed = _decode(body)
+    _check_contract(descriptor, worker_seed)
+    graph_version = getattr(graph, "version", 0)
+    if allow_catchup and descriptor.graph_version < graph_version:
+        payload = _catchup_body(
+            graph,
+            descriptor.graph_version,
+            _resolvable_sharding(descriptor.sharding, sharding),
         )
-    if descriptor.num_shards != num_shards:
+        if payload is not None:
+            transport.send_frame(sock, transport.MSG_CATCHUP, payload)
+            kind, body = transport.recv_frame(sock)
+            if kind == transport.MSG_ERROR:
+                raise SchedulerError(
+                    f"worker shard {descriptor.shard_id} failed "
+                    f"catch-up from version {descriptor.graph_version} "
+                    f"to {graph_version}:\n"
+                    f"{transport.decode_pickle_body(body)}"
+                )
+            if kind != transport.MSG_CATCHUP_REPLY:
+                raise SchedulerError(
+                    f"worker shard {descriptor.shard_id} answered "
+                    f"CATCHUP with frame kind {kind:#x}, expected "
+                    f"CATCHUP-REPLY"
+                )
+            descriptor, worker_seed = _decode(body)
+            _check_contract(descriptor, worker_seed)
+    if descriptor.graph_version != graph_version:
         raise SchedulerError(
-            f"shard arithmetic mismatch: worker believes in "
-            f"{descriptor.num_shards} shards, coordinator in "
-            f"{num_shards}"
-        )
-    if descriptor.num_replicas != num_replicas and not (
-        allow_replica_growth
-        and descriptor.num_replicas > num_replicas
-    ):
-        raise SchedulerError(
-            f"replica arithmetic mismatch: worker shard "
-            f"{descriptor.shard_id} believes in "
-            f"{descriptor.num_replicas} replicas, coordinator in "
-            f"{num_replicas}"
-        )
-    if not 0 <= descriptor.shard_id < num_shards:
-        raise SchedulerError(
-            f"worker announced shard id {descriptor.shard_id} outside "
-            f"0..{num_shards - 1}"
-        )
-    if (
-        expected_shard is not None
-        and descriptor.shard_id != expected_shard
-    ):
-        raise SchedulerError(
-            f"respawned worker announced shard id "
-            f"{descriptor.shard_id}, expected {expected_shard}"
-        )
-    if (
-        expected_replica is not None
-        and descriptor.replica_id != expected_replica
-    ):
-        raise SchedulerError(
-            f"respawned worker announced replica "
-            f"{descriptor.replica_id}, expected {expected_replica}"
-        )
-    sharding = (
-        sharding_label if expected_sharding is None else expected_sharding
-    )
-    if not any_sharding and descriptor.sharding != sharding:
-        raise SchedulerError(
-            f"shard placement mismatch: worker shard "
-            f"{descriptor.shard_id} was cut under "
-            f"{descriptor.sharding!r}, coordinator expects "
-            f"{sharding!r} — composing different placements would "
-            f"double- or under-count rows"
+            f"graph version mismatch: worker shard "
+            f"{descriptor.shard_id} reflects mutation version "
+            f"{descriptor.graph_version}, the engine holds "
+            f"{graph_version} — the worker missed a MUTATE broadcast "
+            f"and no catch-up route exists (the retained batch suffix "
+            f"aged out and the placement label carries no rebuild "
+            f"recipe)"
         )
     if (
         descriptor.graph_edges != graph.num_edges
@@ -1165,22 +1324,6 @@ def validate_handshake(
             f"edges / {descriptor.graph_vertices} vertices, the engine "
             f"holds {graph.num_edges} / "
             f"{graph.num_vertices}"
-        )
-    graph_version = getattr(graph, "version", 0)
-    if descriptor.graph_version != graph_version:
-        raise SchedulerError(
-            f"graph version mismatch: worker shard "
-            f"{descriptor.shard_id} reflects mutation version "
-            f"{descriptor.graph_version}, the engine holds "
-            f"{graph_version} — the worker missed a MUTATE broadcast "
-            f"(restarted workers rebuild from their spawn-time graph)"
-        )
-    if worker_seed != seed:
-        raise SchedulerError(
-            f"scheduler seed mismatch: worker shard "
-            f"{descriptor.shard_id} runs REPRO_SEED={worker_seed}, "
-            f"coordinator {seed} — parallel runs would not be "
-            f"reproducible"
         )
     return descriptor
 
@@ -2128,8 +2271,10 @@ class NetShardExecutor:
         diverging or garbled ack is a *contract* failure and tears the
         pool down, while a liveness failure degrades that replica —
         like mid-job failover — as long as its range keeps another
-        live member (the degraded worker's next handshake fails the
-        graph-version gate, so it can never silently rejoin stale).
+        live member (the degraded worker's next handshake announces a
+        stale graph version, which the gate repairs by streaming the
+        missed batches in a CATCHUP frame — §2.10 — and re-validating
+        the fingerprint; it can never silently rejoin stale).
         Runs strictly between jobs.  Returns the number of workers
         that acked the batch.  A pool that is not running needs
         nothing: its next ``_ensure_pool`` spawns workers from the

@@ -67,6 +67,12 @@ byte    name     body
 ``D``   DELTA    pickled mutation ack dict (``graph_version``,
         ``graph_edges``, ``graph_vertices``) — the worker's state
         after applying a MUTATE
+``U``   CATCHUP  pickled catch-up payload: either the ``(version,
+        MutationBatch)`` suffix a stale worker missed, or a full graph
+        snapshot when the suffix is no longer retained
+``u``   CATCHUP_REPLY  handshake body (like HELLO) — the worker's
+        descriptor/seed *after* applying the catch-up payload, which
+        the coordinator re-validates in full
 ======  =======  ===========================================================
 
 Control messages carry pickles — the coordinator and its workers are
@@ -132,12 +138,21 @@ MSG_CANCEL = 0x58  # b"X"
 MSG_MUTATE = 0x4D  # b"M"
 MSG_DELTA = 0x44  # b"D"
 
+# Catch-up recovery (WIRE_FORMAT.md §2.10): a worker whose HELLO
+# announces a stale graph_version is streamed the mutation suffix it
+# missed (or a full snapshot when the suffix is no longer retained)
+# instead of being refused; it replies with a CATCHUP_REPLY carrying a
+# fresh handshake body, which the coordinator re-validates in full.
+MSG_CATCHUP = 0x55  # b"U"
+MSG_CATCHUP_REPLY = 0x75  # b"u"
+
 _KNOWN_KINDS = frozenset({
     MSG_HELLO, MSG_JOB, MSG_LEVEL, MSG_LEVEL_REPLY, MSG_COLLECT,
     MSG_ACCOUNTING, MSG_REBALANCE, MSG_STOP, MSG_SHUTDOWN, MSG_ERROR,
     MSG_ANNOUNCE, MSG_HEARTBEAT,
     MSG_QJOB, MSG_QLEVEL, MSG_QREPLY, MSG_QCOLLECT, MSG_QERROR,
     MSG_CANCEL, MSG_MUTATE, MSG_DELTA,
+    MSG_CATCHUP, MSG_CATCHUP_REPLY,
 })
 
 #: The kinds whose body starts with a ``u64 query_id`` tag (§2.8).

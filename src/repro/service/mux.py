@@ -403,9 +403,11 @@ class MuxShardPool:
         worker replays the batch against its own shard and answers a
         DELTA ack echoing the new graph version and totals; any dead
         member, wrong ack, or timeout closes the pool and raises —
-        there is no replica to degrade onto, and a reconnected worker
-        rebuilds from its spawn-time graph, which the handshake's
-        version gate would reject anyway.
+        there is no replica to degrade onto mid-broadcast.  A worker
+        that reconnects afterwards rebuilds from its spawn-time graph
+        and announces a stale version, which the handshake gate
+        repairs by streaming the missed batches (CATCHUP, §2.10)
+        before re-admitting it.
 
         Returns the number of workers that acknowledged (0 when the
         pool was never opened — nothing to keep in sync).
@@ -431,9 +433,9 @@ class MuxShardPool:
             for member in self._members:
                 if member.sock is None:
                     failure = (
-                        f"shard worker {member.shard_id} is down; a "
-                        "reconnected worker would rebuild from its "
-                        "spawn-time graph and miss this mutation"
+                        f"shard worker {member.shard_id} is down and "
+                        "would miss this mutation; recover() will "
+                        "catch it up at the next handshake"
                     )
                     break
                 try:

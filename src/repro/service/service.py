@@ -38,10 +38,47 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Optional, Sequence, Tuple
 
 from ..errors import QueryCancelled, SchedulerError, ServiceBusy
+from ..hypergraph import Hypergraph
 from ..hypergraph.io import dump_native
+from ..hypergraph.journal import MutationJournal
 from ..parallel.level_sync import run_level_synchronous
 from .mux import MuxShardPool, QueryChannel
 from .standing import StandingQuery
+
+
+def _standing_entry(handle) -> dict:
+    """JSON-serialisable record of one standing-query registration.
+
+    Structural (labels/edges/edge_labels) rather than native-text so
+    edge-labelled queries round-trip faithfully; labels keep their
+    int-vs-str type through JSON.
+    """
+    query = handle.query
+    return {
+        "labels": list(query.labels),
+        "edges": [sorted(edge) for edge in query.edges],
+        "edge_labels": (
+            [query.edge_label(e) for e in range(query.num_edges)]
+            if query.is_edge_labelled else None
+        ),
+        "order": None if handle.order is None else list(handle.order),
+    }
+
+
+def _standing_query_from_entry(entry: dict):
+    """Rebuild the (query, order) pair of one persisted registration."""
+    try:
+        query = Hypergraph(
+            entry["labels"],
+            entry["edges"],
+            edge_labels=entry.get("edge_labels"),
+        )
+        order = entry.get("order")
+        return query, None if order is None else tuple(order)
+    except (KeyError, TypeError) as exc:
+        raise SchedulerError(
+            f"malformed persisted standing-query entry: {exc!r}"
+        ) from None
 
 
 def graph_fingerprint(graph) -> Tuple[int, int, int]:
@@ -134,12 +171,22 @@ class MatchService:
         io_timeout: "float | None" = None,
         start_method: "str | None" = None,
         chaos=None,
+        journal: "MutationJournal | str | None" = None,
     ) -> None:
         if queue_depth < 1:
             raise SchedulerError("queue_depth must be >= 1")
         if max_concurrent < 1:
             raise SchedulerError("max_concurrent must be >= 1")
         self._engine = engine
+        # Durability seam: every committed batch is journalled inside
+        # the mutation barrier, before any broadcast, so a coordinator
+        # crash replays it on restart instead of losing a commit the
+        # workers may already hold.
+        if isinstance(journal, str):
+            journal = MutationJournal(journal)
+        self.journal = journal
+        if journal is not None:
+            journal.attach(engine.data)
         self.num_shards = shards if addresses is None else len(addresses)
         self.queue_depth = queue_depth
         self.max_concurrent = max_concurrent
@@ -321,6 +368,11 @@ class MatchService:
                 time.sleep(0.01)
             engine = self._engine
             result = engine._apply_local(batch)
+            if self.journal is not None:
+                # Durability point: the batch hits the fsynced log
+                # *before* any worker sees it, so restart-from-journal
+                # can only be ahead of (never behind) the pool.
+                self.journal.append(result.version, batch)
             if engine._shard_executor is not None:
                 engine._shard_executor.mutate(engine, batch, result)
             if engine._net_executor is not None:
@@ -331,6 +383,8 @@ class MatchService:
                 standing = list(self._standing.values())
             for query in standing:
                 query.commit(engine, result)
+            if self.journal is not None:
+                self.journal.maybe_snapshot(engine.data)
             return result
         finally:
             with self._lock:
@@ -370,6 +424,7 @@ class MatchService:
                 # may straddle the commit.  Refuse rather than guess.
                 raise ServiceBusy(self.queue_depth, self.retry_after)
             self._standing[handle.query_id] = handle
+        self._persist_standing()
         return handle
 
     def unregister_standing(self, handle) -> None:
@@ -380,6 +435,42 @@ class MatchService:
             registered = self._standing.pop(query_id, None)
         if registered is not None:
             registered.close()
+            self._persist_standing()
+
+    def _persist_standing(self) -> None:
+        """Mirror the live registrations into the journal directory.
+
+        Called on every register/unregister (and once more on drain) so
+        a restarted daemon can re-register the same standing queries
+        against the recovered graph.  No-op without a journal.
+        """
+        if self.journal is None:
+            return
+        with self._lock:
+            entries = [
+                _standing_entry(handle)
+                for handle in self._standing.values()
+            ]
+        self.journal.save_standing(entries)
+
+    def restore_standing(self, callback=None) -> int:
+        """Re-register the standing queries persisted alongside the
+        journal; returns how many were restored.
+
+        Each restored query is seeded by a fresh full enumeration of
+        the *recovered* graph — its next delta therefore continues from
+        the recovered version, exactly as if the registration had
+        survived the restart.  ``callback`` applies to every restored
+        handle (the daemon re-attaches its event fan-out here).
+        """
+        if self.journal is None:
+            return 0
+        restored = 0
+        for entry in self.journal.load_standing():
+            query, order = _standing_query_from_entry(entry)
+            self.register_standing(query, order=order, callback=callback)
+            restored += 1
+        return restored
 
     @property
     def standing_queries(self) -> int:
@@ -398,7 +489,9 @@ class MatchService:
 
         The SIGTERM path: new submissions get BUSY immediately,
         in-flight queries get ``timeout`` seconds to finish, stragglers
-        are cancelled (remote CANCEL included), then the pool and its
+        are cancelled (remote CANCEL included), the journal is flushed
+        and fsynced with the standing registrations persisted beside
+        it (a restarted daemon recovers both), then the pool and its
         cluster shut down.  Idempotent.
         """
         with self._lock:
@@ -419,12 +512,18 @@ class MatchService:
             except Exception:
                 pass  # the query's own failure; drain marches on
         self._workers.shutdown(wait=True)
+        # Persist the registrations *before* clearing them, then seal
+        # the journal: flush, fsync, close — the durable state a
+        # restarted daemon resumes from.
+        self._persist_standing()
         with self._lock:
             self._closed = True
             standing = list(self._standing.values())
             self._standing.clear()
         for handle in standing:
             handle.close()
+        if self.journal is not None:
+            self.journal.close()
         # Release the engine: later mutations fall back to the
         # engine-local path instead of hitting a closed service.
         if getattr(self._engine, "_match_service", None) is self:

@@ -9,7 +9,10 @@ first and breaks collection under some rootdirs.
 
 from __future__ import annotations
 
+import os
 import random
+import shutil
+import tempfile
 from typing import List, Optional, Sequence, Tuple
 
 
@@ -191,6 +194,203 @@ def shrink_mutation_schedule(
     if divergence is None:
         raise ValueError("schedule does not fail; nothing to shrink")
     low, high = 1, divergence[0] + 1
+    best = (list(schedule[:high]), divergence)
+    while low < high:
+        mid = (low + high) // 2
+        result = fails(schedule[:mid])
+        if result is None:
+            low = mid + 1
+        else:
+            best = (list(schedule[:mid]), result)
+            high = mid
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Durability: the crash-point recovery oracle
+# ---------------------------------------------------------------------------
+
+def run_crash_recovery_oracle(
+    data,
+    schedule,
+    index_backend: str = "merge",
+    snapshot_interval: int = 3,
+    query=None,
+    directory: "str | None" = None,
+):
+    """Crash the journal at every byte-level cut point and recover.
+
+    Commits ``schedule`` through a real :class:`~repro.hypergraph
+    .journal.MutationJournal`, recording the log's byte length and the
+    graph fingerprint after every batch.  Then, for every record
+    boundary *and* for cuts inside every record (torn header, torn
+    body), materialises the directory a crash at that point would have
+    left behind — the log truncated to the cut, plus only the
+    snapshots that had been written by then — recovers from it, and
+    asserts the recovered graph is bit-identical (fingerprint and,
+    when ``query`` is given, embedding count) to the longest committed
+    prefix before the cut.
+
+    Returns None when every crash point recovers exactly, else a
+    ``(step, got, expected)`` triple — ``step`` is the shortest
+    schedule prefix that reproduces the failure, ``got``/``expected``
+    describe the divergence — the shape
+    :func:`shrink_crash_schedule` bisects on.
+    """
+    from .core.engine import HGMatch
+    from .errors import ReproError
+    from .hypergraph.dynamic import DynamicHypergraph
+    from .hypergraph.journal import JOURNAL_FILE, MutationJournal
+    from .service.service import graph_fingerprint
+
+    owned = directory is None
+    if owned:
+        directory = tempfile.mkdtemp(prefix="crash-oracle-")
+    try:
+        committed = os.path.join(directory, "committed")
+        journal = MutationJournal(
+            committed, fsync="never", snapshot_interval=snapshot_interval
+        )
+        graph = DynamicHypergraph.from_hypergraph(data)
+        journal.attach(graph)
+        expected = {0: graph_fingerprint(graph)}
+        counts = {}
+        if query is not None:
+            probe = HGMatch(
+                graph.to_hypergraph(), index_backend=index_backend
+            )
+            try:
+                counts[0] = probe.count(query)
+            finally:
+                probe.close()
+        # boundaries[k] = log length after record k; snapshots_at[k] =
+        # snapshot versions on disk once record k had been appended.
+        # Snapshots are archived aside as they appear: the journal
+        # prunes old ones, but a crash *before* the pruning point must
+        # still find them.
+        log_path = os.path.join(committed, JOURNAL_FILE)
+        archive = os.path.join(directory, "snapshots")
+        os.makedirs(archive, exist_ok=True)
+
+        def archive_snapshots():
+            versions = list(journal.snapshot_versions())
+            for version in versions:
+                name = os.path.basename(journal.snapshot_path(version))
+                kept = os.path.join(archive, name)
+                if not os.path.exists(kept):
+                    shutil.copy(journal.snapshot_path(version), kept)
+            return versions
+
+        boundaries = [os.path.getsize(log_path)]
+        snapshots_at = [archive_snapshots()]
+        for batch in schedule:
+            result = graph.apply(batch)
+            journal.append(result.version, batch)
+            journal.maybe_snapshot(graph)
+            journal.sync()
+            expected[result.version] = graph_fingerprint(graph)
+            if query is not None:
+                probe = HGMatch(
+                    graph.to_hypergraph(), index_backend=index_backend
+                )
+                try:
+                    counts[result.version] = probe.count(query)
+                finally:
+                    probe.close()
+            boundaries.append(os.path.getsize(log_path))
+            snapshots_at.append(archive_snapshots())
+        journal.close()
+        with open(log_path, "rb") as stream:
+            log_bytes = stream.read()
+
+        def crash_points():
+            # Every record boundary, then cuts inside each record:
+            # a torn length/checksum header and a torn body.
+            for k in range(len(boundaries)):
+                yield k, boundaries[k], f"boundary after version {k}"
+            for k in range(1, len(boundaries)):
+                start, end = boundaries[k - 1], boundaries[k]
+                for cut in {start + 4, start + (end - start) // 2, end - 1}:
+                    if start < cut < end:
+                        yield k, cut, (
+                            f"torn record for version {k} "
+                            f"(cut at byte {cut})"
+                        )
+
+        scratch = os.path.join(directory, "crashed")
+        for step, cut, label in crash_points():
+            # Longest committed prefix: complete records before the cut.
+            k_committed = next(
+                k for k in range(len(boundaries) - 1, -1, -1)
+                if boundaries[k] <= cut
+            )
+            if os.path.isdir(scratch):
+                shutil.rmtree(scratch)
+            os.makedirs(scratch)
+            with open(os.path.join(scratch, JOURNAL_FILE), "wb") as stream:
+                stream.write(log_bytes[:cut])
+            for version in snapshots_at[k_committed]:
+                name = os.path.basename(journal.snapshot_path(version))
+                shutil.copy(
+                    os.path.join(archive, name),
+                    os.path.join(scratch, name),
+                )
+            try:
+                recovered = MutationJournal(scratch).recover()
+            except ReproError as exc:
+                return (step, f"recovery failed at {label}: {exc}",
+                        f"version {k_committed}")
+            if recovered is None or recovered.version != k_committed:
+                got = None if recovered is None else recovered.version
+                return (step, f"recovered version {got} at {label}",
+                        f"version {k_committed}")
+            if graph_fingerprint(recovered.graph) != expected[k_committed]:
+                return (step, f"fingerprint diverged at {label}",
+                        f"fingerprint of version {k_committed}")
+            if query is not None:
+                probe = HGMatch(
+                    recovered.graph.to_hypergraph(),
+                    index_backend=index_backend,
+                )
+                try:
+                    count = probe.count(query)
+                finally:
+                    probe.close()
+                if count != counts[k_committed]:
+                    return (step, f"count {count} at {label}",
+                            f"count {counts[k_committed]}")
+        return None
+    finally:
+        if owned:
+            shutil.rmtree(directory, ignore_errors=True)
+
+
+def shrink_crash_schedule(
+    data,
+    schedule,
+    index_backend: str = "merge",
+    snapshot_interval: int = 3,
+    query=None,
+):
+    """Shrink a schedule failing :func:`run_crash_recovery_oracle`.
+
+    Same prefix bisection as :func:`shrink_mutation_schedule`: the
+    oracle exercises every crash point of the prefix it is given, so a
+    failure reproducible at ``step`` batches is reproducible for every
+    longer prefix.  Returns ``(prefix, divergence)``.
+    """
+    def fails(prefix):
+        return run_crash_recovery_oracle(
+            data, prefix,
+            index_backend=index_backend,
+            snapshot_interval=snapshot_interval,
+            query=query,
+        )
+
+    divergence = fails(schedule)
+    if divergence is None:
+        raise ValueError("schedule does not fail; nothing to shrink")
+    low, high = 1, max(1, divergence[0])
     best = (list(schedule[:high]), divergence)
     while low < high:
         mid = (low + high) // 2

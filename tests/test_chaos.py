@@ -447,3 +447,115 @@ def test_rebalance_frame_lost_on_last_replica_fails_clean(chaos_instance):
         executor.close()
         cluster.close()
         engine.close()
+
+
+# ----------------------------------------------------------------------
+# MUTATE-pinned faults: degrade on broadcast, rejoin via catch-up
+# ----------------------------------------------------------------------
+
+
+def _rebuild_count(engine, query, backend):
+    """Count on a fresh engine over the mutated graph's dense snapshot."""
+    oracle = HGMatch(engine.data.to_hypergraph(), index_backend=backend)
+    try:
+        return oracle.count(query)
+    finally:
+        oracle.close()
+
+
+@pytest.mark.parametrize("backend", INDEX_BACKENDS)
+def test_kill_pinned_to_mutate_degrades_then_catchup_rejoins(
+    chaos_instance, backend
+):
+    """Kill a worker process exactly on the MUTATE broadcast frame: the
+    commit degrades that replica (its range keeps a live member), the
+    next query's counts are bit-identical to a rebuild on the mutated
+    graph, and the respawned worker rejoins via catch-up (§2.10) rather
+    than being refused for its stale version."""
+    from repro.testing import random_mutation_schedule
+
+    data, query, expected = chaos_instance
+    engine = HGMatch(data, index_backend=backend)
+    plan = FaultPlan(seed=13)
+    # On a fresh pool the handshake sends no coordinator frames, so the
+    # MUTATE is frame 1 on every connection.
+    plan.kill_worker(0, 0, after_frames=1)
+    cluster = spawn_local_cluster(
+        data, 2, index_backend=backend, num_replicas=2
+    )
+    plan.arm_killer(0, 0, lambda: cluster.kill_member(0, 0))
+    executor = NetShardExecutor(
+        addresses=list(cluster.addresses),
+        num_replicas=2,
+        index_backend=backend,
+        io_timeout=60.0,
+        chaos=plan,
+    )
+    try:
+        executor._ensure_pool(engine)
+        rng = random.Random(17)
+        result = None
+        for batch in random_mutation_schedule(rng, data, steps=2):
+            result = engine.apply_mutations(batch)
+            executor.mutate(engine, batch, result)
+        assert all(f.consumed for f in plan.faults)
+        oracle = _rebuild_count(engine, query, backend)
+        # Degraded to one live replica on shard 0, counts still exact.
+        assert executor.run(engine, query).embeddings == oracle
+        # The respawned slot rebuilds from spawn-time data (version 0);
+        # only the CATCHUP route lets it rejoin the mutated pool.
+        address = cluster.respawn(0, 0)
+        descriptor = executor.admit(address)
+        assert (descriptor.shard_id, descriptor.replica_id) == (0, 0)
+        assert descriptor.graph_version == result.version
+        assert executor.run(engine, query).embeddings == oracle
+    finally:
+        executor.close()
+        cluster.close()
+        engine.close()
+
+
+def test_sever_pinned_to_mutate_degrades_then_catchup_rejoins(
+    chaos_instance
+):
+    """Sever the coordinator connection on the MUTATE frame (worker
+    survives but misses the batch): the commit degrades that member,
+    and readmitting the *same* worker — still at its spawn-time version
+    — goes through catch-up and lands on the committed version."""
+    from repro.testing import random_mutation_schedule
+
+    data, query, expected = chaos_instance
+    backend = "merge"
+    engine = HGMatch(data, index_backend=backend)
+    plan = FaultPlan(seed=29)
+    plan.sever(1, 0, after_frames=1)
+    cluster = spawn_local_cluster(
+        data, 2, index_backend=backend, num_replicas=2
+    )
+    executor = NetShardExecutor(
+        addresses=list(cluster.addresses),
+        num_replicas=2,
+        index_backend=backend,
+        io_timeout=60.0,
+        chaos=plan,
+    )
+    try:
+        executor._ensure_pool(engine)
+        rng = random.Random(23)
+        batch = random_mutation_schedule(rng, data, steps=1)[0]
+        result = engine.apply_mutations(batch)
+        executor.mutate(engine, batch, result)
+        assert all(f.consumed for f in plan.faults)
+        oracle = _rebuild_count(engine, query, backend)
+        assert executor.run(engine, query).embeddings == oracle
+        # The severed worker process never died and never applied the
+        # batch: readmission finds it stale and catch-up repairs it.
+        address = cluster.addresses[1 * 2 + 0]
+        descriptor = executor.admit(address)
+        assert (descriptor.shard_id, descriptor.replica_id) == (1, 0)
+        assert descriptor.graph_version == result.version
+        assert executor.run(engine, query).embeddings == oracle
+    finally:
+        executor.close()
+        cluster.close()
+        engine.close()

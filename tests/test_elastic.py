@@ -468,3 +468,97 @@ def test_retired_shard_ids_are_refused_readmission(elastic_instance):
         if spare is not None:
             spare.close()
         engine.close()
+
+
+# ----------------------------------------------------------------------
+# Catch-up: stale workers rejoin a mutated pool (§2.10)
+# ----------------------------------------------------------------------
+
+
+def _rebuild_count(engine, query, backend):
+    """Count on a fresh engine over the mutated graph's dense snapshot."""
+    oracle = HGMatch(engine.data.to_hypergraph(), index_backend=backend)
+    try:
+        return oracle.count(query)
+    finally:
+        oracle.close()
+
+
+def test_respawned_replica_rejoins_via_catchup_batches(elastic_instance):
+    """Kill a replica, mutate the graph, respawn the slot from its
+    spawn-time data: the newcomer announces a stale graph version and
+    the handshake gate streams it the missed batches (CATCHUP, §2.10)
+    instead of refusing — counts stay bit-identical throughout."""
+    from repro.testing import random_mutation_schedule
+
+    data, query, expected = elastic_instance
+    backend = "merge"
+    engine = HGMatch(data, index_backend=backend)
+    cluster = spawn_local_cluster(
+        data, 2, index_backend=backend, num_replicas=2
+    )
+    try:
+        executor = engine.net_executor(
+            hosts=list(cluster.addresses), replicas=2
+        )
+        assert executor.run(engine, query).embeddings == expected[backend]
+        cluster.kill_member(0, 0)
+        executor.drain(0, replica_id=0)
+        # Mutate while the slot is empty: the eventual respawn rebuilds
+        # from the spawn-time graph and comes back stale.
+        rng = random.Random(31)
+        result = None
+        for batch in random_mutation_schedule(rng, data, steps=3):
+            result = engine.apply_mutations(batch)
+        assert result is not None and result.version == 3
+        oracle = _rebuild_count(engine, query, backend)
+        assert executor.run(engine, query).embeddings == oracle
+        address = cluster.respawn(0, 0)
+        descriptor = executor.admit(address)
+        assert (descriptor.shard_id, descriptor.replica_id) == (0, 0)
+        # The returned descriptor is the post-catch-up re-validation:
+        # the newcomer is *at* the engine's version, not merely admitted.
+        assert descriptor.graph_version == result.version
+        assert descriptor.graph_edges == engine.data.num_edges
+        assert executor.run(engine, query).embeddings == oracle
+    finally:
+        engine.close()
+        cluster.close()
+
+
+def test_respawned_replica_rejoins_via_catchup_snapshot(elastic_instance):
+    """Same rejoin, but the retained batch suffix has aged out: the
+    gate falls back to shipping a full snapshot with the placement
+    label so the worker recuts its shard from scratch."""
+    from repro.testing import random_mutation_schedule
+
+    data, query, expected = elastic_instance
+    backend = "bitset"
+    engine = HGMatch(data, index_backend=backend)
+    cluster = spawn_local_cluster(
+        data, 2, index_backend=backend, num_replicas=2
+    )
+    try:
+        executor = engine.net_executor(
+            hosts=list(cluster.addresses), replicas=2
+        )
+        assert executor.run(engine, query).embeddings == expected[backend]
+        cluster.kill_member(1, 1)
+        executor.drain(1, replica_id=1)
+        rng = random.Random(47)
+        result = None
+        for batch in random_mutation_schedule(rng, data, steps=2):
+            result = engine.apply_mutations(batch)
+        # Age out the retained suffix: batch replay is now impossible,
+        # only the snapshot route remains.
+        engine.data._history.clear()
+        assert engine.data.batches_since(0) is None
+        oracle = _rebuild_count(engine, query, backend)
+        address = cluster.respawn(1, 1)
+        descriptor = executor.admit(address)
+        assert (descriptor.shard_id, descriptor.replica_id) == (1, 1)
+        assert descriptor.graph_version == result.version
+        assert executor.run(engine, query).embeddings == oracle
+    finally:
+        engine.close()
+        cluster.close()

@@ -342,3 +342,136 @@ def test_daemon_rejects_bad_mutations_and_unknown_ops(instance):
     finally:
         _stop_daemon(daemon, thread)
         engine.close()
+
+
+# ----------------------------------------------------------------------
+# Durability: the journal seam and restart recovery
+# ----------------------------------------------------------------------
+
+
+def test_service_journals_commits_inside_the_barrier(instance, tmp_path):
+    from repro.hypergraph.journal import MutationJournal, read_journal
+
+    data, query = instance
+    wal = str(tmp_path / "wal")
+    engine = HGMatch(data, index_backend="merge")
+    service = MatchService(engine, shards=1, journal=wal)
+    try:
+        assert service.journal is not None and service.journal.attached
+        handle = service.register_standing(query)
+        # Registration is persisted immediately, not only at drain.
+        assert service.journal.load_standing(), "standing not persisted"
+        _, batch = delete_a_matched_edge(handle)
+        result = service.apply_mutations(batch)
+        records, _valid = read_journal(service.journal.journal_path)
+        assert [(v, b) for _o, v, b in records] == [(result.version, batch)]
+    finally:
+        service.close()
+        engine.close()
+    # drain (via close) flushed and closed the journal; the directory
+    # alone reconstructs the committed graph.
+    recovered = MutationJournal(wal).recover()
+    assert recovered is not None
+    assert recovered.version == result.version
+
+
+def test_daemon_restart_recovers_graph_and_resumes_standing(
+    instance, tmp_path
+):
+    """The SIGTERM-drain / restart contract: stopping the daemon
+    flushes the journal and persists the standing registrations; a
+    daemon restarted on the same directory serves bit-identical counts
+    and resumes the standing streams from the recovered version."""
+    from repro.hypergraph.journal import MutationJournal
+
+    data, query = instance
+    wal = str(tmp_path / "wal")
+    engine = HGMatch(data, index_backend="merge")
+    service = MatchService(engine, shards=2, journal=wal)
+    daemon, (host, port), thread = _start_daemon(service)
+    try:
+        client = MatchClient(host, port, timeout=30.0)
+        handle = service.register_standing(query)
+        victim = min(min(m) for m in handle.matches)
+        outcome = client.mutate(MutationBatch(deletes=[victim]))
+        assert outcome.version == 1
+        expected = rebuild_count(engine, query, "merge")
+        fingerprint = graph_fingerprint(engine.data)
+        survivors = set(handle.matches)
+    finally:
+        # request_stop is the SIGTERM path: drain fsyncs the journal
+        # and rewrites standing.json before the process exits.
+        _stop_daemon(daemon, thread)
+        engine.close()
+
+    journal = MutationJournal(wal)
+    recovered = journal.recover()
+    assert recovered is not None and recovered.version == 1
+    assert graph_fingerprint(recovered.graph) == fingerprint
+
+    engine2 = HGMatch(recovered.graph, index_backend="merge")
+    service2 = MatchService(engine2, shards=2, journal=journal)
+    deltas = []
+    assert service2.restore_standing(callback=deltas.append) == 1
+    daemon2, (host2, port2), thread2 = _start_daemon(service2)
+    try:
+        client2 = MatchClient(host2, port2, timeout=30.0)
+        after = client2.query(query)
+        assert after.embeddings == expected == len(survivors)
+        # The restored stream picks up exactly where the journal left
+        # off: the next commit's delta carries version 2, and the
+        # maintained match set equals a fresh enumeration.
+        restored = next(iter(service2._standing.values()))
+        assert restored.matches == survivors
+        victim2 = min(engine2.data.live_edge_ids())
+        outcome2 = client2.mutate(MutationBatch(deletes=[victim2]))
+        assert outcome2.version == 2
+        assert len(deltas) == 1 and deltas[0].version == 2
+        assert restored.matches == full_matches(engine2, query)
+    finally:
+        _stop_daemon(daemon2, thread2)
+        engine2.close()
+
+
+def test_mux_pool_heals_missed_mutate_via_catchup(instance):
+    """The reconnect-replay story for the multiplexed pool: a MUTATE
+    send severed mid-broadcast closes the pool (no replica to degrade
+    onto), leaving one worker stale.  The next query's reopen finds the
+    stale HELLO and repairs it with a CATCHUP stream — before §2.10
+    this pool was permanently wedged against external workers."""
+    from repro.parallel import FaultPlan, spawn_local_cluster
+    from repro.parallel.level_sync import run_level_synchronous
+    from repro.service import MuxShardPool, QueryChannel
+
+    data, query = instance
+    engine = HGMatch(data, index_backend="merge")
+    plan = FaultPlan(seed=37)
+    # The pool's first coordinator frame on each connection is the
+    # MUTATE itself (the handshake sends none), so pin frame 1.
+    plan.sever(1, 0, after_frames=1, role="coordinator")
+    cluster = spawn_local_cluster(data, 2, index_backend="merge")
+    pool = MuxShardPool(
+        addresses=list(cluster.addresses),
+        index_backend="merge",
+        io_timeout=60.0,
+        chaos=plan,
+    )
+    try:
+        pool.ensure_open(engine)
+        victim = min(engine.data.live_edge_ids()) if hasattr(
+            engine.data, "live_edge_ids"
+        ) else 0
+        batch = MutationBatch(deletes=[victim])
+        result = engine.apply_mutations(batch)
+        with pytest.raises(SchedulerError, match="MUTATE send to shard 1"):
+            pool.mutate(engine, batch, result)
+        assert all(f.consumed for f in plan.faults)
+        # Worker 0 applied the batch, worker 1 never saw it: the pool
+        # reopens against a mixed-version cluster and catch-up levels
+        # them — counts match a rebuild on the mutated graph.
+        outcome = run_level_synchronous(QueryChannel(pool), engine, query)
+        assert outcome.embeddings == rebuild_count(engine, query, "merge")
+    finally:
+        pool.close()
+        cluster.close()
+        engine.close()

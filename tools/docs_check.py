@@ -88,7 +88,7 @@ def check_links() -> int:
 
 #: ``| `0x48` | `H` | HELLO | ... |`` — one §2.1 table row.
 _KIND_ROW = re.compile(
-    r"^\|\s*`0x([0-9A-Fa-f]{2})`\s*\|\s*`(.+?)`\s*\|\s*([A-Z]+)\s*\|"
+    r"^\|\s*`0x([0-9A-Fa-f]{2})`\s*\|\s*`(.+?)`\s*\|\s*([A-Z]+(?:-[A-Z]+)*)\s*\|"
 )
 
 
